@@ -1,0 +1,57 @@
+// Command aegisbench regenerates every table and figure of the paper's
+// evaluation against the simulated machines and prints them with the
+// paper's numbers alongside.
+//
+// Usage:
+//
+//	aegisbench              # run everything
+//	aegisbench -only table7 # run a subset (substring match, case-folded)
+//	aegisbench -list        # list experiments
+//	aegisbench -n 64        # smaller Table 9 matrix for quick runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"exokernel/internal/bench"
+)
+
+func main() {
+	only := flag.String("only", "", "run only experiments whose ID or title contains this substring")
+	list := flag.Bool("list", false, "list experiments and exit")
+	matN := flag.Int("n", bench.Table9MatrixN, "matrix dimension for Table 9")
+	format := flag.String("format", "text", "output format: text or csv")
+	flag.Parse()
+
+	bench.Table9MatrixN = *matN
+	exps := bench.All()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	needle := strings.ToLower(strings.ReplaceAll(*only, " ", ""))
+	ran := 0
+	for _, e := range exps {
+		id := strings.ToLower(strings.ReplaceAll(e.ID, " ", ""))
+		title := strings.ToLower(e.Title)
+		if needle != "" && !strings.Contains(id, needle) && !strings.Contains(title, needle) {
+			continue
+		}
+		tb := e.Run()
+		if *format == "csv" {
+			fmt.Println(tb.CSV())
+		} else {
+			fmt.Println(tb.Format())
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "aegisbench: no experiment matches %q\n", *only)
+		os.Exit(1)
+	}
+}

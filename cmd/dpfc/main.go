@@ -1,0 +1,83 @@
+// Command dpfc demonstrates the dynamic packet filter engine: it installs
+// the Table 7 workload (ten TCP/IP filters), shows the declarative filters,
+// classifies sample packets through the three engines (DPF, MPF,
+// PATHFINDER), and prints the per-engine cost so the effect of merging and
+// compilation is visible.
+//
+// Usage:
+//
+//	dpfc [-flows n] [-trials n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"exokernel/internal/dpf"
+	"exokernel/internal/mpf"
+	"exokernel/internal/pathfinder"
+	"exokernel/internal/pkt"
+)
+
+func main() {
+	nflows := flag.Int("flows", 10, "number of installed TCP/IP filters")
+	trials := flag.Int("trials", 1_000_000, "classification trials for wall-clock timing")
+	flag.Parse()
+
+	flows := make([]pkt.Flow, *nflows)
+	for i := range flows {
+		flows[i] = pkt.Flow{
+			Proto: pkt.ProtoTCP,
+			SrcIP: pkt.IP(18, 26, 0, byte(10+i)), DstIP: pkt.IP(18, 26, 0, 1),
+			SrcPort: uint16(2000 + i), DstPort: uint16(4000 + i),
+		}
+	}
+
+	fmt.Printf("filter for flow 0 (declarative atoms, as downloaded into the kernel):\n")
+	for _, a := range dpf.FlowFilter(flows[0]) {
+		fmt.Printf("  match %d byte(s) at offset %2d against %#x\n", a.Size, a.Off, a.Val)
+	}
+
+	de := dpf.NewEngine()
+	me := mpf.NewEngine()
+	pe := pathfinder.NewEngine()
+	for _, f := range flows {
+		if _, err := de.Insert(dpf.FlowFilter(f)); err != nil {
+			panic(err)
+		}
+		if _, err := me.Insert(mpf.FlowProgram(f)); err != nil {
+			panic(err)
+		}
+		if _, err := pe.Insert(pathfinder.FlowPattern(f)); err != nil {
+			panic(err)
+		}
+	}
+	frame := pkt.Build(pkt.Addr{2}, pkt.Addr{1}, flows[len(flows)-1], []byte("payload"))
+	fmt.Printf("\n%d filters installed; classifying a packet for the last one\n\n", *nflows)
+
+	type engine struct {
+		name     string
+		classify func([]byte) (dpf.FilterID, uint64, bool)
+	}
+	engines := []engine{
+		{"DPF (compiled+merged)", de.Classify},
+		{"PATHFINDER (interp+merged)", pe.Classify},
+		{"MPF (interp, per-filter)", me.Classify},
+	}
+	fmt.Printf("  %-28s %14s %16s %12s\n", "engine", "sim cycles", "sim us @25MHz", "host ns")
+	for _, e := range engines {
+		id, cycles, ok := e.classify(frame)
+		if !ok || id != dpf.FilterID(*nflows-1) {
+			fmt.Printf("  %-28s MISCLASSIFIED (id=%d ok=%v)\n", e.name, id, ok)
+			continue
+		}
+		start := time.Now()
+		for i := 0; i < *trials; i++ {
+			e.classify(frame)
+		}
+		host := float64(time.Since(start).Nanoseconds()) / float64(*trials)
+		fmt.Printf("  %-28s %14d %16.2f %12.1f\n", e.name, cycles, float64(cycles)/25, host)
+	}
+	fmt.Println("\npaper (DEC5000/200): MPF 35.0 us, PATHFINDER 19.0 us, DPF 1.35 us")
+}

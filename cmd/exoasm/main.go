@@ -1,0 +1,104 @@
+// Command exoasm assembles, disassembles, verifies, and runs programs for
+// the simulated ISA.
+//
+// Usage:
+//
+//	exoasm [-run] [-verify ash|handler] [-steps n] file.s
+//	exoasm -                      # read from stdin
+//
+// -run executes the program on a bare machine (flat identity mapping, no
+// kernel) and dumps the registers at halt; -verify applies the downloaded-
+// code sandbox policy and reports the static step bound.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"exokernel/internal/asm"
+	"exokernel/internal/hw"
+	"exokernel/internal/isa"
+	"exokernel/internal/sandbox"
+	"exokernel/internal/vm"
+)
+
+func main() {
+	run := flag.Bool("run", false, "execute the program on a bare machine")
+	verify := flag.String("verify", "", "verify under a sandbox policy: ash or handler")
+	steps := flag.Uint64("steps", 1_000_000, "step budget for -run")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	src, err := readSource(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	code, labels, err := asm.AssembleWithLabels(src)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("; %d instructions, %d labels\n", len(code), len(labels))
+	fmt.Print(isa.Disassemble(code))
+
+	if *verify != "" {
+		policy := sandbox.PolicyASH
+		if *verify == "handler" {
+			policy = sandbox.PolicyHandler
+		}
+		res, err := sandbox.Verify(code, policy)
+		if err != nil {
+			fmt.Printf("verification FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("verified: bounded at %d steps\n", res.MaxSteps)
+	}
+
+	if *run {
+		m := hw.NewMachine(hw.DEC5000)
+		// Identity-map low memory so programs can use data freely.
+		for vpn := uint32(0); vpn < 64; vpn++ {
+			m.TLB.WriteRandom(hw.TLBEntry{VPN: vpn, PFN: vpn, Perms: hw.PermValid | hw.PermWrite})
+		}
+		m.SetTrapHandler(haltOnTrap{})
+		m.CPU.Mode = hw.ModeUser
+		in := vm.New(m, vm.FixedCode(code))
+		reason := in.Run(*steps)
+		fmt.Printf("\nstopped: %v after %d steps, %d simulated cycles (%.2f us at 25 MHz)\n",
+			reason, in.Steps, m.Clock.Cycles(), m.Micros(m.Clock.Cycles()))
+		for r := 0; r < hw.NumRegs; r += 4 {
+			for c := 0; c < 4; c++ {
+				fmt.Printf("  r%-2d %08x", r+c, m.CPU.Reg(uint8(r+c)))
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// haltOnTrap reports the trap and stops (bare machine: no kernel to fix
+// anything up).
+type haltOnTrap struct{}
+
+func (haltOnTrap) HandleTrap(m *hw.Machine) {
+	fmt.Printf("trap: %v at pc %d (badva %#x) — skipping\n", m.CPU.Cause, m.CPU.EPC, m.CPU.BadVAddr)
+	m.CPU.PC = m.CPU.EPC + 1
+	m.CPU.Mode = hw.ModeUser
+}
+
+func readSource(path string) (string, error) {
+	if path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "exoasm:", err)
+	os.Exit(1)
+}

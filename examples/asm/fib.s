@@ -1,0 +1,20 @@
+; fib.s — compute fib(20) iteratively; a sample program for the simulated
+; ISA toolchain. Run with:
+;
+;   go run ./cmd/exoasm -run examples/asm/fib.s
+;
+; Result lands in s0 (r16). The bare-machine runner identity-maps low
+; memory, so the scratch stores at 0x100 work without a kernel.
+entry:
+    addiu t0, zero, 20      ; n
+    addiu t1, zero, 0       ; fib(0)
+    addiu t2, zero, 1       ; fib(1)
+loop:
+    addu  t3, t1, t2        ; next
+    addu  t1, t2, zero
+    addu  t2, t3, zero
+    addiu t0, t0, -1
+    bgtz  t0, loop
+    addu  s0, t1, zero      ; s0 = fib(20) = 6765
+    sw    s0, 0x100(zero)   ; and to memory, through the TLB
+    halt

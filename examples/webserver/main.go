@@ -1,0 +1,145 @@
+// Webserver: a little HTTP/0.9-ish server built from library parts — the
+// Cheetah lineage (the exokernel group's fast webserver) in miniature.
+// The transport is ExOS's application-level TCP (three-way handshake,
+// retransmission, in-order delivery); the content comes from the
+// application-level file system; the kernel multiplexes frames and disk
+// blocks and knows neither protocol. A lossy wire is injected to show the
+// transport earning its keep.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"exokernel/internal/aegis"
+	"exokernel/internal/ether"
+	"exokernel/internal/exos"
+	"exokernel/internal/hw"
+	"exokernel/internal/pkt"
+)
+
+var (
+	macSrv = pkt.Addr{2, 0, 0, 0, 0, 1}
+	macCli = pkt.Addr{2, 0, 0, 0, 0, 2}
+	ipSrv  = pkt.IP(18, 26, 4, 80)
+	ipCli  = pkt.IP(18, 26, 4, 81)
+)
+
+func main() {
+	seg := ether.NewSegment()
+	srvM := hw.NewMachine(hw.DEC5000)
+	cliM := hw.NewMachine(hw.DEC5000)
+	srvK := aegis.New(srvM)
+	cliK := aegis.New(cliM)
+	seg.Attach(srvM)
+	seg.Attach(cliM)
+
+	// Server: FS + TCP listener, all library code.
+	srvNet := exos.NewNet(srvK, macSrv, ipSrv)
+	srvOS, err := exos.Boot(srvK)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev, err := exos.NewAegisDev(srvOS, 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cache, err := exos.NewFSCache(srvOS, dev, 16, exos.NewLRU())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs, err := exos.Format(dev, cache, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	index := "<html>the kernel exports hardware, not abstractions</html>\n"
+	inum, err := fs.Create("index.html")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fs.WriteAt(inum, 0, []byte(index)); err != nil {
+		log.Fatal(err)
+	}
+	big, err := fs.Create("paper.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body := strings.Repeat("exterminate all operating system abstractions. ", 60)
+	if err := fs.WriteAt(big, 0, []byte(body)); err != nil {
+		log.Fatal(err)
+	}
+
+	// A lossy wire: drop ~20% of frames, deterministically.
+	rng := uint64(12345)
+	seg.Drop = func(from *hw.Machine, frame []byte) bool {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return rng>>33%5 == 0
+	}
+	fmt.Println("wire: dropping ~20% of frames; the library TCP retransmits")
+
+	serve := func(path string) {
+		srv, err := exos.ListenTCP(srvNet, srvOS, 80)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cliNet := exos.NewNet(cliK, macCli, ipCli)
+		cliOS, err := exos.Boot(cliK)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cli, err := exos.DialTCP(cliNet, cliOS, 40000, macSrv, ipSrv, 80)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var reqSeen bool
+		var response []byte
+		pump := func(done func() bool) {
+			for round := 0; round < 3000 && !done(); round++ {
+				cli.Process()
+				srv.Process()
+				// Server application: answer one GET.
+				if req := srv.Recv(); len(req) > 0 && !reqSeen {
+					reqSeen = true
+					name := strings.TrimSpace(strings.TrimPrefix(string(req), "GET /"))
+					if in, err := fs.Lookup(name); err == nil {
+						size, _ := fs.Size(in)
+						buf := make([]byte, size)
+						fs.ReadAt(in, 0, buf)
+						srv.Send(append([]byte("200 "), buf...))
+					} else {
+						srv.Send([]byte("404 not found"))
+					}
+					srv.Close() // response then FIN: EOF marks the end
+				}
+				response = append(response, cli.Recv()...)
+				cliM.Clock.Tick(4000)
+				srvM.Clock.Tick(4000)
+				seg.Sync()
+			}
+		}
+		pump(func() bool { return cli.Established() && srv.Established() })
+		start := cliM.Clock.Cycles()
+		if err := cli.Send([]byte("GET /" + path)); err != nil {
+			log.Fatal(err)
+		}
+		// The server closes after the response; the FIN is ordered behind
+		// the data, so seeing it means the whole response arrived.
+		pump(func() bool { return cli.State() == "close-wait" })
+		ms := cliM.Micros(cliM.Clock.Cycles()-start) / 1000
+		preview := string(response)
+		if len(preview) > 40 {
+			preview = preview[:40] + "..."
+		}
+		fmt.Printf("  GET /%-10s -> %5d bytes in %6.1f ms (client retx %d, server retx %d)  %q\n",
+			path, len(response), ms, cli.Retransmits, srv.Retransmits, preview)
+		cli.Close()
+		srv.Release()
+		cli.Release()
+	}
+
+	serve("index.html")
+	serve("paper.txt")
+	serve("missing")
+	fmt.Printf("\nwire dropped %d frames; every byte still arrived in order\n", seg.Dropped)
+}

@@ -1,0 +1,3 @@
+module exokernel
+
+go 1.22

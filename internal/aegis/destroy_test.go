@@ -1,0 +1,102 @@
+package aegis
+
+import (
+	"testing"
+
+	"exokernel/internal/hw"
+)
+
+func TestDestroyEnvReclaimsEverything(t *testing.T) {
+	m, k := boot(t)
+	a, _ := k.NewEnv(nil)
+	b, _ := k.NewEnv(nil)
+	free0 := m.Phys.FreeFrames()
+
+	// Give a: three pages (one mapped), an extent, an endpoint with an ASH.
+	var frames []uint32
+	for i := 0; i < 3; i++ {
+		f, g, err := k.AllocPage(a, AnyFrame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+		if i == 0 {
+			if err := k.InstallMapping(a, 0x1000_0000, f, hw.PermWrite, g); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_ = g
+	}
+	if _, _, err := k.AllocExtent(a, 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.InstallFilter(a, byteFilter(9)); err != nil {
+		t.Fatal(err)
+	}
+
+	k.DestroyEnv(a)
+
+	if !a.Dead {
+		t.Error("env not dead")
+	}
+	// All three pages came back, plus the save area a was born with (free0
+	// was sampled after a's creation, so the net is +1).
+	if got := m.Phys.FreeFrames(); got != free0+1 {
+		t.Errorf("free frames = %d, want %d", got, free0+1)
+	}
+	// The frames are reusable by others.
+	for _, f := range frames {
+		if !m.Phys.AllocFrameAt(f) {
+			t.Errorf("frame %d not reusable", f)
+		}
+		m.Phys.FreeFrame(f)
+	}
+	// Translations are gone.
+	m.CPU.ASID = a.ASID
+	if _, exc := m.Translate(0x1000_0000, false); exc == hw.ExcNone {
+		t.Error("destroyed env still has live translations")
+	}
+	// The endpoint no longer receives.
+	m.NIC.Deliver(hw.Packet{Data: []byte{9}})
+	if k.Stats.PktDelivered != 0 {
+		t.Error("destroyed env's filter still matches")
+	}
+	// The whole disk is allocatable again (b can take everything).
+	if _, _, err := k.AllocExtent(b, uint32(m.Disk.NumBlocks())); err != nil {
+		t.Errorf("extent space not reclaimed: %v", err)
+	}
+}
+
+func TestDestroyEnvLeavesOthersAlone(t *testing.T) {
+	m, k := boot(t)
+	a, _ := k.NewEnv(nil)
+	b, _ := k.NewEnv(nil)
+	fb, gb, err := k.AllocPage(b, AnyFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.InstallMapping(b, 0x2000_0000, fb, hw.PermWrite, gb); err != nil {
+		t.Fatal(err)
+	}
+	epB, err := k.InstallFilter(b, byteFilter(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := k.AllocPage(a, AnyFrame); err != nil {
+		t.Fatal(err)
+	}
+
+	k.DestroyEnv(a)
+
+	if k.FrameOwner(fb) != b.ID {
+		t.Error("b's frame reclaimed")
+	}
+	m.CPU.ASID = b.ASID
+	if _, exc := m.Translate(0x2000_0000, true); exc != hw.ExcNone {
+		t.Error("b's mapping destroyed")
+	}
+	m.NIC.Deliver(hw.Packet{Data: []byte{5}})
+	if epB.Delivered != 1 {
+		t.Error("b's endpoint no longer receives")
+	}
+}

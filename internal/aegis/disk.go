@@ -1,0 +1,124 @@
+package aegis
+
+import (
+	"fmt"
+
+	"exokernel/internal/cap"
+	"exokernel/internal/hw"
+)
+
+// Secure bindings for stable storage. "An exokernel should protect
+// framebuffers without understanding windowing systems and disks without
+// understanding file systems" (§3). The kernel's entire disk interface is:
+// allocate an *extent* of raw blocks guarded by a capability, and move
+// blocks between an extent and physical memory after checking that
+// capability. File systems — layout, naming, caching, consistency — are
+// library code (internal/exos/fs.go).
+
+// diskResource encodes an extent identity into a capability resource:
+// a tag in the top byte keeps disk extents and physical frames in
+// disjoint namespaces under one minting authority.
+func diskResource(start, nblocks uint32) uint64 {
+	return 1<<56 | uint64(start)<<24 | uint64(nblocks)
+}
+
+// extent records one secure binding on a block range.
+type extent struct {
+	owner   EnvID
+	start   uint32
+	nblocks uint32
+}
+
+// AllocExtent allocates a contiguous range of nblocks disk blocks for an
+// environment and mints the guarding capability. First-fit: disk layout
+// is the application's concern, and physical block numbers are exposed
+// ("expose names" applies to disk addresses too).
+func (k *Kernel) AllocExtent(e *Env, nblocks uint32) (uint32, cap.Capability, error) {
+	if nblocks == 0 {
+		return 0, cap.Capability{}, fmt.Errorf("aegis: empty extent")
+	}
+	k.charge(12)
+	total := uint32(k.M.Disk.NumBlocks())
+	for start := uint32(0); start+nblocks <= total; {
+		if conflict, next := k.extentConflict(start, nblocks); conflict {
+			start = next
+			continue
+		}
+		guard := k.Auth.Mint(diskResource(start, nblocks), cap.Read|cap.Write|cap.Grant)
+		k.extents = append(k.extents, extent{owner: e.ID, start: start, nblocks: nblocks})
+		return start, guard, nil
+	}
+	return 0, cap.Capability{}, fmt.Errorf("aegis: no contiguous %d-block extent free", nblocks)
+}
+
+// extentConflict reports whether [start, start+n) overlaps an allocated
+// extent, and the first candidate start past the conflict.
+func (k *Kernel) extentConflict(start, n uint32) (bool, uint32) {
+	for _, x := range k.extents {
+		if start < x.start+x.nblocks && x.start < start+n {
+			return true, x.start + x.nblocks
+		}
+	}
+	return false, 0
+}
+
+// FreeExtent releases an extent; the capability must prove write access.
+func (k *Kernel) FreeExtent(start, nblocks uint32, guard cap.Capability) error {
+	k.charge(8)
+	if guard.Resource != diskResource(start, nblocks) || !k.Auth.Check(guard, cap.Write) {
+		return fmt.Errorf("aegis: capability check failed for extent %d+%d", start, nblocks)
+	}
+	for i, x := range k.extents {
+		if x.start == start && x.nblocks == nblocks {
+			k.extents = append(k.extents[:i], k.extents[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("aegis: extent %d+%d not allocated", start, nblocks)
+}
+
+// checkExtentAccess validates a block access against an extent capability.
+func (k *Kernel) checkExtentAccess(start, nblocks, off uint32, guard cap.Capability, need cap.Rights) error {
+	k.charge(10)
+	if off >= nblocks {
+		return fmt.Errorf("aegis: block offset %d outside extent of %d", off, nblocks)
+	}
+	if guard.Resource != diskResource(start, nblocks) || !k.Auth.Check(guard, need) {
+		return fmt.Errorf("aegis: extent capability check failed")
+	}
+	return nil
+}
+
+// DiskRead DMAs extent block (start+off) into a physical frame. Two
+// capabilities are checked once per operation — read on the extent, write
+// on the frame — and then the device does the work; the kernel never
+// interprets the bytes.
+func (k *Kernel) DiskRead(start, nblocks, off uint32, extCap cap.Capability, frame uint32, frameCap cap.Capability) error {
+	if err := k.checkExtentAccess(start, nblocks, off, extCap, cap.Read); err != nil {
+		return err
+	}
+	if int(frame) >= len(k.frames) || !k.frames[frame].bound {
+		return fmt.Errorf("aegis: disk read into unallocated frame %d", frame)
+	}
+	if frameCap.Resource != uint64(frame) || !k.Auth.Check(frameCap, cap.Write) {
+		return fmt.Errorf("aegis: frame capability check failed")
+	}
+	return k.M.Disk.ReadBlock(start+off, k.M.Phys, frame)
+}
+
+// DiskWrite DMAs a physical frame into extent block (start+off).
+func (k *Kernel) DiskWrite(start, nblocks, off uint32, extCap cap.Capability, frame uint32, frameCap cap.Capability) error {
+	if err := k.checkExtentAccess(start, nblocks, off, extCap, cap.Write); err != nil {
+		return err
+	}
+	if int(frame) >= len(k.frames) || !k.frames[frame].bound {
+		return fmt.Errorf("aegis: disk write from unallocated frame %d", frame)
+	}
+	if frameCap.Resource != uint64(frame) || !k.Auth.Check(frameCap, cap.Read) {
+		return fmt.Errorf("aegis: frame capability check failed")
+	}
+	return k.M.Disk.WriteBlock(start+off, k.M.Phys, frame)
+}
+
+// hw import check (Disk block size must match the page size for 1:1 DMA).
+var _ = [1]struct{}{}[hw.PageSize-hw.DiskBlockSize]

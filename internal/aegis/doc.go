@@ -1,0 +1,25 @@
+// Package aegis implements the paper's core contribution: an exokernel that
+// securely multiplexes raw hardware resources and leaves every abstraction
+// to untrusted application-level software.
+//
+// The kernel exports exactly what the hardware has — CPU time slices,
+// physical pages, the hardware TLB, exceptions, interrupts, and the network
+// interface — using the paper's three techniques:
+//
+//   - Secure bindings (§3): capabilities guard physical pages; TLB entries
+//     are bindings checked at map time, not on every access; the 4096-entry
+//     software TLB caches bindings past the hardware TLB's capacity;
+//     downloaded packet filters and ASHs bind network messages to
+//     applications.
+//   - Visible revocation (§3.3): the kernel asks the library OS to give
+//     resources back and lets it pick victims.
+//   - Abort protocol (§3.4): if a library OS does not comply, the kernel
+//     breaks its secure bindings by force and records what it took in a
+//     repossession vector.
+//
+// Processes are "environments": a register save area and four contexts
+// (exception, interrupt, protected entry, addressing — §4.1 of the paper).
+// An environment's program is either simulated-ISA code run by internal/vm,
+// or native Go hooks that model library-OS code and charge the simulated
+// clock for the work they do. Both take the same kernel paths.
+package aegis

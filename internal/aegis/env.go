@@ -1,0 +1,100 @@
+package aegis
+
+import (
+	"exokernel/internal/cap"
+	"exokernel/internal/hw"
+	"exokernel/internal/isa"
+)
+
+// EnvID names an environment. 0 is never a valid environment.
+type EnvID uint32
+
+// TrapInfo describes a dispatched exception to a native handler.
+type TrapInfo struct {
+	Cause    hw.Exc
+	EPC      uint32
+	BadVAddr uint32
+}
+
+// Env is an environment: the exokernel's minimal process state. Aegis keeps
+// only what secure multiplexing needs — saved registers and the four
+// contexts of §4.1 (exception, interrupt, protected entry, addressing).
+// Everything else (threads, address-space layout, signals...) belongs to
+// the library OS.
+type Env struct {
+	ID   EnvID
+	ASID uint8
+
+	// Saved processor state while not running.
+	Regs [hw.NumRegs]uint32
+	PC   uint32
+	FPU  bool
+
+	// Code is the instruction segment for VM-run environments (nil for
+	// purely native environments).
+	Code isa.Code
+
+	// SaveArea is the physical address of the agreed-upon save area the
+	// dispatcher spills the three scratch registers into (§5.3 step 1).
+	SaveArea uint32
+
+	// Exception context: per-cause program counters in the environment's
+	// code segment. Zero means "not installed" (PC 0 is reserved by
+	// convention: segments begin with a guard instruction).
+	ExcVec [16]uint32
+	// TLBVec is the PC of the TLB-miss handler (addressing context).
+	TLBVec uint32
+	// IntVec is the PC of the time-slice interrupt handler.
+	IntVec uint32
+	// EntrySync and EntryAsync are the protected entry points callable by
+	// other environments.
+	EntrySync, EntryAsync uint32
+
+	// Native hooks model library-OS code written in Go; each charges the
+	// simulated clock for the work it does. A hook takes precedence over
+	// the corresponding VM vector.
+	NativeExc     func(k *Kernel, t TrapInfo)
+	NativeTLBMiss func(k *Kernel, va uint32, write bool) bool
+	NativeInt     func(k *Kernel)
+	NativeEntry   func(k *Kernel, caller EnvID)
+	// NativeRevoke is the visible-revocation upcall: "please release a
+	// page". It returns true if the library OS complied.
+	NativeRevoke func(k *Kernel, frame uint32) bool
+	// NativeRun is the body of a native environment; the scheduler calls
+	// it each time the environment is dispatched.
+	NativeRun func(k *Kernel)
+
+	// caps is the environment's capability list for the VM syscall ABI
+	// (register-sized handles for heap-sized capabilities). Native code
+	// holds cap.Capability values directly.
+	caps []cap.Capability
+
+	// Repossession vector (§3.4): physical pages the kernel took by force,
+	// so the library OS can discover losses after an abort.
+	Repossessed []uint32
+
+	// Scheduling accounting.
+	Slices uint64 // time slices consumed
+	Excess uint64 // excess-time penalty (slices forfeited)
+
+	// Dead marks an exited or killed environment.
+	Dead bool
+	// LastFault records the last exception the kernel could not dispatch
+	// (no handler installed); diagnostic.
+	LastFault TrapInfo
+}
+
+// AddCap appends a capability to the environment's c-list and returns its
+// register-sized handle.
+func (e *Env) AddCap(c cap.Capability) uint32 {
+	e.caps = append(e.caps, c)
+	return uint32(len(e.caps) - 1)
+}
+
+// Cap resolves a handle.
+func (e *Env) Cap(handle uint32) (cap.Capability, bool) {
+	if int(handle) >= len(e.caps) {
+		return cap.Capability{}, false
+	}
+	return e.caps[handle], true
+}

@@ -1,0 +1,84 @@
+package aegis
+
+import (
+	"testing"
+
+	"exokernel/internal/asm"
+	"exokernel/internal/hw"
+)
+
+// TestPreemptiveFairnessVMEnvs runs two compute-bound VM environments
+// under the timer with no application interrupt handlers installed (the
+// kernel's forced round-robin) and checks both make comparable progress —
+// the baseline fairness the time-slice vector guarantees before any
+// application policy is layered on.
+func TestPreemptiveFairnessVMEnvs(t *testing.T) {
+	m := hw.NewMachine(hw.DEC5000)
+	k := New(m)
+	spinner := `
+	loop:
+		addiu s0, s0, 1
+		j loop
+	`
+	a, err := k.NewEnv(asm.MustAssemble(spinner))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := k.NewEnv(asm.MustAssemble(spinner))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.SetQuantum(500)
+	k.Interp.Run(100000)
+
+	// Counters live in each env's saved s0 (one is live in the CPU).
+	counts := []uint64{uint64(a.Regs[hw.RegS0]), uint64(b.Regs[hw.RegS0])}
+	if k.CurEnv() == a {
+		counts[0] = uint64(m.CPU.Reg(hw.RegS0))
+	} else {
+		counts[1] = uint64(m.CPU.Reg(hw.RegS0))
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatalf("an environment starved: %v", counts)
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("progress ratio = %.2f (%v), want ~1.0", ratio, counts)
+	}
+	if a.Slices == 0 || b.Slices == 0 {
+		t.Errorf("slice accounting: %d/%d", a.Slices, b.Slices)
+	}
+	if k.Stats.TimerTicks < 10 {
+		t.Errorf("only %d timer ticks", k.Stats.TimerTicks)
+	}
+}
+
+// TestMixedVMAndNativeEnvs checks a VM spinner and a native environment
+// coexist under preemption: the native env's interrupt hook runs when its
+// slice ends and hands the CPU back.
+func TestMixedVMAndNativeEnvs(t *testing.T) {
+	m := hw.NewMachine(hw.DEC5000)
+	k := New(m)
+	vmEnv, err := k.NewEnv(asm.MustAssemble("loop:\n addiu s0, s0, 1\n j loop\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := k.NewEnv(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.SetQuantum(400)
+	k.Interp.Run(50000)
+	if vmEnv.Slices == 0 {
+		t.Error("VM env never ran")
+	}
+	if native.Dead {
+		t.Error("code-less native env was scheduled into the interpreter and died")
+	}
+	if k.Stats.TimerTicks == 0 {
+		t.Error("no preemption happened")
+	}
+	if k.Stats.KilledEnvs != 0 {
+		t.Errorf("environments died under preemption: %d", k.Stats.KilledEnvs)
+	}
+}

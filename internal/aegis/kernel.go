@@ -1,0 +1,237 @@
+package aegis
+
+import (
+	"fmt"
+
+	"exokernel/internal/cap"
+	"exokernel/internal/hw"
+	"exokernel/internal/isa"
+	"exokernel/internal/vm"
+)
+
+// frameBinding records the secure binding on one physical frame: who
+// allocated it and the self-authenticating capability that guards it.
+// Access checks happen at *bind* time (installing a TLB mapping), never on
+// individual memory references — that is the essence of a secure binding.
+type frameBinding struct {
+	owner EnvID
+	bound bool
+	guard cap.Capability
+}
+
+// Kernel is the Aegis exokernel for one machine.
+type Kernel struct {
+	M      *hw.Machine
+	Interp *vm.Interp
+	Auth   *cap.Authority
+
+	envs []*Env // index = EnvID-1
+	cur  EnvID
+
+	frames  []frameBinding
+	extents []extent
+	stlb    *stlb
+	// STLBEnabled can be cleared for the ablation benchmark.
+	STLBEnabled bool
+
+	// Time-slice vector (§5.1.1): the CPU as a linear vector of slices.
+	slices   []EnvID
+	slicePos int
+	quantum  uint64
+
+	// Network endpoints, in filter-priority order, and the optional
+	// shared classifier that replaces the linear filter walk.
+	endpoints []*Endpoint
+	demux     Demux
+
+	// Counters (diagnostics and tests).
+	Stats Stats
+}
+
+// Stats counts kernel events.
+type Stats struct {
+	Syscalls     uint64
+	Exceptions   uint64
+	TLBMisses    uint64
+	STLBHits     uint64
+	TLBUpcalls   uint64
+	ProtCalls    uint64
+	TimerTicks   uint64
+	PktDelivered uint64
+	PktDropped   uint64
+	ASHRuns      uint64
+	Revocations  uint64
+	Aborts       uint64
+	KilledEnvs   uint64
+}
+
+// New boots Aegis on a machine.
+func New(m *hw.Machine) *Kernel {
+	k := &Kernel{
+		M:           m,
+		Auth:        cap.NewAuthority([]byte(m.Config.Name)),
+		frames:      make([]frameBinding, m.Phys.NumPages()),
+		stlb:        newSTLB(m.Config.STLBSize),
+		STLBEnabled: m.Config.STLBSize > 0,
+		quantum:     25000, // 1 ms at 25 MHz
+	}
+	k.Interp = vm.New(m, k)
+	m.SetTrapHandler(k)
+	return k
+}
+
+// charge accounts for n kernel instructions on the simulated clock.
+func (k *Kernel) charge(n uint64) { k.M.Clock.Tick(n * hw.CostInstr) }
+
+// NewEnv creates an environment running the given code segment (nil for a
+// native environment). The kernel allocates one physical frame as the
+// environment's save area and adds one slice to the time-slice vector.
+func (k *Kernel) NewEnv(code isa.Code) (*Env, error) {
+	frame, ok := k.M.Phys.AllocFrame()
+	if !ok {
+		return nil, fmt.Errorf("aegis: out of physical memory for save area")
+	}
+	id := EnvID(len(k.envs) + 1)
+	e := &Env{
+		ID:       id,
+		ASID:     uint8(id),
+		Code:     code,
+		SaveArea: frame << hw.PageShift,
+	}
+	k.frames[frame] = frameBinding{owner: id, bound: true, guard: k.Auth.Mint(uint64(frame), cap.Read|cap.Write)}
+	k.envs = append(k.envs, e)
+	k.slices = append(k.slices, id)
+	if k.cur == 0 {
+		k.installEnv(e)
+	}
+	return e, nil
+}
+
+// Env resolves an ID.
+func (k *Kernel) Env(id EnvID) (*Env, bool) {
+	if id == 0 || int(id) > len(k.envs) {
+		return nil, false
+	}
+	return k.envs[id-1], true
+}
+
+// CurEnv returns the running environment (nil before the first NewEnv).
+func (k *Kernel) CurEnv() *Env {
+	e, _ := k.Env(k.cur)
+	return e
+}
+
+// Envs returns all environments (diagnostics).
+func (k *Kernel) Envs() []*Env { return k.envs }
+
+// installEnv loads an environment's processor state without saving the
+// previous one (boot, or after the caller has saved explicitly).
+func (k *Kernel) installEnv(e *Env) {
+	cpu := &k.M.CPU
+	cpu.Regs = e.Regs
+	cpu.PC = e.PC
+	cpu.ASID = e.ASID
+	cpu.FPUOn = e.FPU
+	cpu.Mode = hw.ModeUser
+	k.cur = e.ID
+}
+
+// saveEnv captures the processor state into the environment.
+func (k *Kernel) saveEnv(e *Env) {
+	cpu := &k.M.CPU
+	e.Regs = cpu.Regs
+	e.PC = cpu.PC
+	e.FPU = cpu.FPUOn
+}
+
+// switchTo performs a full context switch: the hardware cost is the
+// address-space tag change; register save/restore is the *application's*
+// job in Aegis (its interrupt handler does it), so switchTo is only used on
+// kernel-forced switches, where it charges for the register file moves the
+// kernel performs on the environment's behalf.
+func (k *Kernel) switchTo(e *Env, chargeRegs bool) {
+	if cur := k.CurEnv(); cur != nil {
+		k.saveEnv(cur)
+		if chargeRegs {
+			k.charge(hw.NumRegs)
+		}
+	}
+	if chargeRegs {
+		k.charge(hw.NumRegs)
+	}
+	k.M.Clock.Tick(hw.CostContextID)
+	k.installEnv(e)
+}
+
+// Fetch implements vm.CodeSource: instructions come from the current
+// environment's segment.
+func (k *Kernel) Fetch(pc uint32) (isa.Inst, hw.Exc) {
+	e := k.CurEnv()
+	if e == nil || e.Code == nil || int(pc) >= len(e.Code) {
+		return isa.Inst{}, hw.ExcAddrErrL
+	}
+	return e.Code[pc], hw.ExcNone
+}
+
+// Kill terminates an environment: a library OS uses it when a fault has no
+// handler (the moral equivalent of an uncaught fatal signal).
+func (k *Kernel) Kill(e *Env, t TrapInfo) { k.kill(e, t) }
+
+// DestroyEnv terminates an environment and reclaims every resource bound
+// to it: physical frames (bindings broken, pages freed), disk extents,
+// network endpoints and their downloaded code, and the save area. This is
+// the deallocation half of the environment life cycle; resources another
+// environment obtained *capabilities* to are gone with the frames — a
+// capability names a binding, and the bindings no longer exist.
+func (k *Kernel) DestroyEnv(e *Env) {
+	if !e.Dead {
+		k.kill(e, TrapInfo{})
+	}
+	k.charge(20)
+	// Network endpoints (and any ASHs riding them).
+	kept := k.endpoints[:0]
+	for _, ep := range k.endpoints {
+		if ep.Owner != e.ID {
+			kept = append(kept, ep)
+		}
+	}
+	k.endpoints = kept
+	// Disk extents.
+	exts := k.extents[:0]
+	for _, x := range k.extents {
+		if x.owner != e.ID {
+			exts = append(exts, x)
+		}
+	}
+	k.extents = exts
+	// Physical frames, including the save area.
+	for frame := range k.frames {
+		if k.frames[frame].bound && k.frames[frame].owner == e.ID {
+			k.breakBindings(uint32(frame))
+			k.frames[frame] = frameBinding{}
+			_ = k.M.Phys.FreeFrame(uint32(frame))
+		}
+	}
+}
+
+// kill marks an environment dead, frees its slices, and stops the
+// interpreter if nothing remains runnable.
+func (k *Kernel) kill(e *Env, t TrapInfo) {
+	e.Dead = true
+	e.LastFault = t
+	k.Stats.KilledEnvs++
+	live := k.slices[:0]
+	for _, id := range k.slices {
+		if id != e.ID {
+			live = append(live, id)
+		}
+	}
+	k.slices = live
+	if k.cur == e.ID {
+		if next := k.nextRunnable(); next != nil {
+			k.switchTo(next, true)
+		} else {
+			k.Interp.RequestStop()
+		}
+	}
+}

@@ -1,0 +1,419 @@
+package aegis
+
+import (
+	"testing"
+
+	"exokernel/internal/cap"
+	"exokernel/internal/hw"
+	"exokernel/internal/isa"
+)
+
+func boot(t *testing.T) (*hw.Machine, *Kernel) {
+	t.Helper()
+	m := hw.NewMachine(hw.DEC5000)
+	return m, New(m)
+}
+
+func TestEnvLifecycle(t *testing.T) {
+	m, k := boot(t)
+	free := m.Phys.FreeFrames()
+	a, err := k.NewEnv(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != 1 || a.ASID != 1 {
+		t.Errorf("env ids: %d/%d", a.ID, a.ASID)
+	}
+	if m.Phys.FreeFrames() != free-1 {
+		t.Error("save area frame not allocated")
+	}
+	if k.CurEnv() != a {
+		t.Error("first env not installed as current")
+	}
+	b, _ := k.NewEnv(nil)
+	if got, ok := k.Env(b.ID); !ok || got != b {
+		t.Error("Env lookup failed")
+	}
+	if _, ok := k.Env(0); ok {
+		t.Error("Env(0) resolved")
+	}
+	if _, ok := k.Env(99); ok {
+		t.Error("Env(99) resolved")
+	}
+	if len(k.SliceVector()) != 2 {
+		t.Errorf("slice vector = %v", k.SliceVector())
+	}
+}
+
+func TestAllocPageCapabilityProtection(t *testing.T) {
+	_, k := boot(t)
+	a, _ := k.NewEnv(nil)
+	b, _ := k.NewEnv(nil)
+
+	frame, guard, err := k.AllocPage(a, AnyFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.FrameOwner(frame) != a.ID {
+		t.Errorf("owner = %d", k.FrameOwner(frame))
+	}
+
+	// A forged capability must not map or free the page.
+	forged := cap.Capability{Resource: uint64(frame), Rights: cap.Read | cap.Write}
+	if err := k.InstallMapping(b, 0x1000_0000, frame, hw.PermWrite, forged); err == nil {
+		t.Error("forged capability installed a mapping")
+	}
+	if err := k.DeallocPage(frame, forged); err == nil {
+		t.Error("forged capability freed the page")
+	}
+
+	// The real capability works for any holder — capabilities, not
+	// identity, are the protection model.
+	if err := k.InstallMapping(b, 0x1000_0000, frame, hw.PermWrite, guard); err != nil {
+		t.Errorf("genuine capability rejected: %v", err)
+	}
+	if err := k.DeallocPage(frame, guard); err != nil {
+		t.Errorf("genuine dealloc failed: %v", err)
+	}
+	// Double free fails.
+	if err := k.DeallocPage(frame, guard); err == nil {
+		t.Error("double free succeeded")
+	}
+}
+
+func TestAllocSpecificFrame(t *testing.T) {
+	_, k := boot(t)
+	a, _ := k.NewEnv(nil)
+	frame, _, err := k.AllocPage(a, 100)
+	if err != nil || frame != 100 {
+		t.Fatalf("AllocPage(100) = %d, %v", frame, err)
+	}
+	if _, _, err := k.AllocPage(a, 100); err == nil {
+		t.Error("frame 100 allocated twice")
+	}
+	if _, _, err := k.AllocPage(a, 1<<20); err == nil {
+		t.Error("nonexistent frame allocated")
+	}
+}
+
+func TestReadOnlyCapabilityCannotMapWritable(t *testing.T) {
+	_, k := boot(t)
+	a, _ := k.NewEnv(nil)
+	frame, guard, _ := k.AllocPage(a, AnyFrame)
+	ro, ok := k.Auth.Derive(guard, cap.Read)
+	if !ok {
+		t.Fatal("derive failed")
+	}
+	if err := k.InstallMapping(a, 0x2000_0000, frame, hw.PermWrite, ro); err == nil {
+		t.Error("read capability installed a writable mapping")
+	}
+	if err := k.InstallMapping(a, 0x2000_0000, frame, 0, ro); err != nil {
+		t.Errorf("read-only mapping rejected: %v", err)
+	}
+}
+
+func TestUnmapRemovesTranslationEverywhere(t *testing.T) {
+	m, k := boot(t)
+	a, _ := k.NewEnv(nil)
+	frame, guard, _ := k.AllocPage(a, AnyFrame)
+	const va = 0x3000_0000
+	if err := k.InstallMapping(a, va, frame, hw.PermWrite, guard); err != nil {
+		t.Fatal(err)
+	}
+	m.CPU.ASID = a.ASID
+	if _, exc := m.Translate(va, true); exc != hw.ExcNone {
+		t.Fatalf("mapping not live: %v", exc)
+	}
+	k.UnmapPage(a, va)
+	if _, exc := m.Translate(va, true); exc == hw.ExcNone {
+		t.Fatal("hardware TLB still maps after unmap")
+	}
+	// STLB must not resurrect it: a miss should reach the upcall path.
+	called := false
+	a.NativeTLBMiss = func(k *Kernel, va uint32, write bool) bool {
+		called = true
+		return false
+	}
+	a.NativeExc = func(k *Kernel, tr TrapInfo) { k.ReturnFromException(a, ResumeSkip) }
+	m.RaiseException(hw.ExcTLBMissS, 0, va)
+	if !called {
+		t.Error("STLB served a stale binding after unmap")
+	}
+}
+
+func TestSTLBAbsorbsCapacityMisses(t *testing.T) {
+	m, k := boot(t)
+	a, _ := k.NewEnv(nil)
+	// Map 80 pages: more than the 64-entry hardware TLB.
+	for i := 0; i < 80; i++ {
+		frame, guard, err := k.AllocPage(a, AnyFrame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.InstallMapping(a, 0x4000_0000+uint32(i)<<hw.PageShift, frame, hw.PermWrite, guard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.CPU.ASID = a.ASID
+	upcalls := 0
+	a.NativeTLBMiss = func(k *Kernel, va uint32, write bool) bool {
+		upcalls++
+		return false
+	}
+	misses := 0
+	for i := 0; i < 80; i++ {
+		va := 0x4000_0000 + uint32(i)<<hw.PageShift
+		if _, exc := m.Translate(va, false); exc != hw.ExcNone {
+			misses++
+			m.RaiseException(exc, 0, va)
+		}
+	}
+	if misses == 0 {
+		t.Fatal("expected hardware capacity misses with 80 mappings")
+	}
+	if upcalls != 0 {
+		t.Errorf("%d misses escaped to the application; STLB should absorb all", upcalls)
+	}
+	if k.Stats.STLBHits == 0 {
+		t.Error("no STLB hits recorded")
+	}
+}
+
+func TestExceptionDispatchSavesScratchAndReturns(t *testing.T) {
+	m, k := boot(t)
+	a, _ := k.NewEnv(nil)
+	m.CPU.SetReg(hw.RegAT, 0x11)
+	m.CPU.SetReg(hw.RegK0, 0x22)
+	m.CPU.SetReg(hw.RegK1, 0x33)
+	var seen TrapInfo
+	a.NativeExc = func(k *Kernel, tr TrapInfo) {
+		seen = tr
+		// The dispatcher handed us EPC/BadVAddr/cause in the scratch regs.
+		if m.CPU.Reg(hw.RegK0) != tr.EPC || m.CPU.Reg(hw.RegK1) != tr.BadVAddr {
+			t.Error("scratch registers do not carry the exception state")
+		}
+		k.ReturnFromException(a, ResumeRetry)
+	}
+	m.RaiseException(hw.ExcOverflow, 77, 0xBAD)
+	if seen.Cause != hw.ExcOverflow || seen.EPC != 77 || seen.BadVAddr != 0xBAD {
+		t.Errorf("TrapInfo = %+v", seen)
+	}
+	// After return, the scratch registers are restored and PC is back.
+	if m.CPU.Reg(hw.RegAT) != 0x11 || m.CPU.Reg(hw.RegK0) != 0x22 || m.CPU.Reg(hw.RegK1) != 0x33 {
+		t.Error("scratch registers not restored")
+	}
+	if m.CPU.PC != 77 {
+		t.Errorf("PC = %d, want 77 (retry)", m.CPU.PC)
+	}
+	if m.CPU.Mode != hw.ModeUser {
+		t.Error("not back in user mode")
+	}
+}
+
+func TestUnhandledExceptionKillsEnv(t *testing.T) {
+	m, k := boot(t)
+	a, _ := k.NewEnv(nil)
+	b, _ := k.NewEnv(nil)
+	m.RaiseException(hw.ExcOverflow, 5, 0)
+	if !a.Dead {
+		t.Fatal("env with no handler survived")
+	}
+	if a.LastFault.Cause != hw.ExcOverflow {
+		t.Errorf("LastFault = %+v", a.LastFault)
+	}
+	if k.CurEnv() != b {
+		t.Error("kernel did not switch to the survivor")
+	}
+	if k.Stats.KilledEnvs != 1 {
+		t.Errorf("KilledEnvs = %d", k.Stats.KilledEnvs)
+	}
+	for _, id := range k.SliceVector() {
+		if id == a.ID {
+			t.Error("dead env still holds slices")
+		}
+	}
+}
+
+func TestYieldDirectedAndNext(t *testing.T) {
+	_, k := boot(t)
+	a, _ := k.NewEnv(nil)
+	b, _ := k.NewEnv(nil)
+	c, _ := k.NewEnv(nil)
+	if k.CurEnv() != a {
+		t.Fatal("setup")
+	}
+	if !k.Yield(c.ID) {
+		t.Fatal("directed yield failed")
+	}
+	if k.CurEnv() != c {
+		t.Error("directed yield went elsewhere")
+	}
+	if k.Yield(99) {
+		t.Error("yield to nonexistent env succeeded")
+	}
+	if !k.Yield(YieldNext) {
+		t.Fatal("yield-next failed")
+	}
+	if k.CurEnv() == c {
+		t.Error("yield-next stayed put with other envs runnable")
+	}
+	_ = b
+}
+
+func TestYieldRegisterStateSwitches(t *testing.T) {
+	m, k := boot(t)
+	a, _ := k.NewEnv(nil)
+	b, _ := k.NewEnv(nil)
+	m.CPU.SetReg(hw.RegS0, 1234)
+	k.Yield(b.ID)
+	if m.CPU.Reg(hw.RegS0) == 1234 {
+		t.Error("callee sees caller's registers after kernel-forced switch")
+	}
+	k.Yield(a.ID)
+	if m.CPU.Reg(hw.RegS0) != 1234 {
+		t.Error("caller's registers not restored on return")
+	}
+	if m.CPU.ASID != a.ASID {
+		t.Error("addressing context not restored")
+	}
+}
+
+func TestExcessTimeAccounting(t *testing.T) {
+	_, k := boot(t)
+	a, _ := k.NewEnv(nil)
+	k.ChargeExcess(a, 2)
+	if !k.ConsumeExcess(a) || !k.ConsumeExcess(a) {
+		t.Error("excess not consumable")
+	}
+	if k.ConsumeExcess(a) {
+		t.Error("excess over-consumed")
+	}
+	// DispatchNative burns penalized slices without running the env.
+	ran := false
+	a.NativeRun = func(k *Kernel) { ran = true }
+	k.ChargeExcess(a, 1)
+	if !k.DispatchNative() {
+		t.Fatal("dispatch failed")
+	}
+	if ran {
+		t.Error("penalized slice still ran the environment")
+	}
+	if !k.DispatchNative() {
+		t.Fatal("second dispatch failed")
+	}
+	if !ran {
+		t.Error("environment never ran after penalty was paid")
+	}
+}
+
+func TestTimerTickForcesSwitchWithoutHandlers(t *testing.T) {
+	m, k := boot(t)
+	// The kernel-forced switch only considers environments the interpreter
+	// can run, so both get a (trivial) code segment.
+	code := isa.Code{{Op: isa.NOP}, {Op: isa.J, Imm: 0}}
+	a, _ := k.NewEnv(code)
+	b, _ := k.NewEnv(code)
+	k.SetQuantum(1000)
+	m.Clock.Tick(1001)
+	m.Timer.Check()
+	m.PollInterrupts()
+	if k.CurEnv() != b {
+		t.Errorf("current = %v, want switch to b", k.CurEnv().ID)
+	}
+	if a.Slices != 1 {
+		t.Errorf("a.Slices = %d", a.Slices)
+	}
+	if k.Stats.TimerTicks != 1 {
+		t.Errorf("TimerTicks = %d", k.Stats.TimerTicks)
+	}
+}
+
+func TestTimerTickCallsNativeInt(t *testing.T) {
+	m, k := boot(t)
+	a, _ := k.NewEnv(nil)
+	called := false
+	a.NativeInt = func(k *Kernel) { called = true }
+	k.SetQuantum(500)
+	m.Clock.Tick(501)
+	m.Timer.Check()
+	m.PollInterrupts()
+	if !called {
+		t.Error("interrupt context not invoked")
+	}
+}
+
+func TestProtCallRegisterContract(t *testing.T) {
+	m, k := boot(t)
+	a, _ := k.NewEnv(nil)
+	b, _ := k.NewEnv(nil)
+	var calleeSawA0 uint32
+	var calleeSawCaller EnvID
+	b.NativeEntry = func(k *Kernel, caller EnvID) {
+		calleeSawA0 = m.CPU.Reg(hw.RegA0)
+		calleeSawCaller = caller
+	}
+	m.CPU.SetReg(hw.RegA0, 0xFEED)
+	if err := k.ProtCall(b.ID, false); err != nil {
+		t.Fatal(err)
+	}
+	if calleeSawA0 != 0xFEED {
+		t.Error("registers did not flow to the callee (they are the message)")
+	}
+	if calleeSawCaller != a.ID {
+		t.Errorf("caller id = %d", calleeSawCaller)
+	}
+	if m.CPU.Reg(hw.RegV1) != uint32(a.ID) {
+		t.Error("v1 does not carry the caller id")
+	}
+	if m.CPU.ASID != b.ASID {
+		t.Error("addressing context not switched")
+	}
+	if err := k.ProtCall(99, false); err == nil {
+		t.Error("PCT to nonexistent env succeeded")
+	}
+	if k.Stats.ProtCalls == 0 {
+		t.Error("stats not counted")
+	}
+}
+
+func TestProtCallAsyncEntryPoint(t *testing.T) {
+	m, k := boot(t)
+	_, _ = k.NewEnv(nil)
+	b, _ := k.NewEnv(nil)
+	b.EntrySync = 10
+	b.EntryAsync = 20
+	if err := k.ProtCall(b.ID, true); err != nil {
+		t.Fatal(err)
+	}
+	if m.CPU.PC != 20 {
+		t.Errorf("async entry PC = %d, want 20", m.CPU.PC)
+	}
+	if err := k.ProtCall(b.ID, false); err != nil {
+		t.Fatal(err)
+	}
+	if m.CPU.PC != 10 {
+		t.Errorf("sync entry PC = %d, want 10", m.CPU.PC)
+	}
+}
+
+func TestProtCallNoEntryFails(t *testing.T) {
+	_, k := boot(t)
+	k.NewEnv(nil)
+	b, _ := k.NewEnv(nil)
+	if err := k.ProtCall(b.ID, false); err == nil {
+		t.Error("PCT to env without entry succeeded")
+	}
+}
+
+func TestKillExported(t *testing.T) {
+	_, k := boot(t)
+	a, _ := k.NewEnv(nil)
+	b, _ := k.NewEnv(nil)
+	k.Kill(a, TrapInfo{Cause: hw.ExcBreak})
+	if !a.Dead || a.LastFault.Cause != hw.ExcBreak {
+		t.Error("Kill did not mark env")
+	}
+	if k.CurEnv() != b {
+		t.Error("Kill did not reschedule")
+	}
+}

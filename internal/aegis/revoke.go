@@ -1,0 +1,67 @@
+package aegis
+
+import "fmt"
+
+// Resource revocation (§3.3–3.4). Aegis revokes *visibly*: it asks the
+// owning library OS to release a specific physical page, so the application
+// can pick victims, write back state, and update its own bookkeeping. Only
+// if the library OS fails to comply does the kernel fall back to the abort
+// protocol: "breaking all existing secure bindings of the resource by
+// force" and informing the library OS through its repossession vector.
+
+// RevokeOutcome reports how a revocation was resolved.
+type RevokeOutcome int
+
+// Revocation outcomes.
+const (
+	// RevokeComplied: the library OS released the page itself.
+	RevokeComplied RevokeOutcome = iota
+	// RevokeAborted: the kernel repossessed the page by force.
+	RevokeAborted
+	// RevokeNoOwner: the frame was not allocated.
+	RevokeNoOwner
+)
+
+func (o RevokeOutcome) String() string {
+	switch o {
+	case RevokeComplied:
+		return "complied"
+	case RevokeAborted:
+		return "aborted"
+	case RevokeNoOwner:
+		return "no-owner"
+	}
+	return "revoke?"
+}
+
+// RevokePage asks the owner of a frame to give it back, aborting on
+// non-compliance. It returns how the page came back.
+func (k *Kernel) RevokePage(frame uint32) (RevokeOutcome, error) {
+	if int(frame) >= len(k.frames) || !k.frames[frame].bound {
+		return RevokeNoOwner, fmt.Errorf("aegis: revoke of unallocated frame %d", frame)
+	}
+	k.Stats.Revocations++
+	owner, _ := k.Env(k.frames[frame].owner)
+
+	// Visible phase: upcall into the library OS ("please release a page").
+	if owner != nil && owner.NativeRevoke != nil {
+		k.charge(12) // upcall dispatch
+		if owner.NativeRevoke(k, frame) && !k.frames[frame].bound {
+			return RevokeComplied, nil
+		}
+	}
+
+	// Abort protocol: break the bindings by force and record the loss in
+	// the repossession vector.
+	k.Stats.Aborts++
+	k.charge(10)
+	k.breakBindings(frame)
+	k.frames[frame] = frameBinding{}
+	if err := k.M.Phys.FreeFrame(frame); err != nil {
+		return RevokeAborted, err
+	}
+	if owner != nil {
+		owner.Repossessed = append(owner.Repossessed, frame)
+	}
+	return RevokeAborted, nil
+}

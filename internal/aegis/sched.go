@@ -1,0 +1,179 @@
+package aegis
+
+import "exokernel/internal/hw"
+
+// CPU scheduling (§5.1.1). "Aegis represents the CPU as a linear vector,
+// where each element corresponds to a time slice"; the vector is walked
+// round-robin. The kernel owns only the vector and the timer; *policy*
+// lives in applications: an environment may donate the rest of its slice
+// to any other environment ("directed yield"), which is the whole substrate
+// application-level schedulers (internal/stride) need.
+
+// Quantum reports the time-slice length in cycles.
+func (k *Kernel) Quantum() uint64 { return k.quantum }
+
+// SetQuantum sets the slice length and arms the interval timer.
+func (k *Kernel) SetQuantum(cycles uint64) {
+	k.quantum = cycles
+	k.M.Timer.Arm(cycles)
+}
+
+// SliceVector returns a copy of the time-slice vector (positions are
+// public: "expose names" applies to time slices too).
+func (k *Kernel) SliceVector() []EnvID {
+	out := make([]EnvID, len(k.slices))
+	copy(out, k.slices)
+	return out
+}
+
+// SetSliceVector replaces the vector. Callers allocate slices to
+// environments by listing IDs; an ID may appear many times for a larger
+// share.
+func (k *Kernel) SetSliceVector(v []EnvID) {
+	k.slices = append(k.slices[:0], v...)
+	if k.slicePos >= len(k.slices) {
+		k.slicePos = 0
+	}
+}
+
+// nextRunnable finds the next live environment in the vector after the
+// current position, advancing the position. Nil if none.
+func (k *Kernel) nextRunnable() *Env {
+	for i := 0; i < len(k.slices); i++ {
+		k.slicePos = (k.slicePos + 1) % len(k.slices)
+		if e, ok := k.Env(k.slices[k.slicePos]); ok && !e.Dead {
+			return e
+		}
+	}
+	return nil
+}
+
+// nextRunnableVM is nextRunnable restricted to environments the
+// instruction loop can execute (those with a code segment), falling back
+// to cur. Nil if nothing qualifies.
+func (k *Kernel) nextRunnableVM(cur *Env) *Env {
+	for i := 0; i < len(k.slices); i++ {
+		k.slicePos = (k.slicePos + 1) % len(k.slices)
+		if e, ok := k.Env(k.slices[k.slicePos]); ok && !e.Dead && e.Code != nil {
+			return e
+		}
+	}
+	if cur != nil && !cur.Dead && cur.Code != nil {
+		return cur
+	}
+	return nil
+}
+
+// timerTick ends the current slice. The application's interrupt context
+// is responsible for general-purpose context switching — "saving and
+// restoring live registers, releasing locks, etc." — so the kernel only
+// charges for the dispatch and lets the application (native hook or IntVec
+// handler) save state and yield. Environments without an interrupt context
+// get a kernel-forced switch and pay for the full register save the kernel
+// does on their behalf.
+func (k *Kernel) timerTick() {
+	k.Stats.TimerTicks++
+	e := k.CurEnv()
+	if e == nil {
+		return
+	}
+	e.Slices++
+	if e.NativeInt != nil {
+		k.charge(9)
+		e.NativeInt(k)
+		return
+	}
+	if e.IntVec != 0 {
+		k.dispatchTo(e, e.IntVec)
+		return
+	}
+	// Kernel-forced switch: only environments with code can run under the
+	// interpreter; purely-native environments are dispatched by
+	// DispatchNative rounds, not by the instruction loop, so they are
+	// skipped here rather than installed into a context that would fault.
+	if next := k.nextRunnableVM(e); next != nil && next != e {
+		k.switchTo(next, true)
+		return
+	}
+	// Sole runnable environment: resume it.
+	k.M.CPU.PC = k.M.CPU.EPC
+	k.M.CPU.Mode = hw.ModeUser
+}
+
+// Yield donates the remainder of the current slice to target (§5.1.1:
+// "an environment can donate its remaining time slice to another (explicitly
+// specified) environment"). Target YieldNext picks the vector's next
+// runnable environment. The caller's registers were saved by its own
+// context-switching code (that work is charged here on its behalf: a full
+// register-file save and restore plus the addressing-context switch).
+func (k *Kernel) Yield(target EnvID) bool {
+	k.charge(8) // entry + validate target
+	var next *Env
+	if target == YieldNext {
+		next = k.nextRunnable()
+	} else if e, ok := k.Env(target); ok && !e.Dead {
+		next = e
+	}
+	if next == nil {
+		return false
+	}
+	cur := k.CurEnv()
+	if cur == next {
+		return true
+	}
+	k.switchTo(next, true)
+	return true
+}
+
+// YieldNext directs Yield to the next environment in the slice vector.
+const YieldNext = EnvID(0)
+
+// DispatchNative runs one scheduling round for native environments: it
+// services pending device interrupts (so ASHs run regardless of what is
+// scheduled — the property Figure 2 measures), then dispatches the next
+// runnable environment's NativeRun body for one slice. It reports false
+// when nothing is runnable.
+func (k *Kernel) DispatchNative() bool {
+	k.M.Timer.Check()
+	cpu := &k.M.CPU
+	if cpu.Pending&hw.IRQNIC != 0 {
+		cpu.Pending &^= hw.IRQNIC
+		k.serviceNIC()
+	}
+	cpu.Pending &^= hw.IRQTimer
+	e := k.nextRunnable()
+	if e == nil {
+		return false
+	}
+	if cur := k.CurEnv(); cur != e {
+		k.switchTo(e, true)
+	}
+	e.Slices++
+	if k.ConsumeExcess(e) {
+		// Forfeited slice: the environment pays its excess-time penalty.
+		return true
+	}
+	if e.NativeRun != nil {
+		e.NativeRun(k)
+	}
+	return true
+}
+
+// ChargeExcess applies the excess-time penalty: an environment that
+// overran its context-save bound forfeits a future slice ("applications
+// pay for each excess time slice consumed by forfeiting a subsequent time
+// slice"). The library OS's interrupt code calls this when it detects it
+// missed the save deadline.
+func (k *Kernel) ChargeExcess(e *Env, slices uint64) {
+	e.Excess += slices
+}
+
+// ConsumeExcess burns one unit of accumulated penalty; the scheduler's
+// clients (and tests) use it to decide whether to skip a slice.
+func (k *Kernel) ConsumeExcess(e *Env) bool {
+	if e.Excess == 0 {
+		return false
+	}
+	e.Excess--
+	return true
+}

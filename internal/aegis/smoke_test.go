@@ -1,0 +1,82 @@
+package aegis
+
+import (
+	"testing"
+
+	"exokernel/internal/asm"
+	"exokernel/internal/hw"
+	"exokernel/internal/vm"
+)
+
+// TestSmokeVMSyscallAndTLB boots Aegis, runs a VM program that allocates a
+// page, maps it, stores/loads through the TLB (taking a real refill), and
+// exits. It is the end-to-end sanity check for the trap plumbing.
+func TestSmokeVMSyscallAndTLB(t *testing.T) {
+	m := hw.NewMachine(hw.DEC5000)
+	k := New(m)
+
+	code, labels, err := asm.AssembleWithLabels(`
+		nop                     ; pc 0 is a guard by convention
+		; v0 = sysAllocPage, a0 = AnyFrame
+		addiu v0, zero, 3
+		addiu a0, zero, -1
+		syscall                 ; v0 = frame, v1 = cap handle
+		addu  s0, v0, zero      ; frame
+		addu  s1, v1, zero      ; cap handle
+		; map va 0x10000 -> frame, writable (perms = 2)
+		addiu v0, zero, 5
+		lui   a0, 1             ; 0x10000
+		addu  a1, s0, zero
+		addiu a2, zero, 2
+		addu  a3, s1, zero
+		syscall
+		; store 42 at va 0x10008, load it back
+		lui   t0, 1
+		addiu t1, zero, 42
+		sw    t1, 8(t0)
+		lw    t2, 8(t0)
+		halt
+	reload:
+		; second phase, entered after the test flushes the hardware TLB:
+		; the load misses in hardware and is refilled from the STLB.
+		lui   t0, 1
+		lw    t3, 8(t0)
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := k.NewEnv(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.PC = 1
+	k.installEnv(env)
+
+	reason := k.Interp.Run(10000)
+	if reason != vm.StopHalt {
+		t.Fatalf("program did not halt: %v (env dead=%v fault=%+v)", reason, env.Dead, env.LastFault)
+	}
+	if got := m.CPU.Reg(hw.RegT2); got != 42 {
+		t.Errorf("t2 = %d, want 42 (store/load through TLB)", got)
+	}
+
+	// Phase 2: evict the hardware TLB; the STLB must absorb the refill.
+	m.TLB.Flush()
+	m.CPU.PC = uint32(labels["reload"])
+	if reason := k.Interp.Run(10000); reason != vm.StopHalt {
+		t.Fatalf("reload phase did not halt: %v (fault=%+v)", reason, env.LastFault)
+	}
+	if got := m.CPU.Reg(hw.RegT3); got != 42 {
+		t.Errorf("t3 = %d, want 42 (reload via STLB refill)", got)
+	}
+	if k.Stats.TLBMisses == 0 {
+		t.Error("expected at least one hardware TLB miss")
+	}
+	if k.Stats.STLBHits == 0 {
+		t.Error("expected the post-unmap miss to hit the software TLB")
+	}
+	if m.Clock.Cycles() == 0 {
+		t.Error("simulated clock did not advance")
+	}
+}

@@ -1,0 +1,71 @@
+package aegis
+
+import "exokernel/internal/hw"
+
+// stlb is the software TLB (§5.2, refs [7,28]): a large direct-mapped
+// cache of secure bindings overlaying the hardware TLB. On a hardware TLB
+// miss Aegis consults it before vectoring to the application; capacity
+// misses are absorbed here, so applications only see compulsory misses and
+// protection changes.
+type stlb struct {
+	entries []hw.TLBEntry
+	mask    uint32
+}
+
+func newSTLB(size int) *stlb {
+	if size == 0 {
+		return &stlb{}
+	}
+	if size&(size-1) != 0 {
+		panic("aegis: STLB size must be a power of two")
+	}
+	return &stlb{entries: make([]hw.TLBEntry, size), mask: uint32(size - 1)}
+}
+
+func (s *stlb) index(vpn uint32, asid uint8) uint32 {
+	// Cheap hash: the ASID xor-folded over the VPN. The real STLB was
+	// direct-mapped and occasionally conflicted; so does this one.
+	return (vpn ^ uint32(asid)<<7) & s.mask
+}
+
+// lookup probes the STLB.
+func (s *stlb) lookup(vpn uint32, asid uint8) (hw.TLBEntry, bool) {
+	if s.entries == nil {
+		return hw.TLBEntry{}, false
+	}
+	e := s.entries[s.index(vpn, asid)]
+	if e.Perms&hw.PermValid != 0 && e.VPN == vpn && e.ASID == asid {
+		return e, true
+	}
+	return hw.TLBEntry{}, false
+}
+
+// insert caches a binding.
+func (s *stlb) insert(e hw.TLBEntry) {
+	if s.entries == nil {
+		return
+	}
+	s.entries[s.index(e.VPN, e.ASID)] = e
+}
+
+// invalidate drops a binding if present.
+func (s *stlb) invalidate(vpn uint32, asid uint8) {
+	if s.entries == nil {
+		return
+	}
+	i := s.index(vpn, asid)
+	e := &s.entries[i]
+	if e.VPN == vpn && e.ASID == asid {
+		*e = hw.TLBEntry{}
+	}
+}
+
+// invalidateFrame drops every binding that maps a physical frame (used by
+// the abort protocol, which must break all bindings to a repossessed page).
+func (s *stlb) invalidateFrame(pfn uint32) {
+	for i := range s.entries {
+		if s.entries[i].Perms&hw.PermValid != 0 && s.entries[i].PFN == pfn {
+			s.entries[i] = hw.TLBEntry{}
+		}
+	}
+}

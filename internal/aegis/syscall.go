@@ -1,0 +1,130 @@
+package aegis
+
+import (
+	"exokernel/internal/hw"
+)
+
+// System-call numbers for the VM ABI (code in v0, arguments in a0–a3,
+// results in v0/v1). These are Aegis's *primitive operations*: they
+// "encapsulate privileged instructions and are guaranteed not to alter
+// application-visible registers" beyond the declared results — the
+// pseudo-instruction style of Table 3.
+const (
+	SysNull       = 0  // measurement: enter and return
+	SysGetEnv     = 1  // v0 = environment ID
+	SysYield      = 2  // a0 = target env (0 = next in vector)
+	SysAllocPage  = 3  // a0 = frame or AnyFrame → v0 = frame, v1 = cap handle
+	SysDealloc    = 4  // a0 = frame, a1 = cap handle
+	SysMapTLB     = 5  // a0 = va, a1 = frame, a2 = perms, a3 = cap handle
+	SysUnmapTLB   = 6  // a0 = va
+	SysRetExc     = 7  // a0 = 0 retry / 1 skip
+	SysPCTSync    = 8  // a0 = callee env
+	SysPCTAsync   = 9  // a0 = callee env
+	SysCycles     = 10 // v0 = low 32 bits of the cycle counter
+	SysExit       = 11 // terminate this environment
+	SysSetExcVec  = 12 // a0 = cause, a1 = handler pc
+	SysSetTLBVec  = 13 // a0 = handler pc
+	SysSetIntVec  = 14 // a0 = handler pc
+	SysSetEntry   = 15 // a0 = sync entry pc, a1 = async entry pc
+	SysFail       = ^uint32(0)
+	sysMaxDecoded = 16
+)
+
+// syscall services the SYSCALL exception. "Roughly ten of these
+// instructions are used to distinguish the system call exception from
+// other hardware exceptions on the MIPS architecture" — charged as the
+// demultiplex cost; each operation then charges its own body.
+func (k *Kernel) syscall() {
+	k.Stats.Syscalls++
+	k.charge(10)
+	cpu := &k.M.CPU
+	e := k.CurEnv()
+	if e == nil {
+		k.Interp.RequestStop()
+		return
+	}
+	code := cpu.Reg(hw.RegV0)
+	a0, a1 := cpu.Reg(hw.RegA0), cpu.Reg(hw.RegA1)
+	a2, a3 := cpu.Reg(hw.RegA2), cpu.Reg(hw.RegA3)
+
+	// Most calls fall through to "advance past the SYSCALL and continue";
+	// control-transfer calls redirect and return directly.
+	switch code {
+	case SysNull:
+		k.charge(3)
+	case SysGetEnv:
+		cpu.SetReg(hw.RegV0, uint32(e.ID))
+	case SysYield:
+		cpu.PC = cpu.EPC + 1 // resume after the syscall when re-scheduled
+		if !k.Yield(EnvID(a0)) {
+			cpu.SetReg(hw.RegV0, SysFail)
+		}
+		cpu.Mode = hw.ModeUser
+		return
+	case SysAllocPage:
+		frame, guard, err := k.AllocPage(e, a0)
+		if err != nil {
+			cpu.SetReg(hw.RegV0, SysFail)
+		} else {
+			cpu.SetReg(hw.RegV0, frame)
+			cpu.SetReg(hw.RegV1, e.AddCap(guard))
+		}
+	case SysDealloc:
+		c, ok := e.Cap(a1)
+		if !ok || k.DeallocPage(a0, c) != nil {
+			cpu.SetReg(hw.RegV0, SysFail)
+		} else {
+			cpu.SetReg(hw.RegV0, 0)
+		}
+	case SysMapTLB:
+		c, ok := e.Cap(a3)
+		if !ok || k.InstallMapping(e, a0, a1, uint8(a2), c) != nil {
+			cpu.SetReg(hw.RegV0, SysFail)
+		} else {
+			cpu.SetReg(hw.RegV0, 0)
+		}
+	case SysUnmapTLB:
+		k.UnmapPage(e, a0)
+		cpu.SetReg(hw.RegV0, 0)
+	case SysRetExc:
+		action := ResumeRetry
+		if a0 == 1 {
+			action = ResumeSkip
+		}
+		k.ReturnFromException(e, action)
+		return
+	case SysPCTSync, SysPCTAsync:
+		cpu.PC = cpu.EPC + 1 // where the caller resumes on a return call
+		if err := k.ProtCall(EnvID(a0), code == SysPCTAsync); err != nil {
+			cpu.SetReg(hw.RegV0, SysFail)
+			cpu.Mode = hw.ModeUser
+		}
+		return
+	case SysCycles:
+		cpu.SetReg(hw.RegV0, uint32(k.M.Clock.Cycles()))
+	case SysExit:
+		k.kill(e, TrapInfo{})
+		return
+	case SysSetExcVec:
+		if a0 < uint32(len(e.ExcVec)) {
+			e.ExcVec[a0] = a1
+			cpu.SetReg(hw.RegV0, 0)
+		} else {
+			cpu.SetReg(hw.RegV0, SysFail)
+		}
+	case SysSetTLBVec:
+		e.TLBVec = a0
+		cpu.SetReg(hw.RegV0, 0)
+	case SysSetIntVec:
+		e.IntVec = a0
+		cpu.SetReg(hw.RegV0, 0)
+	case SysSetEntry:
+		e.EntrySync, e.EntryAsync = a0, a1
+		cpu.SetReg(hw.RegV0, 0)
+	default:
+		cpu.SetReg(hw.RegV0, SysFail)
+	}
+	cpu.PC = cpu.EPC + 1
+	cpu.Mode = hw.ModeUser
+	k.M.Clock.Tick(hw.CostExcReturn)
+}

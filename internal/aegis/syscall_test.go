@@ -1,0 +1,211 @@
+package aegis
+
+import (
+	"testing"
+
+	"exokernel/internal/asm"
+	"exokernel/internal/hw"
+	"exokernel/internal/vm"
+)
+
+// runVM assembles a program into a fresh environment and runs it to HALT.
+func runVM(t *testing.T, src string) (*hw.Machine, *Kernel, *Env) {
+	t.Helper()
+	m := hw.NewMachine(hw.DEC5000)
+	k := New(m)
+	code, labels, err := asm.AssembleWithLabels(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := k.NewEnv(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry, ok := labels["entry"]; ok {
+		m.CPU.PC = uint32(entry)
+	}
+	if r := k.Interp.Run(100000); r != vm.StopHalt {
+		t.Fatalf("program stopped with %v (dead=%v fault=%+v)", r, env.Dead, env.LastFault)
+	}
+	return m, k, env
+}
+
+func TestSysGetEnvAndCycles(t *testing.T) {
+	m, _, env := runVM(t, `
+		nop
+	entry:
+		addiu v0, zero, 1     ; getenv
+		syscall
+		addu  s0, v0, zero
+		addiu v0, zero, 10    ; cycles
+		syscall
+		addu  s1, v0, zero
+		halt
+	`)
+	if got := m.CPU.Reg(hw.RegS0); got != uint32(env.ID) {
+		t.Errorf("getenv = %d, want %d", got, env.ID)
+	}
+	if m.CPU.Reg(hw.RegS1) == 0 {
+		t.Error("cycles syscall returned zero")
+	}
+}
+
+func TestSysNullChargesLittle(t *testing.T) {
+	m, _, _ := runVM(t, `
+		nop
+	entry:
+		addiu v0, zero, 0
+		syscall
+		halt
+	`)
+	// Null syscall total ≈ exception entry + demux + body + return; it
+	// must be well under a microsecond of simulated time at 25 MHz.
+	if us := m.Micros(m.Clock.Cycles()); us > 2.0 {
+		t.Errorf("trivial program took %.2f us simulated", us)
+	}
+}
+
+func TestSysSetExcVecAndTrap(t *testing.T) {
+	m, k, _ := runVM(t, `
+		nop
+	entry:
+		addiu v0, zero, 12     ; set exception vector
+		addiu a0, zero, 9      ; cause 9 = overflow
+		addiu a1, zero, handler
+		syscall
+		lui   t0, 0x7fff
+		add   t1, t0, t0       ; overflow trap
+		addiu s0, zero, 1      ; reached after handler skips
+		halt
+	handler:
+		addiu v0, zero, 7      ; retexc
+		addiu a0, zero, 1      ; skip
+		syscall
+	`)
+	if m.CPU.Reg(hw.RegS0) != 1 {
+		t.Error("execution did not resume after handled trap")
+	}
+	if k.Stats.Exceptions != 1 {
+		t.Errorf("Exceptions = %d", k.Stats.Exceptions)
+	}
+}
+
+func TestSysYieldBetweenVMEnvs(t *testing.T) {
+	m := hw.NewMachine(hw.DEC5000)
+	k := New(m)
+	// Env A yields to env B; B halts.
+	codeA := asm.MustAssemble(`
+		addiu v0, zero, 2
+		addiu a0, zero, 2   ; yield to env 2
+		syscall
+		halt
+	`)
+	codeB := asm.MustAssemble(`
+		addiu s7, zero, 42
+		halt
+	`)
+	a, _ := k.NewEnv(codeA)
+	b, _ := k.NewEnv(codeB)
+	if r := k.Interp.Run(1000); r != vm.StopHalt {
+		t.Fatalf("run = %v", r)
+	}
+	if m.CPU.Reg(hw.RegS7) != 42 {
+		t.Error("env B never ran after yield")
+	}
+	if k.CurEnv() != b {
+		t.Error("current env is not B")
+	}
+	_ = a
+}
+
+func TestSysExitStopsWhenAlone(t *testing.T) {
+	m := hw.NewMachine(hw.DEC5000)
+	k := New(m)
+	code := asm.MustAssemble(`
+		addiu v0, zero, 11
+		syscall
+		halt
+	`)
+	env, _ := k.NewEnv(code)
+	if r := k.Interp.Run(1000); r != vm.StopRequested {
+		t.Fatalf("run = %v, want requested stop", r)
+	}
+	if !env.Dead {
+		t.Error("env not dead after exit")
+	}
+}
+
+func TestSysFailureCodes(t *testing.T) {
+	m, _, _ := runVM(t, `
+		nop
+	entry:
+		addiu v0, zero, 4      ; dealloc with bogus cap handle
+		addiu a0, zero, 3
+		addiu a1, zero, 99
+		syscall
+		addu  s0, v0, zero
+		addiu v0, zero, 999    ; unknown syscall
+		syscall
+		addu  s1, v0, zero
+		addiu v0, zero, 12     ; set exc vec out of range
+		addiu a0, zero, 99
+		syscall
+		addu  s2, v0, zero
+		halt
+	`)
+	for reg, name := range map[uint8]string{hw.RegS0: "dealloc", hw.RegS1: "unknown", hw.RegS2: "setvec"} {
+		if m.CPU.Reg(reg) != SysFail {
+			t.Errorf("%s did not fail: %#x", name, m.CPU.Reg(reg))
+		}
+	}
+}
+
+func TestSysSetEntryAndVMPCT(t *testing.T) {
+	m := hw.NewMachine(hw.DEC5000)
+	k := New(m)
+	// Client: PCT to server env 2; resumes when server PCTs back.
+	client, clabels, err := asm.AssembleWithLabels(`
+		nop
+	entry:
+		addiu v0, zero, 15        ; set our entry points
+		addiu a0, zero, back
+		addiu a1, zero, back
+		syscall
+		addiu a0, zero, 1234      ; message in a0
+		addiu v0, zero, 8         ; pct sync
+		addiu a0, zero, 2
+		syscall
+		halt                      ; never reached
+	back:
+		addu  s6, a1, zero        ; server's reply message (in a1)
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, slabels, err := asm.AssembleWithLabels(`
+		nop
+	sentry:
+		addiu a1, zero, 4321      ; reply message
+		addiu v0, zero, 8         ; pct back to caller (in v1)
+		addu  a0, v1, zero
+		syscall
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cenv, _ := k.NewEnv(client)
+	senv, _ := k.NewEnv(server)
+	senv.EntrySync = uint32(slabels["sentry"])
+	m.CPU.PC = uint32(clabels["entry"])
+	if r := k.Interp.Run(1000); r != vm.StopHalt {
+		t.Fatalf("run = %v", r)
+	}
+	if m.CPU.Reg(22) != 4321 { // s6
+		t.Errorf("s6 = %d, want 4321 (reply via register message)", m.CPU.Reg(22))
+	}
+	if k.CurEnv() != cenv {
+		t.Error("control did not return to the client")
+	}
+}

@@ -1,0 +1,192 @@
+package aegis
+
+import "exokernel/internal/hw"
+
+// Save-area layout (word offsets). The dispatcher spills the three scratch
+// registers and the exception report here using physical addresses, so the
+// spill itself can never fault (§5.3: "To avoid TLB exceptions, Aegis does
+// this operation using physical addresses").
+const (
+	saveAT = iota * hw.WordSize
+	saveK0
+	saveK1
+	saveEPC
+)
+
+// Resume tells the kernel how to continue after a native handler returns.
+type Resume int
+
+// Resume actions.
+const (
+	// ResumeRetry re-executes the faulting instruction (the normal case
+	// after a TLB or protection fix-up).
+	ResumeRetry Resume = iota
+	// ResumeSkip continues at the instruction after the fault (emulation,
+	// or benchmarks that only want the dispatch).
+	ResumeSkip
+	// ResumeNone means the handler already rearranged control flow
+	// (yielded, killed the environment, performed a protected call).
+	ResumeNone
+)
+
+// HandleTrap is the machine's single entry into the kernel. Cause, EPC and
+// BadVAddr are in the CPU report registers.
+func (k *Kernel) HandleTrap(m *hw.Machine) {
+	switch m.CPU.Cause {
+	case hw.ExcSyscall:
+		k.syscall()
+	case hw.ExcInterrupt:
+		k.interrupt()
+	case hw.ExcTLBMissL, hw.ExcTLBMissS:
+		k.tlbMiss()
+	default:
+		k.dispatchException()
+	}
+}
+
+// dispatchException forwards a hardware exception to the application
+// (§5.3). The entire kernel path is: save three scratch registers to the
+// agreed-upon save area (physical addresses), load EPC / BadVAddr / cause
+// into those registers, and jump to the application handler in user mode.
+// "Aegis dispatches exceptions in 18 instructions."
+func (k *Kernel) dispatchException() {
+	k.Stats.Exceptions++
+	cpu := &k.M.CPU
+	e := k.CurEnv()
+	if e == nil {
+		k.Interp.RequestStop()
+		return
+	}
+	t := TrapInfo{Cause: cpu.Cause, EPC: cpu.EPC, BadVAddr: cpu.BadVAddr}
+
+	k.spillScratch(e)
+
+	if e.NativeExc != nil {
+		e.NativeExc(k, t)
+		return
+	}
+	if vec := e.ExcVec[cpu.Cause&15]; vec != 0 {
+		// Step 4: enter the application handler in user mode.
+		cpu.PC = vec
+		cpu.Mode = hw.ModeUser
+		return
+	}
+	// No handler installed: the environment cannot make progress.
+	k.kill(e, t)
+}
+
+// ReturnFromException restores the spilled scratch registers and resumes
+// the interrupted computation. VM handlers reach it through the retexc
+// system call; native handlers return a Resume action and the trap paths
+// call it directly.
+func (k *Kernel) ReturnFromException(e *Env, action Resume) {
+	cpu := &k.M.CPU
+	phys := k.M.Phys
+	cpu.SetReg(hw.RegAT, phys.ReadWordUncached(e.SaveArea+saveAT))
+	cpu.SetReg(hw.RegK0, phys.ReadWordUncached(e.SaveArea+saveK0))
+	cpu.SetReg(hw.RegK1, phys.ReadWordUncached(e.SaveArea+saveK1))
+	epc := phys.ReadWordUncached(e.SaveArea + saveEPC)
+	k.M.Clock.Tick(hw.CostExcReturn)
+	switch action {
+	case ResumeRetry:
+		cpu.PC = epc
+	case ResumeSkip:
+		cpu.PC = epc + 1
+	case ResumeNone:
+		return
+	}
+	cpu.Mode = hw.ModeUser
+}
+
+// tlbMiss services a hardware TLB refill (§5.2). Fast path: the software
+// TLB absorbs capacity misses entirely inside the kernel. Slow path: the
+// miss is the application's to handle — ExOS installs a native hook (its
+// page table), or a VM environment installs a TLBVec handler.
+func (k *Kernel) tlbMiss() {
+	k.Stats.TLBMisses++
+	cpu := &k.M.CPU
+	e := k.CurEnv()
+	if e == nil {
+		k.Interp.RequestStop()
+		return
+	}
+	vpn := cpu.BadVAddr >> hw.PageShift
+	if k.STLBEnabled {
+		k.M.Clock.Tick(hw.CostSTLBLookup)
+		if entry, ok := k.stlb.lookup(vpn, cpu.ASID); ok {
+			// The miss never reaches the application: install and retry.
+			k.M.TLB.WriteRandom(entry)
+			k.Stats.STLBHits++
+			cpu.PC = cpu.EPC
+			cpu.Mode = hw.ModeUser
+			return
+		}
+	}
+	k.Stats.TLBUpcalls++
+	write := cpu.Cause == hw.ExcTLBMissS
+	if e.NativeTLBMiss != nil {
+		// Charge the same dispatch prologue an upcall costs (the spills
+		// are real work even when the handler is modelled natively).
+		k.charge(18)
+		if e.NativeTLBMiss(k, cpu.BadVAddr, write) {
+			cpu.PC = cpu.EPC // mapping installed; restart the instruction
+			cpu.Mode = hw.ModeUser
+			return
+		}
+		// Unmapped at application level too: deliver as an exception so
+		// the library OS's fault machinery (or the kill path) runs.
+		k.dispatchException()
+		return
+	}
+	if e.TLBVec != 0 {
+		k.dispatchTo(e, e.TLBVec)
+		return
+	}
+	k.kill(e, TrapInfo{Cause: cpu.Cause, EPC: cpu.EPC, BadVAddr: cpu.BadVAddr})
+}
+
+// spillScratch is the dispatch prologue (§5.3 steps 1-3): save the three
+// scratch registers and the exception PC to the agreed-upon save area
+// using physical addresses (4 uncached stores), load EPC / BadVAddr /
+// cause into the freed registers, and demultiplex — the remaining ~9
+// instructions of the 18-instruction dispatch path.
+func (k *Kernel) spillScratch(e *Env) {
+	cpu := &k.M.CPU
+	phys := k.M.Phys
+	phys.WriteWordUncached(e.SaveArea+saveAT, cpu.Reg(hw.RegAT))
+	phys.WriteWordUncached(e.SaveArea+saveK0, cpu.Reg(hw.RegK0))
+	phys.WriteWordUncached(e.SaveArea+saveK1, cpu.Reg(hw.RegK1))
+	phys.WriteWordUncached(e.SaveArea+saveEPC, cpu.EPC)
+	cpu.SetReg(hw.RegK0, cpu.EPC)
+	cpu.SetReg(hw.RegK1, cpu.BadVAddr)
+	cpu.SetReg(hw.RegAT, uint32(cpu.Cause))
+	k.charge(9)
+}
+
+// dispatchTo runs the standard dispatch prologue and enters a specific
+// handler PC (used for the TLB and interrupt contexts).
+func (k *Kernel) dispatchTo(e *Env, vec uint32) {
+	k.spillScratch(e)
+	cpu := &k.M.CPU
+	cpu.PC = vec
+	cpu.Mode = hw.ModeUser
+}
+
+// interrupt demultiplexes external interrupts.
+func (k *Kernel) interrupt() {
+	cpu := &k.M.CPU
+	k.charge(4)
+	if cpu.Pending&hw.IRQNIC != 0 {
+		k.serviceNIC()
+	}
+	if cpu.Pending&hw.IRQTimer != 0 {
+		cpu.Pending &^= hw.IRQTimer
+		k.timerTick()
+		return
+	}
+	// Return to the interrupted environment.
+	cpu.PC = cpu.EPC
+	if k.cur != 0 {
+		cpu.Mode = hw.ModeUser
+	}
+}

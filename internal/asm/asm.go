@@ -1,0 +1,298 @@
+// Package asm is a two-pass assembler for the simulated ISA. It exists so
+// that downloaded code — exception handlers, ASHs, test programs — can be
+// written legibly in the examples and tests rather than as instruction
+// literals.
+//
+// Syntax, one instruction per line:
+//
+//	; comment        # comment
+//	loop:                       ; label
+//	    addiu t0, t0, 1
+//	    lw    v0, 4(a0)
+//	    bne   t0, a1, loop      ; branch targets may be labels or numbers
+//	    jal   subroutine
+//	    halt
+//
+// Registers are r0..r31 or the MIPS aliases (zero, at, v0, v1, a0-a3,
+// t0-t7, s0-s7, t8, t9, k0, k1, gp, sp, fp, ra).
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"exokernel/internal/isa"
+)
+
+var regAlias = map[string]uint8{
+	"zero": 0, "at": 1, "v0": 2, "v1": 3,
+	"a0": 4, "a1": 5, "a2": 6, "a3": 7,
+	"t0": 8, "t1": 9, "t2": 10, "t3": 11, "t4": 12, "t5": 13, "t6": 14, "t7": 15,
+	"s0": 16, "s1": 17, "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+	"t8": 24, "t9": 25, "k0": 26, "k1": 27,
+	"gp": 28, "sp": 29, "fp": 30, "ra": 31,
+}
+
+var opByName = func() map[string]isa.Op {
+	m := make(map[string]isa.Op, isa.NumOps)
+	for o := 0; o < isa.NumOps; o++ {
+		m[isa.Op(o).String()] = isa.Op(o)
+	}
+	return m
+}()
+
+// Error reports an assembly failure with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type line struct {
+	num    int
+	op     isa.Op
+	args   []string
+	labels []string
+}
+
+// Assemble translates source text into a code segment.
+func Assemble(src string) (isa.Code, error) {
+	code, _, err := AssembleWithLabels(src)
+	return code, err
+}
+
+// AssembleWithLabels translates source text and also returns the label
+// table (label → instruction index), which callers use to locate entry
+// points and handler vectors inside a segment.
+func AssembleWithLabels(src string) (isa.Code, map[string]int, error) {
+	lines, labels, err := firstPass(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	code := make(isa.Code, 0, len(lines))
+	for pc, ln := range lines {
+		in, err := encode(ln, pc, labels)
+		if err != nil {
+			return nil, nil, err
+		}
+		code = append(code, in)
+	}
+	return code, labels, nil
+}
+
+// Labels returns just the label table of a source text.
+func Labels(src string) (map[string]int, error) {
+	_, labels, err := AssembleWithLabels(src)
+	return labels, err
+}
+
+// MustAssemble is Assemble, panicking on error; for tests and fixed
+// in-tree programs.
+func MustAssemble(src string) isa.Code {
+	code, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return code
+}
+
+func firstPass(src string) ([]line, map[string]int, error) {
+	var lines []line
+	labels := make(map[string]int)
+	pendingLabels := []string{}
+	for num, raw := range strings.Split(src, "\n") {
+		text := raw
+		if i := strings.IndexAny(text, ";#"); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		for text != "" {
+			if i := strings.Index(text, ":"); i >= 0 && !strings.ContainsAny(text[:i], " \t(") {
+				label := strings.TrimSpace(text[:i])
+				if label == "" {
+					return nil, nil, &Error{num + 1, "empty label"}
+				}
+				if _, dup := labels[label]; dup {
+					return nil, nil, &Error{num + 1, fmt.Sprintf("duplicate label %q", label)}
+				}
+				labels[label] = len(lines)
+				pendingLabels = append(pendingLabels, label)
+				text = strings.TrimSpace(text[i+1:])
+				continue
+			}
+			break
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.SplitN(text, " ", 2)
+		mnemonic := strings.ToLower(strings.TrimSpace(fields[0]))
+		op, ok := opByName[mnemonic]
+		if !ok {
+			return nil, nil, &Error{num + 1, fmt.Sprintf("unknown mnemonic %q", mnemonic)}
+		}
+		var args []string
+		if len(fields) == 2 {
+			for _, a := range strings.Split(fields[1], ",") {
+				args = append(args, strings.TrimSpace(a))
+			}
+		}
+		lines = append(lines, line{num: num + 1, op: op, args: args, labels: pendingLabels})
+		pendingLabels = nil
+	}
+	if len(pendingLabels) > 0 {
+		// Trailing labels point one past the end (e.g. an "end:" marker).
+		for _, l := range pendingLabels {
+			labels[l] = len(lines)
+		}
+	}
+	return lines, labels, nil
+}
+
+func parseReg(s string, ln int) (uint8, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if r, ok := regAlias[s]; ok {
+		return r, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < 32 {
+			return uint8(n), nil
+		}
+	}
+	return 0, &Error{ln, fmt.Sprintf("bad register %q", s)}
+}
+
+func parseImm(s string, ln int, labels map[string]int) (int32, error) {
+	s = strings.TrimSpace(s)
+	if v, ok := labels[s]; ok {
+		return int32(v), nil
+	}
+	n, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, &Error{ln, fmt.Sprintf("bad immediate %q", s)}
+	}
+	if n < -(1<<31) || n > 1<<32-1 {
+		return 0, &Error{ln, fmt.Sprintf("immediate %d out of range", n)}
+	}
+	return int32(uint32(n)), nil
+}
+
+// parseMem parses "imm(reg)" operands.
+func parseMem(s string, ln int, labels map[string]int) (uint8, int32, error) {
+	open := strings.Index(s, "(")
+	close := strings.LastIndex(s, ")")
+	if open < 0 || close < open {
+		return 0, 0, &Error{ln, fmt.Sprintf("bad memory operand %q (want imm(reg))", s)}
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr == "" {
+		offStr = "0"
+	}
+	off, err := parseImm(offStr, ln, labels)
+	if err != nil {
+		return 0, 0, err
+	}
+	reg, err := parseReg(s[open+1:close], ln)
+	if err != nil {
+		return 0, 0, err
+	}
+	return reg, off, nil
+}
+
+func wantArgs(ln line, n int) error {
+	if len(ln.args) != n {
+		return &Error{ln.num, fmt.Sprintf("%s takes %d operands, got %d", ln.op, n, len(ln.args))}
+	}
+	return nil
+}
+
+func encode(ln line, pc int, labels map[string]int) (isa.Inst, error) {
+	in := isa.Inst{Op: ln.op}
+	var err error
+	switch ln.op {
+	case isa.NOP, isa.HALT, isa.RFE, isa.SYSCALL, isa.BREAK, isa.COP1:
+		err = wantArgs(ln, 0)
+	case isa.ADD, isa.ADDU, isa.SUB, isa.MUL, isa.DIV, isa.REM, isa.AND,
+		isa.OR, isa.XOR, isa.NOR, isa.SLT, isa.SLTU:
+		if err = wantArgs(ln, 3); err == nil {
+			if in.Rd, err = parseReg(ln.args[0], ln.num); err == nil {
+				if in.Rs, err = parseReg(ln.args[1], ln.num); err == nil {
+					in.Rt, err = parseReg(ln.args[2], ln.num)
+				}
+			}
+		}
+	case isa.ADDI, isa.ADDIU, isa.ANDI, isa.ORI, isa.XORI, isa.SLTI,
+		isa.SLL, isa.SRL, isa.SRA:
+		if err = wantArgs(ln, 3); err == nil {
+			if in.Rd, err = parseReg(ln.args[0], ln.num); err == nil {
+				if in.Rs, err = parseReg(ln.args[1], ln.num); err == nil {
+					in.Imm, err = parseImm(ln.args[2], ln.num, labels)
+				}
+			}
+		}
+	case isa.LUI:
+		if err = wantArgs(ln, 2); err == nil {
+			if in.Rd, err = parseReg(ln.args[0], ln.num); err == nil {
+				in.Imm, err = parseImm(ln.args[1], ln.num, labels)
+			}
+		}
+	case isa.LW, isa.LH, isa.LHU, isa.LB, isa.LBU, isa.PKTLW, isa.PKTLB:
+		if err = wantArgs(ln, 2); err == nil {
+			if in.Rd, err = parseReg(ln.args[0], ln.num); err == nil {
+				in.Rs, in.Imm, err = parseMem(ln.args[1], ln.num, labels)
+			}
+		}
+	case isa.SW, isa.SH, isa.SB:
+		if err = wantArgs(ln, 2); err == nil {
+			if in.Rt, err = parseReg(ln.args[0], ln.num); err == nil {
+				in.Rs, in.Imm, err = parseMem(ln.args[1], ln.num, labels)
+			}
+		}
+	case isa.BEQ, isa.BNE:
+		if err = wantArgs(ln, 3); err == nil {
+			if in.Rs, err = parseReg(ln.args[0], ln.num); err == nil {
+				if in.Rt, err = parseReg(ln.args[1], ln.num); err == nil {
+					in.Imm, err = parseImm(ln.args[2], ln.num, labels)
+				}
+			}
+		}
+	case isa.BLEZ, isa.BGTZ, isa.BLTZ, isa.BGEZ:
+		if err = wantArgs(ln, 2); err == nil {
+			if in.Rs, err = parseReg(ln.args[0], ln.num); err == nil {
+				in.Imm, err = parseImm(ln.args[1], ln.num, labels)
+			}
+		}
+	case isa.J, isa.JAL:
+		if err = wantArgs(ln, 1); err == nil {
+			in.Imm, err = parseImm(ln.args[0], ln.num, labels)
+		}
+	case isa.JR:
+		if err = wantArgs(ln, 1); err == nil {
+			in.Rs, err = parseReg(ln.args[0], ln.num)
+		}
+	case isa.JALR:
+		if err = wantArgs(ln, 2); err == nil {
+			if in.Rd, err = parseReg(ln.args[0], ln.num); err == nil {
+				in.Rs, err = parseReg(ln.args[1], ln.num)
+			}
+		}
+	case isa.TLBWR:
+		err = wantArgs(ln, 0)
+	case isa.PKTLEN:
+		if err = wantArgs(ln, 1); err == nil {
+			in.Rd, err = parseReg(ln.args[0], ln.num)
+		}
+	case isa.XMIT:
+		if err = wantArgs(ln, 2); err == nil {
+			if in.Rs, err = parseReg(ln.args[0], ln.num); err == nil {
+				in.Rt, err = parseReg(ln.args[1], ln.num)
+			}
+		}
+	default:
+		err = &Error{ln.num, fmt.Sprintf("cannot encode %s", ln.op)}
+	}
+	return in, err
+}

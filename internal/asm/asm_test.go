@@ -1,0 +1,181 @@
+package asm
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"exokernel/internal/isa"
+)
+
+func TestAssembleBasics(t *testing.T) {
+	code, labels, err := AssembleWithLabels(`
+		; a tiny program
+		start:
+			addiu t0, zero, 10   # decimal
+			addiu t1, zero, 0x10 ; hex
+		loop:
+			addiu t0, t0, -1
+			bgtz  t0, loop
+			j     done
+		done:
+			halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(code) != 6 {
+		t.Fatalf("len(code) = %d, want 6", len(code))
+	}
+	if labels["start"] != 0 || labels["loop"] != 2 || labels["done"] != 5 {
+		t.Errorf("labels = %v", labels)
+	}
+	if code[1].Imm != 0x10 {
+		t.Errorf("hex immediate parsed as %d", code[1].Imm)
+	}
+	if code[3].Op != isa.BGTZ || code[3].Imm != 2 {
+		t.Errorf("branch target not resolved: %+v", code[3])
+	}
+	if code[4].Op != isa.J || code[4].Imm != 5 {
+		t.Errorf("jump target not resolved: %+v", code[4])
+	}
+	if code[5].Op != isa.HALT {
+		t.Errorf("final op = %v", code[5].Op)
+	}
+}
+
+func TestAssembleMemoryOperands(t *testing.T) {
+	code := MustAssemble(`
+		lw  v0, 4(sp)
+		sw  v0, -8(fp)
+		lbu t0, (a0)
+	`)
+	if code[0].Rd != 2 || code[0].Rs != 29 || code[0].Imm != 4 {
+		t.Errorf("lw parsed %+v", code[0])
+	}
+	if code[1].Rt != 2 || code[1].Rs != 30 || code[1].Imm != -8 {
+		t.Errorf("sw parsed %+v", code[1])
+	}
+	if code[2].Rs != 4 || code[2].Imm != 0 {
+		t.Errorf("implicit-zero offset parsed %+v", code[2])
+	}
+}
+
+func TestAssembleRegisterAliases(t *testing.T) {
+	code := MustAssemble("addu k0, k1, ra")
+	if code[0].Rd != 26 || code[0].Rs != 27 || code[0].Rt != 31 {
+		t.Errorf("aliases parsed %+v", code[0])
+	}
+	code = MustAssemble("addu r5, r0, r31")
+	if code[0].Rd != 5 || code[0].Rs != 0 || code[0].Rt != 31 {
+		t.Errorf("numeric registers parsed %+v", code[0])
+	}
+}
+
+func TestAssembleTrailingLabel(t *testing.T) {
+	_, labels, err := AssembleWithLabels("nop\nend:\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels["end"] != 1 {
+		t.Errorf("trailing label = %d, want 1", labels["end"])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"frobnicate r1":        "unknown mnemonic",
+		"addu r1, r2":          "takes 3 operands",
+		"addu r1, r2, r99":     "bad register",
+		"addiu r1, r2, banana": "bad immediate",
+		"lw r1, r2":            "bad memory operand",
+		"x: nop\nx: nop":       "duplicate label",
+		": nop":                "empty label",
+	}
+	for src, wantSub := range cases {
+		_, err := Assemble(src)
+		if err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error containing %q", src, wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("Assemble(%q) error = %v, want substring %q", src, err, wantSub)
+		}
+		var ae *Error
+		if ok := errorsAs(err, &ae); !ok || ae.Line == 0 {
+			t.Errorf("Assemble(%q) error lacks line info: %v", src, err)
+		}
+	}
+}
+
+func errorsAs(err error, target **Error) bool {
+	e, ok := err.(*Error)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("bogus")
+}
+
+// Property: disassembling assembled code and re-assembling it reproduces
+// the same instructions (String() output is valid assembler input for the
+// register-register and immediate forms).
+func TestQuickRoundTripALU(t *testing.T) {
+	ops := []isa.Op{isa.ADDU, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SLT}
+	f := func(opIdx, rd, rs, rt uint8) bool {
+		in := isa.Inst{Op: ops[int(opIdx)%len(ops)], Rd: rd % 32, Rs: rs % 32, Rt: rt % 32}
+		code, err := Assemble(in.String())
+		if err != nil {
+			return false
+		}
+		return len(code) == 1 && code[0] == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: labels always resolve within [0, len(code)].
+func TestQuickLabelResolution(t *testing.T) {
+	f := func(n uint8) bool {
+		var b strings.Builder
+		count := int(n%30) + 1
+		for i := 0; i < count; i++ {
+			b.WriteString("nop\n")
+		}
+		b.WriteString("tail:\n j tail\n")
+		code, labels, err := AssembleWithLabels(b.String())
+		if err != nil {
+			return false
+		}
+		target := labels["tail"]
+		return target == count && int(code[count].Imm) == target
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssembleShippedPrograms(t *testing.T) {
+	// The sample programs under examples/asm must keep assembling.
+	src, err := os.ReadFile("../../examples/asm/fib.s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, labels, err := AssembleWithLabels(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(code) == 0 || labels["entry"] != 0 {
+		t.Errorf("fib.s: %d instructions, entry=%d", len(code), labels["entry"])
+	}
+}

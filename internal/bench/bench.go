@@ -1,0 +1,202 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§5-§7) against the simulated machines,
+// printing paper values next to measured ones. Measured values are
+// *simulated microseconds*: cycles on the machine's clock divided by its
+// clock rate (25 MHz unless stated). Paper values are quoted constants and
+// are labelled as such — they are never produced by the simulator.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Value is one cell of a results table.
+type Value struct {
+	V    float64
+	Unit string
+	NA   bool
+	Note string
+}
+
+// Us makes a microseconds cell.
+func Us(v float64) Value { return Value{V: v, Unit: "us"} }
+
+// N makes a unitless numeric cell.
+func N(v float64) Value { return Value{V: v} }
+
+// X makes a ratio cell ("×").
+func X(v float64) Value { return Value{V: v, Unit: "x"} }
+
+// NA makes an unavailable cell (with an optional reason).
+func NA(note string) Value { return Value{NA: true, Note: note} }
+
+// Str renders the cell. The zero Value renders empty (used as a spacer in
+// rows where a column does not apply).
+func (v Value) Str() string {
+	if v == (Value{}) {
+		return ""
+	}
+	if !v.NA && v.V == 0 && v.Unit == "" && v.Note != "" {
+		return v.Note // text-only cell
+	}
+	if v.NA {
+		if v.Note != "" {
+			return "n/a (" + v.Note + ")"
+		}
+		return "n/a"
+	}
+	var s string
+	switch {
+	case v.V == math.Trunc(v.V) && math.Abs(v.V) < 1e6:
+		s = fmt.Sprintf("%.0f", v.V)
+	case math.Abs(v.V) >= 100:
+		s = fmt.Sprintf("%.0f", v.V)
+	case math.Abs(v.V) >= 10:
+		s = fmt.Sprintf("%.1f", v.V)
+	default:
+		s = fmt.Sprintf("%.2f", v.V)
+	}
+	if v.Unit != "" {
+		s += " " + v.Unit
+	}
+	if v.Note != "" {
+		s += " (" + v.Note + ")"
+	}
+	return s
+}
+
+// Row is one line of a table.
+type Row struct {
+	Name  string
+	Cells []Value
+}
+
+// Table is one experiment's result.
+type Table struct {
+	ID    string // "Table 2", "Figure 3", ...
+	Title string
+	Cols  []string // column headings, not counting the row-name column
+	Rows  []Row
+	Notes []string
+}
+
+// Add appends a row.
+func (t *Table) Add(name string, cells ...Value) {
+	t.Rows = append(t.Rows, Row{Name: name, Cells: cells})
+}
+
+// Note appends a footnote.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	headers := append([]string{""}, t.Cols...)
+	width := make([]int, len(headers))
+	for i, h := range headers {
+		width[i] = len(h)
+	}
+	cells := make([][]string, len(t.Rows))
+	for r, row := range t.Rows {
+		line := make([]string, len(headers))
+		line[0] = row.Name
+		for c, v := range row.Cells {
+			if c+1 < len(line) {
+				line[c+1] = v.Str()
+			}
+		}
+		for i, s := range line {
+			if len(s) > width[i] {
+				width[i] = len(s)
+			}
+		}
+		cells[r] = line
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	writeLine := func(line []string) {
+		for i, s := range line {
+			if i == 0 {
+				fmt.Fprintf(&b, "  %-*s", width[i], s)
+			} else {
+				fmt.Fprintf(&b, "  %*s", width[i], s)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeLine(headers)
+	for _, line := range cells {
+		writeLine(line)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is a registered, runnable experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() *Table
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"Table 1", "Experimental platforms", Table1},
+		{"Table 2", "Null procedure and system call", Table2},
+		{"Table 3", "Aegis primitive operations", Table3},
+		{"Table 4", "Exception dispatch", Table4},
+		{"Table 5", "Exception dispatch by kind", Table5},
+		{"Table 6", "Protected control transfer", Table6},
+		{"Table 7", "Packet-filter demultiplexing (10 TCP/IP filters)", Table7},
+		{"Table 8", "IPC abstractions", Table8},
+		{"Table 9", "150x150 matrix multiplication", Table9},
+		{"Table 10", "Appel-Li virtual memory operations (100 pages)", Table10},
+		{"Table 11", "UDP round-trip latency over Ethernet (60-byte frames)", Table11},
+		{"Table 12", "Extensible RPC: trusted vs untrusting stubs", Table12},
+		{"Figure 2", "Round-trip latency vs. active receiver processes", Figure2},
+		{"Figure 3", "Application-level stride scheduling, 3:2:1 tickets", Figure3},
+		{"Ablation A", "Software TLB on/off", AblationSTLB},
+		{"Ablation B", "Filter merging: DPF trie vs per-filter classification", AblationDPFMerge},
+		{"Ablation C", "Application-controlled file caching (claim [10])", AblationCaching},
+		{"Ablation D", "Stride vs lottery application-level scheduling", AblationSched},
+		{"Ablation E", "Application-defined page-table structures", AblationPT},
+		{"Ablation F", "ASH integrated layer processing (§5.5.2 / [22])", AblationILP},
+		{"Ablation G", "Cross-machine DSM over the fast primitives", AblationDSM},
+	}
+}
+
+// CSV renders the table as comma-separated values (plotting-friendly
+// output for the figures; `aegisbench -format csv`).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+		}
+		return s
+	}
+	fmt.Fprintf(&b, "# %s: %s\n", t.ID, t.Title)
+	b.WriteString("row")
+	for _, c := range t.Cols {
+		b.WriteString("," + esc(c))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(esc(r.Name))
+		for i := range t.Cols {
+			cell := ""
+			if i < len(r.Cells) {
+				cell = r.Cells[i].Str()
+			}
+			b.WriteString("," + esc(cell))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,370 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests pin the qualitative claims of the paper — who wins, by
+// roughly what factor, where the crossovers are — so a regression in any
+// subsystem that changes the *shape* of a result fails loudly.
+
+// cell finds a row by name prefix and returns its cells.
+func cell(t *testing.T, tb *Table, rowPrefix string) []Value {
+	t.Helper()
+	for _, r := range tb.Rows {
+		if strings.HasPrefix(r.Name, rowPrefix) {
+			return r.Cells
+		}
+	}
+	t.Fatalf("%s: no row %q", tb.ID, rowPrefix)
+	return nil
+}
+
+func TestTable2Shape(t *testing.T) {
+	tb := Table2()
+	proc := cell(t, tb, "procedure call")
+	// Identical user code; the only difference is the cost of faulting the
+	// stack page in once (ExOS upcall vs kernel refill) amortized over the
+	// loop, so the two must agree to well under a percent.
+	if diff := proc[0].V/proc[1].V - 1; diff > 0.01 || diff < -0.01 {
+		t.Errorf("procedure call differs across systems: %v vs %v", proc[0].V, proc[1].V)
+	}
+	sys := cell(t, tb, "system call")
+	if slow := sys[2].V; slow < 5 || slow > 100 {
+		t.Errorf("syscall slowdown = %.1fx, want within the paper's 10-100x band (>=5 tolerated)", slow)
+	}
+	if sys[0].V > 2.0 {
+		t.Errorf("Aegis null syscall = %.2f us, paper reports ~1-2 us", sys[0].V)
+	}
+}
+
+func TestTable3AllPrimitivesFast(t *testing.T) {
+	tb := Table3()
+	for _, r := range tb.Rows {
+		if r.Cells[0].V > 5.0 {
+			t.Errorf("primitive %q = %.2f us; Aegis primitives are single-digit microseconds", r.Name, r.Cells[0].V)
+		}
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	tb := Table4()
+	d := cell(t, tb, "dispatch")[0].V
+	if d < 1.0 || d > 2.5 {
+		t.Errorf("Aegis dispatch = %.2f us, paper reports 1.5 us", d)
+	}
+	rt := cell(t, tb, "trap + handler + resume")
+	if rt[2].V < 5 {
+		t.Errorf("trap roundtrip slowdown = %.1fx, want >=5x", rt[2].V)
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	tb := Table5()
+	for _, kind := range []string{"unalign", "overflow", "coproc"} {
+		if v := cell(t, tb, kind)[0].V; v < 1 || v > 6 {
+			t.Errorf("%s = %.2f us, want low single-digit", kind, v)
+		}
+	}
+	if !cell(t, tb, "unalign")[1].NA {
+		t.Error("Ultrix unalign should be n/a (kernel emulates)")
+	}
+	if !cell(t, tb, "coproc")[1].NA {
+		t.Error("Ultrix coproc should be n/a (kernel-managed FPU)")
+	}
+	prot := cell(t, tb, "prot")
+	if prot[2].V < 5 {
+		t.Errorf("prot slowdown = %.1fx, want >=5x", prot[2].V)
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	tb := Table6()
+	speedup := cell(t, tb, "speedup")[0].V
+	if speedup < 4 || speedup > 12 {
+		t.Errorf("PCT speedup vs scaled L3 = %.1fx, paper says almost 7x", speedup)
+	}
+}
+
+func TestTable7Ordering(t *testing.T) {
+	tb := Table7()
+	mpf := cell(t, tb, "MPF")[0].V
+	pf := cell(t, tb, "PATHFINDER")[0].V
+	dpf := cell(t, tb, "DPF")[0].V
+	if !(dpf < pf && pf < mpf) {
+		t.Fatalf("ordering broken: DPF=%.2f PATHFINDER=%.2f MPF=%.2f", dpf, pf, mpf)
+	}
+	if mpf/dpf < 10 {
+		t.Errorf("DPF vs MPF = %.1fx, paper reports ~20x (want >=10x)", mpf/dpf)
+	}
+	if pf/dpf < 5 {
+		t.Errorf("DPF vs PATHFINDER = %.1fx, paper reports ~10x (want >=5x)", pf/dpf)
+	}
+}
+
+func TestTable8Shape(t *testing.T) {
+	tb := Table8()
+	for _, row := range []string{"pipe", "shm"} {
+		c := cell(t, tb, row)
+		if c[2].V < 4 || c[2].V > 60 {
+			t.Errorf("%s slowdown = %.1fx, paper band is 5-40x", row, c[2].V)
+		}
+	}
+	pipe := cell(t, tb, "pipe")[0].V
+	pipeOpt := cell(t, tb, "pipe'")[0].V
+	if pipeOpt >= pipe {
+		t.Errorf("pipe' (%.2f) not faster than pipe (%.2f)", pipeOpt, pipe)
+	}
+	lrpc := cell(t, tb, "lrpc")[0].V
+	if lrpc > 15 {
+		t.Errorf("lrpc = %.2f us, want low double-digit at most", lrpc)
+	}
+}
+
+func TestTable9Shape(t *testing.T) {
+	old := Table9MatrixN
+	Table9MatrixN = 48 // keep the test fast; the shape is n-independent
+	defer func() { Table9MatrixN = old }()
+	tb := Table9()
+	ratio := cell(t, tb, "ratio")[0].V
+	if ratio < 0.95 || ratio > 1.1 {
+		t.Errorf("matmul ratio = %.3f, paper reports ~1.0 (applications that don't use VM don't pay)", ratio)
+	}
+}
+
+func TestTable10Shape(t *testing.T) {
+	tb := Table10()
+	if !cell(t, tb, "dirty")[1].NA {
+		t.Error("Ultrix dirty should be n/a")
+	}
+	if d := cell(t, tb, "dirty")[0].V; d > 2 {
+		t.Errorf("ExOS dirty = %.2f us; a page-table lookup should be cheap", d)
+	}
+	for _, row := range []string{"prot1", "trap", "appel1", "appel2"} {
+		c := cell(t, tb, row)
+		if c[2].V < 3 {
+			t.Errorf("%s slowdown = %.1fx, want >=3x", row, c[2].V)
+		}
+	}
+	// appel2 ≤ appel1: appel1 does both a protect and an unprotect in the
+	// handler (noted in the paper).
+	a1 := cell(t, tb, "appel1")[0].V
+	a2 := cell(t, tb, "appel2")[0].V
+	if a2 > a1*1.15 {
+		t.Errorf("appel2 (%.2f) should not exceed appel1 (%.2f)", a2, a1)
+	}
+}
+
+func TestTable11Shape(t *testing.T) {
+	tb := Table11()
+	ash := cell(t, tb, "ExOS with echo ASH")[0].V
+	app := cell(t, tb, "ExOS, application echo")[0].V
+	ult := cell(t, tb, "Ultrix-model")[0].V
+	wire := cell(t, tb, "wire lower bound")[0].V
+	if ash < wire {
+		t.Errorf("ASH roundtrip %.0f beats the wire bound %.0f", ash, wire)
+	}
+	if ash-wire > 30 {
+		t.Errorf("ASH overhead over the wire = %.0f us, paper reports ~6 us (allow 30)", ash-wire)
+	}
+	if ult < ash || ult < app {
+		t.Errorf("monolithic sockets (%.0f) should be the slowest (ash=%.0f app=%.0f)", ult, ash, app)
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	tb := Figure2()
+	var ash, noASH []float64
+	for _, r := range tb.Rows {
+		ash = append(ash, r.Cells[0].V)
+		noASH = append(noASH, r.Cells[1].V)
+	}
+	// ASH: flat under load.
+	for i := 1; i < len(ash); i++ {
+		if ash[i]-ash[0] > 25 {
+			t.Errorf("ASH latency grew with load: %v", ash)
+			break
+		}
+	}
+	// Without ASH: strictly increasing with the run queue, ending well
+	// above the ASH line.
+	for i := 1; i < len(noASH); i++ {
+		if noASH[i] <= noASH[i-1] {
+			t.Errorf("non-ASH latency not increasing: %v", noASH)
+			break
+		}
+	}
+	if noASH[len(noASH)-1] < 3*ash[len(ash)-1] {
+		t.Errorf("under load the non-ASH latency (%.0f) should dwarf ASH (%.0f)", noASH[len(noASH)-1], ash[len(ash)-1])
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	tb := Figure3()
+	last := tb.Rows[len(tb.Rows)-1]
+	a, b, c := last.Cells[0].V, last.Cells[1].V, last.Cells[2].V
+	total := a + b + c
+	if total == 0 {
+		t.Fatal("no quanta distributed")
+	}
+	for i, want := range []float64{0.5, 1.0 / 3, 1.0 / 6} {
+		got := []float64{a, b, c}[i] / total
+		if got < want-0.01 || got > want+0.01 {
+			t.Errorf("share %d = %.3f, want %.3f", i, got, want)
+		}
+	}
+}
+
+func TestAblationSTLBShape(t *testing.T) {
+	tb := AblationSTLB()
+	on := tb.Rows[0]
+	off := tb.Rows[1]
+	if on.Cells[0].V >= off.Cells[0].V {
+		t.Errorf("STLB on (%.2f) not cheaper than off (%.2f)", on.Cells[0].V, off.Cells[0].V)
+	}
+	if on.Cells[2].V != 0 {
+		t.Errorf("STLB enabled but %v upcalls escaped", on.Cells[2].V)
+	}
+	if off.Cells[1].V != 0 {
+		t.Errorf("STLB disabled but %v hits recorded", off.Cells[1].V)
+	}
+}
+
+func TestAblationDPFMergeShape(t *testing.T) {
+	tb := AblationDPFMerge()
+	both := tb.Rows[0].Cells[0].V
+	unmerged := tb.Rows[1].Cells[0].V
+	uncompiled := tb.Rows[2].Cells[0].V
+	if !(both < unmerged && both < uncompiled) {
+		t.Errorf("DPF (%.2f) should beat unmerged (%.2f) and uncompiled (%.2f)", both, unmerged, uncompiled)
+	}
+}
+
+func TestAblationCachingShape(t *testing.T) {
+	tb := AblationCaching()
+	app := tb.Rows[0].Cells[0].V
+	lru := tb.Rows[1].Cells[0].V
+	mono := tb.Rows[2].Cells[0].V
+	if !(app < lru && lru < mono) {
+		t.Fatalf("ordering broken: app=%.0f lru=%.0f mono=%.0f", app, lru, mono)
+	}
+	// Cao et al. [10]: "up to 45%" runtime reduction; require at least 20%.
+	if saved := 1 - app/lru; saved < 0.20 {
+		t.Errorf("application policy saved only %.0f%% vs LRU, want >=20%%", saved*100)
+	}
+	// Identical engines ⇒ identical miss counts for the two LRU rows.
+	if tb.Rows[1].Cells[2].V != tb.Rows[2].Cells[2].V {
+		t.Error("LRU and monolithic rows should have identical cache behaviour")
+	}
+}
+
+func TestAblationSchedShape(t *testing.T) {
+	tb := AblationSched()
+	strideErr := tb.Rows[0].Cells[0].V
+	lotteryErr := tb.Rows[1].Cells[0].V
+	if strideErr > 2 {
+		t.Errorf("stride max error = %.1f quanta, want O(1)", strideErr)
+	}
+	if lotteryErr < 5*strideErr {
+		t.Errorf("lottery error (%.1f) should dwarf stride's (%.1f)", lotteryErr, strideErr)
+	}
+}
+
+func TestAblationPTShape(t *testing.T) {
+	tb := AblationPT()
+	get := func(name string) (lookup, kb float64) {
+		c := cell(t, tb, name)
+		return c[0].V, c[1].V
+	}
+	_, denseTwoKB := get("dense layout, two-level")
+	_, denseInvKB := get("dense layout, inverted")
+	sparseTwoUs, sparseTwoKB := get("sparse layout (1 page / 4MB), two-level")
+	sparseInvUs, sparseInvKB := get("sparse layout (1 page / 4MB), inverted")
+	if sparseInvKB*10 > sparseTwoKB {
+		t.Errorf("inverted (%v KB) should be >10x smaller than two-level (%v KB) when sparse", sparseInvKB, sparseTwoKB)
+	}
+	if denseInvKB > denseTwoKB {
+		t.Errorf("inverted (%v KB) larger than two-level (%v KB) even when dense", denseInvKB, denseTwoKB)
+	}
+	// Neither lookup should be more than ~3x the other: the trade is
+	// space, not order-of-magnitude time.
+	if sparseInvUs > 3*sparseTwoUs || sparseTwoUs > 3*sparseInvUs {
+		t.Errorf("lookup costs diverged: %v vs %v us", sparseTwoUs, sparseInvUs)
+	}
+}
+
+func TestAblationILPShape(t *testing.T) {
+	tb := AblationILP()
+	layered := tb.Rows[0].Cells[0].V
+	integrated := tb.Rows[1].Cells[0].V
+	if integrated >= layered {
+		t.Fatalf("integration (%0.1f) not faster than layering (%0.1f)", integrated, layered)
+	}
+	if speedup := layered / integrated; speedup < 1.2 {
+		t.Errorf("integration speedup = %.2fx, want >=1.2x (paper: 'almost a factor of two')", speedup)
+	}
+}
+
+func TestAblationDSMShape(t *testing.T) {
+	tb := AblationDSM()
+	for _, r := range tb.Rows {
+		total, wire := r.Cells[0].V, r.Cells[1].V
+		if total < wire {
+			t.Errorf("%s: %.0f us beats the wire bound %.0f", r.Name, total, wire)
+		}
+		if total > 3*wire {
+			t.Errorf("%s: %.0f us; protocol overhead should not dwarf the wire (%.0f)", r.Name, total, wire)
+		}
+	}
+}
+
+func TestAllExperimentsRunAndFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in short mode")
+	}
+	old := Table9MatrixN
+	Table9MatrixN = 32
+	defer func() { Table9MatrixN = old }()
+	for _, e := range All() {
+		tb := e.Run()
+		if tb == nil || len(tb.Rows) == 0 {
+			t.Errorf("%s produced no rows", e.ID)
+			continue
+		}
+		out := tb.Format()
+		if !strings.Contains(out, e.ID) {
+			t.Errorf("%s output missing its ID:\n%s", e.ID, out)
+		}
+	}
+}
+
+func TestValueFormatting(t *testing.T) {
+	cases := map[string]Value{
+		"1.50 us":   Us(1.5),
+		"120 us":    Us(120),
+		"n/a":       NA(""),
+		"n/a (why)": NA("why"),
+		"2 x":       X(2),
+		"2.50 x":    X(2.5),
+		"":          {},
+		"text":      {Note: "text"},
+		"5 us (hm)": {V: 5, Unit: "us", Note: "hm"},
+	}
+	for want, v := range cases {
+		if got := v.Str(); got != want {
+			t.Errorf("Str(%+v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{ID: "Table X", Title: "csv, test", Cols: []string{"a", "b"}}
+	tb.Add("row,1", Us(1.5), NA("why"))
+	out := tb.CSV()
+	for _, want := range []string{"# Table X: csv, test", "row,a,b", "\"row,1\",1.50 us,n/a (why)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"exokernel/internal/exos"
+)
+
+// Table8 reproduces the IPC abstraction comparison (§6.1): pipes, shared
+// memory and LRPC built by *application code* on Aegis primitives versus
+// the monolithic kernel's implementations. Paper (DEC2100): ExOS pipe
+// 30.9 us vs Ultrix 326 us; shm 12.4 vs 466; lrpc 13.9 vs n/a — "five to
+// 40 times faster".
+func Table8() *Table {
+	t := &Table{ID: "Table 8", Title: "IPC latency, one-way (measured, simulated us)",
+		Cols: []string{"ExOS/Aegis", "Ultrix-model", "slowdown"}}
+	const iters = 256
+
+	// pipe: ping-pong a word through a pair of pipes.
+	{
+		_, k := newAegis()
+		a, err := exos.Boot(k)
+		if err != nil {
+			panic(err)
+		}
+		b, err := exos.Boot(k)
+		if err != nil {
+			panic(err)
+		}
+		ab1, ab2, err := exos.NewPipe(a, b)
+		if err != nil {
+			panic(err)
+		}
+		ba1, ba2, err := exos.NewPipe(b, a)
+		if err != nil {
+			panic(err)
+		}
+		exosPipe := perOp(k.M, iters, func() {
+			ab1.Write(7)
+			v := ab2.Read()
+			ba1.Write(v + 1)
+			if ba2.Read() != 8 {
+				panic("bench: pipe payload mismatch")
+			}
+		}) / 2
+
+		um, uk := newUltrix()
+		pa := uk.NewProc(nil)
+		pb := uk.NewProc(nil)
+		up1 := uk.NewPipe()
+		up2 := uk.NewPipe()
+		ultrixPipe := perOp(um, iters, func() {
+			up1.WriteWord(pa, 7)
+			v, ok := up1.ReadWord(pb)
+			if !ok || v != 7 {
+				panic("bench: ultrix pipe payload mismatch")
+			}
+			up2.WriteWord(pb, v+1)
+			if w, ok := up2.ReadWord(pa); !ok || w != 8 {
+				panic("bench: ultrix pipe payload mismatch")
+			}
+		}) / 2
+		t.Add("pipe", Us(exosPipe), Us(ultrixPipe), X(ultrixPipe/exosPipe))
+
+		// pipe': the specialized single-word variant (§6.1's "pipe'").
+		ab1.SetOptimized(true)
+		ab2.SetOptimized(true)
+		ba1.SetOptimized(true)
+		ba2.SetOptimized(true)
+		exosPipeOpt := perOp(k.M, iters, func() {
+			ab1.Write(7)
+			v := ab2.Read()
+			ba1.Write(v + 1)
+			ba2.Read()
+		}) / 2
+		t.Add("pipe' (specialized)", Us(exosPipeOpt), NA("no kernel equivalent"), Value{})
+	}
+
+	// shm: ping-pong through a shared memory word.
+	{
+		_, k := newAegis()
+		a, err := exos.Boot(k)
+		if err != nil {
+			panic(err)
+		}
+		b, err := exos.Boot(k)
+		if err != nil {
+			panic(err)
+		}
+		sa, sb, err := exos.NewShm(a, b)
+		if err != nil {
+			panic(err)
+		}
+		turn := uint32(0)
+		exosShm := perOp(k.M, iters, func() {
+			turn++
+			sa.Store(turn)
+			sb.AwaitChange(turn - 1)
+			turn++
+			sb.Store(turn)
+			sa.AwaitChange(turn - 1)
+		}) / 2
+
+		// Monolithic shm ping-pong: the data lives in a shared mapping but
+		// the *synchronization* needs the kernel (sleep/wakeup crossings
+		// plus a context switch each way).
+		um, uk := newUltrix()
+		pa := uk.NewProc(nil)
+		_ = uk.NewProc(nil)
+		ultrixShm := perOp(um, iters, func() {
+			uk.SleepWakeupPair(pa)
+			uk.SleepWakeupPair(pa)
+		}) / 2
+		t.Add("shm", Us(exosShm), Us(ultrixShm), X(ultrixShm/exosShm))
+	}
+
+	// lrpc: four-word call, two-word reply over protected control transfer.
+	{
+		_, k := newAegis()
+		srvOS, err := exos.Boot(k)
+		if err != nil {
+			panic(err)
+		}
+		cliOS, err := exos.Boot(k)
+		if err != nil {
+			panic(err)
+		}
+		srv := exos.NewServer(srvOS)
+		srv.Register(1, func(args [4]uint32) [2]uint32 { return [2]uint32{args[0] + args[1], 0} })
+		cli := exos.NewClient(cliOS, srv, false)
+		lrpc := perOp(k.M, iters, func() {
+			res, err := cli.Call(1, [4]uint32{2, 3, 0, 0})
+			if err != nil || res[0] != 5 {
+				panic("bench: lrpc failed")
+			}
+		})
+		t.Add("lrpc (round trip)", Us(lrpc), NA("no kernel equivalent"), Value{})
+	}
+
+	t.Note("paper (DEC2100): pipe 30.9 vs 326 us; shm 12.4 vs 466 us; lrpc 13.9 us — factors of 5-40x")
+	return t
+}
+
+// Table12 reproduces the extensibility experiment (§7.1): tlrpc trusts the
+// server to preserve callee-saved registers, trading protection the
+// application does not need for time. Paper: tlrpc 8.6/6.3 us vs lrpc
+// 13.9/10.4 us (DEC2100/DEC3100).
+func Table12() *Table {
+	t := &Table{ID: "Table 12", Title: "Trusted vs untrusting RPC, round trip (measured, simulated us)",
+		Cols: []string{"time"}}
+	const iters = 256
+	_, k := newAegis()
+	srvOS, err := exos.Boot(k)
+	if err != nil {
+		panic(err)
+	}
+	cliOS, err := exos.Boot(k)
+	if err != nil {
+		panic(err)
+	}
+	srv := exos.NewServer(srvOS)
+	srv.Register(1, func(args [4]uint32) [2]uint32 { return [2]uint32{args[0] * 2, 0} })
+
+	lcli := exos.NewClient(cliOS, srv, false)
+	lrpc := perOp(k.M, iters, func() {
+		if _, err := lcli.Call(1, [4]uint32{21}); err != nil {
+			panic(err)
+		}
+	})
+
+	tcliOS, err := exos.Boot(k)
+	if err != nil {
+		panic(err)
+	}
+	tcli := exos.NewClient(tcliOS, srv, true)
+	tlrpc := perOp(k.M, iters, func() {
+		if _, err := tcli.Call(1, [4]uint32{21}); err != nil {
+			panic(err)
+		}
+	})
+	t.Add("lrpc (untrusting stub)", Us(lrpc))
+	t.Add("tlrpc (trusted server)", Us(tlrpc))
+	t.Add("saving", X(lrpc/tlrpc))
+	t.Note("paper: tlrpc 8.6 us vs lrpc 13.9 us on the DEC2100 (~1.6x)")
+	return t
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"exokernel/internal/aegis"
+	"exokernel/internal/exos"
+	"exokernel/internal/stride"
+)
+
+// AblationSched compares the two application-level proportional-share
+// schedulers on throughput accuracy: stride [54] (deterministic, the one
+// the paper's §7.3 experiment uses) against lottery [53] (randomized, the
+// prior work stride improves on). Both run unprivileged over directed
+// yield; the measured quantity is the maximum absolute error between a
+// client's actual and ideal cumulative allocation over the run — O(1)
+// quanta for stride, O(sqrt(n)) for lottery.
+func AblationSched() *Table {
+	t := &Table{ID: "Ablation D", Title: "Stride vs lottery scheduling, 3:2:1 tickets over 3000 quanta",
+		Cols: []string{"max abs error (quanta)", "final shares"}}
+	tickets := []uint64{3, 2, 1}
+	const rounds = 3000
+
+	// Stride.
+	{
+		_, k := newAegis()
+		k.SetQuantum(1000)
+		s, err := stride.New(k)
+		if err != nil {
+			panic(err)
+		}
+		clients := addWorkers(k, tickets, func(env aegis.EnvID, tk uint64) *stride.Client {
+			c, err := s.Add(env, tk)
+			if err != nil {
+				panic(err)
+			}
+			return c
+		})
+		k.SetSliceVector([]aegis.EnvID{s.Env.ID})
+		maxErr := runSched(k, clients, tickets, rounds)
+		sh := s.Shares()
+		t.Add("stride (deterministic)", N(maxErr), Value{Note: fmt.Sprintf("%.3f/%.3f/%.3f", sh[0], sh[1], sh[2])})
+	}
+
+	// Lottery.
+	{
+		_, k := newAegis()
+		k.SetQuantum(1000)
+		l, err := stride.NewLottery(k, 42)
+		if err != nil {
+			panic(err)
+		}
+		clients := addWorkers(k, tickets, func(env aegis.EnvID, tk uint64) *stride.Client {
+			c, err := l.Add(env, tk)
+			if err != nil {
+				panic(err)
+			}
+			return c
+		})
+		k.SetSliceVector([]aegis.EnvID{l.Env.ID})
+		maxErr := runSched(k, clients, tickets, rounds)
+		sh := l.Shares()
+		t.Add("lottery (randomized, seed 42)", N(maxErr), Value{Note: fmt.Sprintf("%.3f/%.3f/%.3f", sh[0], sh[1], sh[2])})
+	}
+	t.Note("error = max over all prefixes and clients of |actual - ideal| quanta; stride's is O(1), lottery's grows as sqrt(n)")
+	return t
+}
+
+func addWorkers(k *aegis.Kernel, tickets []uint64, add func(aegis.EnvID, uint64) *stride.Client) []*stride.Client {
+	var clients []*stride.Client
+	for _, tk := range tickets {
+		w, err := exos.NewWorker(k, func(k *aegis.Kernel) { k.M.Clock.Tick(k.Quantum()) })
+		if err != nil {
+			panic(err)
+		}
+		clients = append(clients, add(w.ID, tk))
+	}
+	return clients
+}
+
+func runSched(k *aegis.Kernel, clients []*stride.Client, tickets []uint64, rounds int) float64 {
+	var sum uint64
+	for _, tk := range tickets {
+		sum += tk
+	}
+	maxErr := 0.0
+	for r := 1; r <= rounds; r++ {
+		if !k.DispatchNative() {
+			panic("bench: scheduler starved")
+		}
+		for i, c := range clients {
+			ideal := float64(r) * float64(tickets[i]) / float64(sum)
+			if e := math.Abs(float64(c.Quanta) - ideal); e > maxErr {
+				maxErr = e
+			}
+		}
+	}
+	return maxErr
+}

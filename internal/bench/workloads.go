@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"fmt"
+
+	"exokernel/internal/aegis"
+	"exokernel/internal/asm"
+	"exokernel/internal/exos"
+	"exokernel/internal/hw"
+	"exokernel/internal/pkt"
+	"exokernel/internal/ultrix"
+	"exokernel/internal/vm"
+)
+
+// Shared machinery: machine construction, measurement, and the VM
+// workloads used by several experiments.
+
+// newAegis boots Aegis on a fresh primary-platform machine.
+func newAegis() (*hw.Machine, *aegis.Kernel) {
+	m := hw.NewMachine(hw.DEC5000)
+	return m, aegis.New(m)
+}
+
+// newUltrix boots the monolithic baseline on identical hardware.
+func newUltrix() (*hw.Machine, *ultrix.Kernel) {
+	m := hw.NewMachine(hw.DEC5000)
+	return m, ultrix.New(m)
+}
+
+// usOn measures the simulated time of f on machine m, in microseconds.
+func usOn(m *hw.Machine, f func()) float64 {
+	w := m.Clock.StartWatch()
+	f()
+	return m.Micros(w.Elapsed())
+}
+
+// perOp runs f iters times and returns the mean simulated microseconds.
+func perOp(m *hw.Machine, iters int, f func()) float64 {
+	total := usOn(m, func() {
+		for i := 0; i < iters; i++ {
+			f()
+		}
+	})
+	return total / float64(iters)
+}
+
+// runToHalt executes the current environment's VM code until HALT,
+// panicking if the program dies instead (an experiment bug, not a result).
+func runToHalt(in *vm.Interp, maxSteps uint64) {
+	if r := in.Run(maxSteps); r != vm.StopHalt {
+		panic(fmt.Sprintf("bench: VM program stopped with %v, want halt", r))
+	}
+}
+
+// lcg is the deterministic pseudo-random source for workloads (seeded per
+// experiment: no wall-clock, no global state).
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r >> 17)
+}
+
+// perm returns a seeded pseudo-random permutation of [0,n).
+func (r *lcg) perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(r.next() % uint64(i+1))
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// matmulSource is the VM matrix-multiply kernel used by Table 9: plain
+// three-loop matmul with all data references through the MMU. Inputs:
+// a0=A base, a1=B base, a2=C base, a3=n. C must start zeroed (fresh pages
+// are). Row-major int32 matrices.
+const matmulSource = `
+		nop
+	entry:
+		addiu s0, zero, 0      ; i
+	iloop:
+		addiu s1, zero, 0      ; j
+	jloop:
+		addiu s2, zero, 0      ; k
+		addiu t7, zero, 0      ; acc
+	kloop:
+		; t0 = A[i*n+k]
+		mul   t1, s0, a3
+		addu  t1, t1, s2
+		sll   t1, t1, 2
+		addu  t1, t1, a0
+		lw    t0, 0(t1)
+		; t2 = B[k*n+j]
+		mul   t3, s2, a3
+		addu  t3, t3, s1
+		sll   t3, t3, 2
+		addu  t3, t3, a1
+		lw    t2, 0(t3)
+		mul   t4, t0, t2
+		addu  t7, t7, t4
+		addiu s2, s2, 1
+		bne   s2, a3, kloop
+		; C[i*n+j] = acc
+		mul   t5, s0, a3
+		addu  t5, t5, s1
+		sll   t5, t5, 2
+		addu  t5, t5, a2
+		sw    t7, 0(t5)
+		addiu s1, s1, 1
+		bne   s1, a3, jloop
+		addiu s0, s0, 1
+		bne   s0, a3, iloop
+		halt
+`
+
+// matmulBases are the virtual bases of the three matrices.
+var matmulBases = [3]uint32{0x0100_0000, 0x0200_0000, 0x0300_0000}
+
+// matmulSteps bounds interpreter steps for an n×n multiply.
+func matmulSteps(n int) uint64 { return uint64(n)*uint64(n)*uint64(n)*24 + 4096 }
+
+// matmulPages is how many pages one n×n int32 matrix spans.
+func matmulPages(n int) int {
+	return (n*n*4 + hw.PageSize - 1) / hw.PageSize
+}
+
+// aegisMatmul builds an Aegis environment, an ExOS instance, and the
+// mapped matrices, returning a closure that runs one multiply.
+func aegisMatmul(n int) (m *hw.Machine, k *aegis.Kernel, run func(), err error) {
+	m, k = newAegis()
+	code, labels, err := asm.AssembleWithLabels(matmulSource)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	env, err := k.NewEnv(code)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	os := exos.Attach(k, env)
+	for _, base := range matmulBases {
+		for p := 0; p < matmulPages(n); p++ {
+			if _, err := os.AllocAndMap(base + uint32(p*hw.PageSize)); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+	}
+	entry := uint32(labels["entry"])
+	run = func() {
+		env.PC = entry
+		m.CPU.PC = entry
+		m.CPU.SetReg(hw.RegA0, matmulBases[0])
+		m.CPU.SetReg(hw.RegA1, matmulBases[1])
+		m.CPU.SetReg(hw.RegA2, matmulBases[2])
+		m.CPU.SetReg(hw.RegA3, uint32(n))
+		runToHalt(k.Interp, matmulSteps(n))
+	}
+	return m, k, run, nil
+}
+
+// ultrixMatmul is the same workload under the monolithic kernel.
+func ultrixMatmul(n int) (m *hw.Machine, run func(), err error) {
+	m, k := newUltrix()
+	code, labels, err := asm.AssembleWithLabels(matmulSource)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := k.NewProc(code)
+	for _, base := range matmulBases {
+		for pg := 0; pg < matmulPages(n); pg++ {
+			if err := k.MapPage(p, base+uint32(pg*hw.PageSize), true); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	entry := uint32(labels["entry"])
+	run = func() {
+		p.PC = entry
+		m.CPU.PC = entry
+		m.CPU.SetReg(hw.RegA0, matmulBases[0])
+		m.CPU.SetReg(hw.RegA1, matmulBases[1])
+		m.CPU.SetReg(hw.RegA2, matmulBases[2])
+		m.CPU.SetReg(hw.RegA3, uint32(n))
+		runToHalt(k.Interp, matmulSteps(n))
+	}
+	return m, run, nil
+}
+
+// tenFlows builds the ten TCP flows of the Table 7 workload. The paper
+// classifies packets destined for the *last* installed filter; flows
+// differ in ports and addresses.
+func tenFlows() []pkt.Flow {
+	flows := make([]pkt.Flow, 10)
+	for i := range flows {
+		flows[i] = pkt.Flow{
+			Proto:   pkt.ProtoTCP,
+			SrcIP:   pkt.IP(18, 26, 0, byte(10+i)),
+			DstIP:   pkt.IP(18, 26, 0, 1),
+			SrcPort: uint16(2000 + i),
+			DstPort: uint16(4000 + i),
+		}
+	}
+	return flows
+}

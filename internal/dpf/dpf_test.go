@@ -1,0 +1,228 @@
+package dpf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"exokernel/internal/pkt"
+)
+
+func flowN(i int) pkt.Flow {
+	return pkt.Flow{
+		Proto: pkt.ProtoTCP,
+		SrcIP: pkt.IP(10, 0, 0, byte(i+1)), DstIP: pkt.IP(10, 0, 0, 200),
+		SrcPort: uint16(1000 + i), DstPort: uint16(2000 + i),
+	}
+}
+
+func TestClassifyTenFilters(t *testing.T) {
+	e := NewEngine()
+	var ids []FilterID
+	for i := 0; i < 10; i++ {
+		id, err := e.Insert(FlowFilter(flowN(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if e.Count() != 10 {
+		t.Fatalf("Count = %d", e.Count())
+	}
+	for i := 0; i < 10; i++ {
+		frame := pkt.Build(pkt.Addr{}, pkt.Addr{}, flowN(i), []byte("x"))
+		id, cycles, ok := e.Classify(frame)
+		if !ok || id != ids[i] {
+			t.Errorf("flow %d classified as %d (ok=%v)", i, id, ok)
+		}
+		if cycles == 0 {
+			t.Error("classification reported zero cycles")
+		}
+	}
+}
+
+func TestClassifySharedPrefixCost(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 10; i++ {
+		if _, err := e.Insert(FlowFilter(flowN(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frame := pkt.Build(pkt.Addr{}, pkt.Addr{}, flowN(9), []byte("x"))
+	_, cycles, _ := e.Classify(frame)
+	// Six atoms in the filter; the merged trie should evaluate exactly six
+	// (shared prefixes evaluated once), not 60.
+	if cycles != 6*CyclesPerAtom {
+		t.Errorf("classification cost = %d cycles, want %d (6 atoms)", cycles, 6*CyclesPerAtom)
+	}
+}
+
+func TestNoMatch(t *testing.T) {
+	e := NewEngine()
+	if _, _, ok := e.Classify([]byte{1, 2, 3}); ok {
+		t.Error("empty engine matched")
+	}
+	if _, err := e.Insert(FlowFilter(flowN(0))); err != nil {
+		t.Fatal(err)
+	}
+	other := pkt.Build(pkt.Addr{}, pkt.Addr{}, flowN(5), nil)
+	if id, _, ok := e.Classify(other); ok {
+		t.Errorf("wrong flow matched filter %d", id)
+	}
+	if _, _, ok := e.Classify([]byte{0xFF}); ok {
+		t.Error("truncated frame matched")
+	}
+}
+
+func TestPortFilter(t *testing.T) {
+	e := NewEngine()
+	id, err := e.Insert(PortFilter(pkt.ProtoUDP, 53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := pkt.Flow{Proto: pkt.ProtoUDP, SrcIP: 1, DstIP: 2, SrcPort: 9999, DstPort: 53}
+	frame := pkt.Build(pkt.Addr{}, pkt.Addr{}, f, nil)
+	if got, _, ok := e.Classify(frame); !ok || got != id {
+		t.Errorf("port filter missed: %d %v", got, ok)
+	}
+	f.DstPort = 54
+	frame = pkt.Build(pkt.Addr{}, pkt.Addr{}, f, nil)
+	if _, _, ok := e.Classify(frame); ok {
+		t.Error("port filter matched wrong port")
+	}
+}
+
+func TestOverlappingPrefixFilters(t *testing.T) {
+	// A fully-specified flow filter installed ahead of a coarse port
+	// filter for the same destination port (the priority a library OS
+	// uses for connected sockets vs. a listener). The specific filter
+	// wins where it matches; packets that die partway down its atom
+	// chain backtrack into the coarse filter.
+	e := NewEngine()
+	fine, err := e.Insert(FlowFilter(flowN(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := e.Insert(PortFilter(pkt.ProtoTCP, uint16(2000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := pkt.Build(pkt.Addr{}, pkt.Addr{}, flowN(0), nil)
+	if id, _, _ := e.Classify(full); id != fine {
+		t.Errorf("specific flow classified as %d, want %d", id, fine)
+	}
+	otherSrc := flowN(0)
+	otherSrc.SrcPort = 7777
+	frame := pkt.Build(pkt.Addr{}, pkt.Addr{}, otherSrc, nil)
+	if id, _, _ := e.Classify(frame); id != coarse {
+		t.Errorf("coarse flow classified as %d, want %d", id, coarse)
+	}
+}
+
+func TestDuplicateFilterRejected(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Insert(FlowFilter(flowN(1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Insert(FlowFilter(flowN(1))); err == nil {
+		t.Error("duplicate filter accepted")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Insert(nil); err == nil {
+		t.Error("empty filter accepted")
+	}
+	if _, err := e.Insert(Filter{{Off: 0, Size: 3, Val: 1}}); err == nil {
+		t.Error("bad atom size accepted")
+	}
+	if _, err := e.Insert(Filter{{Off: -1, Size: 1, Val: 1}}); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestMaskedAtoms(t *testing.T) {
+	e := NewEngine()
+	// Match any packet whose first byte has the high bit set.
+	id, err := e.Insert(Filter{{Off: 0, Size: 1, Mask: 0x80, Val: 0x80}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _, ok := e.Classify([]byte{0xC3}); !ok || got != id {
+		t.Error("masked match failed")
+	}
+	if _, _, ok := e.Classify([]byte{0x7F}); ok {
+		t.Error("masked non-match matched")
+	}
+}
+
+// Property: for any pair of distinct flows, each classifies to its own
+// filter and never to the other's.
+func TestQuickDistinctFlows(t *testing.T) {
+	f := func(aPort, bPort uint16, aIP, bIP uint32) bool {
+		if aPort == bPort && aIP == bIP {
+			return true
+		}
+		fa := pkt.Flow{Proto: pkt.ProtoUDP, SrcIP: aIP, DstIP: 9, SrcPort: aPort, DstPort: 99}
+		fb := pkt.Flow{Proto: pkt.ProtoUDP, SrcIP: bIP, DstIP: 9, SrcPort: bPort, DstPort: 99}
+		e := NewEngine()
+		ida, err := e.Insert(FlowFilter(fa))
+		if err != nil {
+			return false
+		}
+		idb, err := e.Insert(FlowFilter(fb))
+		if err != nil {
+			return false
+		}
+		ga, _, oka := e.Classify(pkt.Build(pkt.Addr{}, pkt.Addr{}, fa, nil))
+		gb, _, okb := e.Classify(pkt.Build(pkt.Addr{}, pkt.Addr{}, fb, nil))
+		return oka && okb && ga == ida && gb == idb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemoveFilter(t *testing.T) {
+	e := NewEngine()
+	var ids []FilterID
+	for i := 0; i < 4; i++ {
+		id, err := e.Insert(FlowFilter(flowN(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := e.Remove(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if e.Count() != 3 {
+		t.Errorf("Count = %d", e.Count())
+	}
+	// The removed flow no longer classifies; the others keep their IDs.
+	gone := pkt.Build(pkt.Addr{}, pkt.Addr{}, flowN(1), nil)
+	if _, _, ok := e.Classify(gone); ok {
+		t.Error("removed filter still matches")
+	}
+	for _, i := range []int{0, 2, 3} {
+		frame := pkt.Build(pkt.Addr{}, pkt.Addr{}, flowN(i), nil)
+		if got, _, ok := e.Classify(frame); !ok || got != ids[i] {
+			t.Errorf("flow %d: id %d ok=%v after removal", i, got, ok)
+		}
+	}
+	// Double remove fails; removal slot is not resurrected.
+	if err := e.Remove(ids[1]); err == nil {
+		t.Error("double remove succeeded")
+	}
+	if err := e.Remove(FilterID(99)); err == nil {
+		t.Error("remove of unknown id succeeded")
+	}
+	// Reinserting the same flow works (new ID).
+	id, err := e.Insert(FlowFilter(flowN(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _, ok := e.Classify(gone); !ok || got != id {
+		t.Errorf("reinserted flow classifies as %d (ok=%v), want %d", got, ok, id)
+	}
+}

@@ -1,0 +1,29 @@
+package dpf
+
+import "exokernel/internal/pkt"
+
+// FlowFilter builds the canonical TCP/IP (or UDP/IP) demultiplexing filter
+// for one flow: the six-atom conjunction over EtherType, IP protocol,
+// source/destination address, and source/destination port. This is the
+// filter shape of the paper's Table 7 workload ("packets destined for one
+// of ten TCP/IP filters").
+func FlowFilter(f pkt.Flow) Filter {
+	return Filter{
+		{Off: pkt.EtherType, Size: 2, Val: pkt.TypeIP},
+		{Off: pkt.IPProto, Size: 1, Val: uint32(f.Proto)},
+		{Off: pkt.IPSrc, Size: 4, Val: f.SrcIP},
+		{Off: pkt.IPDst, Size: 4, Val: f.DstIP},
+		{Off: pkt.L4SrcPort, Size: 2, Val: uint32(f.SrcPort)},
+		{Off: pkt.L4DstPort, Size: 2, Val: uint32(f.DstPort)},
+	}
+}
+
+// PortFilter builds a filter accepting any IP/UDP or IP/TCP frame for a
+// local destination port — what a listening socket installs.
+func PortFilter(proto byte, dstPort uint16) Filter {
+	return Filter{
+		{Off: pkt.EtherType, Size: 2, Val: pkt.TypeIP},
+		{Off: pkt.IPProto, Size: 1, Val: uint32(proto)},
+		{Off: pkt.L4DstPort, Size: 2, Val: uint32(dstPort)},
+	}
+}

@@ -1,0 +1,93 @@
+package ether
+
+import (
+	"testing"
+
+	"exokernel/internal/hw"
+)
+
+func TestBroadcastReachesOthersOnly(t *testing.T) {
+	seg := NewSegment()
+	a := hw.NewMachine(hw.DEC5000)
+	b := hw.NewMachine(hw.DEC5000)
+	c := hw.NewMachine(hw.DEC5000)
+	seg.Attach(a)
+	seg.Attach(b)
+	seg.Attach(c)
+	a.NIC.Send(hw.Packet{Data: []byte{1, 2, 3}})
+	if a.NIC.Pending() != 0 {
+		t.Error("sender received its own frame")
+	}
+	if b.NIC.Pending() != 1 || c.NIC.Pending() != 1 {
+		t.Errorf("pending: b=%d c=%d", b.NIC.Pending(), c.NIC.Pending())
+	}
+	if seg.Frames != 2 {
+		t.Errorf("Frames = %d", seg.Frames)
+	}
+}
+
+func TestWireLatencyAdvancesReceiverClock(t *testing.T) {
+	seg := NewSegment()
+	seg.WireCycles = 1000
+	a := hw.NewMachine(hw.DEC5000)
+	b := hw.NewMachine(hw.DEC5000)
+	seg.Attach(a)
+	seg.Attach(b)
+	a.Clock.Tick(500)
+	a.NIC.Send(hw.Packet{Data: make([]byte, 60)})
+	// Arrival time = sender time (500 + tx copy charge) + 1000 wire.
+	if got := b.Clock.Cycles(); got < 1500 {
+		t.Errorf("receiver clock = %d, want >= 1500", got)
+	}
+}
+
+func TestCausalityNeverRewindsClocks(t *testing.T) {
+	seg := NewSegment()
+	seg.WireCycles = 10
+	a := hw.NewMachine(hw.DEC5000)
+	b := hw.NewMachine(hw.DEC5000)
+	seg.Attach(a)
+	seg.Attach(b)
+	b.Clock.Tick(100000) // receiver far ahead
+	a.NIC.Send(hw.Packet{Data: []byte{1}})
+	if b.Clock.Cycles() != 100000 {
+		t.Errorf("receiver clock moved backwards/forwards wrongly: %d", b.Clock.Cycles())
+	}
+}
+
+func TestFramesAreCopied(t *testing.T) {
+	seg := NewSegment()
+	a := hw.NewMachine(hw.DEC5000)
+	b := hw.NewMachine(hw.DEC5000)
+	seg.Attach(a)
+	seg.Attach(b)
+	buf := []byte{9, 9, 9}
+	a.NIC.Send(hw.Packet{Data: buf})
+	buf[0] = 0 // sender reuses its buffer
+	p, ok := b.NIC.Recv()
+	if !ok || p.Data[0] != 9 {
+		t.Error("frame aliased the sender's buffer")
+	}
+}
+
+func TestSyncAlignsClocks(t *testing.T) {
+	seg := NewSegment()
+	a := hw.NewMachine(hw.DEC5000)
+	b := hw.NewMachine(hw.DEC5000)
+	seg.Attach(a)
+	seg.Attach(b)
+	a.Clock.Tick(123)
+	seg.Sync()
+	if a.Clock.Cycles() != b.Clock.Cycles() {
+		t.Errorf("clocks unaligned: %d vs %d", a.Clock.Cycles(), b.Clock.Cycles())
+	}
+}
+
+func TestDefaultWireLatencyMatchesLowerBound(t *testing.T) {
+	// Two traversals of the default wire ≈ the paper's 253 us Ethernet
+	// round-trip lower bound at 25 MHz.
+	us := 2 * float64(DefaultWireCycles) / 25.0
+	if us < 250 || us > 256 {
+		t.Errorf("2x default wire = %.1f us, want ~253", us)
+	}
+}

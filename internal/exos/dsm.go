@@ -1,0 +1,268 @@
+package exos
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"exokernel/internal/aegis"
+	"exokernel/internal/cap"
+	"exokernel/internal/hw"
+	"exokernel/internal/pkt"
+)
+
+// Distributed shared memory between two machines — the application the
+// paper keeps returning to when it argues for fast protection traps and
+// fast messaging ([5, 50], §5.3, §6). Everything here is library code:
+// coherence state lives beside the page table, faults drive the protocol,
+// and pages travel as UDP payloads through downloaded packet filters. The
+// kernel contributes three fast paths — exception dispatch to the handler,
+// capability-checked remapping, and interrupt-time message delivery — and
+// no policy.
+//
+// Protocol (two nodes, single writer / multiple readers, the in-machine
+// example's protocol with a wire in the middle):
+//
+//	read fault  → ReadReq to peer → peer downgrades to read-shared and
+//	              replies PageRead with the bytes → map local copy RO
+//	write fault → WriteReq to peer → peer invalidates its copy and replies
+//	              PageWrite (bytes included iff we had no copy) → map RW
+
+// DSM message opcodes (first payload byte).
+const (
+	dsmReadReq byte = iota + 1
+	dsmWriteReq
+	dsmPageRead  // + va + page bytes
+	dsmPageWrite // + va + page bytes (empty if requester already had a copy)
+)
+
+// dsmState is this node's right to a page.
+type dsmState byte
+
+const (
+	dsmInvalid dsmState = iota
+	dsmReadShared
+	dsmWritable
+)
+
+// dsmEntry is per-page coherence state plus the local backing frame.
+type dsmEntry struct {
+	state dsmState
+	frame uint32
+	guard cap.Capability
+}
+
+// DSMNode is one participant.
+type DSMNode struct {
+	os      *LibOS
+	sock    *UDPSocket
+	peerMAC pkt.Addr
+	peerIP  uint32
+	port    uint16
+
+	pages map[uint32]*dsmEntry
+
+	// Pump drives the simulation while this node waits for a reply; the
+	// caller supplies it (typically: run the peer machine one round).
+	Pump func()
+
+	// Stats.
+	ReadFaults, WriteFaults, PagesSent uint64
+}
+
+// NewDSMNode attaches a DSM instance to a LibOS, bound to a UDP port and
+// peered with the given remote.
+func NewDSMNode(n *Net, os *LibOS, port uint16, peerMAC pkt.Addr, peerIP uint32) (*DSMNode, error) {
+	sock, err := n.Bind(os, port)
+	if err != nil {
+		return nil, err
+	}
+	d := &DSMNode{os: os, sock: sock, peerMAC: peerMAC, peerIP: peerIP,
+		port: port, pages: make(map[uint32]*dsmEntry)}
+	prev := os.OnFault
+	os.OnFault = func(o *LibOS, va uint32, write bool) bool {
+		if d.fault(va, write) {
+			return true
+		}
+		if prev != nil {
+			return prev(o, va, write)
+		}
+		return false
+	}
+	return d, nil
+}
+
+// AddPage registers a shared page at va. Exactly one node calls it with
+// initial=true (it starts as the writable owner); the other registers the
+// same va with initial=false (invalid until first touch).
+func (d *DSMNode) AddPage(va uint32, initial bool) error {
+	va &^= hw.PageSize - 1
+	if _, dup := d.pages[va]; dup {
+		return fmt.Errorf("exos: dsm page %#x already registered", va)
+	}
+	e := &dsmEntry{}
+	if initial {
+		frame, guard, err := d.os.K.AllocPage(d.os.Env, aegis.AnyFrame)
+		if err != nil {
+			return err
+		}
+		e.frame, e.guard, e.state = frame, guard, dsmWritable
+		if err := d.os.Map(va, frame, guard, true); err != nil {
+			return err
+		}
+		pte := d.os.PT.Lookup(va)
+		pte.Perms |= PTDirty // owner maps writable immediately
+	}
+	d.pages[va] = e
+	return nil
+}
+
+// Service answers protocol requests that arrived on this node's socket.
+// Call it from the node's scheduling slice (or a pump loop).
+func (d *DSMNode) Service() {
+	for {
+		data, _, ok := d.sock.TryRecv()
+		if !ok {
+			return
+		}
+		d.handle(data)
+	}
+}
+
+func (d *DSMNode) send(op byte, va uint32, page []byte) {
+	msg := make([]byte, 5+len(page))
+	msg[0] = op
+	binary.LittleEndian.PutUint32(msg[1:], va)
+	copy(msg[5:], page)
+	d.sock.SendTo(d.peerMAC, d.peerIP, d.port, msg)
+}
+
+// handle processes one protocol message.
+func (d *DSMNode) handle(msg []byte) {
+	if len(msg) < 5 {
+		return
+	}
+	op := msg[0]
+	va := binary.LittleEndian.Uint32(msg[1:])
+	e := d.pages[va]
+	if e == nil {
+		return
+	}
+	switch op {
+	case dsmReadReq:
+		// Downgrade to read-shared and ship the bytes.
+		if e.state == dsmWritable {
+			e.state = dsmReadShared
+			d.os.Unmap(va)
+			if err := d.os.Map(va, e.frame, e.guard, false); err != nil {
+				return
+			}
+		}
+		d.PagesSent++
+		d.send(dsmPageRead, va, d.os.K.M.Phys.Page(e.frame))
+	case dsmWriteReq:
+		// Invalidate our copy; include bytes only if we had the latest.
+		var page []byte
+		if e.state != dsmInvalid {
+			page = d.os.K.M.Phys.Page(e.frame)
+		}
+		d.PagesSent++
+		d.send(dsmPageWrite, va, page)
+		if e.state != dsmInvalid {
+			d.os.Unmap(va)
+			e.state = dsmInvalid
+		}
+	case dsmPageRead, dsmPageWrite:
+		// Replies are consumed by the fault path (awaitReply); one landing
+		// here is stale and ignored.
+	}
+}
+
+// fault is the coherence protocol's fault side.
+func (d *DSMNode) fault(va uint32, write bool) bool {
+	va &^= hw.PageSize - 1
+	e := d.pages[va]
+	if e == nil {
+		return false
+	}
+	if write {
+		d.WriteFaults++
+		reply := d.request(dsmWriteReq, va)
+		if reply == nil {
+			return false
+		}
+		if e.state == dsmInvalid {
+			if !d.ensureFrame(e) {
+				return false
+			}
+			if len(reply) >= hw.PageSize {
+				d.os.K.M.Phys.CopyIn(e.frame<<hw.PageShift, reply[:hw.PageSize])
+			}
+		}
+		e.state = dsmWritable
+		d.os.Unmap(va)
+		if err := d.os.Map(va, e.frame, e.guard, true); err != nil {
+			return false
+		}
+		pte := d.os.PT.Lookup(va)
+		pte.Perms |= PTDirty
+		return true
+	}
+	d.ReadFaults++
+	reply := d.request(dsmReadReq, va)
+	if reply == nil || len(reply) < hw.PageSize {
+		return false
+	}
+	if !d.ensureFrame(e) {
+		return false
+	}
+	d.os.K.M.Phys.CopyIn(e.frame<<hw.PageShift, reply[:hw.PageSize])
+	e.state = dsmReadShared
+	d.os.Unmap(va)
+	return d.os.Map(va, e.frame, e.guard, false) == nil
+}
+
+// ensureFrame gives an invalid entry a local backing frame.
+func (d *DSMNode) ensureFrame(e *dsmEntry) bool {
+	if e.frame != 0 || e.guard.Rights != 0 {
+		return true
+	}
+	frame, guard, err := d.os.K.AllocPage(d.os.Env, aegis.AnyFrame)
+	if err != nil {
+		return false
+	}
+	e.frame, e.guard = frame, guard
+	return true
+}
+
+// request sends a protocol request and pumps until the matching reply
+// arrives (other messages are serviced in the meantime).
+func (d *DSMNode) request(op byte, va uint32) []byte {
+	d.send(op, va, nil)
+	want := dsmPageRead
+	if op == dsmWriteReq {
+		want = dsmPageWrite
+	}
+	for tries := 0; tries < 100000; tries++ {
+		if data, _, ok := d.sock.TryRecv(); ok {
+			if len(data) >= 5 && data[0] == want && binary.LittleEndian.Uint32(data[1:]) == va {
+				return data[5:]
+			}
+			d.handle(data) // a concurrent request from the peer
+			continue
+		}
+		if d.Pump == nil {
+			return nil
+		}
+		d.Pump()
+	}
+	return nil
+}
+
+// State reports the node's right to a page (diagnostics and tests).
+func (d *DSMNode) State(va uint32) string {
+	e := d.pages[va&^(hw.PageSize-1)]
+	if e == nil {
+		return "unregistered"
+	}
+	return [...]string{"invalid", "read-shared", "writable"}[e.state]
+}

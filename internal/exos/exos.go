@@ -1,0 +1,183 @@
+// Package exos is the library operating system (§6 of the paper): UNIX-ish
+// abstractions — virtual memory, IPC, scheduling, networking — implemented
+// entirely at application level on the Aegis primitives. Nothing in here
+// is trusted by the kernel or by other applications; a different library OS
+// (or a specialized one, §7) can coexist on the same machine.
+//
+// ExOS code is modelled as native Go hooks attached to an Aegis
+// environment. Every hook charges the simulated clock for the work it
+// performs (page-table walks, register saves, buffer copies), so measured
+// costs come from executed paths. VM-run programs can attach the same
+// hooks: the program faults, Aegis dispatches, and the ExOS hook services
+// the fault exactly as downloaded handler code would.
+package exos
+
+import (
+	"fmt"
+
+	"exokernel/internal/aegis"
+	"exokernel/internal/hw"
+)
+
+// LibOS is one application's library operating system instance.
+type LibOS struct {
+	K   *aegis.Kernel
+	Env *aegis.Env
+	PT  PageTable
+
+	// OnFault is the application's memory-fault handler ("signal handler"
+	// in UNIX terms; the dispatch substrate for DSM, GC barriers, and the
+	// Appel-Li trap benchmark). It returns true if the fault was resolved
+	// and the faulting instruction should be retried.
+	OnFault func(os *LibOS, va uint32, write bool) bool
+	// OnExc handles non-memory exceptions (unaligned access, overflow,
+	// coprocessor unusable). Return value as aegis.Resume.
+	OnExc func(os *LibOS, t aegis.TrapInfo) aegis.Resume
+
+	// Faults counts faults delivered to OnFault.
+	Faults uint64
+	// Yields counts voluntary slice donations made by the default
+	// interrupt context.
+	Yields uint64
+}
+
+// Boot creates an environment and attaches a LibOS to it. code may be nil
+// for native applications.
+func Boot(k *aegis.Kernel) (*LibOS, error) {
+	env, err := k.NewEnv(nil)
+	if err != nil {
+		return nil, err
+	}
+	return Attach(k, env), nil
+}
+
+// Attach wires ExOS handlers onto an existing environment (including
+// VM-run environments created with kernel.NewEnv(code)).
+func Attach(k *aegis.Kernel, env *aegis.Env) *LibOS {
+	os := &LibOS{K: k, Env: env, PT: NewPageTable(k)}
+	env.NativeTLBMiss = os.tlbMiss
+	env.NativeExc = os.exception
+	env.NativeInt = os.timerInterrupt
+	env.NativeRevoke = os.revoke
+	return os
+}
+
+// tlbMiss is ExOS's addressing context: the application-level TLB refill
+// handler. It walks the application's own page table and asks the kernel
+// to install the binding (presenting the page capability).
+func (os *LibOS) tlbMiss(k *aegis.Kernel, va uint32, write bool) bool {
+	pte := os.PT.Lookup(va)
+	if pte == nil || pte.Perms&PTValid == 0 {
+		return false // unmapped: becomes a fault
+	}
+	if write && pte.Perms&PTWrite == 0 {
+		return false // write to read-only: becomes a protection fault
+	}
+	return os.installPTE(va, pte, write)
+}
+
+// installPTE loads a page-table entry into the hardware: read-only until
+// the first write so the dirty bit is maintained by software, as on any
+// R3000-era system.
+func (os *LibOS) installPTE(va uint32, pte *PTE, write bool) bool {
+	var perms uint8
+	if write {
+		pte.Perms |= PTDirty
+	}
+	if pte.Perms&PTWrite != 0 && pte.Perms&PTDirty != 0 {
+		perms = hw.PermWrite
+	}
+	pte.Perms |= PTRef
+	if err := os.K.InstallMapping(os.Env, va, pte.Frame, perms, pte.Guard); err != nil {
+		return false
+	}
+	return true
+}
+
+// exception is ExOS's exception context. Protection faults repair the
+// dirty-tracking state or forward to the application's fault handler;
+// other causes go to OnExc.
+func (os *LibOS) exception(k *aegis.Kernel, t aegis.TrapInfo) {
+	switch t.Cause {
+	case hw.ExcTLBMod, hw.ExcTLBMissL, hw.ExcTLBMissS:
+		write := t.Cause != hw.ExcTLBMissL
+		pte := os.PT.Lookup(t.BadVAddr)
+		if pte != nil && pte.Perms&PTValid != 0 && (!write || pte.Perms&PTWrite != 0) {
+			// Dirty-tracking refresh: upgrade the mapping in place.
+			if os.installPTE(t.BadVAddr, pte, write) {
+				k.ReturnFromException(os.Env, aegis.ResumeRetry)
+				return
+			}
+		}
+		// Copy-on-write sharing is library machinery, like dirty tracking:
+		// break it before consulting the application's handler.
+		if write && os.cowFault(t.BadVAddr) {
+			k.ReturnFromException(os.Env, aegis.ResumeRetry)
+			return
+		}
+		// Application-visible fault.
+		os.Faults++
+		if os.OnFault != nil {
+			os.chargeUpcall()
+			if os.OnFault(os, t.BadVAddr, write) {
+				k.ReturnFromException(os.Env, aegis.ResumeRetry)
+				return
+			}
+		}
+		k.Kill(os.Env, t)
+	default:
+		if os.OnExc != nil {
+			os.chargeUpcall()
+			k.ReturnFromException(os.Env, os.OnExc(os, t))
+			return
+		}
+		k.Kill(os.Env, t)
+	}
+}
+
+// chargeUpcall accounts for entering the application's registered handler:
+// the stub saves the caller-saved registers it will use and establishes
+// the handler frame (about a dozen stores and loads of user code).
+func (os *LibOS) chargeUpcall() {
+	os.K.M.Clock.Tick(14)
+}
+
+// timerInterrupt is ExOS's interrupt context: "the application's handlers
+// are responsible for general-purpose context switching: saving and
+// restoring live registers, releasing locks, etc." The default saves the
+// register file and donates the slice to the next environment.
+func (os *LibOS) timerInterrupt(k *aegis.Kernel) {
+	k.M.Clock.Tick(hw.NumRegs + 6) // save live registers + epilogue
+	os.Yields++
+	k.Yield(aegis.YieldNext)
+}
+
+// revoke is ExOS's visible-revocation handler: release the named page.
+// The default policy complies immediately: it removes its own page-table
+// entries for the frame and deallocates it. Library operating systems
+// with write-back state override OnRevoke via SetRevokeHandler.
+func (os *LibOS) revoke(k *aegis.Kernel, frame uint32) bool {
+	pte, va := os.PT.FindFrame(frame)
+	if pte == nil {
+		return false
+	}
+	guard := pte.Guard // Unmap clears the entry; keep the capability
+	os.Unmap(va)
+	return k.DeallocPage(frame, guard) == nil
+}
+
+// Enter establishes this LibOS's environment as the running one, donating
+// the current slice to it if another environment is running (a charged
+// directed yield). IPC operations call it so that cross-environment
+// hand-offs pay the real context-switch cost even though the experiment
+// driver is a single thread of Go control.
+func (os *LibOS) Enter() {
+	if os.K.CurEnv() != os.Env {
+		os.K.Yield(os.Env.ID)
+	}
+}
+
+// String identifies the instance in diagnostics.
+func (os *LibOS) String() string {
+	return fmt.Sprintf("exos(env %d)", os.Env.ID)
+}

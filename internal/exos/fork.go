@@ -1,0 +1,119 @@
+package exos
+
+import (
+	"exokernel/internal/aegis"
+	"exokernel/internal/cap"
+	"exokernel/internal/hw"
+)
+
+// Copy-on-write fork, implemented entirely in the library: the process
+// abstraction is one more thing a library OS builds from pages,
+// capabilities, and fast protection faults. The kernel's contribution is
+// three primitives it already had — a new environment, capability
+// derivation, and TLB unmaps; the sharing/breaking policy is all here.
+//
+// Writable pages become PTCOW in both tables and lose their hardware
+// write permission; the first write on either side faults, and the fault
+// path below breaks the sharing with a private copy. (Frames are not
+// reference-counted: the last sharer keeps the original frame. A page
+// both sides copied leaves the original allocated until its owner exits —
+// an accepted simplification documented here.)
+
+// Fork creates a child LibOS whose address space is a copy-on-write image
+// of the parent's. Child environment state (registers, handlers) starts
+// fresh; the address space is what is inherited.
+func (os *LibOS) Fork() (*LibOS, error) {
+	child, err := Boot(os.K)
+	if err != nil {
+		return nil, err
+	}
+	type ent struct {
+		va  uint32
+		pte PTE
+	}
+	var parents []ent
+	os.PT.Walk(func(va uint32, pte *PTE) bool {
+		parents = append(parents, ent{va, *pte})
+		return true
+	})
+	for _, e := range parents {
+		// Walk cost: application work, ~4 cycles per entry.
+		os.K.M.Clock.Tick(4)
+		childPTE := e.pte
+		if e.pte.Perms&PTWrite != 0 || e.pte.Perms&PTCOW != 0 {
+			// Writable page: both sides lose hardware write access and
+			// remember the page is logically writable via PTCOW.
+			newPerms := (e.pte.Perms | PTCOW) &^ PTWrite
+			parentPTE := e.pte
+			parentPTE.Perms = newPerms
+			os.PT.Set(e.va, parentPTE)
+			os.K.UnmapPage(os.Env, e.va)
+			childPTE.Perms = newPerms
+		}
+		// The child holds a derived capability: proof the parent granted
+		// access, not a kernel bookkeeping entry.
+		derived, ok := os.K.Auth.Derive(e.pte.Guard, e.pte.Guard.Rights)
+		if !ok {
+			derived = e.pte.Guard
+		}
+		childPTE.Guard = derived
+		child.PT.Set(e.va, childPTE)
+	}
+	return child, nil
+}
+
+// cowBreak gives this LibOS a private copy of a shared page. Returns true
+// if the fault is repaired.
+func (os *LibOS) cowBreak(va uint32, pte *PTE) bool {
+	va &^= hw.PageSize - 1
+	newFrame, guard, err := os.K.AllocPage(os.Env, aegis.AnyFrame)
+	if err != nil {
+		return false
+	}
+	// Copy the page: application work, charged per word by CopyIn.
+	src := os.K.M.Phys.Page(pte.Frame)
+	os.K.M.Phys.CopyIn(newFrame<<hw.PageShift, src)
+	newPTE := PTE{
+		Frame: newFrame,
+		Perms: (pte.Perms | PTWrite | PTDirty) &^ PTCOW,
+		Guard: guard,
+	}
+	os.PT.Set(va, newPTE)
+	os.K.UnmapPage(os.Env, va) // drop the stale shared binding
+	return os.installPTE(va, os.PT.Lookup(va), true)
+}
+
+// cowFault is consulted by the exception path on write faults: it repairs
+// COW pages and reports whether it did.
+func (os *LibOS) cowFault(va uint32) bool {
+	pte := os.PT.Lookup(va)
+	if pte == nil || pte.Perms&PTCOW == 0 {
+		return false
+	}
+	return os.cowBreak(va, pte)
+}
+
+// SharePage grants another LibOS read-only access to one of this
+// instance's pages (the non-COW sharing primitive: shared libraries,
+// read-only segments). The grant is a derived capability.
+func (os *LibOS) SharePage(va uint32, with *LibOS) error {
+	pte := os.PT.Lookup(va)
+	if pte == nil {
+		return errNotMapped
+	}
+	ro, ok := os.K.Auth.Derive(pte.Guard, cap.Read)
+	if !ok {
+		return errNoGrant
+	}
+	with.PT.Set(va, PTE{Frame: pte.Frame, Perms: PTValid, Guard: ro})
+	return nil
+}
+
+var (
+	errNotMapped = errorString("exos: page not mapped")
+	errNoGrant   = errorString("exos: capability does not carry grant")
+)
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -1,0 +1,184 @@
+package exos
+
+import (
+	"testing"
+
+	"exokernel/internal/aegis"
+	"exokernel/internal/hw"
+)
+
+const forkVA = 0x1000_0000
+
+func parentWithPage(t *testing.T) (*hw.Machine, *aegis.Kernel, *LibOS, uint32) {
+	t.Helper()
+	m := hw.NewMachine(hw.DEC5000)
+	k := aegis.New(m)
+	parent, err := Boot(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := parent.AllocAndMap(forkVA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Put recognizable data in the page; the TouchWrite (which increments
+	// the word) both dirties the page and leaves it at 0xC0FFEF.
+	m.Phys.WriteWord(frame<<hw.PageShift, 0xC0FFEE)
+	if err := parent.TouchWrite(forkVA); err != nil {
+		t.Fatal(err)
+	}
+	return m, k, parent, frame
+}
+
+func frameOf(t *testing.T, os *LibOS, va uint32) uint32 {
+	t.Helper()
+	pte := os.PT.Lookup(va)
+	if pte == nil {
+		t.Fatalf("va %#x not mapped", va)
+	}
+	return pte.Frame
+}
+
+func TestForkSharesUntilWrite(t *testing.T) {
+	m, _, parent, frame := parentWithPage(t)
+	child, err := parent.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shared frame, both readable.
+	if frameOf(t, child, forkVA) != frame {
+		t.Error("child does not share the parent's frame")
+	}
+	child.Enter()
+	if err := child.Touch(forkVA); err != nil {
+		t.Fatalf("child read failed: %v", err)
+	}
+	parent.Enter()
+	if err := parent.Touch(forkVA); err != nil {
+		t.Fatalf("parent read failed: %v", err)
+	}
+	// Reads did not break the sharing.
+	if frameOf(t, child, forkVA) != frameOf(t, parent, forkVA) {
+		t.Error("read broke COW sharing")
+	}
+	_ = m
+}
+
+func TestForkCopyOnWriteIsolation(t *testing.T) {
+	m, _, parent, frame := parentWithPage(t)
+	child, err := parent.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Child writes: gets a private copy carrying the old contents.
+	child.Enter()
+	if err := child.TouchWrite(forkVA); err != nil {
+		t.Fatalf("child COW write failed: %v", err)
+	}
+	cf := frameOf(t, child, forkVA)
+	if cf == frame {
+		t.Fatal("child write did not copy")
+	}
+	if got := m.Phys.ReadWord(cf << hw.PageShift); got != 0xC0FFF0 {
+		t.Errorf("child copy = %#x, want 0xC0FFF0 (inherited 0xC0FFEF, incremented)", got)
+	}
+	// Parent's page is untouched by the child's write.
+	if got := m.Phys.ReadWord(frame << hw.PageShift); got != 0xC0FFEF {
+		t.Errorf("parent page = %#x, want 0xC0FFEF", got)
+	}
+	// Parent write breaks its own COW marking too.
+	parent.Enter()
+	if err := parent.TouchWrite(forkVA); err != nil {
+		t.Fatalf("parent COW write failed: %v", err)
+	}
+	if pte := parent.PT.Lookup(forkVA); pte.Perms&PTCOW != 0 {
+		t.Error("parent still marked COW after write")
+	}
+	// And further writes are fault-free.
+	faults := parent.Faults
+	if err := parent.TouchWrite(forkVA); err != nil {
+		t.Fatal(err)
+	}
+	if parent.Faults != faults {
+		t.Error("post-break write faulted")
+	}
+}
+
+func TestForkReadOnlyPagesSharedWithoutCOW(t *testing.T) {
+	m := hw.NewMachine(hw.DEC5000)
+	k := aegis.New(m)
+	parent, err := Boot(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, guard, err := k.AllocPage(parent.Env, aegis.AnyFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.Map(forkVA, frame, guard, false); err != nil {
+		t.Fatal(err)
+	}
+	child, err := parent.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pte := child.PT.Lookup(forkVA)
+	if pte == nil || pte.Perms&PTCOW != 0 {
+		t.Errorf("read-only page should share without COW: %+v", pte)
+	}
+	child.Enter()
+	if err := child.Touch(forkVA); err != nil {
+		t.Errorf("child read of shared RO page failed: %v", err)
+	}
+}
+
+func TestForkGrandchild(t *testing.T) {
+	m, _, parent, _ := parentWithPage(t)
+	child, err := parent.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grand, err := child.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grand.Enter()
+	if err := grand.TouchWrite(forkVA); err != nil {
+		t.Fatalf("grandchild COW write failed: %v", err)
+	}
+	gf := frameOf(t, grand, forkVA)
+	if got := m.Phys.ReadWord(gf << hw.PageShift); got != 0xC0FFF0 {
+		t.Errorf("grandchild copy = %#x, want 0xC0FFF0", got)
+	}
+	// Ancestors unaffected.
+	child.Enter()
+	if err := child.Touch(forkVA); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharePage(t *testing.T) {
+	m, k, parent, frame := parentWithPage(t)
+	other, err := Boot(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.SharePage(forkVA, other); err != nil {
+		t.Fatal(err)
+	}
+	other.Enter()
+	if err := other.Touch(forkVA); err != nil {
+		t.Fatalf("shared read failed: %v", err)
+	}
+	if frameOf(t, other, forkVA) != frame {
+		t.Error("share did not map the same frame")
+	}
+	// The grant is read-only: a write is a real protection fault.
+	if err := other.TouchWrite(forkVA); err == nil {
+		t.Error("write through read-only share succeeded")
+	}
+	if err := parent.SharePage(0x7777_0000, other); err == nil {
+		t.Error("share of unmapped page accepted")
+	}
+	_ = m
+}

@@ -1,0 +1,451 @@
+package exos
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"exokernel/internal/aegis"
+	"exokernel/internal/hw"
+)
+
+func newFS(t *testing.T, cacheFrames int, policy CachePolicy) (*hw.Machine, *aegis.Kernel, *LibOS, *FS) {
+	t.Helper()
+	m := hw.NewMachine(hw.DEC5000)
+	k := aegis.New(m)
+	os, err := Boot(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewAegisDev(os, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := NewFSCache(os, dev, cacheFrames, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Format(dev, cache, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, k, os, fs
+}
+
+func TestFSCreateWriteRead(t *testing.T) {
+	_, _, _, fs := newFS(t, 16, NewLRU())
+	inum, err := fs.Create("hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("the kernel never saw this file system")
+	if err := fs.WriteAt(inum, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if size, _ := fs.Size(inum); size != uint32(len(data)) {
+		t.Errorf("size = %d", size)
+	}
+	got := make([]byte, len(data))
+	n, err := fs.ReadAt(inum, 0, got)
+	if err != nil || n != len(data) || !bytes.Equal(got, data) {
+		t.Fatalf("read = %q (%d, %v)", got, n, err)
+	}
+	// Lookup resolves the same inode.
+	if found, err := fs.Lookup("hello.txt"); err != nil || found != inum {
+		t.Errorf("lookup = %d, %v", found, err)
+	}
+}
+
+func TestFSMultiBlockFileAndOffsets(t *testing.T) {
+	_, _, _, fs := newFS(t, 16, NewLRU())
+	inum, err := fs.Create("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 3*hw.PageSize+123)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if err := fs.WriteAt(inum, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	// Unaligned read spanning block boundaries.
+	got := make([]byte, 5000)
+	n, err := fs.ReadAt(inum, 3000, got)
+	if err != nil || n != 5000 {
+		t.Fatalf("read = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, data[3000:8000]) {
+		t.Error("cross-block read corrupted")
+	}
+	// Read past EOF is short.
+	n, err = fs.ReadAt(inum, uint32(len(data))-10, make([]byte, 100))
+	if err != nil || n != 10 {
+		t.Errorf("EOF read = %d, %v", n, err)
+	}
+	// Sparse overwrite in the middle.
+	if err := fs.WriteAt(inum, 4096, []byte("XYZ")); err != nil {
+		t.Fatal(err)
+	}
+	small := make([]byte, 3)
+	fs.ReadAt(inum, 4096, small)
+	if string(small) != "XYZ" {
+		t.Errorf("overwrite read = %q", small)
+	}
+}
+
+func TestFSIndirectBlocks(t *testing.T) {
+	_, _, _, fs := newFS(t, 8, NewLRU())
+	inum, err := fs.Create("large")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 40 blocks: well past the 12 direct blocks, into the indirect range.
+	data := make([]byte, 40*hw.PageSize)
+	for i := range data {
+		data[i] = byte(i / 3)
+	}
+	if err := fs.WriteAt(inum, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if size, _ := fs.Size(inum); size != uint32(len(data)) {
+		t.Errorf("size = %d", size)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if n, err := fs.ReadAt(inum, 0, got); err != nil || n != len(data) {
+		t.Fatalf("read = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("indirect-range data corrupted")
+	}
+	// A read crossing the direct/indirect boundary.
+	span := make([]byte, 2*hw.PageSize)
+	off := uint32((nDirect - 1) * hw.PageSize)
+	if _, err := fs.ReadAt(inum, off, span); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(span, data[off:off+2*hw.PageSize]) {
+		t.Error("boundary-crossing read corrupted")
+	}
+	// Unlink frees everything, including the indirect chain.
+	if err := fs.Unlink("large"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("large"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFSLimitsAndErrors(t *testing.T) {
+	_, _, _, fs := newFS(t, 16, NewLRU())
+	if _, err := fs.Create(""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := fs.Create("this-name-is-way-too-long-for-an-entry"); err == nil {
+		t.Error("oversized name accepted")
+	}
+	inum, _ := fs.Create("f")
+	if _, err := fs.Create("f"); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if err := fs.WriteAt(inum, MaxFileSize-1, []byte("ab")); err == nil {
+		t.Error("write past max file size accepted")
+	}
+	if _, err := fs.Lookup("ghost"); err == nil {
+		t.Error("lookup of missing file succeeded")
+	}
+	if _, err := fs.ReadAt(Inum(9999), 0, make([]byte, 1)); err == nil {
+		t.Error("read of bad inode succeeded")
+	}
+}
+
+func TestFSUnlinkFreesAndReuses(t *testing.T) {
+	_, _, _, fs := newFS(t, 16, NewLRU())
+	inum, _ := fs.Create("tmp")
+	if err := fs.WriteAt(inum, 0, make([]byte, 2*hw.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unlink("tmp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Lookup("tmp"); err == nil {
+		t.Error("unlinked file still resolvable")
+	}
+	// Space and the directory slot are reusable.
+	if _, err := fs.Create("tmp"); err != nil {
+		t.Fatalf("recreate failed: %v", err)
+	}
+	if err := fs.Unlink("never-there"); err == nil {
+		t.Error("unlink of missing file succeeded")
+	}
+}
+
+func TestFSPersistsThroughRemount(t *testing.T) {
+	m := hw.NewMachine(hw.DEC5000)
+	k := aegis.New(m)
+	os, err := Boot(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewAegisDev(os, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := NewFSCache(os, dev, 8, NewLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Format(dev, cache, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inum, _ := fs.Create("persist")
+	if err := fs.WriteAt(inum, 0, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Remount with a fresh, cold cache over the same extent.
+	cache2, err := NewFSCache(os, dev, 8, NewLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := Mount(dev, cache2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2, err := fs2.Lookup("persist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 7)
+	if _, err := fs2.ReadAt(in2, 0, buf); err != nil || string(buf) != "durable" {
+		t.Fatalf("remounted read = %q, %v", buf, err)
+	}
+}
+
+func TestFSCapabilityGuardsDisk(t *testing.T) {
+	m := hw.NewMachine(hw.DEC5000)
+	k := aegis.New(m)
+	os, err := Boot(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewAegisDev(os, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second application's extent is out of reach: wrong capability.
+	os2, err := Boot(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev2, err := NewAegisDev(os2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, guard, err := k.AllocPage(os.Env, aegis.AnyFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reading dev2's extent with dev's capability must fail.
+	if err := k.DiskRead(dev2.Start, dev2.NBlocks, 0, dev.Guard, frame, guard); err == nil {
+		t.Error("cross-extent read with wrong capability succeeded")
+	}
+	// And out-of-range offsets must fail even with the right capability.
+	if err := k.DiskRead(dev.Start, dev.NBlocks, dev.NBlocks, dev.Guard, frame, guard); err == nil {
+		t.Error("out-of-extent read succeeded")
+	}
+}
+
+func TestBufCacheEvictionAndWriteback(t *testing.T) {
+	m, k, _, fs := newFS(t, 4, NewLRU())
+	_ = k
+	inum, _ := fs.Create("f")
+	// Write 8 blocks through a 4-frame cache: must evict with writeback.
+	data := make([]byte, 8*hw.PageSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := fs.WriteAt(inum, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Cache().Writebacks == 0 {
+		t.Error("no writebacks despite cache pressure")
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := fs.ReadAt(inum, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("data corrupted through eviction")
+	}
+	if m.Disk.Reads == 0 || m.Disk.Writes == 0 {
+		t.Error("disk never touched")
+	}
+}
+
+func TestScanAwarePolicyProtectsHotSet(t *testing.T) {
+	_, _, _, fs := newFS(t, 8, NewScanAware())
+	hot, _ := fs.Create("hot")
+	if err := fs.WriteAt(hot, 0, make([]byte, 4*hw.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	scan, _ := fs.Create("scan")
+	if err := fs.WriteAt(scan, 0, make([]byte, 8*hw.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, hw.PageSize)
+	// Warm the hot set.
+	for b := uint32(0); b < 4; b++ {
+		fs.ReadAt(hot, b*hw.PageSize, buf)
+	}
+	fs.Cache().Hits = 0
+	fs.Cache().Misses = 0
+	// Scan the big file with advice, then re-touch the hot set.
+	fs.Advise(AdviceSequential)
+	for b := uint32(0); b < 8; b++ {
+		fs.ReadAt(scan, b*hw.PageSize, buf)
+	}
+	fs.Advise(AdviceNormal)
+	for b := uint32(0); b < 4; b++ {
+		fs.ReadAt(hot, b*hw.PageSize, buf)
+	}
+	// The hot set must have survived the scan.
+	if fs.Cache().Hits < 4 {
+		t.Errorf("hot set evicted by advised scan: hits=%d misses=%d",
+			fs.Cache().Hits, fs.Cache().Misses)
+	}
+}
+
+func TestLRUPolicyInvariants(t *testing.T) {
+	l := NewLRU()
+	l.Touched(1, false)
+	l.Touched(2, false)
+	l.Touched(3, false)
+	l.Touched(1, false) // 1 becomes MRU
+	if v, ok := l.Evict(); !ok || v != 2 {
+		t.Errorf("evict = %d, want 2", v)
+	}
+	l.Removed(3)
+	if v, ok := l.Evict(); !ok || v != 1 {
+		t.Errorf("evict = %d, want 1", v)
+	}
+	if _, ok := l.Evict(); ok {
+		t.Error("evict from empty succeeded")
+	}
+}
+
+// Property: random write/read sequences behave like an in-memory file.
+func TestQuickFSMatchesModel(t *testing.T) {
+	type op struct {
+		Write bool
+		Off   uint16
+		Len   uint8
+		Fill  byte
+	}
+	f := func(ops []op) bool {
+		m := hw.NewMachine(hw.DEC5000)
+		k := aegis.New(m)
+		os, err := Boot(k)
+		if err != nil {
+			return false
+		}
+		dev, err := NewAegisDev(os, 128)
+		if err != nil {
+			return false
+		}
+		cache, err := NewFSCache(os, dev, 4, NewLRU())
+		if err != nil {
+			return false
+		}
+		fs, err := Format(dev, cache, 16)
+		if err != nil {
+			return false
+		}
+		inum, err := fs.Create("model")
+		if err != nil {
+			return false
+		}
+		model := make([]byte, MaxFileSize)
+		size := uint32(0)
+		for _, o := range ops {
+			off := uint32(o.Off) % (4 * hw.PageSize)
+			n := uint32(o.Len)
+			if o.Write {
+				data := bytes.Repeat([]byte{o.Fill}, int(n))
+				if fs.WriteAt(inum, off, data) != nil {
+					return false
+				}
+				copy(model[off:off+n], data)
+				if off+n > size {
+					size = off + n
+				}
+			} else {
+				buf := make([]byte, n)
+				got, err := fs.ReadAt(inum, off, buf)
+				if err != nil {
+					return false
+				}
+				want := 0
+				if off < size {
+					want = int(min32(n, size-off))
+				}
+				if got != want || !bytes.Equal(buf[:got], model[off:off+uint32(got)]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestFSList(t *testing.T) {
+	_, _, _, fs := newFS(t, 8, NewLRU())
+	for _, name := range []string{"alpha", "beta", "gamma"} {
+		inum, err := fs.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.WriteAt(inum, 0, []byte(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Unlink("beta"); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 {
+		t.Fatalf("List = %v", ents)
+	}
+	names := map[string]uint32{}
+	for _, e := range ents {
+		names[e.Name] = e.Size
+	}
+	if names["alpha"] != 5 || names["gamma"] != 5 {
+		t.Errorf("entries wrong: %v", ents)
+	}
+	if _, tombstoned := names["beta"]; tombstoned {
+		t.Error("unlinked file still listed")
+	}
+}

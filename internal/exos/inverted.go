@@ -1,0 +1,146 @@
+package exos
+
+import (
+	"errors"
+
+	"exokernel/internal/aegis"
+	"exokernel/internal/hw"
+)
+
+// InvertedPT is an alternative page-table structure: a hash table keyed by
+// virtual page number with chained collisions — the layout PA-RISC and
+// POWER used in hardware [28], here chosen freely by an application
+// because the structure is its own. Space is proportional to the number
+// of *mappings*, not to the span of the address space, so it wins for
+// sparse address spaces (persistent stores, DSM heaps with wide layouts);
+// lookups pay a hash and an expected-O(1) chain walk instead of two
+// dependent array indexes.
+//
+// Being able to make this trade per application is the §8 claim that
+// "page-table structures ... cannot be modified in micro-kernels" — and
+// can here.
+type InvertedPT struct {
+	k       *aegis.Kernel
+	buckets [][]iptEntry
+	mask    uint32
+	entries int
+}
+
+type iptEntry struct {
+	vpn uint32
+	pte PTE
+}
+
+// iptLookupCycles: hash arithmetic + one bucket probe. Slightly more than
+// the two-level walk's best case; the win is space, not time.
+const iptLookupCycles = 7
+
+// NewInvertedPT creates an inverted table with 2^logBuckets buckets.
+func NewInvertedPT(k *aegis.Kernel, logBuckets uint) *InvertedPT {
+	n := 1 << logBuckets
+	return &InvertedPT{k: k, buckets: make([][]iptEntry, n), mask: uint32(n - 1)}
+}
+
+// Name implements PageTable.
+func (pt *InvertedPT) Name() string { return "inverted" }
+
+// Entries implements PageTable.
+func (pt *InvertedPT) Entries() int { return pt.entries }
+
+// SizeWords implements PageTable: bucket headers plus 5 words per entry.
+func (pt *InvertedPT) SizeWords() int { return len(pt.buckets) + pt.entries*5 }
+
+func (pt *InvertedPT) hash(vpn uint32) uint32 {
+	h := vpn * 0x9E3779B9 // Fibonacci hashing
+	return (h >> 16) & pt.mask
+}
+
+// Lookup implements PageTable.
+func (pt *InvertedPT) Lookup(va uint32) *PTE {
+	vpn := va >> hw.PageShift
+	bucket := pt.buckets[pt.hash(vpn)]
+	// Charge the hash plus one probe per chained entry inspected.
+	cost := uint64(iptLookupCycles)
+	for i := range bucket {
+		cost += 2
+		if bucket[i].vpn == vpn {
+			pt.k.M.Clock.Tick(cost)
+			if bucket[i].pte.Perms&PTValid == 0 {
+				return nil
+			}
+			return &bucket[i].pte
+		}
+	}
+	pt.k.M.Clock.Tick(cost)
+	return nil
+}
+
+// Set implements PageTable.
+func (pt *InvertedPT) Set(va uint32, e PTE) {
+	vpn := va >> hw.PageShift
+	h := pt.hash(vpn)
+	bucket := pt.buckets[h]
+	pt.k.M.Clock.Tick(iptLookupCycles)
+	for i := range bucket {
+		if bucket[i].vpn == vpn {
+			old := bucket[i].pte.Perms&PTValid != 0
+			now := e.Perms&PTValid != 0
+			if !old && now {
+				pt.entries++
+			} else if old && !now {
+				pt.entries--
+			}
+			if !now {
+				// Remove dead entries so chains stay short.
+				pt.buckets[h] = append(bucket[:i], bucket[i+1:]...)
+				return
+			}
+			bucket[i].pte = e
+			return
+		}
+	}
+	if e.Perms&PTValid != 0 {
+		pt.buckets[h] = append(bucket, iptEntry{vpn: vpn, pte: e})
+		pt.entries++
+	}
+}
+
+// Walk implements PageTable.
+func (pt *InvertedPT) Walk(fn func(va uint32, pte *PTE) bool) {
+	for _, bucket := range pt.buckets {
+		for i := range bucket {
+			if bucket[i].pte.Perms&PTValid != 0 {
+				if !fn(bucket[i].vpn<<hw.PageShift, &bucket[i].pte) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// FindFrame implements PageTable (revocation path).
+func (pt *InvertedPT) FindFrame(frame uint32) (*PTE, uint32) {
+	for _, bucket := range pt.buckets {
+		for i := range bucket {
+			if bucket[i].pte.Perms&PTValid != 0 && bucket[i].pte.Frame == frame {
+				return &bucket[i].pte, bucket[i].vpn << hw.PageShift
+			}
+		}
+	}
+	return nil, 0
+}
+
+// UsePageTable selects this LibOS's page-table structure. Applications
+// pick a structure before mapping anything (the choice is a layout
+// decision, like picking a hash function); swapping a populated table is
+// refused rather than migrated.
+func (os *LibOS) UsePageTable(pt PageTable) error {
+	if os.PT != nil && os.PT.Entries() > 0 {
+		return errPopulatedPT
+	}
+	os.PT = pt
+	return nil
+}
+
+// errPopulatedPT is returned by UsePageTable on a non-empty table.
+var errPopulatedPT = errors.New("exos: cannot swap a populated page table")

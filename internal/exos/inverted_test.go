@@ -1,0 +1,171 @@
+package exos
+
+import (
+	"testing"
+	"testing/quick"
+
+	"exokernel/internal/aegis"
+	"exokernel/internal/hw"
+)
+
+func bootInverted(t *testing.T) (*hw.Machine, *aegis.Kernel, *LibOS) {
+	t.Helper()
+	m := hw.NewMachine(hw.DEC5000)
+	k := aegis.New(m)
+	os, err := Boot(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.UsePageTable(NewInvertedPT(k, 8)); err != nil {
+		t.Fatal(err)
+	}
+	return m, k, os
+}
+
+func TestInvertedPTFullVMPath(t *testing.T) {
+	// The whole ExOS VM machinery — lazy refill, dirty tracking,
+	// protection faults — must work unchanged over the alternative
+	// structure: the kernel never knew about the structure anyway.
+	_, k, os := bootInverted(t)
+	const va = 0x1000_0000
+	if _, err := os.AllocAndMap(va); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.TouchWrite(va); err != nil {
+		t.Fatal(err)
+	}
+	if !os.IsDirty(va) {
+		t.Error("dirty bit lost in inverted table")
+	}
+	if err := os.Protect(va); err != nil {
+		t.Fatal(err)
+	}
+	faults := 0
+	os.OnFault = func(o *LibOS, fva uint32, write bool) bool {
+		faults++
+		return o.Unprotect(fva&^(hw.PageSize-1)) == nil
+	}
+	if err := os.TouchWrite(va); err != nil {
+		t.Fatal(err)
+	}
+	if faults != 1 {
+		t.Errorf("faults = %d", faults)
+	}
+	if k.Stats.TLBUpcalls == 0 {
+		t.Error("no refills went through the inverted table")
+	}
+}
+
+func TestInvertedPTSparseFootprint(t *testing.T) {
+	m := hw.NewMachine(hw.DEC5000)
+	k := aegis.New(m)
+	two := NewPageTable(k)
+	inv := NewInvertedPT(k, 8)
+	// 64 pages spread one per 4 MB region — a sparse persistent-store
+	// layout. The dense tree pays a whole second-level table per region.
+	for i := uint32(0); i < 64; i++ {
+		va := i << 22
+		e := PTE{Frame: i + 1, Perms: PTValid}
+		two.Set(va, e)
+		inv.Set(va, e)
+	}
+	if two.Entries() != 64 || inv.Entries() != 64 {
+		t.Fatalf("entries: %d / %d", two.Entries(), inv.Entries())
+	}
+	if inv.SizeWords() >= two.SizeWords()/10 {
+		t.Errorf("inverted (%d words) should be >10x smaller than two-level (%d words) when sparse",
+			inv.SizeWords(), two.SizeWords())
+	}
+	// Both resolve every mapping.
+	for i := uint32(0); i < 64; i++ {
+		va := i << 22
+		a := two.Lookup(va)
+		b := inv.Lookup(va)
+		if a == nil || b == nil || a.Frame != b.Frame {
+			t.Fatalf("lookup mismatch at %#x", va)
+		}
+	}
+	if inv.Lookup(0x123000) != nil {
+		t.Error("inverted table resolved an unmapped page")
+	}
+}
+
+func TestInvertedPTRemoveShortensChains(t *testing.T) {
+	m := hw.NewMachine(hw.DEC5000)
+	k := aegis.New(m)
+	inv := NewInvertedPT(k, 2) // tiny: force collisions
+	for i := uint32(0); i < 16; i++ {
+		inv.Set(i<<hw.PageShift, PTE{Frame: i + 1, Perms: PTValid})
+	}
+	if inv.Entries() != 16 {
+		t.Fatalf("entries = %d", inv.Entries())
+	}
+	for i := uint32(0); i < 16; i += 2 {
+		inv.Set(i<<hw.PageShift, PTE{})
+	}
+	if inv.Entries() != 8 {
+		t.Errorf("entries after removal = %d", inv.Entries())
+	}
+	for i := uint32(0); i < 16; i++ {
+		got := inv.Lookup(i << hw.PageShift)
+		if i%2 == 0 && got != nil {
+			t.Errorf("removed entry %d still resolves", i)
+		}
+		if i%2 == 1 && (got == nil || got.Frame != i+1) {
+			t.Errorf("surviving entry %d lost", i)
+		}
+	}
+}
+
+func TestUsePageTableRefusesPopulated(t *testing.T) {
+	m := hw.NewMachine(hw.DEC5000)
+	k := aegis.New(m)
+	os, err := Boot(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.AllocAndMap(0x1000_0000); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.UsePageTable(NewInvertedPT(k, 8)); err == nil {
+		t.Error("populated-table swap accepted")
+	}
+}
+
+// Property: the two structures are observationally equivalent under any
+// sequence of Set/Lookup operations.
+func TestQuickPTEquivalence(t *testing.T) {
+	type op struct {
+		VPN   uint16
+		Frame uint16
+		Del   bool
+	}
+	f := func(ops []op) bool {
+		m := hw.NewMachine(hw.DEC5000)
+		k := aegis.New(m)
+		two := NewPageTable(k)
+		inv := NewInvertedPT(k, 4)
+		for _, o := range ops {
+			va := uint32(o.VPN) << hw.PageShift
+			if o.Del {
+				two.Set(va, PTE{})
+				inv.Set(va, PTE{})
+			} else {
+				e := PTE{Frame: uint32(o.Frame), Perms: PTValid | PTWrite}
+				two.Set(va, e)
+				inv.Set(va, e)
+			}
+			a, b := two.Lookup(va), inv.Lookup(va)
+			if (a == nil) != (b == nil) {
+				return false
+			}
+			if a != nil && (a.Frame != b.Frame || a.Perms != b.Perms) {
+				return false
+			}
+		}
+		return two.Entries() == inv.Entries()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,225 @@
+package exos
+
+import (
+	"testing"
+	"testing/quick"
+
+	"exokernel/internal/aegis"
+	"exokernel/internal/hw"
+)
+
+func bootPair(t *testing.T) (*hw.Machine, *aegis.Kernel, *LibOS, *LibOS) {
+	t.Helper()
+	m := hw.NewMachine(hw.DEC5000)
+	k := aegis.New(m)
+	a, err := Boot(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Boot(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, k, a, b
+}
+
+func TestPipeFIFO(t *testing.T) {
+	_, _, a, b := bootPair(t)
+	pa, pb, err := NewPipe(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 10; i++ {
+		pa.Write(i * 3)
+	}
+	for i := uint32(0); i < 10; i++ {
+		if got := pb.Read(); got != i*3 {
+			t.Fatalf("read %d, want %d", got, i*3)
+		}
+	}
+	if _, ok := pb.TryRead(); ok {
+		t.Error("empty pipe read succeeded")
+	}
+}
+
+func TestPipeOptimizedMailbox(t *testing.T) {
+	_, _, a, b := bootPair(t)
+	pa, pb, err := NewPipe(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa.SetOptimized(true)
+	pb.SetOptimized(true)
+	pa.Write(77)
+	if got, ok := pb.TryRead(); !ok || got != 77 {
+		t.Fatalf("mailbox read = %d, %v", got, ok)
+	}
+	if _, ok := pb.TryRead(); ok {
+		t.Error("mailbox read twice")
+	}
+}
+
+func TestPipeWrapAround(t *testing.T) {
+	_, _, a, b := bootPair(t)
+	pa, pb, err := NewPipe(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push more words than the ring holds, in chunks, reading behind.
+	const rounds = 3000
+	for i := uint32(0); i < rounds; i++ {
+		pa.Write(i)
+		if got := pb.Read(); got != i {
+			t.Fatalf("wraparound broke at %d: got %d", i, got)
+		}
+	}
+}
+
+func TestPipeChargesContextSwitch(t *testing.T) {
+	m, _, a, b := bootPair(t)
+	pa, pb, err := NewPipe(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa.Write(1)
+	before := m.Clock.Cycles()
+	pb.Read()
+	// The read hands control from a's environment to b's: a directed
+	// yield with its register save must be charged.
+	if got := m.Clock.Cycles() - before; got < 64 {
+		t.Errorf("read charged %d cycles; cross-env hand-off should include a context switch", got)
+	}
+}
+
+func TestShmPingPong(t *testing.T) {
+	_, _, a, b := bootPair(t)
+	sa, sb, err := NewShm(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa.Store(5)
+	if got := sb.Load(); got != 5 {
+		t.Fatalf("shm load = %d", got)
+	}
+	if got := sb.AwaitChange(4); got != 5 {
+		t.Fatalf("AwaitChange = %d", got)
+	}
+}
+
+func TestRPCBasic(t *testing.T) {
+	_, _, sOS, cOS := bootPair(t)
+	srv := NewServer(sOS)
+	srv.Register(1, func(args [4]uint32) [2]uint32 {
+		return [2]uint32{args[0] + args[1], args[2]}
+	})
+	cli := NewClient(cOS, srv, false)
+	res, err := cli.Call(1, [4]uint32{7, 8, 9, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 15 || res[1] != 9 {
+		t.Errorf("res = %v", res)
+	}
+	// Unknown procedure returns the failure sentinel.
+	res, err = cli.Call(42, [4]uint32{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != ^uint32(0) {
+		t.Errorf("unknown proc res = %v", res)
+	}
+}
+
+func TestRPCRepeatedCallsStable(t *testing.T) {
+	_, _, sOS, cOS := bootPair(t)
+	srv := NewServer(sOS)
+	srv.Register(1, func(args [4]uint32) [2]uint32 { return [2]uint32{args[0] * 2, 0} })
+	cli := NewClient(cOS, srv, false)
+	for i := uint32(1); i <= 100; i++ {
+		res, err := cli.Call(1, [4]uint32{i})
+		if err != nil || res[0] != i*2 {
+			t.Fatalf("call %d: %v %v", i, res, err)
+		}
+	}
+}
+
+func TestTLRPCCheaperThanLRPC(t *testing.T) {
+	m, _, sOS, cOS := bootPair(t)
+	srv := NewServer(sOS)
+	srv.Register(1, func(args [4]uint32) [2]uint32 { return [2]uint32{1, 0} })
+	l := NewClient(cOS, srv, false)
+	warm := func(c *Client) {
+		if _, err := c.Call(1, [4]uint32{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm(l)
+	c0 := m.Clock.Cycles()
+	warm(l)
+	lrpcCost := m.Clock.Cycles() - c0
+
+	tc := NewClient(cOS, srv, true)
+	warm(tc)
+	c0 = m.Clock.Cycles()
+	warm(tc)
+	tlrpcCost := m.Clock.Cycles() - c0
+	if tlrpcCost >= lrpcCost {
+		t.Errorf("tlrpc (%d cycles) not cheaper than lrpc (%d)", tlrpcCost, lrpcCost)
+	}
+}
+
+func TestTwoServersCoexist(t *testing.T) {
+	m := hw.NewMachine(hw.DEC5000)
+	k := aegis.New(m)
+	s1OS, _ := Boot(k)
+	s2OS, _ := Boot(k)
+	cOS, _ := Boot(k)
+	s1 := NewServer(s1OS)
+	s1.Register(1, func(args [4]uint32) [2]uint32 { return [2]uint32{100, 0} })
+	s2 := NewServer(s2OS)
+	s2.Register(1, func(args [4]uint32) [2]uint32 { return [2]uint32{200, 0} })
+	c1 := NewClient(cOS, s1, false)
+	if res, _ := c1.Call(1, [4]uint32{}); res[0] != 100 {
+		t.Errorf("server1 res = %v", res)
+	}
+	c2 := NewClient(cOS, s2, false)
+	if res, _ := c2.Call(1, [4]uint32{}); res[0] != 200 {
+		t.Errorf("server2 res = %v", res)
+	}
+}
+
+// Property: any word sequence traverses a pipe unchanged (FIFO integrity
+// through the shared-memory ring).
+func TestQuickPipeFIFO(t *testing.T) {
+	f := func(words []uint32) bool {
+		m := hw.NewMachine(hw.DEC5000)
+		k := aegis.New(m)
+		a, err := Boot(k)
+		if err != nil {
+			return false
+		}
+		b, err := Boot(k)
+		if err != nil {
+			return false
+		}
+		pa, pb, err := NewPipe(a, b)
+		if err != nil {
+			return false
+		}
+		if len(words) > 256 {
+			words = words[:256]
+		}
+		for _, w := range words {
+			pa.Write(w)
+		}
+		for _, w := range words {
+			if pb.Read() != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

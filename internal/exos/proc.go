@@ -1,0 +1,30 @@
+package exos
+
+import "exokernel/internal/aegis"
+
+// Process helpers used by the scheduling experiments and examples.
+
+// NewSpinner creates a compute-bound native environment: each time it is
+// dispatched it consumes its whole time slice (modelled as a clock advance
+// of one quantum — a busy loop's worth of work).
+func NewSpinner(k *aegis.Kernel) (*aegis.Env, error) {
+	env, err := k.NewEnv(nil)
+	if err != nil {
+		return nil, err
+	}
+	env.NativeRun = func(k *aegis.Kernel) {
+		k.M.Clock.Tick(k.Quantum())
+	}
+	return env, nil
+}
+
+// NewWorker creates a native environment that runs fn each slice; fn
+// should consume at most a quantum of simulated time.
+func NewWorker(k *aegis.Kernel, fn func(k *aegis.Kernel)) (*aegis.Env, error) {
+	env, err := k.NewEnv(nil)
+	if err != nil {
+		return nil, err
+	}
+	env.NativeRun = fn
+	return env, nil
+}

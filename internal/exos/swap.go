@@ -1,0 +1,164 @@
+package exos
+
+import (
+	"fmt"
+
+	"exokernel/internal/aegis"
+	"exokernel/internal/hw"
+)
+
+// An application-level pager. When the kernel revokes physical pages
+// (§3.3: revocation is *visible* so "library operating systems can guide
+// deallocation"), a Swapper-equipped LibOS picks its own victim, writes
+// the contents to its own swap extent, and releases the frame — instead of
+// the default policy of dropping a page or the abort protocol's forced
+// repossession. The page-out victim choice, the swap layout, and the
+// page-in path are all application policy; the kernel only sees a
+// capability-checked disk write and a page deallocation.
+//
+// This is the piece that makes "deallocate physical memory without
+// informing applications" (the monolithic way) vs. visible revocation a
+// lived difference: with the pager, revocation loses no data and the
+// application decides what it can best afford to lose from RAM.
+
+// swapSlot records where a paged-out page lives.
+type swapSlot struct {
+	block uint32 // offset within the swap extent
+	pte   PTE    // the entry as it was when paged out (perms preserved)
+}
+
+// Swapper adds demand paging to a LibOS.
+type Swapper struct {
+	os    *LibOS
+	dev   *AegisDev
+	used  []bool              // swap-extent block occupancy
+	out   map[uint32]swapSlot // page-aligned va → slot
+	clean map[uint32]bool     // victim-selection FIFO state
+	order []uint32            // FIFO of resident candidate vas
+	// Stats.
+	PageOuts, PageIns uint64
+}
+
+// NewSwapper allocates a swap extent of nblocks and wires the pager into
+// the LibOS: revocation upcalls page out, faults on paged-out addresses
+// page back in.
+func NewSwapper(os *LibOS, nblocks uint32) (*Swapper, error) {
+	dev, err := NewAegisDev(os, nblocks)
+	if err != nil {
+		return nil, err
+	}
+	sw := &Swapper{
+		os:    os,
+		dev:   dev,
+		used:  make([]bool, nblocks),
+		out:   make(map[uint32]swapSlot),
+		clean: make(map[uint32]bool),
+	}
+	os.Env.NativeRevoke = sw.revoke
+	prevFault := os.OnFault
+	os.OnFault = func(o *LibOS, va uint32, write bool) bool {
+		if sw.pageIn(va) {
+			return true
+		}
+		if prevFault != nil {
+			return prevFault(o, va, write)
+		}
+		return false
+	}
+	return sw, nil
+}
+
+// Track registers a page as pageable (applications choose what the pager
+// may evict — pinned pages are simply never registered).
+func (sw *Swapper) Track(va uint32) {
+	va &^= hw.PageSize - 1
+	sw.order = append(sw.order, va)
+}
+
+// Resident reports whether va currently has a physical page.
+func (sw *Swapper) Resident(va uint32) bool {
+	_, out := sw.out[va&^(hw.PageSize-1)]
+	return !out
+}
+
+// revoke is the visible-revocation upcall: the kernel wants *a* page back.
+// The pager complies by paging out a victim of its own choosing and, if
+// the kernel asked for a specific frame that is not the victim's, by
+// moving the victim's frame... in this simple pager the victim is chosen
+// to *be* the owner of the requested frame when possible, else FIFO.
+func (sw *Swapper) revoke(k *aegis.Kernel, frame uint32) bool {
+	// Prefer the page actually occupying the requested frame.
+	if pte, va := sw.os.PT.FindFrame(frame); pte != nil {
+		return sw.pageOut(va) == nil
+	}
+	// Otherwise any pageable victim frees memory pressure.
+	for _, va := range sw.order {
+		if sw.Resident(va) {
+			return sw.pageOut(va) == nil
+		}
+	}
+	return false
+}
+
+// pageOut writes va's page to swap and releases its frame.
+func (sw *Swapper) pageOut(va uint32) error {
+	va &^= hw.PageSize - 1
+	pte := sw.os.PT.Lookup(va)
+	if pte == nil {
+		return fmt.Errorf("exos: page-out of unmapped va %#x", va)
+	}
+	slot, err := sw.allocSlot()
+	if err != nil {
+		return err
+	}
+	saved := *pte
+	// The page's own capability authorizes the DMA out of its frame.
+	sw.dev.RegisterFrame(saved.Frame, saved.Guard)
+	if err := sw.dev.WriteBlock(slot, saved.Frame); err != nil {
+		sw.used[slot] = false
+		return err
+	}
+	sw.os.Unmap(va)
+	if err := sw.os.K.DeallocPage(saved.Frame, saved.Guard); err != nil {
+		return err
+	}
+	sw.out[va] = swapSlot{block: slot, pte: saved}
+	sw.PageOuts++
+	return nil
+}
+
+// pageIn restores a paged-out page on fault.
+func (sw *Swapper) pageIn(va uint32) bool {
+	va &^= hw.PageSize - 1
+	slot, ok := sw.out[va]
+	if !ok {
+		return false
+	}
+	frame, guard, err := sw.os.K.AllocPage(sw.os.Env, aegis.AnyFrame)
+	if err != nil {
+		return false // memory still tight; the fault stands
+	}
+	sw.dev.RegisterFrame(frame, guard)
+	if err := sw.dev.ReadBlock(slot.block, frame); err != nil {
+		return false
+	}
+	pte := slot.pte
+	pte.Frame = frame
+	pte.Guard = guard
+	pte.Perms &^= PTDirty // clean until written again
+	sw.os.PT.Set(va, pte)
+	delete(sw.out, va)
+	sw.used[slot.block] = false
+	sw.PageIns++
+	return true
+}
+
+func (sw *Swapper) allocSlot() (uint32, error) {
+	for i, u := range sw.used {
+		if !u {
+			sw.used[i] = true
+			return uint32(i), nil
+		}
+	}
+	return 0, fmt.Errorf("exos: swap extent full")
+}

@@ -1,0 +1,410 @@
+package exos
+
+import (
+	"fmt"
+
+	"exokernel/internal/aegis"
+	"exokernel/internal/dpf"
+	"exokernel/internal/hw"
+	"exokernel/internal/pkt"
+)
+
+// A reliable byte-stream protocol at application level — the §6.3/§7.2
+// argument taken past UDP: because the transport is library code, an
+// application can specialize it (the paper's ExOS successors built
+// Cheetah, a webserver with a merged TCP/file cache, on exactly this
+// freedom). This TCP-lite implements the three-way handshake, cumulative
+// acknowledgements, retransmission from a timer on the *simulated* clock,
+// in-order delivery, and FIN teardown. Congestion control and window
+// scaling are out of scope; the window is a fixed segment count.
+//
+// Like everything else in ExOS, the kernel's only involvement is the
+// downloaded packet filter that routes this connection's frames and the
+// copy into the socket buffer at interrupt time.
+
+// TCP connection states.
+type tcpState int
+
+const (
+	tcpClosed tcpState = iota
+	tcpListen
+	tcpSynSent
+	tcpSynRcvd
+	tcpEstablished
+	tcpFinWait
+	tcpCloseWait
+	tcpClosedDone
+)
+
+func (s tcpState) String() string {
+	return [...]string{"closed", "listen", "syn-sent", "syn-rcvd",
+		"established", "fin-wait", "close-wait", "done"}[s]
+}
+
+// tcpMSS is the payload bytes per segment.
+const tcpMSS = 512
+
+// tcpWindowSegs is the fixed send window, in segments.
+const tcpWindowSegs = 4
+
+// tcpRTOCycles is the retransmission timeout: ~4 wire round trips.
+const tcpRTOCycles = 8 * 3160
+
+// tcpSegment is an unacknowledged in-flight segment.
+type tcpSegment struct {
+	seq     uint32
+	data    []byte
+	fin     bool
+	sentAt  uint64
+	retries int
+}
+
+// TCPConn is one end of a connection.
+type TCPConn struct {
+	net   *Net
+	os    *LibOS
+	ep    *aegis.Endpoint
+	id    dpf.FilterID
+	state tcpState
+
+	localPort  uint16
+	remoteMAC  pkt.Addr
+	remoteIP   uint32
+	remotePort uint16
+
+	sndNxt, sndUna uint32
+	rcvNxt         uint32
+
+	inflight []tcpSegment
+	pending  [][]byte // queued beyond the window
+	rxFrames [][]byte // raw frames delivered at interrupt time
+	recvBuf  []byte   // in-order application data
+	finSeen  bool
+
+	// Stats.
+	Retransmits, Acked, OutOfOrder uint64
+}
+
+// State reports the connection state (diagnostics).
+func (c *TCPConn) State() string { return c.state.String() }
+
+// newTCPConn binds the connection's filter: a fully-specified flow filter
+// so concurrent connections on one port demultiplex in the kernel, not in
+// the library.
+func newTCPConn(n *Net, os *LibOS, localPort uint16, remIP uint32, remPort uint16) (*TCPConn, error) {
+	var f dpf.Filter
+	if remIP == 0 {
+		f = dpf.PortFilter(pkt.ProtoTCP, localPort) // listener: any peer
+	} else {
+		f = dpf.FlowFilter(pkt.Flow{
+			Proto: pkt.ProtoTCP,
+			SrcIP: remIP, DstIP: n.IP,
+			SrcPort: remPort, DstPort: localPort,
+		})
+	}
+	id, err := n.Engine.Insert(f)
+	if err != nil {
+		return nil, err
+	}
+	ep, err := n.K.InstallFilter(os.Env, engineFilter{n, id})
+	if err != nil {
+		return nil, err
+	}
+	c := &TCPConn{net: n, os: os, ep: ep, id: id, localPort: localPort,
+		remoteIP: remIP, remotePort: remPort}
+	ep.Deliver = c.deliver
+	n.eps[id] = ep
+	return c, nil
+}
+
+// Release unbinds the connection's endpoint and filter (after Close has
+// run the protocol teardown, or to abandon a connection outright).
+func (c *TCPConn) Release() error {
+	c.state = tcpClosedDone
+	c.net.K.RemoveEndpoint(c.ep)
+	delete(c.net.eps, c.id)
+	return c.net.Engine.Remove(c.id)
+}
+
+// deliver runs at interrupt level: copy and queue; protocol processing
+// happens when the application runs (Process).
+func (c *TCPConn) deliver(k *aegis.Kernel, frame []byte) {
+	buf := make([]byte, len(frame))
+	copy(buf, frame)
+	k.M.Clock.Tick(uint64((len(frame) + 3) / 4))
+	c.rxFrames = append(c.rxFrames, buf)
+}
+
+// DialTCP starts an active open. The caller pumps both endpoints'
+// Process() until Established.
+func DialTCP(n *Net, os *LibOS, localPort uint16, remMAC pkt.Addr, remIP uint32, remPort uint16) (*TCPConn, error) {
+	c, err := newTCPConn(n, os, localPort, remIP, remPort)
+	if err != nil {
+		return nil, err
+	}
+	c.remoteMAC = remMAC
+	c.sndNxt = 1000 // fixed ISS: the simulation is deterministic by design
+	c.sndUna = c.sndNxt
+	c.state = tcpSynSent
+	c.sendSeg(tcpSegment{seq: c.sndNxt}, pkt.TCPSyn)
+	c.inflight = append(c.inflight, tcpSegment{seq: c.sndNxt, sentAt: os.K.M.Clock.Cycles()})
+	c.sndNxt++
+	return c, nil
+}
+
+// ListenTCP starts a passive open for one inbound connection.
+func ListenTCP(n *Net, os *LibOS, port uint16) (*TCPConn, error) {
+	c, err := newTCPConn(n, os, port, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	c.sndNxt = 5000
+	c.sndUna = c.sndNxt
+	c.state = tcpListen
+	return c, nil
+}
+
+// Established reports whether the handshake completed.
+func (c *TCPConn) Established() bool { return c.state == tcpEstablished || c.state == tcpCloseWait }
+
+// Closed reports whether both directions have shut down.
+func (c *TCPConn) Closed() bool { return c.state == tcpClosedDone }
+
+// Send queues application data for transmission.
+func (c *TCPConn) Send(data []byte) error {
+	if c.state != tcpEstablished && c.state != tcpCloseWait {
+		return fmt.Errorf("exos: tcp send in state %v", c.state)
+	}
+	for off := 0; off < len(data); off += tcpMSS {
+		end := off + tcpMSS
+		if end > len(data) {
+			end = len(data)
+		}
+		seg := make([]byte, end-off)
+		copy(seg, data[off:end])
+		c.pending = append(c.pending, seg)
+	}
+	c.os.K.M.Clock.Tick(uint64((len(data)+3)/4) + 10) // segmentation copy
+	c.fill()
+	return nil
+}
+
+// Recv drains the in-order receive buffer.
+func (c *TCPConn) Recv() []byte {
+	out := c.recvBuf
+	c.recvBuf = nil
+	return out
+}
+
+// Close sends FIN after all queued data.
+func (c *TCPConn) Close() {
+	switch c.state {
+	case tcpEstablished:
+		c.state = tcpFinWait
+	case tcpCloseWait:
+		c.state = tcpClosedDone // our FIN answers theirs
+	default:
+		c.state = tcpClosedDone
+		return
+	}
+	c.pending = append(c.pending, nil) // nil marks the FIN
+	c.fill()
+}
+
+// fill moves queued segments into the window.
+func (c *TCPConn) fill() {
+	for len(c.inflight) < tcpWindowSegs && len(c.pending) > 0 {
+		data := c.pending[0]
+		c.pending = c.pending[1:]
+		seg := tcpSegment{seq: c.sndNxt, data: data, fin: data == nil}
+		c.sendSeg(seg, c.segFlags(seg))
+		if seg.fin {
+			c.sndNxt++
+		} else {
+			c.sndNxt += uint32(len(data))
+		}
+		seg.sentAt = c.os.K.M.Clock.Cycles()
+		c.inflight = append(c.inflight, seg)
+	}
+}
+
+func (c *TCPConn) segFlags(seg tcpSegment) byte {
+	if seg.fin {
+		return pkt.TCPFin | pkt.TCPAck
+	}
+	return pkt.TCPAck
+}
+
+// sendSeg transmits one segment (protocol header work charged).
+func (c *TCPConn) sendSeg(seg tcpSegment, flags byte) {
+	f := pkt.Flow{
+		Proto: pkt.ProtoTCP,
+		SrcIP: c.net.IP, DstIP: c.remoteIP,
+		SrcPort: c.localPort, DstPort: c.remotePort,
+	}
+	frame := pkt.Build(c.remoteMAC, c.net.MAC, f, seg.data)
+	pkt.SetTCP(frame, seg.seq, c.rcvNxt, flags, tcpWindowSegs*tcpMSS)
+	c.os.K.M.Clock.Tick(uint64(pkt.TCPLen/4) + 8)
+	c.os.K.M.NIC.Send(hw.Packet{Data: frame})
+}
+
+// sendAck transmits a bare acknowledgement.
+func (c *TCPConn) sendAck() {
+	c.sendSeg(tcpSegment{seq: c.sndNxt}, pkt.TCPAck)
+}
+
+// Process runs the protocol: handle received frames, deliver in-order
+// data, retire acknowledged segments, and retransmit on timeout. The
+// application (or its scheduler slice) calls it; there is no kernel timer
+// involvement beyond the clock.
+func (c *TCPConn) Process() {
+	for len(c.rxFrames) > 0 {
+		frame := c.rxFrames[0]
+		c.rxFrames = c.rxFrames[1:]
+		c.handle(frame)
+	}
+	c.retransmit()
+	c.fill()
+}
+
+func (c *TCPConn) handle(frame []byte) {
+	if !pkt.IsTCP(frame) {
+		return
+	}
+	c.os.K.M.Clock.Tick(12) // header validation + state demux
+	flags := pkt.TCPFlags(frame)
+	seq := pkt.TCPSeq(frame)
+	flow, _ := pkt.ParseFlow(frame)
+
+	switch c.state {
+	case tcpListen:
+		if flags&pkt.TCPSyn == 0 {
+			return
+		}
+		// Learn the peer; answer SYN|ACK.
+		c.remoteIP = flow.SrcIP
+		c.remotePort = flow.SrcPort
+		copy(c.remoteMAC[:], frame[6:12])
+		c.rcvNxt = seq + 1
+		c.state = tcpSynRcvd
+		c.sendSeg(tcpSegment{seq: c.sndNxt}, pkt.TCPSyn|pkt.TCPAck)
+		c.inflight = append(c.inflight, tcpSegment{seq: c.sndNxt, sentAt: c.os.K.M.Clock.Cycles()})
+		c.sndNxt++
+		return
+	case tcpSynSent:
+		if flags&(pkt.TCPSyn|pkt.TCPAck) != pkt.TCPSyn|pkt.TCPAck {
+			return
+		}
+		c.rcvNxt = seq + 1
+		c.ackUpTo(pkt.TCPAckNum(frame))
+		c.state = tcpEstablished
+		c.sendAck()
+		return
+	case tcpSynRcvd:
+		if flags&pkt.TCPAck != 0 {
+			c.ackUpTo(pkt.TCPAckNum(frame))
+			c.state = tcpEstablished
+		}
+		// Fall through to data handling: the ACK may carry data.
+	}
+
+	if flags&pkt.TCPAck != 0 {
+		c.ackUpTo(pkt.TCPAckNum(frame))
+	}
+	payload := pkt.Payload(frame)
+	dataEnd := seq + uint32(len(payload))
+	hasFin := flags&pkt.TCPFin != 0
+
+	if len(payload) > 0 || hasFin {
+		if seq == c.rcvNxt {
+			if len(payload) > 0 {
+				c.recvBuf = append(c.recvBuf, payload...)
+				c.os.K.M.Clock.Tick(uint64((len(payload) + 3) / 4))
+				c.rcvNxt = dataEnd
+			}
+			if hasFin {
+				c.rcvNxt++
+				c.finSeen = true
+				switch c.state {
+				case tcpEstablished:
+					c.state = tcpCloseWait
+				case tcpFinWait:
+					c.state = tcpClosedDone
+				}
+			}
+		} else {
+			// Out of order (a retransmission gap): drop; cumulative ACK
+			// below asks for what we need. Simplicity over SACK.
+			c.OutOfOrder++
+		}
+		c.sendAck()
+	}
+	if c.state == tcpFinWait && c.finAcked() && c.finSeen {
+		c.state = tcpClosedDone
+	}
+}
+
+// ackUpTo retires in-flight segments covered by a cumulative ACK.
+func (c *TCPConn) ackUpTo(ack uint32) {
+	if int32(ack-c.sndUna) <= 0 {
+		return
+	}
+	c.sndUna = ack
+	kept := c.inflight[:0]
+	for _, seg := range c.inflight {
+		segEnd := seg.seq + uint32(len(seg.data))
+		if seg.fin || len(seg.data) == 0 {
+			segEnd = seg.seq + 1
+		}
+		if int32(segEnd-ack) <= 0 {
+			c.Acked++
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	c.inflight = kept
+	if c.state == tcpFinWait && c.finAcked() && c.finSeen {
+		c.state = tcpClosedDone
+	}
+}
+
+// finAcked reports whether our FIN (if sent) has been acknowledged.
+func (c *TCPConn) finAcked() bool {
+	for _, seg := range c.inflight {
+		if seg.fin {
+			return false
+		}
+	}
+	return len(c.pending) == 0
+}
+
+// retransmit resends timed-out segments (the application's clock, the
+// application's policy).
+func (c *TCPConn) retransmit() {
+	now := c.os.K.M.Clock.Cycles()
+	for i := range c.inflight {
+		seg := &c.inflight[i]
+		// Exponential backoff: doubling the timeout per retry breaks the
+		// lockstep a fixed RTO can fall into under periodic loss.
+		backoff := uint(seg.retries)
+		if backoff > 6 {
+			backoff = 6
+		}
+		if now-seg.sentAt < tcpRTOCycles<<backoff {
+			continue
+		}
+		flags := c.segFlags(*seg)
+		if len(seg.data) == 0 && !seg.fin {
+			// A bare sequence-consuming segment is a handshake segment.
+			if c.state == tcpSynSent {
+				flags = pkt.TCPSyn
+			} else {
+				flags = pkt.TCPSyn | pkt.TCPAck // SYN|ACK (even if since established)
+			}
+		}
+		c.sendSeg(*seg, flags)
+		seg.sentAt = now
+		seg.retries++
+		c.Retransmits++
+	}
+}

@@ -1,0 +1,186 @@
+package exos
+
+import (
+	"bytes"
+	"testing"
+
+	"exokernel/internal/aegis"
+	"exokernel/internal/ether"
+	"exokernel/internal/hw"
+	"exokernel/internal/pkt"
+	"exokernel/internal/sandbox"
+)
+
+var (
+	tMacA = pkt.Addr{2, 0, 0, 0, 0, 1}
+	tMacB = pkt.Addr{2, 0, 0, 0, 0, 2}
+	tIPA  = pkt.IP(10, 1, 0, 1)
+	tIPB  = pkt.IP(10, 1, 0, 2)
+)
+
+func twoMachines(t *testing.T) (ka, kb *aegis.Kernel, na, nb *Net, sa, sb *UDPSocket) {
+	t.Helper()
+	seg := ether.NewSegment()
+	ma := hw.NewMachine(hw.DEC5000)
+	mb := hw.NewMachine(hw.DEC5000)
+	ka = aegis.New(ma)
+	kb = aegis.New(mb)
+	seg.Attach(ma)
+	seg.Attach(mb)
+	na = NewNet(ka, tMacA, tIPA)
+	nb = NewNet(kb, tMacB, tIPB)
+	osA, err := Boot(ka)
+	if err != nil {
+		t.Fatal(err)
+	}
+	osB, err := Boot(kb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err = na.Bind(osA, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err = nb.Bind(osB, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+func TestUDPSendReceive(t *testing.T) {
+	_, _, _, _, sa, sb := twoMachines(t)
+	sa.SendTo(tMacB, tIPB, 7, []byte("ping"))
+	data, flow, ok := sb.TryRecv()
+	if !ok {
+		t.Fatal("no datagram delivered")
+	}
+	if string(data) != "ping" {
+		t.Errorf("payload = %q", data)
+	}
+	if flow.SrcIP != tIPA || flow.SrcPort != 7 {
+		t.Errorf("flow = %+v", flow)
+	}
+	if sb.Delivered != 1 || sb.Pending() != 0 {
+		t.Errorf("delivered=%d pending=%d", sb.Delivered, sb.Pending())
+	}
+}
+
+func TestUDPWrongPortDropped(t *testing.T) {
+	ka, kb, _, _, sa, sb := twoMachines(t)
+	sa.SendTo(tMacB, tIPB, 9999, []byte("stray"))
+	if sb.Pending() != 0 {
+		t.Error("datagram for port 9999 reached port 7 socket")
+	}
+	if kb.Stats.PktDropped != 1 {
+		t.Errorf("receiver dropped = %d", kb.Stats.PktDropped)
+	}
+	_ = ka
+}
+
+func TestUDPEchoASHRoundTrip(t *testing.T) {
+	_, kb, _, _, sa, sb := twoMachines(t)
+	if err := sb.AttachEchoASH(); err != nil {
+		t.Fatal(err)
+	}
+	sa.SendTo(tMacB, tIPB, 7, []byte("echo-me-please"))
+	// The reply was generated in B's interrupt context during delivery —
+	// no scheduling of B's application occurred.
+	data, flow, ok := sa.TryRecv()
+	if !ok {
+		t.Fatal("no echo reply")
+	}
+	if !bytes.Equal(data, []byte("echo-me-please")) {
+		t.Errorf("reply payload = %q", data)
+	}
+	if flow.SrcIP != tIPB || flow.DstIP != tIPA {
+		t.Errorf("reply flow = %+v", flow)
+	}
+	if kb.Stats.ASHRuns != 1 {
+		t.Errorf("ASHRuns = %d", kb.Stats.ASHRuns)
+	}
+	if sb.Delivered != 0 {
+		t.Error("application buffer filled despite ASH")
+	}
+}
+
+func TestEchoASHVerifies(t *testing.T) {
+	code := EchoASH()
+	res, err := sandbox.Verify(code, sandbox.PolicyASH)
+	if err != nil {
+		t.Fatalf("echo ASH rejected by the verifier: %v", err)
+	}
+	if res.MaxSteps != len(code) {
+		t.Errorf("bound = %d, want %d", res.MaxSteps, len(code))
+	}
+}
+
+func TestDemuxCyclesCharged(t *testing.T) {
+	ka, _, _, _, sa, sb := twoMachines(t)
+	_ = ka
+	before := sb.os.K.M.Clock.Cycles()
+	sa.SendTo(tMacB, tIPB, 7, []byte("x"))
+	if sb.os.K.M.Clock.Cycles() == before {
+		t.Error("delivery charged nothing on the receiving machine")
+	}
+}
+
+func TestRecvBlocksViaYield(t *testing.T) {
+	ka, _, _, _, sa, sb := twoMachines(t)
+	_ = ka
+	sa.SendTo(tMacB, tIPB, 7, []byte("later"))
+	data, _ := sb.Recv()
+	if string(data) != "later" {
+		t.Errorf("Recv = %q", data)
+	}
+}
+
+func TestMultipleSocketsPerMachine(t *testing.T) {
+	seg := ether.NewSegment()
+	ma := hw.NewMachine(hw.DEC5000)
+	mb := hw.NewMachine(hw.DEC5000)
+	ka := aegis.New(ma)
+	kb := aegis.New(mb)
+	seg.Attach(ma)
+	seg.Attach(mb)
+	na := NewNet(ka, tMacA, tIPA)
+	nb := NewNet(kb, tMacB, tIPB)
+	osA, _ := Boot(ka)
+	osB1, _ := Boot(kb)
+	osB2, _ := Boot(kb)
+	sa, _ := na.Bind(osA, 1000)
+	s7, err := nb.Bind(osB1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s9, err := nb.Bind(osB2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa.SendTo(tMacB, tIPB, 9, []byte("to-nine"))
+	sa.SendTo(tMacB, tIPB, 7, []byte("to-seven"))
+	if d, _, ok := s9.TryRecv(); !ok || string(d) != "to-nine" {
+		t.Errorf("socket 9 got %q (%v)", d, ok)
+	}
+	if d, _, ok := s7.TryRecv(); !ok || string(d) != "to-seven" {
+		t.Errorf("socket 7 got %q (%v)", d, ok)
+	}
+}
+
+func TestUDPSocketClose(t *testing.T) {
+	ka, kb, _, _, sa, sb := twoMachines(t)
+	_ = ka
+	if err := sb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sa.SendTo(tMacB, tIPB, 7, []byte("into the void"))
+	if sb.Pending() != 0 {
+		t.Error("closed socket received a datagram")
+	}
+	if kb.Stats.PktDropped != 1 {
+		t.Errorf("receiver dropped = %d, want 1", kb.Stats.PktDropped)
+	}
+	if err := sb.Close(); err == nil {
+		t.Error("double close succeeded")
+	}
+}

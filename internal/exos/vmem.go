@@ -1,0 +1,265 @@
+package exos
+
+import (
+	"fmt"
+
+	"exokernel/internal/aegis"
+	"exokernel/internal/cap"
+	"exokernel/internal/hw"
+)
+
+// Application-level virtual memory (§6.2): "ExOS provides a rudimentary
+// virtual memory system (its size is approximately 1000 lines of heavily
+// commented code)". The page table is an application data structure the
+// kernel never sees; the kernel only verifies capabilities when bindings
+// are installed. Because the table is ours, operations the kernel would
+// otherwise mediate — a dirty-bit query, a protection change — are a table
+// write plus (at most) a TLB invalidate.
+
+// PTE permission/state bits.
+const (
+	PTValid = 1 << iota
+	PTWrite
+	PTDirty
+	PTRef
+	// PTCOW marks a logically-writable page currently shared copy-on-write
+	// (set by Fork, cleared when the library breaks the sharing).
+	PTCOW
+)
+
+// PTE is one application page-table entry.
+type PTE struct {
+	Frame uint32
+	Perms uint8
+	Guard cap.Capability
+}
+
+// PageTable is the page-table abstraction. It is an *application data
+// structure*: "an exokernel allows application-level libraries to define
+// virtual memory ... abstractions", and "page-table structures ... cannot
+// be modified in micro-kernels" (§8) — here they can, by implementing
+// this interface. Two structures ship: the dense two-level tree
+// (TwoLevelPT, the default) and a hashed inverted table (InvertedPT) that
+// wins for sparse address spaces. The kernel sees neither; it only ever
+// sees the InstallMapping calls the refill handler makes.
+type PageTable interface {
+	// Name identifies the structure in diagnostics.
+	Name() string
+	// Lookup walks the table for va, charging the walk; nil if unmapped.
+	Lookup(va uint32) *PTE
+	// Set installs (or clears, with zero perms) the entry for va.
+	Set(va uint32, e PTE)
+	// FindFrame locates the entry mapping a physical frame (revocation
+	// path only).
+	FindFrame(frame uint32) (*PTE, uint32)
+	// Entries reports the number of valid entries.
+	Entries() int
+	// SizeWords reports the structure's memory footprint in words —
+	// the space cost an application weighs when picking a structure.
+	SizeWords() int
+	// Walk visits every valid entry until fn returns false.
+	Walk(fn func(va uint32, pte *PTE) bool)
+}
+
+// ptLookupCycles is the cost of one two-level table walk in application
+// code: two dependent loads plus index arithmetic.
+const ptLookupCycles = 6
+
+// TwoLevelPT is the dense two-level tree (the MIPS-classic layout).
+type TwoLevelPT struct {
+	k       *aegis.Kernel
+	dir     map[uint32][]PTE // top index → second-level table (1024 entries)
+	entries int
+}
+
+// NewPageTable creates the default page table (two-level).
+func NewPageTable(k *aegis.Kernel) *TwoLevelPT {
+	return &TwoLevelPT{k: k, dir: make(map[uint32][]PTE)}
+}
+
+// Name implements PageTable.
+func (pt *TwoLevelPT) Name() string { return "two-level" }
+
+// Entries implements PageTable.
+func (pt *TwoLevelPT) Entries() int { return pt.entries }
+
+// SizeWords implements PageTable: each allocated second-level table is
+// 1024 four-word entries plus one directory word.
+func (pt *TwoLevelPT) SizeWords() int { return len(pt.dir) * (1024*4 + 1) }
+
+// Lookup implements PageTable.
+func (pt *TwoLevelPT) Lookup(va uint32) *PTE {
+	pt.k.M.Clock.Tick(ptLookupCycles)
+	vpn := va >> hw.PageShift
+	tbl, ok := pt.dir[vpn>>10]
+	if !ok {
+		return nil
+	}
+	pte := &tbl[vpn&1023]
+	if pte.Perms&PTValid == 0 {
+		return nil
+	}
+	return pte
+}
+
+// Set implements PageTable, creating the second-level table on demand.
+func (pt *TwoLevelPT) Set(va uint32, e PTE) {
+	pt.k.M.Clock.Tick(ptLookupCycles)
+	vpn := va >> hw.PageShift
+	tbl, ok := pt.dir[vpn>>10]
+	if !ok {
+		tbl = make([]PTE, 1024)
+		pt.dir[vpn>>10] = tbl
+	}
+	old := tbl[vpn&1023].Perms&PTValid != 0
+	now := e.Perms&PTValid != 0
+	if !old && now {
+		pt.entries++
+	} else if old && !now {
+		pt.entries--
+	}
+	tbl[vpn&1023] = e
+}
+
+// Walk implements PageTable.
+func (pt *TwoLevelPT) Walk(fn func(va uint32, pte *PTE) bool) {
+	for hi, tbl := range pt.dir {
+		for lo := range tbl {
+			if tbl[lo].Perms&PTValid != 0 {
+				if !fn((hi<<10|uint32(lo))<<hw.PageShift, &tbl[lo]) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// FindFrame implements PageTable (linear scan; revocation path only).
+func (pt *TwoLevelPT) FindFrame(frame uint32) (*PTE, uint32) {
+	for hi, tbl := range pt.dir {
+		for lo := range tbl {
+			if tbl[lo].Perms&PTValid != 0 && tbl[lo].Frame == frame {
+				return &tbl[lo], (hi<<10 | uint32(lo)) << hw.PageShift
+			}
+		}
+	}
+	return nil, 0
+}
+
+// AllocAndMap allocates a fresh physical page and maps it at va,
+// write-enabled. It returns the frame.
+func (os *LibOS) AllocAndMap(va uint32) (uint32, error) {
+	frame, guard, err := os.K.AllocPage(os.Env, aegis.AnyFrame)
+	if err != nil {
+		return 0, err
+	}
+	return frame, os.Map(va, frame, guard, true)
+}
+
+// Map enters a page into the application's table. The mapping is lazy:
+// the first touch takes a TLB miss and the refill handler installs the
+// binding (read-only first, for software dirty tracking).
+func (os *LibOS) Map(va uint32, frame uint32, guard cap.Capability, writable bool) error {
+	if va%hw.PageSize != 0 {
+		return fmt.Errorf("exos: map of unaligned va %#x", va)
+	}
+	perms := uint8(PTValid)
+	if writable {
+		perms |= PTWrite
+	}
+	os.PT.Set(va, PTE{Frame: frame, Perms: perms, Guard: guard})
+	return nil
+}
+
+// Unmap removes a mapping from the table and the hardware, returning the
+// old entry.
+func (os *LibOS) Unmap(va uint32) PTE {
+	old := PTE{}
+	if pte := os.PT.Lookup(va); pte != nil {
+		old = *pte
+		os.PT.Set(va, PTE{})
+	}
+	os.K.UnmapPage(os.Env, va)
+	return old
+}
+
+// Protect write-protects one page (the Appel-Li "prot1" operation): flip
+// the table bit and drop the cached binding so the next write faults.
+func (os *LibOS) Protect(va uint32) error {
+	pte := os.PT.Lookup(va)
+	if pte == nil {
+		return fmt.Errorf("exos: protect of unmapped va %#x", va)
+	}
+	pte.Perms &^= PTWrite
+	os.K.UnmapPage(os.Env, va)
+	return nil
+}
+
+// ProtectN write-protects a batch of pages ("prot100"). Application-level
+// batching: one loop, no per-page system call.
+func (os *LibOS) ProtectN(vas []uint32) error {
+	for _, va := range vas {
+		if err := os.Protect(va); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Unprotect re-enables writes ("unprot100" / the trap-handler fix-up). The
+// binding is reinstalled immediately — no extra fault on the next access.
+func (os *LibOS) Unprotect(va uint32) error {
+	pte := os.PT.Lookup(va)
+	if pte == nil {
+		return fmt.Errorf("exos: unprotect of unmapped va %#x", va)
+	}
+	pte.Perms |= PTWrite | PTDirty
+	if !os.installPTE(va, pte, true) {
+		return fmt.Errorf("exos: reinstall failed for va %#x", va)
+	}
+	return nil
+}
+
+// IsDirty queries the software dirty bit ("dirty": "the base cost of
+// looking up a virtual address in ExOS's page-table structure" — no
+// system call, no TLB examination).
+func (os *LibOS) IsDirty(va uint32) bool {
+	pte := os.PT.Lookup(va)
+	return pte != nil && pte.Perms&PTDirty != 0
+}
+
+// Touch simulates an application load from va: on a cached binding it is
+// one memory reference; otherwise it takes the full TLB-miss path through
+// the kernel and this LibOS's refill handler.
+func (os *LibOS) Touch(va uint32) error {
+	return os.access(va, false)
+}
+
+// TouchWrite simulates an application store to va.
+func (os *LibOS) TouchWrite(va uint32) error {
+	return os.access(va, true)
+}
+
+// access performs one application memory reference against the machine's
+// MMU, retrying after fault service like restarted hardware would.
+// Ten retries bound pathological livelock (e.g. a fault handler that does
+// not repair the fault).
+func (os *LibOS) access(va uint32, write bool) error {
+	m := os.K.M
+	for try := 0; try < 10; try++ {
+		pa, exc := m.Translate(va, write)
+		if exc == hw.ExcNone {
+			if write {
+				m.Phys.WriteWord(pa, m.Phys.ReadWord(pa)+1)
+			} else {
+				m.Phys.ReadWord(pa)
+			}
+			return nil
+		}
+		m.RaiseException(exc, m.CPU.PC, va)
+		if os.Env.Dead {
+			return fmt.Errorf("exos: environment killed by fault at %#x", va)
+		}
+	}
+	return fmt.Errorf("exos: fault at %#x not repaired after retries", va)
+}

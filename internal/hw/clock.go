@@ -1,0 +1,29 @@
+package hw
+
+// Clock is the simulated cycle counter. It is the only time source inside
+// the simulation: every hardware action advances it by a cost from
+// costs.go, and all reported "simulated microseconds" derive from it.
+type Clock struct {
+	cycles uint64
+}
+
+// Tick advances the clock by n cycles.
+func (c *Clock) Tick(n uint64) { c.cycles += n }
+
+// Cycles reports the total cycles elapsed since reset.
+func (c *Clock) Cycles() uint64 { return c.cycles }
+
+// Reset zeroes the clock.
+func (c *Clock) Reset() { c.cycles = 0 }
+
+// Stopwatch measures an interval on the simulated clock.
+type Stopwatch struct {
+	clock *Clock
+	start uint64
+}
+
+// StartWatch begins timing an interval.
+func (c *Clock) StartWatch() Stopwatch { return Stopwatch{clock: c, start: c.cycles} }
+
+// Elapsed reports cycles elapsed since the stopwatch started.
+func (s Stopwatch) Elapsed() uint64 { return s.clock.cycles - s.start }

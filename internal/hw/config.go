@@ -1,0 +1,48 @@
+package hw
+
+// Config describes a simulated machine model. The presets mirror Table 1 of
+// the paper ("Experimental platforms"): three MIPS DECstations. SPECint92
+// ratings are those the paper uses when scaling published numbers (the
+// DEC5000/125 is rated 16.1; the DEC5000/200 is "1.2 times faster").
+type Config struct {
+	Name      string
+	MHz       float64 // CPU clock
+	SPECint92 float64 // published rating, used only for scaling comparisons
+	MemPages  int     // physical memory size in pages
+	TLBSize   int     // hardware TLB entries
+	STLBSize  int     // Aegis software TLB entries (0 disables the STLB)
+	// MissRate is the modelled primary-cache miss rate for data references,
+	// expressed as 1 miss per MissRate references (0 disables the miss
+	// model; every reference hits).
+	MissRate int
+	// DiskBlocks is the disk size in page-sized blocks.
+	DiskBlocks int
+}
+
+// PageSize is the machine page size in bytes.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// WordSize is the machine word size in bytes.
+const WordSize = 4
+
+// Preset machine models, after Table 1 of the paper.
+var (
+	// DEC2100 models the DECstation 2100 (12.5 MHz R2000).
+	DEC2100 = Config{Name: "DEC2100", MHz: 12.5, SPECint92: 6.5, MemPages: 2048, TLBSize: 64, STLBSize: 4096, DiskBlocks: 4096}
+	// DEC3100 models the DECstation 3100 (16.67 MHz R2000).
+	DEC3100 = Config{Name: "DEC3100", MHz: 16.67, SPECint92: 9.3, MemPages: 4096, TLBSize: 64, STLBSize: 4096, DiskBlocks: 8192}
+	// DEC5000 models the DECstation 5000/125 (25 MHz R3000), the primary
+	// evaluation machine in the paper.
+	DEC5000 = Config{Name: "DEC5000/125", MHz: 25, SPECint92: 16.1, MemPages: 8192, TLBSize: 64, STLBSize: 4096, DiskBlocks: 16384}
+)
+
+// Micros converts a cycle count on this machine into microseconds.
+func (c Config) Micros(cycles uint64) float64 {
+	return float64(cycles) / c.MHz
+}
+
+// Platforms lists the preset configurations in the order of Table 1.
+func Platforms() []Config { return []Config{DEC2100, DEC3100, DEC5000} }

@@ -1,0 +1,61 @@
+package hw
+
+// Cost model for the simulated machine, in CPU cycles.
+//
+// The model is deliberately simple and lives in one place so that every
+// simulated result can be traced to it. It approximates a MIPS R3000-class
+// machine (DECstation 5000/125, 25 MHz): single-issue, one instruction per
+// cycle on cache hits, software-managed TLB. The absolute values matter less
+// than the structure: each kernel path in this repository is *executed*
+// step by step against simulated hardware state, and each step charges one
+// of these constants. Relative path lengths therefore come from implemented
+// code, not from tuned totals.
+const (
+	// CostInstr is the base cost of executing one instruction (fetch +
+	// execute, primary-cache hit).
+	CostInstr = 1
+
+	// CostMemWord is the additional cost of a data memory reference that
+	// hits the cache. Loads/stores in the VM pay CostInstr + CostMemWord.
+	CostMemWord = 1
+
+	// CostCacheMiss is the penalty for a reference that misses the primary
+	// cache. The R3000-era miss penalty to DRAM was on the order of a dozen
+	// cycles. The simulator charges it via the pseudo-random miss model in
+	// PhysMem (see MissRate in Config).
+	CostCacheMiss = 12
+
+	// CostUncached is the cost of an uncached reference (device registers,
+	// and kernel accesses performed with physical addresses during
+	// exception handling on a cold path).
+	CostUncached = 6
+
+	// CostExcEntry is the hardware cost of taking an exception: pipeline
+	// flush, mode switch, vectoring to the handler.
+	CostExcEntry = 4
+
+	// CostExcReturn is the cost of an RFE/eret: restoring the status
+	// register and resuming the interrupted stream.
+	CostExcReturn = 3
+
+	// CostTLBProbe is the cost of a software probe of the hardware TLB
+	// (the TLBP instruction); hardware lookups on ordinary references are
+	// free on hits.
+	CostTLBProbe = 2
+
+	// CostTLBWrite is the cost of writing one hardware TLB entry (TLBWR /
+	// TLBWI).
+	CostTLBWrite = 2
+
+	// CostSTLBLookup is the cost of the Aegis software-TLB hash probe on a
+	// hardware-TLB miss: hash, one 8-byte entry load (done with physical
+	// addresses, hence uncached), compare.
+	CostSTLBLookup = 10
+
+	// CostContextID is the cost of changing the address-space tag
+	// (ASID / TLB context register) during a context switch.
+	CostContextID = 3
+)
+
+// MicrosPerCycle converts cycles to microseconds at the given clock rate.
+func MicrosPerCycle(mhz float64) float64 { return 1.0 / mhz }

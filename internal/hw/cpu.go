@@ -1,0 +1,118 @@
+package hw
+
+// Register names for the simulated 32-register file. The conventions follow
+// MIPS o32 loosely; what matters to the kernel is which registers are
+// scratch (K0/K1/AT are the three the Aegis dispatcher may clobber after
+// saving them) and which carry arguments/results.
+const (
+	RegZero = 0 // hardwired zero
+	RegAT   = 1 // assembler temporary / dispatcher scratch
+	RegV0   = 2 // result / syscall code
+	RegV1   = 3 // result
+	RegA0   = 4 // argument 0
+	RegA1   = 5 // argument 1
+	RegA2   = 6 // argument 2
+	RegA3   = 7 // argument 3
+	RegT0   = 8
+	RegT1   = 9
+	RegT2   = 10
+	RegT3   = 11
+	RegS0   = 16 // callee-saved s0..s7 = 16..23
+	RegS1   = 17
+	RegS2   = 18
+	RegS3   = 19
+	RegS4   = 20
+	RegS5   = 21
+	RegS6   = 22
+	RegS7   = 23
+	RegGP   = 28
+	RegSP   = 29
+	RegFP   = 30
+	RegRA   = 31
+	RegK0   = 26 // kernel/dispatcher scratch
+	RegK1   = 27 // kernel/dispatcher scratch
+)
+
+// NumRegs is the size of the general-purpose register file.
+const NumRegs = 32
+
+// NumCalleeSaved counts the callee-saved registers (s0-s7, gp, sp, fp) an
+// untrusting RPC stub must preserve.
+const NumCalleeSaved = 11
+
+// Mode is the processor privilege mode.
+type Mode uint8
+
+// Processor modes.
+const (
+	ModeKernel Mode = iota
+	ModeUser
+)
+
+// Exc identifies a hardware exception cause.
+type Exc uint8
+
+// Exception causes, roughly the MIPS cause register values.
+const (
+	ExcNone      Exc = iota
+	ExcInterrupt     // external interrupt (timer, NIC)
+	ExcTLBMissL      // TLB miss on load/fetch
+	ExcTLBMissS      // TLB miss on store
+	ExcTLBMod        // write to a page mapped read-only (protection)
+	ExcAddrErrL      // unaligned load
+	ExcAddrErrS      // unaligned store
+	ExcSyscall       // SYSCALL instruction
+	ExcBreak         // BREAK instruction
+	ExcOverflow      // arithmetic overflow (trapping add)
+	ExcCoproc        // coprocessor unusable (FPU disabled)
+	ExcPriv          // privileged instruction in user mode
+)
+
+var excNames = [...]string{
+	ExcNone: "none", ExcInterrupt: "interrupt", ExcTLBMissL: "tlbl",
+	ExcTLBMissS: "tlbs", ExcTLBMod: "mod", ExcAddrErrL: "adel",
+	ExcAddrErrS: "ades", ExcSyscall: "syscall", ExcBreak: "break",
+	ExcOverflow: "ovf", ExcCoproc: "cpu", ExcPriv: "priv",
+}
+
+func (e Exc) String() string {
+	if int(e) < len(excNames) {
+		return excNames[e]
+	}
+	return "exc?"
+}
+
+// IRQ identifies an interrupt source.
+type IRQ uint8
+
+// Interrupt lines.
+const (
+	IRQTimer IRQ = 1 << iota
+	IRQNIC
+)
+
+// CPU is the simulated processor state visible to the kernel: the register
+// file, program counter, mode, status bits, and the exception report
+// registers (cause, EPC, BadVAddr).
+type CPU struct {
+	Regs     [NumRegs]uint32
+	PC       uint32
+	Mode     Mode
+	ASID     uint8 // current address-space tag (TLB context)
+	FPUOn    bool  // coprocessor-1 enable; off ⇒ COP1 raises ExcCoproc
+	IntrOn   bool  // interrupt enable
+	Cause    Exc
+	EPC      uint32 // PC of the faulting instruction
+	BadVAddr uint32 // faulting virtual address, for memory exceptions
+	Pending  IRQ    // pending interrupt lines
+}
+
+// SetReg writes a register, keeping r0 hardwired to zero.
+func (c *CPU) SetReg(r uint8, v uint32) {
+	if r != RegZero {
+		c.Regs[r] = v
+	}
+}
+
+// Reg reads a register.
+func (c *CPU) Reg(r uint8) uint32 { return c.Regs[r] }

@@ -1,0 +1,90 @@
+package hw
+
+import "fmt"
+
+// Disk models a fixed disk with page-sized blocks and a seek-dependent
+// access cost — the storage substrate for the paper's claim that an
+// exokernel should "protect disks without understanding file systems".
+// The geometry model is deliberately simple: cost = fixed controller
+// overhead + seek proportional to cylinder distance + per-word transfer.
+// At 25 MHz the defaults give ~1 ms for an adjacent access and ~9 ms for
+// a full-stroke seek, 1995-plausible numbers.
+type Disk struct {
+	clock  *Clock
+	blocks [][]byte
+	head   uint32 // current head position (block number)
+
+	// Cost parameters in cycles (documented like hw/costs.go).
+	CostFixed   uint64 // controller + rotational average
+	CostPerSeek uint64 // per blocksBetween(head, target)/seekUnit step
+	seekUnit    uint32
+
+	// Stats.
+	Reads, Writes, SeekBlocks uint64
+}
+
+// DiskBlockSize is the disk block size; equal to the page size so a block
+// DMA fills exactly one frame.
+const DiskBlockSize = PageSize
+
+// NewDisk creates a disk with nblocks zeroed blocks. Block storage is
+// allocated lazily on first touch (simulator memory economy only; the
+// cost model is unaffected).
+func NewDisk(clock *Clock, nblocks int) *Disk {
+	return &Disk{
+		clock:       clock,
+		blocks:      make([][]byte, nblocks),
+		CostFixed:   25000, // 1 ms at 25 MHz
+		CostPerSeek: 500,
+		seekUnit:    16, // blocks per "cylinder"
+	}
+}
+
+// block materializes block b's storage.
+func (d *Disk) block(b uint32) []byte {
+	if d.blocks[b] == nil {
+		d.blocks[b] = make([]byte, DiskBlockSize)
+	}
+	return d.blocks[b]
+}
+
+// NumBlocks reports the disk capacity in blocks.
+func (d *Disk) NumBlocks() int { return len(d.blocks) }
+
+// access charges the seek + rotation + transfer cost of touching block b.
+func (d *Disk) access(b uint32) {
+	dist := uint64(0)
+	if b > d.head {
+		dist = uint64((b - d.head) / d.seekUnit)
+	} else {
+		dist = uint64((d.head - b) / d.seekUnit)
+	}
+	d.SeekBlocks += dist
+	d.clock.Tick(d.CostFixed + dist*d.CostPerSeek + DiskBlockSize/WordSize)
+	d.head = b
+}
+
+// ReadBlock DMAs block b into the physical frame.
+func (d *Disk) ReadBlock(b uint32, mem *PhysMem, frame uint32) error {
+	if int(b) >= len(d.blocks) {
+		return fmt.Errorf("hw: disk read past end: block %d", b)
+	}
+	d.access(b)
+	d.Reads++
+	copy(mem.Page(frame), d.block(b))
+	return nil
+}
+
+// WriteBlock DMAs the physical frame into block b.
+func (d *Disk) WriteBlock(b uint32, mem *PhysMem, frame uint32) error {
+	if int(b) >= len(d.blocks) {
+		return fmt.Errorf("hw: disk write past end: block %d", b)
+	}
+	d.access(b)
+	d.Writes++
+	copy(d.block(b), mem.Page(frame))
+	return nil
+}
+
+// Peek returns a block's raw contents without charging (test assertions).
+func (d *Disk) Peek(b uint32) []byte { return d.block(b) }

@@ -1,0 +1,72 @@
+package hw
+
+import "testing"
+
+func TestDiskReadWriteRoundTrip(t *testing.T) {
+	m := NewMachine(DEC5000)
+	frame, _ := m.Phys.AllocFrame()
+	copy(m.Phys.Page(frame), []byte("block payload"))
+	if err := m.Disk.WriteBlock(7, m.Phys, frame); err != nil {
+		t.Fatal(err)
+	}
+	frame2, _ := m.Phys.AllocFrame()
+	if err := m.Disk.ReadBlock(7, m.Phys, frame2); err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Phys.Page(frame2)[:13]) != "block payload" {
+		t.Error("round trip corrupted")
+	}
+	if m.Disk.Reads != 1 || m.Disk.Writes != 1 {
+		t.Errorf("stats: %d reads, %d writes", m.Disk.Reads, m.Disk.Writes)
+	}
+}
+
+func TestDiskBoundsChecked(t *testing.T) {
+	m := NewMachine(DEC5000)
+	frame, _ := m.Phys.AllocFrame()
+	bad := uint32(m.Disk.NumBlocks())
+	if err := m.Disk.ReadBlock(bad, m.Phys, frame); err == nil {
+		t.Error("read past end succeeded")
+	}
+	if err := m.Disk.WriteBlock(bad, m.Phys, frame); err == nil {
+		t.Error("write past end succeeded")
+	}
+}
+
+func TestDiskSeekCostModel(t *testing.T) {
+	m := NewMachine(DEC5000)
+	frame, _ := m.Phys.AllocFrame()
+
+	// Adjacent access: fixed cost + transfer only.
+	m.Disk.ReadBlock(0, m.Phys, frame)
+	before := m.Clock.Cycles()
+	m.Disk.ReadBlock(1, m.Phys, frame)
+	near := m.Clock.Cycles() - before
+
+	// Long seek costs more.
+	before = m.Clock.Cycles()
+	m.Disk.ReadBlock(uint32(m.Disk.NumBlocks()-1), m.Phys, frame)
+	far := m.Clock.Cycles() - before
+
+	if far <= near {
+		t.Errorf("full-stroke seek (%d) not costlier than adjacent (%d)", far, near)
+	}
+	if near < m.Disk.CostFixed {
+		t.Errorf("adjacent access (%d) under the fixed cost (%d)", near, m.Disk.CostFixed)
+	}
+	if m.Disk.SeekBlocks == 0 {
+		t.Error("seek distance not accounted")
+	}
+}
+
+func TestDiskZeroFilled(t *testing.T) {
+	m := NewMachine(DEC5000)
+	frame, _ := m.Phys.AllocFrame()
+	m.Phys.Page(frame)[0] = 0xFF
+	if err := m.Disk.ReadBlock(100, m.Phys, frame); err != nil {
+		t.Fatal(err)
+	}
+	if m.Phys.Page(frame)[0] != 0 {
+		t.Error("untouched block not zero")
+	}
+}

@@ -1,0 +1,12 @@
+// Package hw is the simulated hardware: a MIPS R3000-class machine with
+// physical memory, a 64-entry software-managed TLB, precise exceptions, an
+// interval timer, a network interface, an ownership-tagged framebuffer,
+// and a seek-modelled disk. It has no opinions: protection and policy live
+// in whatever kernel installs itself as the trap handler.
+//
+// The package also owns the cycle cost model (costs.go): every hardware
+// action advances the machine's Clock, which is the only time source in
+// the simulation. Simulated results everywhere in this repository are
+// cycle counts on this clock, converted to microseconds at the machine's
+// configured rate.
+package hw

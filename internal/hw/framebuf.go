@@ -1,0 +1,64 @@
+package hw
+
+import "fmt"
+
+// FrameBuffer models a graphics framebuffer whose hardware checks an
+// ownership tag on each access — the paper's example of a hardware-enforced
+// secure binding ("the Silicon Graphics frame buffer hardware associates an
+// ownership tag with each pixel"). The exokernel sets tags at allocation
+// time; thereafter applications access pixels directly and the *hardware*
+// enforces protection, with no kernel involvement on the access path.
+type FrameBuffer struct {
+	rows  int
+	owner []uint32 // ownership tag per row; 0 = unowned
+	pix   [][]byte
+}
+
+// NewFrameBuffer creates a framebuffer with the given number of rows.
+func NewFrameBuffer(rows int) *FrameBuffer {
+	fb := &FrameBuffer{rows: rows, owner: make([]uint32, rows), pix: make([][]byte, rows)}
+	for i := range fb.pix {
+		fb.pix[i] = make([]byte, 256)
+	}
+	return fb
+}
+
+// Rows reports the framebuffer height.
+func (fb *FrameBuffer) Rows() int { return fb.rows }
+
+// SetOwner tags a row with an owner (kernel-only operation; 0 clears).
+func (fb *FrameBuffer) SetOwner(row int, owner uint32) error {
+	if row < 0 || row >= fb.rows {
+		return fmt.Errorf("hw: framebuffer row %d out of range", row)
+	}
+	fb.owner[row] = owner
+	return nil
+}
+
+// Owner reports the tag on a row.
+func (fb *FrameBuffer) Owner(row int) uint32 { return fb.owner[row] }
+
+// Write stores pixels into a row if the tag matches; the check is done by
+// "hardware" (here), not by the kernel.
+func (fb *FrameBuffer) Write(owner uint32, row, col int, data []byte) error {
+	if row < 0 || row >= fb.rows || col < 0 || col+len(data) > len(fb.pix[row]) {
+		return fmt.Errorf("hw: framebuffer access out of range")
+	}
+	if fb.owner[row] != owner {
+		return fmt.Errorf("hw: framebuffer row %d not owned by %d", row, owner)
+	}
+	copy(fb.pix[row][col:], data)
+	return nil
+}
+
+// Read loads pixels from a row if the tag matches.
+func (fb *FrameBuffer) Read(owner uint32, row, col int, dst []byte) error {
+	if row < 0 || row >= fb.rows || col < 0 || col+len(dst) > len(fb.pix[row]) {
+		return fmt.Errorf("hw: framebuffer access out of range")
+	}
+	if fb.owner[row] != owner {
+		return fmt.Errorf("hw: framebuffer row %d not owned by %d", row, owner)
+	}
+	copy(dst, fb.pix[row][col:])
+	return nil
+}

@@ -1,0 +1,101 @@
+package hw
+
+// TrapHandler is implemented by a kernel (Aegis, or the monolithic
+// baseline). The machine calls it whenever an exception or interrupt is
+// raised; the CPU's Cause/EPC/BadVAddr registers describe the event.
+type TrapHandler interface {
+	HandleTrap(m *Machine)
+}
+
+// Machine is one simulated computer: CPU, clock, physical memory, hardware
+// TLB, and devices. A kernel installs itself as the trap handler; library
+// operating systems and applications only ever touch the machine through
+// the kernel's exported interface.
+type Machine struct {
+	Config Config
+	Clock  *Clock
+	Phys   *PhysMem
+	TLB    *TLB
+	CPU    CPU
+	Timer  *Timer
+	NIC    *NIC
+	FB     *FrameBuffer
+	Disk   *Disk
+
+	handler TrapHandler
+}
+
+// NewMachine builds a machine from a configuration.
+func NewMachine(cfg Config) *Machine {
+	clock := &Clock{}
+	m := &Machine{
+		Config: cfg,
+		Clock:  clock,
+		Phys:   NewPhysMem(clock, cfg.MemPages, cfg.MissRate),
+		TLB:    NewTLB(clock, cfg.TLBSize),
+	}
+	m.Timer = NewTimer(m)
+	m.NIC = NewNIC(m)
+	m.FB = NewFrameBuffer(64)
+	m.Disk = NewDisk(clock, cfg.DiskBlocks)
+	m.CPU.Mode = ModeKernel
+	m.CPU.IntrOn = true
+	return m
+}
+
+// SetTrapHandler installs the kernel.
+func (m *Machine) SetTrapHandler(h TrapHandler) { m.handler = h }
+
+// Micros converts cycles elapsed on this machine's clock to microseconds.
+func (m *Machine) Micros(cycles uint64) float64 { return m.Config.Micros(cycles) }
+
+// RaiseException records an exception in the CPU report registers, charges
+// the hardware exception-entry cost, switches to kernel mode, and invokes
+// the kernel. The kernel decides where execution continues by rewriting the
+// CPU state before returning.
+func (m *Machine) RaiseException(cause Exc, epc, badva uint32) {
+	m.Clock.Tick(CostExcEntry)
+	m.CPU.Cause = cause
+	m.CPU.EPC = epc
+	m.CPU.BadVAddr = badva
+	m.CPU.Mode = ModeKernel
+	if m.handler != nil {
+		m.handler.HandleTrap(m)
+	}
+}
+
+// PollInterrupts raises a pending interrupt if any line is asserted and
+// interrupts are enabled. The VM calls this between instructions; native
+// (Go-modelled) code paths call it at their loop boundaries.
+func (m *Machine) PollInterrupts() {
+	if !m.CPU.IntrOn || m.CPU.Pending == 0 {
+		return
+	}
+	m.RaiseException(ExcInterrupt, m.CPU.PC, 0)
+}
+
+// Translate performs the MMU fast path for a data reference: virtual page
+// lookup in the hardware TLB under the current ASID. On a hit it returns
+// the physical address; on a miss or permission failure it returns the
+// exception the hardware would raise. Alignment is the caller's problem
+// (the VM checks it per access width).
+func (m *Machine) Translate(va uint32, write bool) (uint32, Exc) {
+	vpn := va >> PageShift
+	e, ok := m.TLB.Lookup(vpn, m.CPU.ASID)
+	if !ok {
+		if write {
+			return 0, ExcTLBMissS
+		}
+		return 0, ExcTLBMissL
+	}
+	if e.Perms&PermKernel != 0 && m.CPU.Mode != ModeKernel {
+		if write {
+			return 0, ExcTLBMissS
+		}
+		return 0, ExcTLBMissL
+	}
+	if write && e.Perms&PermWrite == 0 {
+		return 0, ExcTLBMod
+	}
+	return e.PFN<<PageShift | va&(PageSize-1), Exc(ExcNone)
+}

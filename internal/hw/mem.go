@@ -1,0 +1,165 @@
+package hw
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PhysMem is the machine's physical memory: a flat array of pages plus a
+// free-frame list. The exokernel exposes *physical* page numbers to library
+// operating systems ("expose names", §2.3 of the paper); nothing in here
+// knows about ownership — secure bindings live in the kernel.
+type PhysMem struct {
+	clock    *Clock
+	data     []byte
+	npages   int
+	free     []uint32 // free frame numbers, LIFO
+	missRate int
+	lcg      uint32 // deterministic pseudo-random state for the miss model
+}
+
+// NewPhysMem creates physical memory with npages frames.
+func NewPhysMem(clock *Clock, npages, missRate int) *PhysMem {
+	m := &PhysMem{
+		clock:    clock,
+		data:     make([]byte, npages*PageSize),
+		npages:   npages,
+		missRate: missRate,
+		lcg:      0x2545F491,
+	}
+	m.free = make([]uint32, 0, npages)
+	for i := npages - 1; i >= 0; i-- {
+		m.free = append(m.free, uint32(i))
+	}
+	return m
+}
+
+// NumPages reports the number of physical frames.
+func (m *PhysMem) NumPages() int { return m.npages }
+
+// FreeFrames reports how many frames are unallocated.
+func (m *PhysMem) FreeFrames() int { return len(m.free) }
+
+// AllocFrame removes a frame from the free list and returns its number.
+func (m *PhysMem) AllocFrame() (uint32, bool) {
+	if len(m.free) == 0 {
+		return 0, false
+	}
+	f := m.free[len(m.free)-1]
+	m.free = m.free[:len(m.free)-1]
+	return f, true
+}
+
+// AllocFrameAt removes a specific frame from the free list; it fails if the
+// frame is already allocated. This implements "expose allocation": a library
+// OS may request specific physical pages (e.g. for cache coloring [29]).
+func (m *PhysMem) AllocFrameAt(frame uint32) bool {
+	for i, f := range m.free {
+		if f == frame {
+			m.free[i] = m.free[len(m.free)-1]
+			m.free = m.free[:len(m.free)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// FreeFrame returns a frame to the free list and zeroes it.
+func (m *PhysMem) FreeFrame(frame uint32) error {
+	if int(frame) >= m.npages {
+		return fmt.Errorf("hw: free of invalid frame %d", frame)
+	}
+	base := int(frame) * PageSize
+	clear(m.data[base : base+PageSize])
+	m.free = append(m.free, frame)
+	return nil
+}
+
+// chargeRef charges the cost of one cached data reference, applying the
+// pseudo-random cache-miss model.
+func (m *PhysMem) chargeRef() {
+	m.clock.Tick(CostMemWord)
+	if m.missRate > 0 {
+		m.lcg = m.lcg*1664525 + 1013904223
+		if int(m.lcg%uint32(m.missRate)) == 0 {
+			m.clock.Tick(CostCacheMiss)
+		}
+	}
+}
+
+// ReadWord reads a 32-bit word at physical address pa (must be in range).
+func (m *PhysMem) ReadWord(pa uint32) uint32 {
+	m.chargeRef()
+	return binary.LittleEndian.Uint32(m.data[pa:])
+}
+
+// WriteWord writes a 32-bit word at physical address pa.
+func (m *PhysMem) WriteWord(pa uint32, v uint32) {
+	m.chargeRef()
+	binary.LittleEndian.PutUint32(m.data[pa:], v)
+}
+
+// ReadByte reads one byte at physical address pa.
+func (m *PhysMem) LoadByte(pa uint32) byte {
+	m.chargeRef()
+	return m.data[pa]
+}
+
+// WriteByte writes one byte at physical address pa.
+func (m *PhysMem) StoreByte(pa uint32, v byte) {
+	m.chargeRef()
+	m.data[pa] = v
+}
+
+// ReadHalf reads a 16-bit halfword at physical address pa.
+func (m *PhysMem) ReadHalf(pa uint32) uint16 {
+	m.chargeRef()
+	return binary.LittleEndian.Uint16(m.data[pa:])
+}
+
+// WriteHalf writes a 16-bit halfword at physical address pa.
+func (m *PhysMem) WriteHalf(pa uint32, v uint16) {
+	m.chargeRef()
+	binary.LittleEndian.PutUint16(m.data[pa:], v)
+}
+
+// ReadWordUncached reads a word with uncached (physical-path) cost. The
+// Aegis exception path uses physical addresses to avoid nested TLB faults.
+func (m *PhysMem) ReadWordUncached(pa uint32) uint32 {
+	m.clock.Tick(CostUncached)
+	return binary.LittleEndian.Uint32(m.data[pa:])
+}
+
+// WriteWordUncached writes a word with uncached cost.
+func (m *PhysMem) WriteWordUncached(pa uint32, v uint32) {
+	m.clock.Tick(CostUncached)
+	binary.LittleEndian.PutUint32(m.data[pa:], v)
+}
+
+// CopyIn copies host bytes into physical memory, charging per word. Used by
+// device DMA and kernel copy paths; the charge makes copy costs visible in
+// measurements (copies are "the bane of fast networking systems").
+func (m *PhysMem) CopyIn(pa uint32, src []byte) {
+	words := (len(src) + WordSize - 1) / WordSize
+	for i := 0; i < words; i++ {
+		m.chargeRef()
+	}
+	copy(m.data[pa:], src)
+}
+
+// CopyOut copies physical memory into a host buffer, charging per word.
+func (m *PhysMem) CopyOut(dst []byte, pa uint32) {
+	words := (len(dst) + WordSize - 1) / WordSize
+	for i := 0; i < words; i++ {
+		m.chargeRef()
+	}
+	copy(dst, m.data[pa:int(pa)+len(dst)])
+}
+
+// Page returns the raw byte slice of a physical frame. It charges nothing:
+// callers are device models or test assertions, which account (or need not
+// account) for costs themselves.
+func (m *PhysMem) Page(frame uint32) []byte {
+	base := int(frame) * PageSize
+	return m.data[base : base+PageSize]
+}

@@ -1,0 +1,74 @@
+package hw
+
+// Packet is one frame on the wire. Payload layout is up to the protocols
+// (the kernel treats it as opaque bytes; packet filters inspect it).
+type Packet struct {
+	Data []byte
+}
+
+// NIC models the network interface: a receive queue fed by the wire and a
+// transmit hook connected to an Ethernet segment (internal/ether). Receive
+// raises IRQNIC; the kernel demultiplexes with packet filters and copies
+// the payload wherever the owning application (or its ASH) directs.
+type NIC struct {
+	m  *Machine
+	rx []Packet
+	tx func(Packet)
+	// Stats
+	RxCount, TxCount, RxDropped uint64
+	rxLimit                     int
+}
+
+// NewNIC creates a NIC with a default receive-ring depth of 64 packets.
+func NewNIC(m *Machine) *NIC { return &NIC{m: m, rxLimit: 64} }
+
+// ConnectTx installs the transmit hook (set by the Ethernet segment).
+func (n *NIC) ConnectTx(tx func(Packet)) { n.tx = tx }
+
+// Deliver places a packet arriving from the wire into the receive ring and
+// asserts the NIC interrupt. Packets beyond the ring depth are dropped, as
+// real hardware would. If interrupts are enabled the interrupt preempts
+// immediately — this is what lets an ASH reply without anyone being
+// scheduled; when the kernel is running with interrupts masked (e.g.
+// inside an ASH), the pending bit is picked up at the next poll.
+func (n *NIC) Deliver(p Packet) {
+	if len(n.rx) >= n.rxLimit {
+		n.RxDropped++
+		return
+	}
+	n.rx = append(n.rx, p)
+	n.RxCount++
+	n.m.CPU.Pending |= IRQNIC
+	if n.m.CPU.IntrOn && n.m.handler != nil {
+		n.m.RaiseException(ExcInterrupt, n.m.CPU.PC, 0)
+	}
+}
+
+// Pending reports how many received packets await the kernel.
+func (n *NIC) Pending() int { return len(n.rx) }
+
+// Recv removes the next received packet. The kernel pays the per-word DMA
+// copy cost when it moves the payload into application memory, not here.
+func (n *NIC) Recv() (Packet, bool) {
+	if len(n.rx) == 0 {
+		return Packet{}, false
+	}
+	p := n.rx[0]
+	n.rx = n.rx[1:]
+	if len(n.rx) == 0 {
+		n.m.CPU.Pending &^= IRQNIC
+	}
+	return p, true
+}
+
+// Send transmits a packet onto the wire. Charges the per-word cost of
+// copying the frame into the transmit buffer (the paper: "messages are
+// simply copied from application space into a transmit buffer").
+func (n *NIC) Send(p Packet) {
+	words := (len(p.Data) + WordSize - 1) / WordSize
+	n.m.Clock.Tick(uint64(words) * CostMemWord)
+	n.TxCount++
+	if n.tx != nil {
+		n.tx(p)
+	}
+}

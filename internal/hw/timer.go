@@ -1,0 +1,48 @@
+package hw
+
+// Timer is the interval timer that demarcates CPU time slices. It is a
+// cycle-deadline device: Arm sets the next firing point on the simulated
+// clock, and Check (called by the execution cores between instructions or
+// at native-path loop boundaries) asserts the timer interrupt line once the
+// deadline passes.
+type Timer struct {
+	m        *Machine
+	interval uint64
+	deadline uint64
+	armed    bool
+	// Fired counts timer expirations since reset (diagnostics and tests).
+	Fired uint64
+}
+
+// NewTimer creates the timer for a machine.
+func NewTimer(m *Machine) *Timer { return &Timer{m: m} }
+
+// Arm starts periodic firing every interval cycles.
+func (t *Timer) Arm(interval uint64) {
+	t.interval = interval
+	t.deadline = t.m.Clock.Cycles() + interval
+	t.armed = true
+}
+
+// Disarm stops the timer.
+func (t *Timer) Disarm() { t.armed = false }
+
+// Interval reports the programmed period in cycles (0 when disarmed).
+func (t *Timer) Interval() uint64 {
+	if !t.armed {
+		return 0
+	}
+	return t.interval
+}
+
+// Check asserts IRQTimer if the deadline has passed, and re-arms for the
+// next period. It returns true if the line was asserted.
+func (t *Timer) Check() bool {
+	if !t.armed || t.m.Clock.Cycles() < t.deadline {
+		return false
+	}
+	t.Fired++
+	t.deadline = t.m.Clock.Cycles() + t.interval
+	t.m.CPU.Pending |= IRQTimer
+	return true
+}

@@ -1,0 +1,132 @@
+package hw
+
+// TLB permission bits.
+const (
+	PermValid  = 1 << iota // entry maps a page
+	PermWrite              // page is writable (absence ⇒ write raises Mod/prot)
+	PermKernel             // page accessible only in kernel mode
+)
+
+// TLBEntry is one hardware translation entry. Entries are tagged with the
+// address-space ID of the owning environment, so the TLB need not be
+// flushed on context switch (as on the MIPS R3000).
+type TLBEntry struct {
+	VPN   uint32 // virtual page number
+	ASID  uint8  // address-space tag
+	PFN   uint32 // physical frame number
+	Perms uint8
+}
+
+// TLB models the hardware translation lookaside buffer: small, fully
+// associative, software managed. Lookups on ordinary references are free on
+// hits (they happen in parallel with the cache access); software management
+// instructions (probe/write) charge their cost.
+type TLB struct {
+	clock   *Clock
+	entries []TLBEntry
+	next    uint32 // wired random-replacement cursor (deterministic)
+}
+
+// NewTLB creates a TLB with size entries.
+func NewTLB(clock *Clock, size int) *TLB {
+	return &TLB{clock: clock, entries: make([]TLBEntry, size)}
+}
+
+// Size reports the number of entries.
+func (t *TLB) Size() int { return len(t.entries) }
+
+// Lookup translates (vpn, asid) on the fast path. It returns the entry and
+// true on a hit. No cycles are charged: hardware lookup is overlapped.
+func (t *TLB) Lookup(vpn uint32, asid uint8) (TLBEntry, bool) {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.Perms&PermValid != 0 && e.VPN == vpn && e.ASID == asid {
+			return *e, true
+		}
+	}
+	return TLBEntry{}, false
+}
+
+// Probe searches for an entry (the TLBP instruction), charging probe cost.
+// It returns the index or -1.
+func (t *TLB) Probe(vpn uint32, asid uint8) int {
+	t.clock.Tick(CostTLBProbe)
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.Perms&PermValid != 0 && e.VPN == vpn && e.ASID == asid {
+			return i
+		}
+	}
+	return -1
+}
+
+// WriteRandom installs an entry at the replacement cursor (TLBWR). An
+// existing entry for the same (VPN, ASID) is overwritten — duplicate tags
+// would machine-check real MIPS hardware — and otherwise an invalid slot
+// is preferred.
+func (t *TLB) WriteRandom(e TLBEntry) {
+	t.clock.Tick(CostTLBWrite)
+	for i := range t.entries {
+		if t.entries[i].Perms&PermValid != 0 && t.entries[i].VPN == e.VPN && t.entries[i].ASID == e.ASID {
+			t.entries[i] = e
+			return
+		}
+	}
+	for i := range t.entries {
+		if t.entries[i].Perms&PermValid == 0 {
+			t.entries[i] = e
+			return
+		}
+	}
+	t.next = t.next*1103515245 + 12345
+	t.entries[t.next%uint32(len(t.entries))] = e
+}
+
+// WriteIndexed installs an entry at a specific index (TLBWI).
+func (t *TLB) WriteIndexed(i int, e TLBEntry) {
+	t.clock.Tick(CostTLBWrite)
+	t.entries[i] = e
+}
+
+// Invalidate removes any entry for (vpn, asid), charging a probe plus a
+// write when present. It reports whether an entry was removed.
+func (t *TLB) Invalidate(vpn uint32, asid uint8) bool {
+	i := t.Probe(vpn, asid)
+	if i < 0 {
+		return false
+	}
+	t.clock.Tick(CostTLBWrite)
+	t.entries[i] = TLBEntry{}
+	return true
+}
+
+// InvalidateASID removes all entries for an address space (used when an
+// ASID is recycled). Cost: one pass over the TLB.
+func (t *TLB) InvalidateASID(asid uint8) {
+	t.clock.Tick(uint64(len(t.entries)) * CostTLBWrite / 4)
+	for i := range t.entries {
+		if t.entries[i].ASID == asid {
+			t.entries[i] = TLBEntry{}
+		}
+	}
+}
+
+// FlushFrame invalidates every entry mapping a physical frame, regardless
+// of address space. The kernel uses it to break all cached bindings to a
+// repossessed or deallocated page. Cost: one sweep of the TLB.
+func (t *TLB) FlushFrame(pfn uint32) {
+	t.clock.Tick(uint64(len(t.entries)) * CostTLBWrite / 4)
+	for i := range t.entries {
+		if t.entries[i].Perms&PermValid != 0 && t.entries[i].PFN == pfn {
+			t.entries[i] = TLBEntry{}
+		}
+	}
+}
+
+// Flush invalidates the whole TLB.
+func (t *TLB) Flush() {
+	t.clock.Tick(uint64(len(t.entries)) * CostTLBWrite / 4)
+	for i := range t.entries {
+		t.entries[i] = TLBEntry{}
+	}
+}

@@ -1,0 +1,171 @@
+// Package isa defines the instruction set of the simulated RISC machine: a
+// small MIPS-flavored, 32-register ISA. It exists so that *untrusted code
+// can be represented as data*: application exception handlers, downloaded
+// application-specific handlers (ASHs), and example programs are sequences
+// of these instructions, executed by internal/vm and vetted by
+// internal/sandbox before the kernel will run them.
+package isa
+
+import "fmt"
+
+// Op is an opcode.
+type Op uint8
+
+// Opcodes. Arithmetic follows MIPS conventions: ADD/ADDI trap on signed
+// overflow (the source of the paper's "overflow" exception benchmark);
+// the -U forms wrap.
+const (
+	NOP Op = iota
+
+	// Three-register ALU: rd = rs op rt.
+	ADD  // trapping add
+	ADDU // wrapping add
+	SUB
+	MUL
+	DIV // signed divide; divide-by-zero raises Break
+	REM
+	AND
+	OR
+	XOR
+	NOR
+	SLT  // rd = (rs < rt) signed
+	SLTU // rd = (rs < rt) unsigned
+
+	// Immediate ALU: rd = rs op imm.
+	ADDI  // trapping add immediate
+	ADDIU // wrapping add immediate
+	ANDI
+	ORI
+	XORI
+	SLTI
+	LUI // rd = imm << 16
+	SLL // rd = rs << imm
+	SRL // rd = rs >> imm (logical)
+	SRA // rd = rs >> imm (arithmetic)
+
+	// Memory: address = rs + imm. Word/half accesses must be aligned or
+	// they raise the address-error exception ("unalign" in Table 5).
+	LW
+	LH
+	LHU
+	LB
+	LBU
+	SW
+	SH
+	SB
+
+	// Control. Branch/jump targets are absolute instruction indexes
+	// resolved by the assembler. Branches compare rs (and rt for BEQ/BNE).
+	BEQ
+	BNE
+	BLEZ
+	BGTZ
+	BLTZ
+	BGEZ
+	J
+	JAL // r31 = return address
+	JR
+	JALR
+
+	// System.
+	SYSCALL // raises the syscall exception; code in v0, args in a0-a3
+	BREAK   // raises the breakpoint exception
+	COP1    // floating-point placeholder; raises "coprocessor unusable" when the FPU is disabled
+	HALT    // stops the interpreter (end of a standalone program or handler)
+
+	// Privileged (kernel mode only; user-mode use raises ExcPriv).
+	TLBWR // write TLB entry: a0=vpn|asid<<24, a1=pfn|perms<<28
+	RFE   // return from exception: resume at EPC with prior mode
+
+	// ASH message primitives, valid only inside a verified ASH running in
+	// the kernel's message context (anywhere else they raise ExcPriv).
+	// They implement "direct, dynamic message vectoring": the handler
+	// reads the incoming message and builds/sends replies itself.
+	PKTLW // rd = word at packet[rs+imm]
+	PKTLB // rd = byte at packet[rs+imm]
+	PKTLEN
+	XMIT // transmit sandbox bytes [rs, rs+rt) as a frame
+
+	numOps
+)
+
+var opNames = [...]string{
+	NOP: "nop", ADD: "add", ADDU: "addu", SUB: "sub", MUL: "mul", DIV: "div",
+	REM: "rem", AND: "and", OR: "or", XOR: "xor", NOR: "nor", SLT: "slt",
+	SLTU: "sltu", ADDI: "addi", ADDIU: "addiu", ANDI: "andi", ORI: "ori",
+	XORI: "xori", SLTI: "slti", LUI: "lui", SLL: "sll", SRL: "srl", SRA: "sra",
+	LW: "lw", LH: "lh", LHU: "lhu", LB: "lb", LBU: "lbu", SW: "sw", SH: "sh",
+	SB: "sb", BEQ: "beq", BNE: "bne", BLEZ: "blez", BGTZ: "bgtz", BLTZ: "bltz",
+	BGEZ: "bgez", J: "j", JAL: "jal", JR: "jr", JALR: "jalr",
+	SYSCALL: "syscall", BREAK: "break", COP1: "cop1", HALT: "halt",
+	TLBWR: "tlbwr", RFE: "rfe", PKTLW: "pktlw", PKTLB: "pktlb",
+	PKTLEN: "pktlen", XMIT: "xmit",
+}
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(numOps)
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether the opcode is defined.
+func (o Op) Valid() bool { return o < numOps }
+
+// Inst is one decoded instruction. The simulator stores code as []Inst
+// (a Harvard-style instruction store); the register fields follow the
+// usual rd/rs/rt roles and Imm carries immediates and resolved targets.
+type Inst struct {
+	Op     Op
+	Rd     uint8
+	Rs, Rt uint8
+	Imm    int32
+}
+
+// Code is an instruction segment. The program counter is an index into it.
+type Code []Inst
+
+func (i Inst) String() string {
+	switch i.Op {
+	case NOP, HALT, RFE, SYSCALL, BREAK, COP1:
+		return i.Op.String()
+	case ADD, ADDU, SUB, MUL, DIV, REM, AND, OR, XOR, NOR, SLT, SLTU:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Rs, i.Rt)
+	case ADDI, ADDIU, ANDI, ORI, XORI, SLTI, SLL, SRL, SRA:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Rs, i.Imm)
+	case LUI:
+		return fmt.Sprintf("lui r%d, %d", i.Rd, i.Imm)
+	case LW, LH, LHU, LB, LBU, PKTLW, PKTLB:
+		return fmt.Sprintf("%s r%d, %d(r%d)", i.Op, i.Rd, i.Imm, i.Rs)
+	case SW, SH, SB:
+		return fmt.Sprintf("%s r%d, %d(r%d)", i.Op, i.Rt, i.Imm, i.Rs)
+	case BEQ, BNE:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rs, i.Rt, i.Imm)
+	case BLEZ, BGTZ, BLTZ, BGEZ:
+		return fmt.Sprintf("%s r%d, %d", i.Op, i.Rs, i.Imm)
+	case J, JAL:
+		return fmt.Sprintf("%s %d", i.Op, i.Imm)
+	case JR:
+		return fmt.Sprintf("jr r%d", i.Rs)
+	case JALR:
+		return fmt.Sprintf("jalr r%d, r%d", i.Rd, i.Rs)
+	case PKTLEN:
+		return fmt.Sprintf("pktlen r%d", i.Rd)
+	case XMIT:
+		return fmt.Sprintf("xmit r%d, r%d", i.Rs, i.Rt)
+	default:
+		return i.Op.String()
+	}
+}
+
+// Disassemble renders a code segment with instruction indexes.
+func Disassemble(code Code) string {
+	out := ""
+	for pc, in := range code {
+		out += fmt.Sprintf("%4d: %s\n", pc, in)
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpNamesComplete(t *testing.T) {
+	for o := 0; o < NumOps; o++ {
+		name := Op(o).String()
+		if strings.HasPrefix(name, "op(") {
+			t.Errorf("opcode %d has no name", o)
+		}
+	}
+	if Op(200).Valid() {
+		t.Error("opcode 200 reported valid")
+	}
+	if !strings.HasPrefix(Op(200).String(), "op(") {
+		t.Error("invalid opcode printed a real name")
+	}
+}
+
+func TestInstStringShapes(t *testing.T) {
+	cases := map[string]Inst{
+		"add r1, r2, r3":  {Op: ADD, Rd: 1, Rs: 2, Rt: 3},
+		"addiu r1, r2, 5": {Op: ADDIU, Rd: 1, Rs: 2, Imm: 5},
+		"lw r4, 8(r29)":   {Op: LW, Rd: 4, Rs: 29, Imm: 8},
+		"sw r4, -4(r29)":  {Op: SW, Rt: 4, Rs: 29, Imm: -4},
+		"beq r1, r0, 7":   {Op: BEQ, Rs: 1, Rt: 0, Imm: 7},
+		"j 12":            {Op: J, Imm: 12},
+		"jr r31":          {Op: JR, Rs: 31},
+		"jalr r1, r2":     {Op: JALR, Rd: 1, Rs: 2},
+		"syscall":         {Op: SYSCALL},
+		"lui r5, 16":      {Op: LUI, Rd: 5, Imm: 16},
+		"pktlw r8, 4(r0)": {Op: PKTLW, Rd: 8, Rs: 0, Imm: 4},
+		"xmit r0, r9":     {Op: XMIT, Rs: 0, Rt: 9},
+		"pktlen r9":       {Op: PKTLEN, Rd: 9},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String(%+v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDisassembleNumbersLines(t *testing.T) {
+	code := Code{{Op: NOP}, {Op: HALT}}
+	out := Disassemble(code)
+	if !strings.Contains(out, "0: nop") || !strings.Contains(out, "1: halt") {
+		t.Errorf("Disassemble output malformed:\n%s", out)
+	}
+}
+
+// Property: every valid instruction disassembles to a non-empty string
+// that begins with the opcode's mnemonic.
+func TestQuickStringStartsWithMnemonic(t *testing.T) {
+	f := func(op uint8, rd, rs, rt uint8, imm int32) bool {
+		o := Op(op % uint8(NumOps))
+		in := Inst{Op: o, Rd: rd % 32, Rs: rs % 32, Rt: rt % 32, Imm: imm}
+		s := in.String()
+		return s != "" && strings.HasPrefix(s, o.String())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

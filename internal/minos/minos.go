@@ -1,0 +1,177 @@
+// Package minos is a second library operating system, deliberately tiny —
+// living evidence for the paper's claim that different library operating
+// systems "can coexist on the same machine and are fully protected by
+// Aegis" (§7), and that specialization pays: applications that don't need
+// UNIX shouldn't carry one.
+//
+// MinOS targets run-to-completion service tasks:
+//
+//   - the memory map is static: a heap of pages is allocated and its
+//     bindings installed eagerly at boot. There is no page table, no fault
+//     handler, no paging — capacity TLB misses are absorbed by the
+//     kernel's software TLB, and a reference outside the map is a fatal
+//     bug (recorded, task killed), not a signal;
+//   - scheduling is purely cooperative: the task yields when it is done;
+//     the time-slice interrupt just donates the slice onward;
+//   - the only inbound interface is the protected entry point: MinOS tasks
+//     are natural RPC servers.
+//
+// The whole personality is ~150 lines. An ExOS process with its paging,
+// signals, sockets, and file system runs beside it under the same kernel;
+// neither can touch the other's pages — the capabilities don't exist.
+package minos
+
+import (
+	"fmt"
+
+	"exokernel/internal/aegis"
+	"exokernel/internal/cap"
+	"exokernel/internal/hw"
+)
+
+// Task is a MinOS application instance.
+type Task struct {
+	K   *aegis.Kernel
+	Env *aegis.Env
+
+	heapBase uint32
+	heapEnd  uint32
+	brk      uint32
+	guards   []cap.Capability
+
+	// Handler is the task's RPC body: invoked on protected entry with the
+	// caller's argument registers; its results go back in v0/v1 when it
+	// replies.
+	Handler func(args [4]uint32) [2]uint32
+
+	// Fatal records the fault that killed the task, if any.
+	Fatal *aegis.TrapInfo
+	// Calls counts protected entries served.
+	Calls uint64
+}
+
+// HeapBase is where every MinOS task's heap starts (address spaces are
+// per-environment; the constant is a convention, not a conflict).
+const HeapBase = 0x0800_0000
+
+// Boot creates a task with heapPages of eagerly-bound memory.
+func Boot(k *aegis.Kernel, heapPages int) (*Task, error) {
+	env, err := k.NewEnv(nil)
+	if err != nil {
+		return nil, err
+	}
+	t := &Task{K: k, Env: env, heapBase: HeapBase, brk: HeapBase}
+	for i := 0; i < heapPages; i++ {
+		frame, guard, err := k.AllocPage(env, aegis.AnyFrame)
+		if err != nil {
+			return nil, err
+		}
+		va := HeapBase + uint32(i)*hw.PageSize
+		// Eager binding: the miss path will be the kernel's STLB, never
+		// this task (MinOS installs no TLB-miss handler at all).
+		if err := k.InstallMapping(env, va, frame, hw.PermWrite, guard); err != nil {
+			return nil, err
+		}
+		t.guards = append(t.guards, guard)
+	}
+	t.heapEnd = HeapBase + uint32(heapPages)*hw.PageSize
+
+	env.NativeExc = func(k *aegis.Kernel, tr aegis.TrapInfo) {
+		// No signals, no handlers: any fault is a bug in the task.
+		t.Fatal = &tr
+		k.Kill(env, tr)
+	}
+	env.NativeTLBMiss = func(k *aegis.Kernel, va uint32, write bool) bool {
+		// Eager bindings mean a genuine miss escaping the software TLB is
+		// an out-of-map reference: decline, so it lands in NativeExc.
+		return false
+	}
+	env.NativeInt = func(k *aegis.Kernel) {
+		// Cooperative personality: pass the slice on immediately.
+		k.M.Clock.Tick(6)
+		k.Yield(aegis.YieldNext)
+	}
+	env.NativeEntry = func(k *aegis.Kernel, caller aegis.EnvID) {
+		t.Calls++
+		k.M.Clock.Tick(6) // entry stub
+		var res [2]uint32
+		if t.Handler != nil {
+			args := [4]uint32{
+				k.M.CPU.Reg(hw.RegA0), k.M.CPU.Reg(hw.RegA1),
+				k.M.CPU.Reg(hw.RegA2), k.M.CPU.Reg(hw.RegA3),
+			}
+			res = t.Handler(args)
+		}
+		k.M.CPU.SetReg(hw.RegV0, res[0])
+		k.M.CPU.SetReg(hw.RegV1, res[1])
+		if caller != 0 {
+			if err := k.ProtCall(caller, false); err != nil {
+				// Caller gone; nothing to reply to.
+				_ = err
+			}
+		}
+	}
+	return t, nil
+}
+
+// Enter establishes the task's environment as the running one (a directed
+// yield when another environment holds the CPU).
+func (t *Task) Enter() {
+	if t.K.CurEnv() != t.Env {
+		t.K.Yield(t.Env.ID)
+	}
+}
+
+// Alloc bump-allocates n bytes from the static heap (word-aligned).
+// MinOS has no free: run-to-completion tasks release everything at exit.
+func (t *Task) Alloc(n uint32) (uint32, error) {
+	n = (n + hw.WordSize - 1) &^ (hw.WordSize - 1)
+	if t.brk+n > t.heapEnd {
+		return 0, fmt.Errorf("minos: heap exhausted (%d of %d bytes used)", t.brk-t.heapBase, t.heapEnd-t.heapBase)
+	}
+	va := t.brk
+	t.brk += n
+	t.K.M.Clock.Tick(3)
+	return va, nil
+}
+
+// Store writes a word into the task's heap through the MMU. Hardware-TLB
+// capacity misses are refilled by the kernel's software TLB and retried;
+// anything else is a fatal fault.
+func (t *Task) Store(va, v uint32) error {
+	pa, err := t.translate(va, true)
+	if err != nil {
+		return err
+	}
+	t.K.M.Phys.WriteWord(pa, v)
+	return nil
+}
+
+// Load reads a word from the task's heap.
+func (t *Task) Load(va uint32) (uint32, error) {
+	pa, err := t.translate(va, false)
+	if err != nil {
+		return 0, err
+	}
+	return t.K.M.Phys.ReadWord(pa), nil
+}
+
+func (t *Task) translate(va uint32, write bool) (uint32, error) {
+	m := t.K.M
+	for try := 0; try < 4; try++ {
+		pa, exc := m.Translate(va, write)
+		if exc == hw.ExcNone {
+			return pa, nil
+		}
+		m.RaiseException(exc, m.CPU.PC, va)
+		if t.Env.Dead {
+			return 0, fmt.Errorf("minos: fatal %v at %#x", exc, va)
+		}
+	}
+	return 0, fmt.Errorf("minos: unresolvable miss at %#x", va)
+}
+
+// Exit terminates the task and returns every resource to the kernel.
+func (t *Task) Exit() {
+	t.K.DestroyEnv(t.Env)
+}

@@ -1,0 +1,175 @@
+package minos
+
+import (
+	"testing"
+
+	"exokernel/internal/aegis"
+	"exokernel/internal/exos"
+	"exokernel/internal/hw"
+)
+
+func boot(t *testing.T) (*hw.Machine, *aegis.Kernel) {
+	t.Helper()
+	m := hw.NewMachine(hw.DEC5000)
+	return m, aegis.New(m)
+}
+
+func TestBootAllocStoreLoad(t *testing.T) {
+	_, k := boot(t)
+	task, err := Boot(k, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task.Enter()
+	va, err := task.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := task.Store(va, 0xBEEF); err != nil {
+		t.Fatal(err)
+	}
+	got, err := task.Load(va)
+	if err != nil || got != 0xBEEF {
+		t.Fatalf("load = %#x, %v", got, err)
+	}
+	// Alignment and exhaustion.
+	if va2, _ := task.Alloc(1); va2%4 != 0 {
+		t.Error("allocation unaligned")
+	}
+	if _, err := task.Alloc(1 << 20); err == nil {
+		t.Error("over-allocation succeeded")
+	}
+}
+
+func TestEagerBindingsNeedNoHandler(t *testing.T) {
+	m, k := boot(t)
+	// 80 pages exceed the hardware TLB; the STLB serves the capacity
+	// misses because the bindings were installed eagerly at boot. MinOS
+	// never sees a TLB miss, despite installing no handler.
+	task, err := Boot(k, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task.Enter()
+	for i := 0; i < 80; i++ {
+		va := HeapBase + uint32(i)*hw.PageSize
+		if err := task.Store(va, uint32(i)); err != nil {
+			t.Fatalf("page %d: %v", i, err)
+		}
+	}
+	if k.Stats.TLBUpcalls != 0 {
+		t.Errorf("%d misses escaped to the application", k.Stats.TLBUpcalls)
+	}
+	if task.Fatal != nil {
+		t.Errorf("task died: %+v", task.Fatal)
+	}
+	_ = m
+}
+
+func TestFaultIsFatalAndContained(t *testing.T) {
+	_, k := boot(t)
+	task, err := Boot(k, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := exos.Boot(k) // an ExOS process beside it
+	if err != nil {
+		t.Fatal(err)
+	}
+	task.Enter()
+	if err := task.Store(0x7777_0000, 1); err == nil {
+		t.Fatal("out-of-map store succeeded")
+	}
+	if task.Fatal == nil || !task.Env.Dead {
+		t.Error("fault was not fatal to the task")
+	}
+	// The neighbor is untouched and still works.
+	if other.Env.Dead {
+		t.Error("neighboring ExOS process died with the task")
+	}
+	other.Enter()
+	if _, err := other.AllocAndMap(0x1000_0000); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.TouchWrite(0x1000_0000); err != nil {
+		t.Errorf("neighbor broken after task fault: %v", err)
+	}
+}
+
+func TestCoexistenceRPCFromExOS(t *testing.T) {
+	// The §7 scene: an ExOS process and a MinOS task under one kernel,
+	// talking through protected control transfer. Neither library knows
+	// the other exists; the register contract is the whole interface.
+	m, k := boot(t)
+	task, err := Boot(k, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task.Handler = func(args [4]uint32) [2]uint32 {
+		return [2]uint32{args[0]*args[1] + args[2], 1}
+	}
+	client, err := exos.Boot(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Enter()
+	cpu := &m.CPU
+	cpu.SetReg(hw.RegA0, 6)
+	cpu.SetReg(hw.RegA1, 7)
+	cpu.SetReg(hw.RegA2, 3)
+	if err := k.ProtCall(task.Env.ID, false); err != nil {
+		t.Fatal(err)
+	}
+	// MinOS computed and PCT'd back; the reply is in our registers.
+	if got := cpu.Reg(hw.RegV0); got != 45 {
+		t.Errorf("rpc result = %d, want 45", got)
+	}
+	if task.Calls != 1 {
+		t.Errorf("calls = %d", task.Calls)
+	}
+	if k.CurEnv() != client.Env {
+		t.Error("control did not return to the ExOS client")
+	}
+}
+
+func TestExitReclaims(t *testing.T) {
+	m, k := boot(t)
+	free0 := m.Phys.FreeFrames()
+	task, err := Boot(k, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task.Exit()
+	if got := m.Phys.FreeFrames(); got != free0 {
+		t.Errorf("free frames = %d, want %d (heap + save area reclaimed)", got, free0)
+	}
+}
+
+func TestIsolationBetweenTasks(t *testing.T) {
+	_, k := boot(t)
+	a, err := Boot(k, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Boot(k, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Enter()
+	if err := a.Store(HeapBase, 111); err != nil {
+		t.Fatal(err)
+	}
+	b.Enter()
+	if err := b.Store(HeapBase, 222); err != nil {
+		t.Fatal(err)
+	}
+	// Same virtual address, different environments, different pages.
+	a.Enter()
+	if v, _ := a.Load(HeapBase); v != 111 {
+		t.Errorf("a's word = %d (address spaces leaked)", v)
+	}
+	b.Enter()
+	if v, _ := b.Load(HeapBase); v != 222 {
+		t.Errorf("b's word = %d", v)
+	}
+}

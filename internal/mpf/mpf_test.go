@@ -1,0 +1,91 @@
+package mpf
+
+import (
+	"testing"
+
+	"exokernel/internal/dpf"
+	"exokernel/internal/pkt"
+)
+
+func flowN(i int) pkt.Flow {
+	return pkt.Flow{
+		Proto: pkt.ProtoTCP,
+		SrcIP: pkt.IP(10, 0, 0, byte(i+1)), DstIP: pkt.IP(10, 0, 0, 200),
+		SrcPort: uint16(1000 + i), DstPort: uint16(2000 + i),
+	}
+}
+
+func TestClassifyMatchesDPF(t *testing.T) {
+	me := NewEngine()
+	de := dpf.NewEngine()
+	for i := 0; i < 10; i++ {
+		if _, err := me.Insert(FlowProgram(flowN(i))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := de.Insert(dpf.FlowFilter(flowN(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if me.Count() != 10 {
+		t.Fatalf("Count = %d", me.Count())
+	}
+	for i := 0; i < 10; i++ {
+		frame := pkt.Build(pkt.Addr{}, pkt.Addr{}, flowN(i), []byte("y"))
+		mid, mc, mok := me.Classify(frame)
+		did, _, dok := de.Classify(frame)
+		if !mok || !dok || mid != did {
+			t.Errorf("flow %d: mpf=%d(%v) dpf=%d(%v)", i, mid, mok, did, dok)
+		}
+		if mc == 0 {
+			t.Error("mpf reported zero cycles")
+		}
+	}
+}
+
+func TestLinearCostGrowth(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 10; i++ {
+		if _, err := e.Insert(FlowProgram(flowN(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := pkt.Build(pkt.Addr{}, pkt.Addr{}, flowN(0), nil)
+	last := pkt.Build(pkt.Addr{}, pkt.Addr{}, flowN(9), nil)
+	_, cFirst, _ := e.Classify(first)
+	_, cLast, _ := e.Classify(last)
+	if cLast <= cFirst*5 {
+		t.Errorf("per-filter interpretation should make the last filter ~10x the first: first=%d last=%d", cFirst, cLast)
+	}
+}
+
+func TestNoMatchAndBounds(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Insert(FlowProgram(flowN(0))); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := e.Classify([]byte{1, 2}); ok {
+		t.Error("truncated frame matched")
+	}
+	other := pkt.Build(pkt.Addr{}, pkt.Addr{}, flowN(3), nil)
+	if _, _, ok := e.Classify(other); ok {
+		t.Error("wrong flow matched")
+	}
+	if _, err := e.Insert(nil); err == nil {
+		t.Error("empty program accepted")
+	}
+}
+
+func TestCompileMask(t *testing.T) {
+	e := NewEngine()
+	prog := Compile(dpf.Filter{{Off: 0, Size: 1, Mask: 0xF0, Val: 0x40}})
+	id, err := e.Insert(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _, ok := e.Classify([]byte{0x45}); !ok || got != id {
+		t.Error("masked bytecode match failed")
+	}
+	if _, _, ok := e.Classify([]byte{0x55}); ok {
+		t.Error("masked bytecode matched wrong value")
+	}
+}

@@ -1,0 +1,102 @@
+package pathfinder
+
+import (
+	"testing"
+
+	"exokernel/internal/dpf"
+	"exokernel/internal/pkt"
+)
+
+func flowN(i int) pkt.Flow {
+	return pkt.Flow{
+		Proto: pkt.ProtoTCP,
+		SrcIP: pkt.IP(10, 0, 0, byte(i+1)), DstIP: pkt.IP(10, 0, 0, 200),
+		SrcPort: uint16(1000 + i), DstPort: uint16(2000 + i),
+	}
+}
+
+func TestClassifyMatchesDPF(t *testing.T) {
+	pe := NewEngine()
+	de := dpf.NewEngine()
+	for i := 0; i < 10; i++ {
+		if _, err := pe.Insert(FlowPattern(flowN(i))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := de.Insert(dpf.FlowFilter(flowN(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pe.Count() != 10 {
+		t.Fatalf("Count = %d", pe.Count())
+	}
+	for i := 0; i < 10; i++ {
+		frame := pkt.Build(pkt.Addr{}, pkt.Addr{}, flowN(i), []byte("z"))
+		pid, pc, pok := pe.Classify(frame)
+		did, _, dok := de.Classify(frame)
+		if !pok || !dok || pid != did {
+			t.Errorf("flow %d: pathfinder=%d(%v) dpf=%d(%v)", i, pid, pok, did, dok)
+		}
+		if pc == 0 {
+			t.Error("pathfinder reported zero cycles")
+		}
+	}
+}
+
+func TestMergedCostSublinear(t *testing.T) {
+	pe := NewEngine()
+	for i := 0; i < 10; i++ {
+		if _, err := pe.Insert(FlowPattern(flowN(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Merged cells: a match should evaluate ~6 cells, not 60.
+	frame := pkt.Build(pkt.Addr{}, pkt.Addr{}, flowN(9), nil)
+	_, cycles, ok := pe.Classify(frame)
+	if !ok {
+		t.Fatal("classify failed")
+	}
+	if cells := cycles / CyclesPerCell; cells > 12 {
+		t.Errorf("merged walk evaluated %d cells, want ~6", cells)
+	}
+}
+
+func TestBacktrackingAcrossPatterns(t *testing.T) {
+	pe := NewEngine()
+	fine, err := pe.Insert(dpf.FlowFilter(flowN(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := pe.Insert(dpf.PortFilter(pkt.ProtoTCP, uint16(2000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := pkt.Build(pkt.Addr{}, pkt.Addr{}, flowN(0), nil)
+	if id, _, _ := pe.Classify(full); id != fine {
+		t.Errorf("specific flow = %d, want %d", id, fine)
+	}
+	other := flowN(0)
+	other.SrcPort = 7777
+	frame := pkt.Build(pkt.Addr{}, pkt.Addr{}, other, nil)
+	if id, _, _ := pe.Classify(frame); id != coarse {
+		t.Errorf("fallback flow = %d, want %d", id, coarse)
+	}
+}
+
+func TestNoMatch(t *testing.T) {
+	pe := NewEngine()
+	if _, _, ok := pe.Classify([]byte{1}); ok {
+		t.Error("empty engine matched")
+	}
+	if _, err := pe.Insert(FlowPattern(flowN(0))); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := pe.Classify([]byte{1, 2, 3}); ok {
+		t.Error("garbage matched")
+	}
+	if _, err := pe.Insert(nil); err == nil {
+		t.Error("empty pattern accepted")
+	}
+	if _, err := pe.Insert(FlowPattern(flowN(0))); err == nil {
+		t.Error("duplicate pattern accepted")
+	}
+}

@@ -1,0 +1,48 @@
+package pkt
+
+import "encoding/binary"
+
+// TCP header field access. Offsets are relative to the frame start (the
+// TCP header begins after the Ethernet and IP headers). Only the fields
+// the library TCP uses are exposed.
+
+// TCP flag bits.
+const (
+	TCPFin = 1 << 0
+	TCPSyn = 1 << 1
+	TCPRst = 1 << 2
+	TCPAck = 1 << 4
+)
+
+const (
+	tcpSeqOff   = EtherLen + IPLen + 4
+	tcpAckOff   = EtherLen + IPLen + 8
+	tcpFlagsOff = EtherLen + IPLen + 13
+	tcpWinOff   = EtherLen + IPLen + 14
+)
+
+// SetTCP fills the sequence, acknowledgement, flag, and window fields of a
+// frame built with Build (proto TCP).
+func SetTCP(frame []byte, seq, ack uint32, flags byte, window uint16) {
+	binary.BigEndian.PutUint32(frame[tcpSeqOff:], seq)
+	binary.BigEndian.PutUint32(frame[tcpAckOff:], ack)
+	frame[tcpFlagsOff] = flags
+	binary.BigEndian.PutUint16(frame[tcpWinOff:], window)
+}
+
+// TCPSeq reads the sequence number.
+func TCPSeq(frame []byte) uint32 { return binary.BigEndian.Uint32(frame[tcpSeqOff:]) }
+
+// TCPAckNum reads the acknowledgement number.
+func TCPAckNum(frame []byte) uint32 { return binary.BigEndian.Uint32(frame[tcpAckOff:]) }
+
+// TCPFlags reads the flag byte.
+func TCPFlags(frame []byte) byte { return frame[tcpFlagsOff] }
+
+// TCPWindow reads the advertised window.
+func TCPWindow(frame []byte) uint16 { return binary.BigEndian.Uint16(frame[tcpWinOff:]) }
+
+// IsTCP reports whether a frame is long enough to carry the TCP fields.
+func IsTCP(frame []byte) bool {
+	return len(frame) >= EtherLen+IPLen+TCPLen && frame[IPProto] == ProtoTCP
+}

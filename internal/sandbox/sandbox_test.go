@@ -1,0 +1,150 @@
+package sandbox
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"exokernel/internal/asm"
+	"exokernel/internal/isa"
+)
+
+func verifySrc(t *testing.T, src string, policy Policy) (Result, error) {
+	t.Helper()
+	return Verify(asm.MustAssemble(src), policy)
+}
+
+func TestAcceptsLoopFreeASH(t *testing.T) {
+	res, err := verifySrc(t, `
+		pktlw t0, 0(zero)
+		sw    t0, 0(zero)
+		pktlen t1
+		xmit  zero, t1
+		halt
+	`, PolicyASH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxSteps != 5 {
+		t.Errorf("MaxSteps = %d, want 5", res.MaxSteps)
+	}
+}
+
+func TestAcceptsForwardBranches(t *testing.T) {
+	if _, err := verifySrc(t, `
+		pktlb t0, 0(zero)
+		beq   t0, zero, skip
+		addiu t1, zero, 1
+	skip:
+		halt
+	`, PolicyASH); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsBackwardBranch(t *testing.T) {
+	_, err := verifySrc(t, `
+	loop:
+		addiu t0, t0, 1
+		bne   t0, t1, loop
+		halt
+	`, PolicyASH)
+	wantRejected(t, err, "backward branch")
+}
+
+func TestRejectsSelfBranch(t *testing.T) {
+	_, err := Verify(isa.Code{{Op: isa.J, Imm: 0}, {Op: isa.HALT}}, PolicyASH)
+	wantRejected(t, err, "backward branch")
+}
+
+func TestRejectsPrivileged(t *testing.T) {
+	for _, op := range []isa.Op{isa.TLBWR, isa.RFE} {
+		_, err := Verify(isa.Code{{Op: op}, {Op: isa.HALT}}, PolicyASH)
+		wantRejected(t, err, "privileged")
+	}
+}
+
+func TestRejectsIndirectJumps(t *testing.T) {
+	for _, op := range []isa.Op{isa.JR, isa.JALR} {
+		_, err := Verify(isa.Code{{Op: op, Rs: 31}, {Op: isa.HALT}}, PolicyASH)
+		wantRejected(t, err, "indirect jump")
+	}
+}
+
+func TestPolicyDifferences(t *testing.T) {
+	// SYSCALL: handlers return through it; ASHs must not make them.
+	sys := isa.Code{{Op: isa.SYSCALL}, {Op: isa.HALT}}
+	if _, err := Verify(sys, PolicyHandler); err != nil {
+		t.Errorf("handler syscall rejected: %v", err)
+	}
+	if _, err := Verify(sys, PolicyASH); err == nil {
+		t.Error("ASH syscall accepted")
+	}
+	// Packet primitives: only in ASHs.
+	pkt := isa.Code{{Op: isa.PKTLEN, Rd: 8}, {Op: isa.HALT}}
+	if _, err := Verify(pkt, PolicyASH); err != nil {
+		t.Errorf("ASH pktlen rejected: %v", err)
+	}
+	if _, err := Verify(pkt, PolicyHandler); err == nil {
+		t.Error("handler pktlen accepted")
+	}
+}
+
+func TestRejectsEmptyAndInvalid(t *testing.T) {
+	if _, err := Verify(nil, PolicyASH); err == nil {
+		t.Error("empty program accepted")
+	}
+	if _, err := Verify(isa.Code{{Op: isa.Op(200)}}, PolicyASH); err == nil {
+		t.Error("invalid opcode accepted")
+	}
+	if _, err := Verify(isa.Code{{Op: isa.BREAK}, {Op: isa.HALT}}, PolicyASH); err == nil {
+		t.Error("break accepted")
+	}
+	if _, err := Verify(isa.Code{{Op: isa.COP1}, {Op: isa.HALT}}, PolicyASH); err == nil {
+		t.Error("cop1 accepted")
+	}
+}
+
+func TestRejectsOutOfRangeTarget(t *testing.T) {
+	_, err := Verify(isa.Code{{Op: isa.J, Imm: 99}, {Op: isa.HALT}}, PolicyASH)
+	wantRejected(t, err, "out of range")
+	_, err = Verify(isa.Code{{Op: isa.BEQ, Imm: -1}, {Op: isa.HALT}}, PolicyASH)
+	wantRejected(t, err, "out of range")
+}
+
+func wantRejected(t *testing.T, err error, sub string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("program accepted, want rejection containing %q", sub)
+	}
+	if !strings.Contains(err.Error(), sub) {
+		t.Fatalf("error = %v, want substring %q", err, sub)
+	}
+}
+
+// Property: the bound is sound — any accepted program of length n can
+// execute at most n instructions, because every branch strictly advances.
+func TestQuickBoundEqualsLength(t *testing.T) {
+	ops := []isa.Op{isa.ADDU, isa.ADDIU, isa.AND, isa.SLL, isa.LW, isa.SW, isa.NOP}
+	f := func(seed []uint8) bool {
+		code := make(isa.Code, 0, len(seed)+1)
+		for i, b := range seed {
+			op := ops[int(b)%len(ops)]
+			in := isa.Inst{Op: op, Rd: b % 32, Rs: (b >> 2) % 32, Imm: int32(b)}
+			if b%5 == 0 {
+				// Sprinkle in forward branches.
+				in = isa.Inst{Op: isa.BEQ, Imm: int32(i + 1)}
+			}
+			code = append(code, in)
+		}
+		code = append(code, isa.Inst{Op: isa.HALT})
+		res, err := Verify(code, PolicyASH)
+		if err != nil {
+			return true // rejection is always sound
+		}
+		return res.MaxSteps == len(code)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

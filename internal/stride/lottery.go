@@ -1,0 +1,88 @@
+package stride
+
+import (
+	"fmt"
+
+	"exokernel/internal/aegis"
+)
+
+// Lottery is the randomized proportional-share scheduler of Waldspurger &
+// Weihl [53] that stride scheduling improves on [54]: each quantum a
+// winning ticket is drawn and its holder runs. Expected allocation matches
+// the ticket ratio, but the throughput error grows as O(sqrt(allocations))
+// where stride's is O(1) — the comparison the paper's §7.3 alludes to, and
+// the AblationSched experiment quantifies. Like the stride scheduler it is
+// unprivileged application code over directed yield; the random stream is
+// a seeded generator (deterministic runs).
+type Lottery struct {
+	K   *aegis.Kernel
+	Env *aegis.Env
+	// Clients in registration order.
+	Clients []*Client
+	total   uint64
+	rng     uint64
+}
+
+// NewLottery attaches a lottery scheduler to its own environment.
+func NewLottery(k *aegis.Kernel, seed uint64) (*Lottery, error) {
+	env, err := k.NewEnv(nil)
+	if err != nil {
+		return nil, err
+	}
+	l := &Lottery{K: k, Env: env, rng: seed | 1}
+	env.NativeRun = l.dispatch
+	return l, nil
+}
+
+// Add registers a sub-process with a ticket allocation.
+func (l *Lottery) Add(env aegis.EnvID, tickets uint64) (*Client, error) {
+	if tickets == 0 {
+		return nil, fmt.Errorf("stride: zero tickets")
+	}
+	c := &Client{Env: env, Tickets: tickets}
+	l.Clients = append(l.Clients, c)
+	l.total += tickets
+	return c, nil
+}
+
+func (l *Lottery) next() uint64 {
+	l.rng = l.rng*6364136223846793005 + 1442695040888963407
+	return l.rng >> 11
+}
+
+// dispatch draws a ticket and yields to the winner.
+func (l *Lottery) dispatch(k *aegis.Kernel) {
+	if l.total == 0 {
+		return
+	}
+	k.M.Clock.Tick(uint64(6 + 2*len(l.Clients))) // draw + ticket walk
+	win := l.next() % l.total
+	var acc uint64
+	for _, c := range l.Clients {
+		acc += c.Tickets
+		if win < acc {
+			c.Quanta++
+			k.Yield(c.Env)
+			if e, ok := k.Env(c.Env); ok && e.NativeRun != nil {
+				e.NativeRun(k)
+			}
+			return
+		}
+	}
+}
+
+// Shares reports each client's fraction of quanta so far.
+func (l *Lottery) Shares() []float64 {
+	var total uint64
+	for _, c := range l.Clients {
+		total += c.Quanta
+	}
+	out := make([]float64, len(l.Clients))
+	if total == 0 {
+		return out
+	}
+	for i, c := range l.Clients {
+		out[i] = float64(c.Quanta) / float64(total)
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+// Package stride implements stride scheduling [54] as an *application
+// level* scheduler (§7.3 of the paper): "The ExOS implementation maintains
+// a list of processes for which it is responsible, along with the
+// proportional share they are to receive of its time slice(s). On every
+// time slice wakeup, the scheduler calculates which process is to be
+// scheduled and yields to it directly."
+//
+// The kernel knows nothing about tickets or strides — it only sees the
+// scheduler environment's directed yields. That an accurate
+// proportional-share policy can live entirely in unprivileged code is the
+// point of the experiment (Figure 3's 3:2:1 allocation).
+package stride
+
+import (
+	"fmt"
+
+	"exokernel/internal/aegis"
+)
+
+// stride1 is the stride constant: strides are stride1 / tickets.
+const stride1 = 1 << 20
+
+// Client is one scheduled sub-process.
+type Client struct {
+	Env     aegis.EnvID
+	Tickets uint64
+	stride  uint64
+	pass    uint64
+	// Quanta counts slices this client received.
+	Quanta uint64
+}
+
+// Scheduler is the application-level proportional-share scheduler.
+type Scheduler struct {
+	K   *aegis.Kernel
+	Env *aegis.Env
+	// Clients in registration order.
+	Clients []*Client
+	// Dispatches counts scheduling decisions made.
+	Dispatches uint64
+}
+
+// New attaches a stride scheduler to its own environment; the kernel's
+// slice vector gives that environment slices, and the scheduler re-donates
+// them to its clients.
+func New(k *aegis.Kernel) (*Scheduler, error) {
+	env, err := k.NewEnv(nil)
+	if err != nil {
+		return nil, err
+	}
+	s := &Scheduler{K: k, Env: env}
+	env.NativeRun = s.dispatch
+	return s, nil
+}
+
+// Add registers a sub-process with a ticket allocation.
+func (s *Scheduler) Add(env aegis.EnvID, tickets uint64) (*Client, error) {
+	if tickets == 0 {
+		return nil, fmt.Errorf("stride: zero tickets")
+	}
+	c := &Client{Env: env, Tickets: tickets, stride: stride1 / tickets}
+	// New clients start at the minimum pass so they cannot be starved nor
+	// monopolize (standard stride join rule).
+	c.pass = s.minPass()
+	s.Clients = append(s.Clients, c)
+	return c, nil
+}
+
+func (s *Scheduler) minPass() uint64 {
+	if len(s.Clients) == 0 {
+		return 0
+	}
+	min := s.Clients[0].pass
+	for _, c := range s.Clients[1:] {
+		if c.pass < min {
+			min = c.pass
+		}
+	}
+	return min
+}
+
+// dispatch is the scheduler's slice body: pick the minimum-pass client,
+// advance its pass by its stride, and yield the slice to it directly.
+func (s *Scheduler) dispatch(k *aegis.Kernel) {
+	if len(s.Clients) == 0 {
+		return
+	}
+	// Scheduling decision: a handful of compares — application code,
+	// charged like any other application code.
+	k.M.Clock.Tick(uint64(4 + 2*len(s.Clients)))
+	best := s.Clients[0]
+	for _, c := range s.Clients[1:] {
+		if c.pass < best.pass || (c.pass == best.pass && c.Tickets > best.Tickets) {
+			best = c
+		}
+	}
+	best.pass += best.stride
+	best.Quanta++
+	s.Dispatches++
+	k.Yield(best.Env)
+	if e, ok := k.Env(best.Env); ok && e.NativeRun != nil {
+		// The donated slice runs the client's body.
+		e.NativeRun(k)
+	}
+}
+
+// Shares reports each client's fraction of quanta so far, in registration
+// order.
+func (s *Scheduler) Shares() []float64 {
+	var total uint64
+	for _, c := range s.Clients {
+		total += c.Quanta
+	}
+	out := make([]float64, len(s.Clients))
+	if total == 0 {
+		return out
+	}
+	for i, c := range s.Clients {
+		out[i] = float64(c.Quanta) / float64(total)
+	}
+	return out
+}

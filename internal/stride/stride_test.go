@@ -1,0 +1,256 @@
+package stride
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"exokernel/internal/aegis"
+	"exokernel/internal/exos"
+	"exokernel/internal/hw"
+)
+
+func setup(t *testing.T, tickets []uint64) (*aegis.Kernel, *Scheduler, []*Client) {
+	t.Helper()
+	m := hw.NewMachine(hw.DEC5000)
+	k := aegis.New(m)
+	k.SetQuantum(1000)
+	s, err := New(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clients []*Client
+	for _, tk := range tickets {
+		w, err := exos.NewWorker(k, func(k *aegis.Kernel) { k.M.Clock.Tick(k.Quantum()) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := s.Add(w.ID, tk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	k.SetSliceVector([]aegis.EnvID{s.Env.ID})
+	return k, s, clients
+}
+
+func run(t *testing.T, k *aegis.Kernel, quanta int) {
+	t.Helper()
+	for i := 0; i < quanta; i++ {
+		if !k.DispatchNative() {
+			t.Fatal("nothing runnable")
+		}
+	}
+}
+
+func TestProportionalShare321(t *testing.T) {
+	k, s, clients := setup(t, []uint64{3, 2, 1})
+	run(t, k, 600)
+	if got := clients[0].Quanta; got != 300 {
+		t.Errorf("A quanta = %d, want 300", got)
+	}
+	if got := clients[1].Quanta; got != 200 {
+		t.Errorf("B quanta = %d, want 200", got)
+	}
+	if got := clients[2].Quanta; got != 100 {
+		t.Errorf("C quanta = %d, want 100", got)
+	}
+	shares := s.Shares()
+	for i, want := range []float64{0.5, 1.0 / 3, 1.0 / 6} {
+		if math.Abs(shares[i]-want) > 0.01 {
+			t.Errorf("share[%d] = %.3f, want %.3f", i, shares[i], want)
+		}
+	}
+}
+
+func TestEqualTickets(t *testing.T) {
+	k, _, clients := setup(t, []uint64{5, 5})
+	run(t, k, 100)
+	if clients[0].Quanta != 50 || clients[1].Quanta != 50 {
+		t.Errorf("quanta = %d/%d", clients[0].Quanta, clients[1].Quanta)
+	}
+}
+
+func TestThroughputErrorBounded(t *testing.T) {
+	// Stride scheduling's claim: absolute error vs. the ideal share stays
+	// O(1) quanta at every prefix of the schedule, not just at the end.
+	k, _, clients := setup(t, []uint64{7, 3})
+	total := 0
+	for step := 0; step < 500; step++ {
+		if !k.DispatchNative() {
+			t.Fatal("nothing runnable")
+		}
+		total++
+		ideal0 := float64(total) * 0.7
+		if math.Abs(float64(clients[0].Quanta)-ideal0) > 1.5 {
+			t.Fatalf("after %d quanta: client0 has %d, ideal %.1f", total, clients[0].Quanta, ideal0)
+		}
+	}
+}
+
+func TestDynamicJoin(t *testing.T) {
+	k, s, clients := setup(t, []uint64{1})
+	run(t, k, 100)
+	w, err := exos.NewWorker(k, func(k *aegis.Kernel) { k.M.Clock.Tick(k.Quantum()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := s.Add(w.ID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NewEnv gave the worker its own kernel slice; all slices stay with
+	// the scheduler, which re-donates them by ticket policy.
+	k.SetSliceVector([]aegis.EnvID{s.Env.ID})
+	run(t, k, 100)
+	// The late joiner neither starves nor monopolizes: it gets roughly
+	// half of the post-join quanta.
+	if late.Quanta < 40 || late.Quanta > 60 {
+		t.Errorf("late joiner quanta = %d, want ~50", late.Quanta)
+	}
+	if clients[0].Quanta < 140 {
+		t.Errorf("original client lost history: %d", clients[0].Quanta)
+	}
+}
+
+func TestZeroTicketsRejected(t *testing.T) {
+	m := hw.NewMachine(hw.DEC5000)
+	k := aegis.New(m)
+	s, err := New(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(1, 0); err == nil {
+		t.Error("zero tickets accepted")
+	}
+}
+
+func TestSharesEmpty(t *testing.T) {
+	m := hw.NewMachine(hw.DEC5000)
+	k := aegis.New(m)
+	s, err := New(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Shares(); len(got) != 0 {
+		t.Errorf("Shares = %v", got)
+	}
+	// Dispatch with no clients is a no-op, not a crash.
+	s.dispatch(k)
+}
+
+func TestLotteryConvergesButWanders(t *testing.T) {
+	m := hw.NewMachine(hw.DEC5000)
+	k := aegis.New(m)
+	k.SetQuantum(1000)
+	l, err := NewLottery(k, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clients []*Client
+	for _, tk := range []uint64{3, 1} {
+		w, err := exos.NewWorker(k, func(k *aegis.Kernel) { k.M.Clock.Tick(k.Quantum()) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := l.Add(w.ID, tk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	k.SetSliceVector([]aegis.EnvID{l.Env.ID})
+	const rounds = 4000
+	for i := 0; i < rounds; i++ {
+		if !k.DispatchNative() {
+			t.Fatal("starved")
+		}
+	}
+	share := float64(clients[0].Quanta) / rounds
+	if share < 0.70 || share > 0.80 {
+		t.Errorf("lottery share = %.3f, want ~0.75", share)
+	}
+	if _, err := l.Add(1, 0); err == nil {
+		t.Error("zero tickets accepted")
+	}
+	if got := l.Shares(); len(got) != 2 {
+		t.Errorf("Shares = %v", got)
+	}
+}
+
+func TestLotteryDeterministicWithSeed(t *testing.T) {
+	run := func() uint64 {
+		m := hw.NewMachine(hw.DEC5000)
+		k := aegis.New(m)
+		k.SetQuantum(1000)
+		l, err := NewLottery(k, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, _ := exos.NewWorker(k, func(k *aegis.Kernel) { k.M.Clock.Tick(k.Quantum()) })
+		w2, _ := exos.NewWorker(k, func(k *aegis.Kernel) { k.M.Clock.Tick(k.Quantum()) })
+		c1, _ := l.Add(w.ID, 1)
+		l.Add(w2.ID, 1)
+		k.SetSliceVector([]aegis.EnvID{l.Env.ID})
+		for i := 0; i < 500; i++ {
+			k.DispatchNative()
+		}
+		return c1.Quanta
+	}
+	if run() != run() {
+		t.Error("seeded lottery is not deterministic")
+	}
+}
+
+// Property: for any ticket vector, long-run shares converge to the ticket
+// proportions within a small tolerance.
+func TestQuickProportionality(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 5 {
+			return true
+		}
+		tickets := make([]uint64, len(raw))
+		var sum uint64
+		for i, r := range raw {
+			tickets[i] = uint64(r%9) + 1
+			sum += tickets[i]
+		}
+		m := hw.NewMachine(hw.DEC5000)
+		k := aegis.New(m)
+		k.SetQuantum(100)
+		s, err := New(k)
+		if err != nil {
+			return false
+		}
+		var clients []*Client
+		for _, tk := range tickets {
+			w, err := exos.NewWorker(k, func(k *aegis.Kernel) { k.M.Clock.Tick(k.Quantum()) })
+			if err != nil {
+				return false
+			}
+			c, err := s.Add(w.ID, tk)
+			if err != nil {
+				return false
+			}
+			clients = append(clients, c)
+		}
+		k.SetSliceVector([]aegis.EnvID{s.Env.ID})
+		const rounds = 2000
+		for i := 0; i < rounds; i++ {
+			if !k.DispatchNative() {
+				return false
+			}
+		}
+		for i, c := range clients {
+			ideal := float64(rounds) * float64(tickets[i]) / float64(sum)
+			if math.Abs(float64(c.Quanta)-ideal) > float64(len(clients))+2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

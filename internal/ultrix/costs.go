@@ -1,0 +1,46 @@
+package ultrix
+
+// Path-length model for the monolithic baseline, in cycles (1 instruction
+// ≈ 1 cycle, as in internal/hw). The constants are structural estimates of
+// Ultrix 4.2 / 4.3BSD-derived kernel paths on MIPS, chosen per the
+// literature the paper cites (Ousterhout [39], Appel & Li [5], Thekkath &
+// Levy [50]) and documented here so every simulated result traces to an
+// auditable assumption. They encode the *shape* monolithic kernels pay
+// for: full register-file saves, layered demultiplexing, kernel buffering,
+// and scheduling before delivery. The paper's point is that these costs
+// are architectural, not implementation sloppiness ("Ultrix ... is not a
+// poorly tuned system").
+const (
+	// costSaveAll / costRestoreAll: 32 general registers plus mode/status
+	// bookkeeping moved to and from the kernel stack on every crossing.
+	costSaveAll    = 40
+	costRestoreAll = 40
+
+	// costKernelEntry: trap-vector indirection, kernel-stack switch,
+	// interrupt-priority (spl) manipulation, AST checks.
+	costKernelEntry = 100
+
+	// costSyscallDemux: syscall-table dispatch, argument copyin and
+	// validation scaffolding.
+	costSyscallDemux = 60
+
+	// costVMFault: the machine-independent vm_fault walk — map lookup,
+	// object chain, page lookup, locking — before the kernel decides a
+	// fault is the application's problem.
+	costVMFault = 900
+
+	// costSigSetup: building and copying out the signal frame and
+	// sigcontext to the user stack.
+	costSigSetup   = 80
+	sigFrameWords  = 45
+	costSigReturn  = 40 // sigcontext validation on the way back
+	costPmapPage   = 120
+	costTLBRefill  = 16 // the hand-tuned fast utlbmiss path
+	costCtxSwitch  = 150
+	costWakeup     = 100
+	costUnalign    = 500 // in-kernel unaligned-access emulation
+	costFPUEnable  = 800 // lazy FPU context enable + state load
+	costUDPOut     = 500 // udp_output + ip_output + ifnet queueing
+	costUDPIn      = 700 // softnet input, checksum, PCB lookup, sbappend
+	costPipeKernel = 120 // pipe object locking and buffer bookkeeping
+)

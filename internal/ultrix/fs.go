@@ -1,0 +1,107 @@
+package ultrix
+
+import (
+	"fmt"
+
+	"exokernel/internal/exos"
+	"exokernel/internal/hw"
+)
+
+// The monolithic file system baseline. The on-disk engine is the same
+// code as the library file system (importing it keeps the two comparable
+// structurally); what makes it "the kernel's" is everything wrapped
+// around it, which is exactly what the paper indicts:
+//
+//   - every operation is a system call — the full crossing is charged;
+//   - data takes an extra copy (disk → kernel buffer cache → user buffer);
+//   - the buffer cache policy is fixed LRU; there is no Advise, no policy
+//     swap, no way for an application to tell the kernel it is about to
+//     scan a huge file once.
+
+// kernelDev gives the kernel FS raw disk access (no capabilities: the
+// kernel trusts itself).
+type kernelDev struct {
+	m    *hw.Machine
+	base uint32
+	n    uint32
+}
+
+func (d kernelDev) ReadBlock(b uint32, frame uint32) error {
+	return d.m.Disk.ReadBlock(d.base+b, d.m.Phys, frame)
+}
+
+func (d kernelDev) WriteBlock(b uint32, frame uint32) error {
+	return d.m.Disk.WriteBlock(d.base+b, d.m.Phys, frame)
+}
+
+func (d kernelDev) NumBlocks() uint32 { return d.n }
+
+// KernelFS is the in-kernel file system.
+type KernelFS struct {
+	k  *Kernel
+	fs *exos.FS
+}
+
+// NewKernelFS formats a kernel file system over raw disk blocks
+// [base, base+nblocks) with a fixed-size, fixed-policy buffer cache.
+func (k *Kernel) NewKernelFS(base, nblocks uint32, cacheFrames int, ninodes uint32) (*KernelFS, error) {
+	frames := make([]uint32, 0, cacheFrames)
+	for i := 0; i < cacheFrames; i++ {
+		f, ok := k.M.Phys.AllocFrame()
+		if !ok {
+			return nil, fmt.Errorf("ultrix: out of memory for buffer cache")
+		}
+		frames = append(frames, f)
+	}
+	dev := kernelDev{m: k.M, base: base, n: nblocks}
+	cache := exos.NewBufCache(k.M.Phys, k.M.Clock, dev, frames, exos.NewLRU())
+	fs, err := exos.Format(dev, cache, ninodes)
+	if err != nil {
+		return nil, err
+	}
+	return &KernelFS{k: k, fs: fs}, nil
+}
+
+// Create is creat(2): crossing + engine work.
+func (f *KernelFS) Create(p *Proc, name string) (exos.Inum, error) {
+	f.k.syscallOverhead()
+	return f.fs.Create(name)
+}
+
+// Open is open(2) (name resolution only; no fd table modelled).
+func (f *KernelFS) Open(p *Proc, name string) (exos.Inum, error) {
+	f.k.syscallOverhead()
+	return f.fs.Lookup(name)
+}
+
+// Read is read(2): crossing, engine read into the kernel buffer, then the
+// extra copyout to user space.
+func (f *KernelFS) Read(p *Proc, i exos.Inum, off uint32, buf []byte) (int, error) {
+	f.k.syscallOverhead()
+	n, err := f.fs.ReadAt(i, off, buf)
+	f.k.charge(uint64((n + 3) / 4)) // copyout
+	return n, err
+}
+
+// Write is write(2): crossing, copyin, engine write.
+func (f *KernelFS) Write(p *Proc, i exos.Inum, off uint32, buf []byte) error {
+	f.k.syscallOverhead()
+	f.k.charge(uint64((len(buf) + 3) / 4)) // copyin
+	return f.fs.WriteAt(i, off, buf)
+}
+
+// Unlink is unlink(2).
+func (f *KernelFS) Unlink(p *Proc, name string) error {
+	f.k.syscallOverhead()
+	return f.fs.Unlink(name)
+}
+
+// Sync is sync(2).
+func (f *KernelFS) Sync(p *Proc) error {
+	f.k.syscallOverhead()
+	return f.fs.Sync()
+}
+
+// Stats exposes the kernel cache counters (for the harness; applications
+// had no such view).
+func (f *KernelFS) Stats() *exos.BufCache { return f.fs.Cache() }

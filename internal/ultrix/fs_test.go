@@ -1,0 +1,67 @@
+package ultrix
+
+import (
+	"bytes"
+	"testing"
+
+	"exokernel/internal/hw"
+)
+
+func TestKernelFSBasics(t *testing.T) {
+	m, k := boot(t)
+	p := k.NewProc(nil)
+	fs, err := k.NewKernelFS(0, 256, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inum, err := fs.Create(p, "passwd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("root::0:0::/:/bin/sh")
+	if err := fs.Write(p, inum, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if n, err := fs.Read(p, inum, 0, got); err != nil || n != len(data) || !bytes.Equal(got, data) {
+		t.Fatalf("read = %q (%d, %v)", got, n, err)
+	}
+	if found, err := fs.Open(p, "passwd"); err != nil || found != inum {
+		t.Errorf("open = %d, %v", found, err)
+	}
+	if err := fs.Unlink(p, "passwd"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open(p, "passwd"); err == nil {
+		t.Error("open after unlink succeeded")
+	}
+	if err := fs.Sync(p); err != nil {
+		t.Fatal(err)
+	}
+	_ = m
+}
+
+func TestKernelFSChargesCrossings(t *testing.T) {
+	m, k := boot(t)
+	p := k.NewProc(nil)
+	fs, err := k.NewKernelFS(0, 256, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inum, err := fs.Create(p, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write(p, inum, 0, make([]byte, hw.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	// A fully cached read still pays the crossing + copyout.
+	buf := make([]byte, hw.PageSize)
+	fs.Read(p, inum, 0, buf) // warm
+	before := m.Clock.Cycles()
+	fs.Read(p, inum, 0, buf)
+	cost := m.Clock.Cycles() - before
+	if cost < costSaveAll+costKernelEntry+uint64(len(buf)/4) {
+		t.Errorf("cached kernel read cost %d cycles; must include crossing and copyout", cost)
+	}
+}

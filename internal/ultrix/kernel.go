@@ -1,0 +1,426 @@
+// Package ultrix models the paper's baseline: a mature monolithic UNIX
+// (Ultrix 4.2) on the same simulated hardware Aegis runs on. The kernel
+// owns every abstraction — page tables, signals, pipes, sockets, the
+// scheduler — so every application interaction crosses the full trap path
+// with a complete register save, and every resource decision is made
+// without application knowledge. Path lengths are built from the documented
+// constants in costs.go plus real state manipulation on the shared hw
+// substrate, so the comparison against Aegis/ExOS is between *implemented
+// paths*, not between numbers.
+package ultrix
+
+import (
+	"fmt"
+
+	"exokernel/internal/hw"
+	"exokernel/internal/isa"
+	"exokernel/internal/vm"
+)
+
+// PID names a process.
+type PID uint32
+
+// upte is a kernel page-table entry (the application never sees it).
+type upte struct {
+	frame    uint32
+	valid    bool
+	writable bool
+	dirty    bool
+}
+
+// Proc is a heavyweight UNIX process.
+type Proc struct {
+	PID  PID
+	ASID uint8
+
+	Regs [hw.NumRegs]uint32
+	PC   uint32
+	Code isa.Code
+
+	pt map[uint32]upte // vpn → entry
+
+	// sigVec holds VM handler PCs per cause; NativeSig models a native
+	// handler and returns how to resume.
+	sigVec    [16]uint32
+	NativeSig func(k *Kernel, p *Proc, cause hw.Exc, va uint32) SigAction
+	sigEPC    uint32
+
+	// NativeRun is the body of a native process, run once per slice.
+	NativeRun func(k *Kernel)
+
+	Dead bool
+	// Signals counts signals delivered to this process.
+	Signals uint64
+	// LastFault is diagnostic state for kills.
+	LastFault hw.Exc
+}
+
+// SigAction is a native signal handler's resume decision.
+type SigAction int
+
+// Signal handler outcomes.
+const (
+	// SigRetry re-executes the faulting instruction.
+	SigRetry SigAction = iota
+	// SigSkip resumes after the faulting instruction.
+	SigSkip
+	// SigKill terminates the process (unhandled).
+	SigKill
+)
+
+// SetSignalHandler installs a VM signal handler PC for a cause (the
+// sigaction(2) analogue; the crossing cost is charged).
+func (p *Proc) SetSignalHandler(cause hw.Exc, pc uint32) {
+	p.sigVec[cause&15] = pc
+}
+
+// Stats counts kernel events.
+type Stats struct {
+	Syscalls   uint64
+	Faults     uint64
+	TLBMisses  uint64
+	Signals    uint64
+	CtxSwitch  uint64
+	PktRx      uint64
+	KilledProc uint64
+}
+
+// Kernel is the monolithic kernel.
+type Kernel struct {
+	M      *hw.Machine
+	Interp *vm.Interp
+
+	procs []*Proc
+	cur   PID
+	rrPos int
+
+	sockets []*Socket
+
+	Stats Stats
+}
+
+// New boots the monolithic kernel on a machine.
+func New(m *hw.Machine) *Kernel {
+	k := &Kernel{M: m}
+	k.Interp = vm.New(m, k)
+	m.SetTrapHandler(k)
+	return k
+}
+
+// NewProc creates a process (code nil for native).
+func (k *Kernel) NewProc(code isa.Code) *Proc {
+	p := &Proc{
+		PID:  PID(len(k.procs) + 1),
+		ASID: uint8(len(k.procs) + 1),
+		Code: code,
+		pt:   make(map[uint32]upte),
+	}
+	k.procs = append(k.procs, p)
+	if k.cur == 0 {
+		k.install(p)
+	}
+	return p
+}
+
+// Proc resolves a PID.
+func (k *Kernel) Proc(pid PID) (*Proc, bool) {
+	if pid == 0 || int(pid) > len(k.procs) {
+		return nil, false
+	}
+	return k.procs[pid-1], true
+}
+
+// Cur returns the running process.
+func (k *Kernel) Cur() *Proc {
+	p, _ := k.Proc(k.cur)
+	return p
+}
+
+func (k *Kernel) charge(n uint64) { k.M.Clock.Tick(n) }
+
+func (k *Kernel) install(p *Proc) {
+	cpu := &k.M.CPU
+	cpu.Regs = p.Regs
+	cpu.PC = p.PC
+	cpu.ASID = p.ASID
+	cpu.Mode = hw.ModeUser
+	k.cur = p.PID
+}
+
+func (k *Kernel) save(p *Proc) {
+	cpu := &k.M.CPU
+	p.Regs = cpu.Regs
+	p.PC = cpu.PC
+}
+
+// contextSwitch is the kernel's switch: full save/restore plus scheduler
+// bookkeeping; processes have no say and no visibility.
+func (k *Kernel) contextSwitch(to *Proc) {
+	k.Stats.CtxSwitch++
+	k.charge(costSaveAll + costCtxSwitch + costRestoreAll)
+	k.M.Clock.Tick(hw.CostContextID)
+	if cur := k.Cur(); cur != nil {
+		k.save(cur)
+	}
+	k.install(to)
+}
+
+// nextRunnable picks the next live process round-robin.
+func (k *Kernel) nextRunnable() *Proc {
+	for i := 0; i < len(k.procs); i++ {
+		k.rrPos = (k.rrPos + 1) % len(k.procs)
+		if p := k.procs[k.rrPos]; !p.Dead {
+			return p
+		}
+	}
+	return nil
+}
+
+// Fetch implements vm.CodeSource.
+func (k *Kernel) Fetch(pc uint32) (isa.Inst, hw.Exc) {
+	p := k.Cur()
+	if p == nil || p.Code == nil || int(pc) >= len(p.Code) {
+		return isa.Inst{}, hw.ExcAddrErrL
+	}
+	return p.Code[pc], hw.ExcNone
+}
+
+// HandleTrap is the monolithic trap entry: every crossing saves the full
+// register file before the kernel even knows why it was entered.
+func (k *Kernel) HandleTrap(m *hw.Machine) {
+	cpu := &m.CPU
+	switch cpu.Cause {
+	case hw.ExcSyscall:
+		k.syscall()
+	case hw.ExcInterrupt:
+		k.interrupt()
+	case hw.ExcTLBMissL, hw.ExcTLBMissS:
+		k.tlbMiss()
+	case hw.ExcTLBMod:
+		k.charge(costSaveAll + costKernelEntry)
+		k.vmFault(cpu.BadVAddr, true)
+	case hw.ExcAddrErrL, hw.ExcAddrErrS:
+		// Ultrix fixes unaligned accesses inside the kernel; applications
+		// never see them (hence "n/a" in the paper's Table 5).
+		k.charge(costSaveAll + costKernelEntry + costUnalign + costRestoreAll)
+		cpu.PC = cpu.EPC + 1
+		cpu.Mode = hw.ModeUser
+	case hw.ExcCoproc:
+		// Lazy FPU enable: the kernel owns coprocessor state.
+		k.charge(costSaveAll + costKernelEntry + costFPUEnable + costRestoreAll)
+		cpu.FPUOn = true
+		cpu.PC = cpu.EPC
+		cpu.Mode = hw.ModeUser
+	case hw.ExcOverflow, hw.ExcBreak, hw.ExcPriv:
+		k.charge(costSaveAll + costKernelEntry)
+		k.deliverSignal(cpu.Cause, 0)
+	default:
+		k.charge(costSaveAll + costKernelEntry)
+		k.deliverSignal(cpu.Cause, cpu.BadVAddr)
+	}
+}
+
+// tlbMiss refills from the kernel page table (the hand-tuned fast path);
+// misses with no mapping fall into vm_fault and come out as signals.
+func (k *Kernel) tlbMiss() {
+	k.Stats.TLBMisses++
+	cpu := &k.M.CPU
+	p := k.Cur()
+	if p == nil {
+		k.Interp.RequestStop()
+		return
+	}
+	k.charge(costTLBRefill)
+	vpn := cpu.BadVAddr >> hw.PageShift
+	pte, ok := p.pt[vpn]
+	write := cpu.Cause == hw.ExcTLBMissS
+	if ok && pte.valid && (!write || pte.writable) {
+		var perms uint8 = hw.PermValid
+		if pte.writable && (pte.dirty || write) {
+			if write {
+				pte.dirty = true
+				p.pt[vpn] = pte
+			}
+			perms |= hw.PermWrite
+		}
+		k.M.TLB.WriteRandom(hw.TLBEntry{VPN: vpn, ASID: p.ASID, PFN: pte.frame, Perms: perms})
+		cpu.PC = cpu.EPC
+		cpu.Mode = hw.ModeUser
+		return
+	}
+	k.charge(costSaveAll + costKernelEntry)
+	k.vmFault(cpu.BadVAddr, write)
+}
+
+// vmFault is the machine-independent fault path: long, layered, and —
+// when the fault turns out to be the application's — ending in a signal.
+func (k *Kernel) vmFault(va uint32, write bool) {
+	k.Stats.Faults++
+	k.charge(costVMFault)
+	p := k.Cur()
+	if p == nil {
+		k.Interp.RequestStop()
+		return
+	}
+	vpn := va >> hw.PageShift
+	pte, ok := p.pt[vpn]
+	if ok && pte.valid && write && pte.writable {
+		// Dirty-bit maintenance inside the kernel: mark and remap.
+		pte.dirty = true
+		p.pt[vpn] = pte
+		k.M.TLB.WriteRandom(hw.TLBEntry{VPN: vpn, ASID: p.ASID, PFN: pte.frame, Perms: hw.PermValid | hw.PermWrite})
+		cpu := &k.M.CPU
+		cpu.PC = cpu.EPC
+		cpu.Mode = hw.ModeUser
+		return
+	}
+	k.deliverSignal(k.M.CPU.Cause, va)
+}
+
+// deliverSignal builds a signal frame on the user stack and transfers to
+// the handler (or kills the process). The caller has charged the entry.
+func (k *Kernel) deliverSignal(cause hw.Exc, va uint32) {
+	cpu := &k.M.CPU
+	p := k.Cur()
+	if p == nil {
+		k.Interp.RequestStop()
+		return
+	}
+	k.Stats.Signals++
+	p.Signals++
+	k.charge(costSigSetup + sigFrameWords + costRestoreAll)
+	if p.NativeSig != nil {
+		action := p.NativeSig(k, p, cause, va)
+		if action == SigKill {
+			k.killProc(p, cause)
+			return
+		}
+		// Handler returned: sigreturn path.
+		k.charge(costSaveAll + costKernelEntry + costSyscallDemux + costSigReturn + sigFrameWords + costRestoreAll)
+		cpu.PC = cpu.EPC
+		if action == SigSkip {
+			cpu.PC = cpu.EPC + 1
+		}
+		cpu.Mode = hw.ModeUser
+		return
+	}
+	if vec := p.sigVec[cause&15]; vec != 0 {
+		p.sigEPC = cpu.EPC
+		cpu.PC = vec
+		cpu.Mode = hw.ModeUser
+		return
+	}
+	k.killProc(p, cause)
+}
+
+func (k *Kernel) killProc(p *Proc, cause hw.Exc) {
+	p.Dead = true
+	p.LastFault = cause
+	k.Stats.KilledProc++
+	if k.cur == p.PID {
+		if next := k.nextRunnable(); next != nil && next != p {
+			k.contextSwitch(next)
+		} else {
+			k.Interp.RequestStop()
+		}
+	}
+}
+
+// interrupt: timer slices and network input are kernel business; the
+// application is never consulted.
+func (k *Kernel) interrupt() {
+	cpu := &k.M.CPU
+	k.charge(costKernelEntry / 2)
+	if cpu.Pending&hw.IRQNIC != 0 {
+		cpu.Pending &^= hw.IRQNIC
+		k.netInput()
+	}
+	if cpu.Pending&hw.IRQTimer != 0 {
+		cpu.Pending &^= hw.IRQTimer
+		if next := k.nextRunnable(); next != nil && next != k.Cur() {
+			k.contextSwitch(next)
+		}
+	}
+	cpu.PC = cpu.EPC
+	if k.cur != 0 {
+		cpu.Mode = hw.ModeUser
+	}
+}
+
+// Syscall numbers for the VM ABI.
+const (
+	SysGetpid    = 20
+	SysSigreturn = 103
+	SysExit      = 1
+)
+
+// syscall: the full monolithic crossing for every call, however trivial.
+func (k *Kernel) syscall() {
+	k.Stats.Syscalls++
+	cpu := &k.M.CPU
+	p := k.Cur()
+	if p == nil {
+		k.Interp.RequestStop()
+		return
+	}
+	k.charge(costSaveAll + costKernelEntry + costSyscallDemux)
+	switch cpu.Reg(hw.RegV0) {
+	case SysGetpid:
+		cpu.SetReg(hw.RegV0, uint32(p.PID))
+	case SysSigreturn:
+		k.charge(costSigReturn + sigFrameWords)
+		k.charge(costRestoreAll)
+		if cpu.Reg(hw.RegA0) == 1 {
+			cpu.PC = p.sigEPC + 1
+		} else {
+			cpu.PC = p.sigEPC
+		}
+		cpu.Mode = hw.ModeUser
+		return
+	case SysExit:
+		k.charge(costRestoreAll)
+		k.killProc(p, hw.ExcNone)
+		return
+	default:
+		cpu.SetReg(hw.RegV0, ^uint32(0))
+	}
+	k.charge(costRestoreAll)
+	cpu.PC = cpu.EPC + 1
+	cpu.Mode = hw.ModeUser
+	k.M.Clock.Tick(hw.CostExcReturn)
+}
+
+// Getpid is the native-process view of the null system call: the complete
+// crossing, no useful work (Table 2's baseline row).
+func (k *Kernel) Getpid(p *Proc) PID {
+	k.Stats.Syscalls++
+	k.charge(costSaveAll + costKernelEntry + costSyscallDemux + costRestoreAll)
+	k.M.Clock.Tick(hw.CostExcEntry + hw.CostExcReturn)
+	return p.PID
+}
+
+// RunRound dispatches one scheduling round of native processes, servicing
+// devices first (network input happens in the kernel; applications just
+// get buffered data).
+func (k *Kernel) RunRound() bool {
+	k.M.Timer.Check()
+	cpu := &k.M.CPU
+	if cpu.Pending&hw.IRQNIC != 0 {
+		cpu.Pending &^= hw.IRQNIC
+		k.netInput()
+	}
+	cpu.Pending &^= hw.IRQTimer
+	p := k.nextRunnable()
+	if p == nil {
+		return false
+	}
+	if p != k.Cur() {
+		k.contextSwitch(p)
+	}
+	if p.NativeRun != nil {
+		p.NativeRun(k)
+	}
+	return true
+}
+
+func (k *Kernel) String() string { return fmt.Sprintf("ultrix(%d procs)", len(k.procs)) }

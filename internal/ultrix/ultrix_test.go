@@ -1,0 +1,317 @@
+package ultrix
+
+import (
+	"testing"
+
+	"exokernel/internal/asm"
+	"exokernel/internal/hw"
+	"exokernel/internal/pkt"
+	"exokernel/internal/vm"
+)
+
+func boot(t *testing.T) (*hw.Machine, *Kernel) {
+	t.Helper()
+	m := hw.NewMachine(hw.DEC5000)
+	return m, New(m)
+}
+
+func TestGetpidCostsFullCrossing(t *testing.T) {
+	m, k := boot(t)
+	p := k.NewProc(nil)
+	before := m.Clock.Cycles()
+	if got := k.Getpid(p); got != p.PID {
+		t.Errorf("Getpid = %d", got)
+	}
+	// The monolithic crossing must dwarf the Aegis ~20-cycle null call.
+	if cost := m.Clock.Cycles() - before; cost < 150 {
+		t.Errorf("getpid cost %d cycles; monolithic crossing should be heavyweight", cost)
+	}
+}
+
+func TestVMSyscallGetpid(t *testing.T) {
+	m, k := boot(t)
+	code := asm.MustAssemble(`
+		addiu v0, zero, 20
+		syscall
+		addu  s0, v0, zero
+		halt
+	`)
+	p := k.NewProc(code)
+	if r := k.Interp.Run(100); r != vm.StopHalt {
+		t.Fatalf("run = %v", r)
+	}
+	if m.CPU.Reg(hw.RegS0) != uint32(p.PID) {
+		t.Errorf("getpid via trap = %d", m.CPU.Reg(hw.RegS0))
+	}
+	if k.Stats.Syscalls != 1 {
+		t.Errorf("Syscalls = %d", k.Stats.Syscalls)
+	}
+}
+
+func TestMapPageAndTLBRefill(t *testing.T) {
+	m, k := boot(t)
+	code := asm.MustAssemble(`
+		lui   t0, 0x1000
+		addiu t1, zero, 9
+		sw    t1, 0(t0)
+		lw    t2, 0(t0)
+		halt
+	`)
+	p := k.NewProc(code)
+	if err := k.MapPage(p, 0x1000<<16, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.MapPage(p, 0x1000<<16|4, true); err == nil {
+		t.Error("unaligned MapPage accepted")
+	}
+	if r := k.Interp.Run(1000); r != vm.StopHalt {
+		t.Fatalf("run = %v (fault %v)", r, p.LastFault)
+	}
+	if m.CPU.Reg(hw.RegT2) != 9 {
+		t.Errorf("t2 = %d", m.CPU.Reg(hw.RegT2))
+	}
+	if k.Stats.TLBMisses == 0 {
+		t.Error("no TLB refills recorded")
+	}
+}
+
+func TestKernelDirtyBitMaintenance(t *testing.T) {
+	_, k := boot(t)
+	p := k.NewProc(nil)
+	const va = 0x2000_0000
+	if err := k.MapPage(p, va, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.TouchWrite(p, va); err != nil {
+		t.Fatal(err)
+	}
+	// The kernel tracked the dirty bit internally, but there is no way for
+	// the application to ask (the paper's point).
+	if _, err := k.DirtyQuery(p, va); err == nil {
+		t.Error("DirtyQuery should be unsupported")
+	}
+}
+
+func TestMprotectAndSignal(t *testing.T) {
+	_, k := boot(t)
+	p := k.NewProc(nil)
+	const va = 0x2000_0000
+	if err := k.MapPage(p, va, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.TouchWrite(p, va); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Mprotect(p, []uint32{va}, false); err != nil {
+		t.Fatal(err)
+	}
+	sigs := 0
+	p.NativeSig = func(k *Kernel, pr *Proc, cause hw.Exc, fva uint32) SigAction {
+		sigs++
+		if err := k.Mprotect(pr, []uint32{fva &^ (hw.PageSize - 1)}, true); err != nil {
+			return SigKill
+		}
+		return SigRetry
+	}
+	if err := k.TouchWrite(p, va); err != nil {
+		t.Fatal(err)
+	}
+	if sigs != 1 {
+		t.Errorf("signals = %d", sigs)
+	}
+	if err := k.Mprotect(p, []uint32{0x7777_0000}, false); err == nil {
+		t.Error("mprotect of unmapped page accepted")
+	}
+}
+
+func TestUnalignedFixedUpInKernel(t *testing.T) {
+	m, k := boot(t)
+	code := asm.MustAssemble(`
+		lw    t0, 1(zero)
+		addiu s0, zero, 1
+		halt
+	`)
+	p := k.NewProc(code)
+	if r := k.Interp.Run(100); r != vm.StopHalt {
+		t.Fatalf("run = %v", r)
+	}
+	if m.CPU.Reg(hw.RegS0) != 1 {
+		t.Error("execution did not continue after kernel fixup")
+	}
+	if p.Signals != 0 {
+		t.Error("unaligned access raised a user-visible signal")
+	}
+}
+
+func TestLazyFPUEnable(t *testing.T) {
+	m, k := boot(t)
+	code := asm.MustAssemble(`
+		cop1
+		cop1
+		halt
+	`)
+	k.NewProc(code)
+	before := m.Clock.Cycles()
+	if r := k.Interp.Run(100); r != vm.StopHalt {
+		t.Fatalf("run = %v", r)
+	}
+	if !m.CPU.FPUOn {
+		t.Error("FPU not enabled")
+	}
+	if m.Clock.Cycles()-before < costFPUEnable {
+		t.Error("FPU enable cost not charged")
+	}
+}
+
+func TestVMSignalHandlerAndSigreturn(t *testing.T) {
+	m, k := boot(t)
+	code, labels, err := asm.AssembleWithLabels(`
+		nop
+	entry:
+		lui  t0, 0x7fff
+		add  t1, t0, t0
+		addiu s0, zero, 7
+		halt
+	handler:
+		addiu v0, zero, 103
+		addiu a0, zero, 1
+		syscall
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := k.NewProc(code)
+	p.SetSignalHandler(hw.ExcOverflow, uint32(labels["handler"]))
+	m.CPU.PC = uint32(labels["entry"])
+	if r := k.Interp.Run(1000); r != vm.StopHalt {
+		t.Fatalf("run = %v", r)
+	}
+	if m.CPU.Reg(hw.RegS0) != 7 {
+		t.Error("did not resume after sigreturn")
+	}
+	if p.Signals != 1 {
+		t.Errorf("Signals = %d", p.Signals)
+	}
+}
+
+func TestUnhandledSignalKills(t *testing.T) {
+	_, k := boot(t)
+	code := asm.MustAssemble(`
+		lui  t0, 0x7fff
+		add  t1, t0, t0
+		halt
+	`)
+	p := k.NewProc(code)
+	k.NewProc(nil) // survivor
+	if r := k.Interp.Run(100); r == vm.StopHalt {
+		t.Fatal("program halted despite unhandled signal")
+	}
+	if !p.Dead {
+		t.Error("proc survived unhandled signal")
+	}
+	if k.Stats.KilledProc != 1 {
+		t.Errorf("KilledProc = %d", k.Stats.KilledProc)
+	}
+}
+
+func TestPipeWordTransfer(t *testing.T) {
+	_, k := boot(t)
+	pa := k.NewProc(nil)
+	pb := k.NewProc(nil)
+	pipe := k.NewPipe()
+	pipe.WriteWord(pa, 11)
+	pipe.WriteWord(pa, 22)
+	if v, ok := pipe.ReadWord(pb); !ok || v != 11 {
+		t.Errorf("read = %d, %v", v, ok)
+	}
+	if v, ok := pipe.ReadWord(pb); !ok || v != 22 {
+		t.Errorf("read = %d, %v", v, ok)
+	}
+	if _, ok := pipe.ReadWord(pb); ok {
+		t.Error("empty pipe read succeeded")
+	}
+}
+
+func TestPipeCostsDwarfExOS(t *testing.T) {
+	m, k := boot(t)
+	pa := k.NewProc(nil)
+	pipe := k.NewPipe()
+	before := m.Clock.Cycles()
+	pipe.WriteWord(pa, 1)
+	pipe.ReadWord(pa)
+	if cost := m.Clock.Cycles() - before; cost < 400 {
+		t.Errorf("pipe word transfer cost %d cycles; kernel path should be heavyweight", cost)
+	}
+}
+
+func TestContextSwitchChargesAndSwaps(t *testing.T) {
+	m, k := boot(t)
+	a := k.NewProc(nil)
+	b := k.NewProc(nil)
+	m.CPU.SetReg(hw.RegS0, 777)
+	before := m.Clock.Cycles()
+	k.contextSwitch(b)
+	if m.Clock.Cycles()-before < costSaveAll+costCtxSwitch {
+		t.Error("context switch undercharged")
+	}
+	if m.CPU.Reg(hw.RegS0) == 777 {
+		t.Error("register file leaked across processes")
+	}
+	k.contextSwitch(a)
+	if m.CPU.Reg(hw.RegS0) != 777 {
+		t.Error("register file not restored")
+	}
+}
+
+func TestRunRoundSchedulesAndServicesNIC(t *testing.T) {
+	m, k := boot(t)
+	p := k.NewProc(nil)
+	sock := k.NewSocket(p, [6]byte{1}, 0x0A000001, 7)
+	ran := 0
+	p.NativeRun = func(k *Kernel) { ran++ }
+	// Hand-deliver a frame while interrupts are masked, then let RunRound
+	// find it.
+	m.CPU.IntrOn = false
+	sock2 := k.NewSocket(p, [6]byte{1}, 0x0A000001, 8)
+	_ = sock2
+	frame := pkt.Build(pkt.Addr{1}, pkt.Addr{2},
+		pkt.Flow{Proto: pkt.ProtoUDP, SrcIP: 0x0A000002, DstIP: 0x0A000001, SrcPort: 9, DstPort: 7},
+		[]byte("hi"))
+	m.NIC.Deliver(hw.Packet{Data: frame})
+	m.CPU.IntrOn = true
+	if !k.RunRound() {
+		t.Fatal("RunRound found nothing")
+	}
+	if ran != 1 {
+		t.Errorf("proc ran %d times", ran)
+	}
+	if sock.Delivered != 1 {
+		t.Errorf("socket delivered = %d", sock.Delivered)
+	}
+	if d, _, ok := sock.TryRecv(); !ok || string(d) != "hi" {
+		t.Errorf("recv = %q, %v", d, ok)
+	}
+}
+
+func TestSocketSendCharges(t *testing.T) {
+	m, k := boot(t)
+	p := k.NewProc(nil)
+	sock := k.NewSocket(p, [6]byte{1}, 0x0A000001, 7)
+	before := m.Clock.Cycles()
+	sock.Sendto([6]byte{2}, 0x0A000002, 9, []byte("data"))
+	if m.Clock.Cycles()-before < costUDPOut {
+		t.Error("sendto undercharged")
+	}
+	if m.NIC.TxCount != 1 {
+		t.Error("frame not transmitted")
+	}
+}
+
+func TestWordHelpers(t *testing.T) {
+	if GetWord(PutWord(0xDEADBEEF)) != 0xDEADBEEF {
+		t.Error("word helpers broken")
+	}
+	if GetWord([]byte{1}) != 0 {
+		t.Error("short payload should decode to 0")
+	}
+}

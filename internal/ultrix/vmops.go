@@ -1,0 +1,88 @@
+package ultrix
+
+import (
+	"fmt"
+
+	"exokernel/internal/hw"
+)
+
+// Kernel-mediated virtual memory: the Table 10 counterpart of ExOS's
+// application-level operations. Every operation is a system call; the
+// kernel walks its own structures and flushes translations with no
+// knowledge of what the application is doing.
+
+// MapPage allocates a physical page and maps it at va (the mmap/brk
+// analogue). Pages start clean; the kernel maintains the dirty bit
+// internally.
+func (k *Kernel) MapPage(p *Proc, va uint32, writable bool) error {
+	if va%hw.PageSize != 0 {
+		return fmt.Errorf("ultrix: unaligned map at %#x", va)
+	}
+	k.syscallOverhead()
+	frame, ok := k.M.Phys.AllocFrame()
+	if !ok {
+		return fmt.Errorf("ultrix: out of memory")
+	}
+	k.charge(costPmapPage)
+	p.pt[va>>hw.PageShift] = upte{frame: frame, valid: true, writable: writable}
+	return nil
+}
+
+// Mprotect changes protection on a range of pages: one syscall, then
+// per-page pmap work and TLB shootdown.
+func (k *Kernel) Mprotect(p *Proc, vas []uint32, writable bool) error {
+	k.syscallOverhead()
+	for _, va := range vas {
+		vpn := va >> hw.PageShift
+		pte, ok := p.pt[vpn]
+		if !ok || !pte.valid {
+			return fmt.Errorf("ultrix: mprotect of unmapped va %#x", va)
+		}
+		pte.writable = writable
+		p.pt[vpn] = pte
+		k.charge(costPmapPage)
+		k.M.TLB.Invalidate(vpn, p.ASID)
+	}
+	return nil
+}
+
+// DirtyQuery: Ultrix has no interface for asking whether a page is dirty —
+// the information exists in the kernel but is hidden from applications
+// (the paper's Table 10 lists it as unavailable). The error is the result.
+func (k *Kernel) DirtyQuery(p *Proc, va uint32) (bool, error) {
+	return false, fmt.Errorf("ultrix: no dirty-page interface")
+}
+
+// Touch performs one application load at va through the MMU (faulting and
+// refilling as the hardware dictates).
+func (k *Kernel) Touch(p *Proc, va uint32) error { return k.access(p, va, false) }
+
+// TouchWrite performs one application store at va.
+func (k *Kernel) TouchWrite(p *Proc, va uint32) error { return k.access(p, va, true) }
+
+func (k *Kernel) access(p *Proc, va uint32, write bool) error {
+	m := k.M
+	for try := 0; try < 10; try++ {
+		pa, exc := m.Translate(va, write)
+		if exc == hw.ExcNone {
+			if write {
+				m.Phys.WriteWord(pa, m.Phys.ReadWord(pa)+1)
+			} else {
+				m.Phys.ReadWord(pa)
+			}
+			return nil
+		}
+		m.RaiseException(exc, m.CPU.PC, va)
+		if p.Dead {
+			return fmt.Errorf("ultrix: process killed by fault at %#x", va)
+		}
+	}
+	return fmt.Errorf("ultrix: fault at %#x not repaired", va)
+}
+
+// syscallOverhead charges the full crossing shared by every system call.
+func (k *Kernel) syscallOverhead() {
+	k.Stats.Syscalls++
+	k.charge(costSaveAll + costKernelEntry + costSyscallDemux + costRestoreAll)
+	k.M.Clock.Tick(hw.CostExcEntry + hw.CostExcReturn)
+}

@@ -1,0 +1,578 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"exokernel/internal/asm"
+	"exokernel/internal/hw"
+	"exokernel/internal/isa"
+)
+
+// trapLog records exceptions and (optionally) fixes them up.
+type trapLog struct {
+	causes []hw.Exc
+	badvas []uint32
+	fix    func(m *hw.Machine)
+}
+
+func (h *trapLog) HandleTrap(m *hw.Machine) {
+	h.causes = append(h.causes, m.CPU.Cause)
+	h.badvas = append(h.badvas, m.CPU.BadVAddr)
+	if h.fix != nil {
+		h.fix(m)
+	} else {
+		// Default: skip the faulting instruction and continue in user mode.
+		m.CPU.PC = m.CPU.EPC + 1
+		m.CPU.Mode = hw.ModeUser
+	}
+}
+
+func newVM(t *testing.T, src string) (*hw.Machine, *Interp, *trapLog) {
+	t.Helper()
+	m := hw.NewMachine(hw.DEC5000)
+	h := &trapLog{}
+	m.SetTrapHandler(h)
+	m.CPU.Mode = hw.ModeUser
+	code, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, New(m, FixedCode(code)), h
+}
+
+func TestArithmeticAndLogic(t *testing.T) {
+	m, in, _ := newVM(t, `
+		addiu t0, zero, 21
+		addu  t1, t0, t0      ; 42
+		sub   t2, t1, t0      ; 21
+		mul   t3, t0, t0      ; 441
+		div   t4, t3, t0      ; 21
+		rem   t5, t3, t1      ; 441 % 42 = 21
+		ori   t6, zero, 0xF0
+		andi  t6, t6, 0x3C    ; 0x30
+		xori  t7, t6, 0xFF    ; 0xCF
+		nor   s0, zero, zero  ; 0xFFFFFFFF
+		slt   s1, t0, t1      ; 1
+		sltu  s2, t1, t0      ; 0
+		slti  s3, t0, 100     ; 1
+		sll   s4, t0, 2       ; 84
+		srl   s5, s0, 28      ; 0xF
+		sra   s6, s0, 4       ; still all ones
+		lui   s7, 0x1234
+		halt
+	`)
+	if r := in.Run(100); r != StopHalt {
+		t.Fatalf("Run = %v", r)
+	}
+	want := map[uint8]uint32{
+		hw.RegT1: 42, hw.RegT2: 21, hw.RegT3: 441, 12: 21, 13: 21,
+		14: 0x30, 15: 0xCF, hw.RegS0: 0xFFFFFFFF, 17: 1, 18: 0, 19: 1,
+		20: 84, 21: 0xF, 22: 0xFFFFFFFF, 23: 0x1234 << 16,
+	}
+	for r, v := range want {
+		if got := m.CPU.Reg(r); got != v {
+			t.Errorf("r%d = %#x, want %#x", r, got, v)
+		}
+	}
+}
+
+func TestRegZeroHardwired(t *testing.T) {
+	m, in, _ := newVM(t, `
+		addiu zero, zero, 99
+		halt
+	`)
+	in.Run(10)
+	if m.CPU.Reg(0) != 0 {
+		t.Error("r0 was written")
+	}
+}
+
+func TestBranchesAndJumps(t *testing.T) {
+	m, in, _ := newVM(t, `
+		addiu t0, zero, 3
+		addiu t1, zero, 0
+	loop:
+		addiu t1, t1, 10
+		addiu t0, t0, -1
+		bgtz  t0, loop
+		jal   sub
+		j     end
+	sub:
+		addiu t1, t1, 1
+		jr    ra
+	end:
+		halt
+	`)
+	if r := in.Run(100); r != StopHalt {
+		t.Fatalf("Run = %v", r)
+	}
+	if got := m.CPU.Reg(hw.RegT1); got != 31 {
+		t.Errorf("t1 = %d, want 31", got)
+	}
+}
+
+func TestOverflowTrapsAndAddendsUnchanged(t *testing.T) {
+	m, in, h := newVM(t, `
+		lui  t0, 0x7fff
+		add  t1, t0, t0
+		addu t2, t0, t0
+		halt
+	`)
+	if r := in.Run(100); r != StopHalt {
+		t.Fatalf("Run = %v", r)
+	}
+	if len(h.causes) != 1 || h.causes[0] != hw.ExcOverflow {
+		t.Fatalf("causes = %v", h.causes)
+	}
+	if m.CPU.Reg(hw.RegT1) != 0 {
+		t.Error("trapping add wrote its destination")
+	}
+	if m.CPU.Reg(hw.RegT2) != 0xFFFE0000 {
+		t.Errorf("addu = %#x", m.CPU.Reg(hw.RegT2))
+	}
+}
+
+func TestAddiOverflow(t *testing.T) {
+	_, in, h := newVM(t, `
+		lui  t0, 0x7fff
+		ori  t0, t0, 0xFFFF
+		addi t1, t0, 1
+		halt
+	`)
+	in.Run(100)
+	if len(h.causes) != 1 || h.causes[0] != hw.ExcOverflow {
+		t.Fatalf("causes = %v", h.causes)
+	}
+}
+
+func TestDivideByZeroBreaks(t *testing.T) {
+	_, in, h := newVM(t, `
+		div t0, t1, zero
+		halt
+	`)
+	in.Run(10)
+	if len(h.causes) != 1 || h.causes[0] != hw.ExcBreak {
+		t.Fatalf("causes = %v", h.causes)
+	}
+}
+
+func TestUnalignedAccessTraps(t *testing.T) {
+	cases := []struct {
+		src  string
+		want hw.Exc
+	}{
+		{"lw t0, 1(zero)\nhalt", hw.ExcAddrErrL},
+		{"lw t0, 2(zero)\nhalt", hw.ExcAddrErrL},
+		{"lh t0, 1(zero)\nhalt", hw.ExcAddrErrL},
+		{"sw t0, 3(zero)\nhalt", hw.ExcAddrErrS},
+		{"sh t0, 1(zero)\nhalt", hw.ExcAddrErrS},
+	}
+	for _, c := range cases {
+		_, in, h := newVM(t, c.src)
+		in.Run(10)
+		if len(h.causes) != 1 || h.causes[0] != c.want {
+			t.Errorf("%q causes = %v, want [%v]", c.src, h.causes, c.want)
+		}
+		if h.badvas[0]%4 == 0 {
+			t.Errorf("%q BadVAddr = %#x looks aligned", c.src, h.badvas[0])
+		}
+	}
+}
+
+func TestCoprocessorUnusable(t *testing.T) {
+	m, in, h := newVM(t, `
+		cop1
+		cop1
+		halt
+	`)
+	m.CPU.FPUOn = false
+	in.Run(10)
+	if len(h.causes) != 2 {
+		t.Fatalf("causes = %v, want two coproc traps", h.causes)
+	}
+	m2, in2, h2 := newVM(t, "cop1\nhalt")
+	m2.CPU.FPUOn = true
+	in2.Run(10)
+	if len(h2.causes) != 0 {
+		t.Errorf("FPU-on cop1 trapped: %v", h2.causes)
+	}
+}
+
+func TestPrivilegedInUserMode(t *testing.T) {
+	for _, src := range []string{"tlbwr\nhalt", "rfe\nhalt"} {
+		_, in, h := newVM(t, src)
+		in.Run(10)
+		if len(h.causes) != 1 || h.causes[0] != hw.ExcPriv {
+			t.Errorf("%q causes = %v, want [priv]", src, h.causes)
+		}
+	}
+}
+
+func TestASHOpsOutsideASHContextTrap(t *testing.T) {
+	for _, src := range []string{"pktlw t0, 0(zero)\nhalt", "xmit zero, t0\nhalt", "pktlen t0\nhalt"} {
+		_, in, h := newVM(t, src)
+		in.Run(10)
+		if len(h.causes) != 1 || h.causes[0] != hw.ExcPriv {
+			t.Errorf("%q causes = %v, want [priv]", src, h.causes)
+		}
+	}
+}
+
+func TestTLBMissRestartSemantics(t *testing.T) {
+	m, in, h := newVM(t, `
+		lui  t0, 1          ; va 0x10000
+		addiu t1, zero, 77
+		sw   t1, 0(t0)
+		lw   t2, 0(t0)
+		halt
+	`)
+	// Fix-up: install the mapping and retry the instruction.
+	h.fix = func(m *hw.Machine) {
+		if m.CPU.Cause == hw.ExcTLBMissS || m.CPU.Cause == hw.ExcTLBMissL {
+			m.TLB.WriteRandom(hw.TLBEntry{
+				VPN: m.CPU.BadVAddr >> hw.PageShift, ASID: m.CPU.ASID,
+				PFN: 2, Perms: hw.PermValid | hw.PermWrite,
+			})
+			m.CPU.PC = m.CPU.EPC // restart
+			m.CPU.Mode = hw.ModeUser
+			return
+		}
+		t.Fatalf("unexpected cause %v", m.CPU.Cause)
+	}
+	if r := in.Run(100); r != StopHalt {
+		t.Fatalf("Run = %v", r)
+	}
+	if got := m.CPU.Reg(hw.RegT2); got != 77 {
+		t.Errorf("t2 = %d, want 77 (store+load via fault fix-up)", got)
+	}
+	if len(h.causes) != 1 {
+		t.Errorf("expected exactly one miss (the load hits), got %v", h.causes)
+	}
+	if got := m.Phys.ReadWord(2 << hw.PageShift); got != 77 {
+		t.Errorf("physical word = %d", got)
+	}
+}
+
+func TestFetchPastEndTraps(t *testing.T) {
+	m := hw.NewMachine(hw.DEC5000)
+	stopper := &trapLog{}
+	stopper.fix = func(m *hw.Machine) {} // leave PC; Run loops until budget
+	m.SetTrapHandler(stopper)
+	in := New(m, FixedCode(isa.Code{{Op: isa.NOP}}))
+	m.CPU.Mode = hw.ModeUser
+	if r := in.Run(5); r != StopSteps {
+		t.Fatalf("Run = %v, want steps exhausted", r)
+	}
+	if len(stopper.causes) == 0 || stopper.causes[0] != hw.ExcAddrErrL {
+		t.Errorf("fetch past end causes = %v", stopper.causes)
+	}
+}
+
+func TestRequestStop(t *testing.T) {
+	_, in, _ := newVM(t, `
+	loop:
+		j loop
+	`)
+	in.RequestStop()
+	if r := in.Run(0); r != StopRequested {
+		t.Fatalf("Run = %v, want requested", r)
+	}
+}
+
+func TestSyscallRaisesAndKernelResumes(t *testing.T) {
+	m, in, h := newVM(t, `
+		addiu v0, zero, 7
+		syscall
+		addiu t0, zero, 1
+		halt
+	`)
+	h.fix = func(m *hw.Machine) {
+		if m.CPU.Cause != hw.ExcSyscall {
+			t.Fatalf("cause = %v", m.CPU.Cause)
+		}
+		m.CPU.SetReg(hw.RegV0, 99)
+		m.CPU.PC = m.CPU.EPC + 1
+		m.CPU.Mode = hw.ModeUser
+	}
+	if r := in.Run(100); r != StopHalt {
+		t.Fatalf("Run = %v", r)
+	}
+	if m.CPU.Reg(hw.RegV0) != 99 || m.CPU.Reg(hw.RegT0) != 1 {
+		t.Error("syscall result or resume broken")
+	}
+}
+
+func TestASHContextSandboxAndXmit(t *testing.T) {
+	m := hw.NewMachine(hw.DEC5000)
+	m.SetTrapHandler(&trapLog{})
+	code := asm.MustAssemble(`
+		pktlen t0
+		pktlw  t1, 0(zero)
+		sw     t1, 0(zero)       ; sandboxed: masked into the scratch page
+		sw     t1, 8192(zero)    ; attempts to escape; masked back inside
+		xmit   zero, t0
+		halt
+	`)
+	in := New(m, FixedCode(code))
+	var sent [][]byte
+	in.ASH = &ASHContext{
+		Packet:      []byte{1, 2, 3, 4, 5, 6},
+		SandboxBase: 3 << hw.PageShift,
+		SandboxMask: hw.PageSize - 1,
+		Phys:        m.Phys,
+		Xmit:        func(b []byte) { sent = append(sent, b) },
+	}
+	if r := in.Run(100); r != StopHalt {
+		t.Fatalf("Run = %v", r)
+	}
+	if got := m.CPU.Reg(hw.RegT0); got != 6 {
+		t.Errorf("pktlen = %d", got)
+	}
+	if got := m.CPU.Reg(hw.RegT1); got != 0x04030201 {
+		t.Errorf("pktlw = %#x", got)
+	}
+	// Both stores landed inside the sandbox page (the second was masked).
+	if got := m.Phys.ReadWord(3 << hw.PageShift); got != 0x04030201 {
+		t.Errorf("sandbox word = %#x", got)
+	}
+	if len(sent) != 1 || len(sent[0]) != 6 {
+		t.Fatalf("xmit sent %v frames", sent)
+	}
+	if in.ASH.Sent != 1 {
+		t.Errorf("Sent = %d", in.ASH.Sent)
+	}
+}
+
+func TestPktLoadBeyondPacketReadsZero(t *testing.T) {
+	m := hw.NewMachine(hw.DEC5000)
+	m.SetTrapHandler(&trapLog{})
+	code := asm.MustAssemble(`
+		pktlw t0, 100(zero)
+		pktlb t1, 100(zero)
+		halt
+	`)
+	in := New(m, FixedCode(code))
+	in.ASH = &ASHContext{Packet: []byte{1}, SandboxMask: hw.PageSize - 1, Phys: m.Phys}
+	in.Run(10)
+	if m.CPU.Reg(hw.RegT0) != 0 || m.CPU.Reg(hw.RegT1) != 0 {
+		t.Error("out-of-packet loads returned nonzero")
+	}
+}
+
+func TestStepCounterAndClockAdvance(t *testing.T) {
+	m, in, _ := newVM(t, `
+		addiu t0, zero, 1
+		addiu t0, t0, 1
+		halt
+	`)
+	c0 := m.Clock.Cycles()
+	in.Run(100)
+	if in.Steps != 3 {
+		t.Errorf("Steps = %d, want 3", in.Steps)
+	}
+	if m.Clock.Cycles()-c0 < 3 {
+		t.Error("clock did not advance with instructions")
+	}
+}
+
+// Property: ADDU/SUB round trip — for any a, b: (a+b)-b == a.
+func TestQuickAddSubInverse(t *testing.T) {
+	f := func(a, b uint32) bool {
+		m := hw.NewMachine(hw.DEC5000)
+		m.SetTrapHandler(&trapLog{})
+		m.CPU.Mode = hw.ModeUser
+		m.CPU.SetReg(hw.RegT0, a)
+		m.CPU.SetReg(hw.RegT1, b)
+		code := asm.MustAssemble(`
+			addu t2, t0, t1
+			sub  t3, t2, t1
+			halt
+		`)
+		in := New(m, FixedCode(code))
+		in.Run(10)
+		return m.CPU.Reg(hw.RegT3) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the sandbox mask confines every store to the scratch region.
+func TestQuickSandboxConfinement(t *testing.T) {
+	f := func(addr uint32, val uint32) bool {
+		m := hw.NewMachine(hw.DEC5000)
+		m.SetTrapHandler(&trapLog{})
+		in := New(m, FixedCode(isa.Code{
+			{Op: isa.SW, Rt: hw.RegT1, Rs: hw.RegT0, Imm: 0},
+			{Op: isa.HALT},
+		}))
+		in.ASH = &ASHContext{Packet: nil, SandboxBase: 5 << hw.PageShift, SandboxMask: hw.PageSize - 1, Phys: m.Phys}
+		m.CPU.SetReg(hw.RegT0, addr&^3) // aligned
+		m.CPU.SetReg(hw.RegT1, val)
+		in.Run(10)
+		// Only the sandbox page may be dirty.
+		for f := uint32(0); f < uint32(m.Phys.NumPages()); f++ {
+			if f == 5 {
+				continue
+			}
+			page := m.Phys.Page(f)
+			for _, b := range page {
+				if b != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 20} // full-memory scan is slow
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHalfwordAndByteSignExtension(t *testing.T) {
+	m, in, h := newVM(t, `
+		lui   t0, 0x1        ; va 0x10000
+		lui   t1, 0x8765     ; 0x87650000
+		ori   t1, t1, 0x4321
+		sw    t1, 0(t0)
+		lh    t2, 0(t0)      ; 0x4321 sign-extended (positive)
+		lh    t3, 2(t0)      ; 0x8765 sign-extended (negative)
+		lhu   t4, 2(t0)      ; 0x8765 zero-extended
+		lb    t5, 3(t0)      ; 0x87 sign-extended
+		lbu   t6, 3(t0)      ; 0x87 zero-extended
+		sh    t1, 4(t0)      ; low half only
+		lhu   t7, 4(t0)
+		sb    t1, 6(t0)
+		lbu   s0, 6(t0)
+		halt
+	`)
+	h.fix = func(m *hw.Machine) {
+		m.TLB.WriteRandom(hw.TLBEntry{
+			VPN: m.CPU.BadVAddr >> hw.PageShift, ASID: m.CPU.ASID,
+			PFN: 2, Perms: hw.PermValid | hw.PermWrite,
+		})
+		m.CPU.PC = m.CPU.EPC
+		m.CPU.Mode = hw.ModeUser
+	}
+	if r := in.Run(100); r != StopHalt {
+		t.Fatalf("Run = %v", r)
+	}
+	want := map[uint8]uint32{
+		hw.RegT2: 0x4321,
+		hw.RegT3: 0xFFFF8765,
+		12:       0x8765, // t4
+		13:       0xFFFFFF87,
+		14:       0x87,
+		15:       0x4321,
+		hw.RegS0: 0x21,
+	}
+	for r, v := range want {
+		if got := m.CPU.Reg(r); got != v {
+			t.Errorf("r%d = %#x, want %#x", r, got, v)
+		}
+	}
+}
+
+func TestJALRLinksAndJumps(t *testing.T) {
+	m, in, _ := newVM(t, `
+		addiu t0, zero, target
+		jalr  t1, t0
+		halt
+	target:
+		addiu s0, t1, 0     ; s0 = link value
+		halt
+	`)
+	if r := in.Run(20); r != StopHalt {
+		t.Fatalf("Run = %v", r)
+	}
+	if got := m.CPU.Reg(hw.RegS0); got != 2 {
+		t.Errorf("link = %d, want 2 (instruction after jalr)", got)
+	}
+}
+
+func TestSignedVsUnsignedComparisons(t *testing.T) {
+	m, in, _ := newVM(t, `
+		addiu t0, zero, -1   ; 0xFFFFFFFF
+		addiu t1, zero, 1
+		slt   t2, t0, t1     ; signed: -1 < 1 → 1
+		sltu  t3, t0, t1     ; unsigned: max < 1 → 0
+		slti  t4, t0, 0      ; -1 < 0 → 1
+		halt
+	`)
+	in.Run(20)
+	if m.CPU.Reg(hw.RegT2) != 1 || m.CPU.Reg(hw.RegT3) != 0 || m.CPU.Reg(12) != 1 {
+		t.Errorf("slt=%d sltu=%d slti=%d", m.CPU.Reg(hw.RegT2), m.CPU.Reg(hw.RegT3), m.CPU.Reg(12))
+	}
+}
+
+func TestBranchVariants(t *testing.T) {
+	m, in, _ := newVM(t, `
+		addiu t0, zero, -5
+		addiu t1, zero, 0
+		addiu t2, zero, 3
+		bltz  t0, a
+		addiu s0, s0, 100   ; skipped
+	a:	bgez  t1, b
+		addiu s0, s0, 100   ; skipped
+	b:	blez  t1, c
+		addiu s0, s0, 100   ; skipped
+	c:	bgtz  t2, d
+		addiu s0, s0, 100   ; skipped
+	d:	addiu s0, s0, 1
+		halt
+	`)
+	if r := in.Run(30); r != StopHalt {
+		t.Fatalf("Run = %v", r)
+	}
+	if got := m.CPU.Reg(hw.RegS0); got != 1 {
+		t.Errorf("s0 = %d, want 1 (all branches taken)", got)
+	}
+}
+
+func TestDivMinInt32ByMinusOne(t *testing.T) {
+	m, in, h := newVM(t, `
+		lui   t0, 0x8000     ; MinInt32
+		addiu t1, zero, -1
+		div   t2, t0, t1
+		rem   t3, t0, t1
+		halt
+	`)
+	if r := in.Run(20); r != StopHalt {
+		t.Fatalf("Run = %v (the host must not panic)", r)
+	}
+	if len(h.causes) != 0 {
+		t.Errorf("causes = %v", h.causes)
+	}
+	if m.CPU.Reg(hw.RegT2) != 1<<31 || m.CPU.Reg(hw.RegT3) != 0 {
+		t.Errorf("div=%#x rem=%#x, want wrapped quotient and zero remainder",
+			m.CPU.Reg(hw.RegT2), m.CPU.Reg(hw.RegT3))
+	}
+}
+
+// Property: for defined divisions, a == d*(a/d) + a%d.
+func TestQuickDivRemIdentity(t *testing.T) {
+	f := func(a, d int32) bool {
+		if d == 0 {
+			return true
+		}
+		m := hw.NewMachine(hw.DEC5000)
+		m.SetTrapHandler(&trapLog{})
+		m.CPU.Mode = hw.ModeUser
+		m.CPU.SetReg(hw.RegT0, uint32(a))
+		m.CPU.SetReg(hw.RegT1, uint32(d))
+		code := asm.MustAssemble(`
+			div t2, t0, t1
+			rem t3, t0, t1
+			halt
+		`)
+		New(m, FixedCode(code)).Run(10)
+		q := int32(m.CPU.Reg(hw.RegT2))
+		r := int32(m.CPU.Reg(hw.RegT3))
+		return a == d*q+r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
