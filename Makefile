@@ -1,0 +1,29 @@
+# Local development gate. `make check` is the tier-1+ verify command
+# recorded in ROADMAP.md; tier-1 proper is build + test.
+
+GO ?= go
+
+.PHONY: all build test check fmt vet race bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+race:
+	$(GO) test -race ./...
+
+check:
+	./scripts/check.sh
+
+bench:
+	$(GO) run ./cmd/aegisbench

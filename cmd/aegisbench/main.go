@@ -8,6 +8,10 @@
 //	aegisbench -only table7 # run a subset (substring match, case-folded)
 //	aegisbench -list        # list experiments
 //	aegisbench -n 64        # smaller Table 9 matrix for quick runs
+//	aegisbench -only table3 -trace out.json
+//	                        # run under the kernel flight recorder and
+//	                        # write a Chrome trace_event file (open in
+//	                        # chrome://tracing or Perfetto)
 package main
 
 import (
@@ -17,6 +21,8 @@ import (
 	"strings"
 
 	"exokernel/internal/bench"
+	"exokernel/internal/hw"
+	"exokernel/internal/ktrace"
 )
 
 func main() {
@@ -24,7 +30,21 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	matN := flag.Int("n", bench.Table9MatrixN, "matrix dimension for Table 9")
 	format := flag.String("format", "text", "output format: text or csv")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event recording of the run to this file")
+	traceBuf := flag.Int("tracebuf", 1<<20, "flight-recorder capacity in events (oldest overwritten)")
 	flag.Parse()
+
+	if *format != "text" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "aegisbench: unknown -format %q (want text or csv)\n", *format)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var rec *ktrace.Recorder
+	if *traceFile != "" {
+		rec = ktrace.New(*traceBuf)
+		bench.Tracer = rec
+	}
 
 	bench.Table9MatrixN = *matN
 	exps := bench.All()
@@ -53,5 +73,22 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "aegisbench: no experiment matches %q\n", *only)
 		os.Exit(1)
+	}
+	if rec != nil {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aegisbench: %v\n", err)
+			os.Exit(1)
+		}
+		err = ktrace.WriteChrome(f, rec.Events(), hw.DEC5000.MHz)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aegisbench: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "aegisbench: wrote %d events to %s (%d recorded, %d overwritten)\n",
+			rec.Len(), *traceFile, rec.Total(), rec.Dropped())
 	}
 }

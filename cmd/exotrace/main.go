@@ -1,0 +1,219 @@
+// Command exotrace runs a workload under the ktrace kernel flight
+// recorder and writes the recording for offline analysis.
+//
+// Workloads are the aegisbench experiments (substring match, as in
+// `aegisbench -only`) or the built-in `demo`, a small grand tour that
+// exercises every event class: syscall-style primitives, TLB misses
+// serviced by ExOS, context switches, packet classification and delivery,
+// disk I/O, revocation, and environment destruction.
+//
+// Usage:
+//
+//	exotrace -list                       # list workloads
+//	exotrace -o trace.json table3        # Chrome trace_event (Perfetto)
+//	exotrace -format jsonl -o t.jsonl demo
+//	exotrace -format text demo           # human-readable log to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"exokernel/internal/aegis"
+	"exokernel/internal/bench"
+	"exokernel/internal/exos"
+	"exokernel/internal/hw"
+	"exokernel/internal/ktrace"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	format := flag.String("format", "chrome", "trace format: chrome, jsonl, or text")
+	bufCap := flag.Int("buf", 1<<20, "flight-recorder capacity in events (oldest overwritten)")
+	list := flag.Bool("list", false, "list workloads and exit")
+	quiet := flag.Bool("q", false, "suppress the workload's own output")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("demo         built-in grand tour (every event class)")
+		for _, e := range bench.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: exotrace [-o file] [-format chrome|jsonl|text] <workload>")
+		fmt.Fprintln(os.Stderr, "       exotrace -list")
+		os.Exit(2)
+	}
+	if *format != "chrome" && *format != "jsonl" && *format != "text" {
+		fmt.Fprintf(os.Stderr, "exotrace: unknown -format %q (want chrome, jsonl, or text)\n", *format)
+		os.Exit(2)
+	}
+
+	rec := ktrace.New(*bufCap)
+	// Workload narration goes to stderr when the trace itself is written
+	// to stdout, so `exotrace -format jsonl demo | jq` sees pure trace.
+	narrate := io.Writer(os.Stdout)
+	if *out == "" {
+		narrate = os.Stderr
+	}
+	report := func(s string) {
+		if !*quiet {
+			fmt.Fprint(narrate, s)
+		}
+	}
+
+	name := flag.Arg(0)
+	if strings.EqualFold(name, "demo") {
+		if err := demo(rec, report); err != nil {
+			fmt.Fprintf(os.Stderr, "exotrace: demo: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		bench.Tracer = rec
+		needle := strings.ToLower(strings.ReplaceAll(name, " ", ""))
+		ran := 0
+		for _, e := range bench.All() {
+			id := strings.ToLower(strings.ReplaceAll(e.ID, " ", ""))
+			if !strings.Contains(id, needle) && !strings.Contains(strings.ToLower(e.Title), needle) {
+				continue
+			}
+			report(e.Run().Format() + "\n")
+			ran++
+		}
+		if ran == 0 {
+			fmt.Fprintf(os.Stderr, "exotrace: no workload matches %q\n", name)
+			os.Exit(1)
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "exotrace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	events := rec.Events()
+	var err error
+	switch *format {
+	case "chrome":
+		err = ktrace.WriteChrome(w, events, hw.DEC5000.MHz)
+	case "jsonl":
+		err = ktrace.WriteJSONL(w, events)
+	case "text":
+		err = ktrace.WriteText(w, events)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "exotrace: writing trace: %v\n", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "exotrace: wrote %d events to %s (%d recorded, %d overwritten)\n",
+			rec.Len(), *out, rec.Total(), rec.Dropped())
+	}
+}
+
+// oddByteFilter accepts frames whose first byte matches.
+type oddByteFilter byte
+
+func (f oddByteFilter) Match(frame []byte) (bool, uint64) {
+	return len(frame) > 0 && frame[0] == byte(f), 4
+}
+
+// demo is the built-in grand tour: two ExOS environments doing memory,
+// network, disk, scheduling, and revocation work, then a destroy.
+func demo(rec *ktrace.Recorder, report func(string)) error {
+	m := hw.NewMachine(hw.DEC5000)
+	k := aegis.New(m)
+	k.SetTracer(rec)
+
+	a, err := exos.Boot(k)
+	if err != nil {
+		return err
+	}
+	b, err := exos.Boot(k)
+	if err != nil {
+		return err
+	}
+
+	// Memory: pages allocated and mapped by the application's own page
+	// table; first touches take TLB-miss upcalls into ExOS.
+	const base = 0x1000_0000
+	for p := uint32(0); p < 4; p++ {
+		if _, err := a.AllocAndMap(base + p*hw.PageSize); err != nil {
+			return err
+		}
+		if err := a.TouchWrite(base + p*hw.PageSize); err != nil {
+			return err
+		}
+	}
+
+	// Scheduling: donate slices back and forth.
+	for i := 0; i < 3; i++ {
+		k.Yield(b.Env.ID)
+		k.Yield(a.Env.ID)
+	}
+
+	// Network: a downloaded filter per environment, three deliveries and
+	// one drop.
+	if _, err := k.InstallFilter(a.Env, oddByteFilter(1)); err != nil {
+		return err
+	}
+	if _, err := k.InstallFilter(b.Env, oddByteFilter(2)); err != nil {
+		return err
+	}
+	m.NIC.Deliver(hw.Packet{Data: []byte{1, 10, 11}})
+	m.NIC.Deliver(hw.Packet{Data: []byte{2, 20, 21}})
+	m.NIC.Deliver(hw.Packet{Data: []byte{1, 12, 13}})
+	m.NIC.Deliver(hw.Packet{Data: []byte{9, 0, 0}}) // no filter: dropped
+
+	// Disk: an extent and one write+read through secure bindings.
+	start, extCap, err := k.AllocExtent(b.Env, 8)
+	if err != nil {
+		return err
+	}
+	frame, frameCap, err := k.AllocPage(b.Env, aegis.AnyFrame)
+	if err != nil {
+		return err
+	}
+	if err := k.DiskWrite(start, 8, 0, extCap, frame, frameCap); err != nil {
+		return err
+	}
+	if err := k.DiskRead(start, 8, 0, extCap, frame, frameCap); err != nil {
+		return err
+	}
+
+	// Revocation: ask a to give a page back (its ExOS complies, releasing
+	// the page through its own page table).
+	for f := uint32(0); f < uint32(m.Phys.NumPages()); f++ {
+		if k.FrameOwner(f) == a.Env.ID && f != a.Env.SaveArea>>hw.PageShift {
+			if _, err := k.RevokePage(f); err != nil {
+				return err
+			}
+			break
+		}
+	}
+
+	// Introspection: the /proc-style reads applications tune themselves by.
+	for _, path := range []string{"/proc/stat", "/proc/self/status", "/proc/2/status"} {
+		s, err := a.ProcRead(path)
+		if err != nil {
+			return err
+		}
+		report(fmt.Sprintf("--- %s\n%s", path, s))
+	}
+
+	// Destruction: b's frames, extent, and endpoint are reclaimed.
+	k.DestroyEnv(b.Env)
+	report(fmt.Sprintf("--- destroyed env %d; %.1f simulated us elapsed\n",
+		b.Env.ID, m.Micros(m.Clock.Cycles())))
+	return nil
+}

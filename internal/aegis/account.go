@@ -1,0 +1,102 @@
+package aegis
+
+import "exokernel/internal/ktrace"
+
+// Accounting and tracing. The paper's physical-name/visible-revocation
+// discipline only works if applications can *see* what they hold and what
+// the kernel did; this file is that visibility. Two mechanisms:
+//
+//   - Registry: the global counters (the old flat Stats) plus a
+//     per-environment account — cycles consumed, syscalls, misses, and the
+//     resources currently held. Always on; increments never touch the
+//     simulated clock, so the cost model is identical with or without it.
+//   - Tracer: an optional ktrace flight recorder. Every instrumentation
+//     site is a single pointer check when tracing is off.
+
+// EnvAccount is the per-environment resource and activity record.
+type EnvAccount struct {
+	// Activity counters.
+	Cycles       uint64 // simulated cycles attributed to this environment
+	Syscalls     uint64
+	Exceptions   uint64
+	TLBMisses    uint64 // hardware refill faults taken while running
+	TLBUpcalls   uint64 // misses that escaped the STLB to the application
+	PktDelivered uint64
+
+	// Resources currently held (bindings this environment owns).
+	Frames    uint64 // physical frames, including the save area
+	Extents   uint64 // disk extents
+	Endpoints uint64 // network endpoints (downloaded filters)
+}
+
+// Registry keeps the kernel-wide counters (the embedded Stats, so
+// k.Stats.Syscalls keeps meaning what it always meant) and one EnvAccount
+// per environment.
+type Registry struct {
+	Stats
+	perEnv []EnvAccount // index = EnvID-1
+}
+
+// acct returns the mutable account for an environment, growing the table
+// on first touch. EnvIDs are dense (allocated 1,2,3...), so this is an
+// array index, not a map lookup, on the hot path.
+func (r *Registry) acct(id EnvID) *EnvAccount {
+	if id == 0 {
+		return &noAccount
+	}
+	for int(id) > len(r.perEnv) {
+		r.perEnv = append(r.perEnv, EnvAccount{})
+	}
+	return &r.perEnv[id-1]
+}
+
+// noAccount swallows updates attributed to "no environment" (boot,
+// interrupt work before the first environment exists).
+var noAccount EnvAccount
+
+// EnvAccount returns a copy of an environment's account (zero value for
+// unknown IDs).
+func (r *Registry) EnvAccount(id EnvID) EnvAccount {
+	if id == 0 || int(id) > len(r.perEnv) {
+		return EnvAccount{}
+	}
+	return r.perEnv[id-1]
+}
+
+// --- Kernel-side plumbing -------------------------------------------------
+
+// SetTracer attaches (or, with nil, detaches) a flight recorder. The
+// recorder never ticks the simulated clock: enabling tracing cannot change
+// a single measured cycle count.
+func (k *Kernel) SetTracer(r *ktrace.Recorder) { k.Tracer = r }
+
+// trace records one event at the current cycle. The nil check is the
+// entire cost of an untraced run.
+func (k *Kernel) trace(kind ktrace.Kind, env EnvID, a0, a1, a2 uint64) {
+	if k.Tracer == nil {
+		return
+	}
+	k.Tracer.Emit(k.M.Clock.Cycles(), kind, uint32(env), a0, a1, a2)
+}
+
+// settleCycles attributes the cycles elapsed since the last settlement to
+// the environment that was running, and restarts the span. Called on every
+// change of k.cur and before any accounting read, so EnvAccount.Cycles is
+// exact at observation points.
+func (k *Kernel) settleCycles() {
+	now := k.M.Clock.Cycles()
+	if k.cur != 0 {
+		k.Stats.acct(k.cur).Cycles += now - k.runStart
+	}
+	k.runStart = now
+}
+
+// Account returns an up-to-date copy of an environment's accounting
+// record. This is the kernel half of the /proc-style read ExOS exposes.
+func (k *Kernel) Account(id EnvID) EnvAccount {
+	k.settleCycles()
+	return k.Stats.EnvAccount(id)
+}
+
+// GlobalStats returns a copy of the kernel-wide counters.
+func (k *Kernel) GlobalStats() Stats { return k.Stats.Stats }

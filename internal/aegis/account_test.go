@@ -1,0 +1,204 @@
+package aegis
+
+import (
+	"testing"
+
+	"exokernel/internal/hw"
+	"exokernel/internal/ktrace"
+)
+
+// accountWorkload is a fixed deterministic workload touching every
+// instrumented subsystem: memory bindings, mappings, packets, disk
+// extents and I/O, yields, and a revocation.
+func accountWorkload(t *testing.T, k *Kernel, m *hw.Machine) {
+	t.Helper()
+	a, err := k.NewEnv(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := k.NewEnv(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames []uint32
+	for i := 0; i < 3; i++ {
+		f, g, err := k.AllocPage(a, AnyFrame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.InstallMapping(a, 0x1000_0000+uint32(i)*hw.PageSize, f, hw.PermWrite, g); err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+	}
+	if _, err := k.InstallFilter(a, byteFilter(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.InstallFilter(b, byteFilter(2)); err != nil {
+		t.Fatal(err)
+	}
+	m.NIC.Deliver(hw.Packet{Data: []byte{1, 0}})
+	m.NIC.Deliver(hw.Packet{Data: []byte{2, 0}})
+	m.NIC.Deliver(hw.Packet{Data: []byte{7, 0}}) // dropped
+	start, extCap, err := k.AllocExtent(b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, gb, err := k.AllocPage(b, AnyFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.DiskWrite(start, 4, 1, extCap, fb, gb); err != nil {
+		t.Fatal(err)
+	}
+	k.Yield(b.ID)
+	k.Yield(a.ID)
+	if _, err := k.RevokePage(frames[2]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTracingOffIsFree: the same fixed workload must consume exactly the
+// same number of simulated cycles with tracing attached and without —
+// the flight recorder observes the clock, never advances it.
+func TestTracingOffIsFree(t *testing.T) {
+	run := func(rec *ktrace.Recorder) uint64 {
+		m := hw.NewMachine(hw.DEC5000)
+		k := New(m)
+		k.SetTracer(rec)
+		accountWorkload(t, k, m)
+		return m.Clock.Cycles()
+	}
+	plain := run(nil)
+	traced := run(ktrace.New(4096))
+	if plain != traced {
+		t.Errorf("cycles differ: untraced %d, traced %d", plain, traced)
+	}
+	if plain == 0 {
+		t.Error("workload consumed no cycles")
+	}
+}
+
+// TestPerEnvAccounting checks attribution: resources held per environment
+// match what the workload allocated, activity counters land on the right
+// environment, and cycles are attributed to whoever was installed.
+func TestPerEnvAccounting(t *testing.T) {
+	m, k := boot(t)
+	accountWorkload(t, k, m)
+
+	a := k.Account(1)
+	b := k.Account(2)
+	// a: save area + 3 pages - 1 revoked (ExOS-less env: abort path) = 3.
+	if a.Frames != 3 {
+		t.Errorf("a.Frames = %d, want 3", a.Frames)
+	}
+	if a.Endpoints != 1 || b.Endpoints != 1 {
+		t.Errorf("endpoints = %d/%d, want 1/1", a.Endpoints, b.Endpoints)
+	}
+	// b: save area + 1 page.
+	if b.Frames != 2 {
+		t.Errorf("b.Frames = %d, want 2", b.Frames)
+	}
+	if a.Extents != 0 || b.Extents != 1 {
+		t.Errorf("extents = %d/%d, want 0/1", a.Extents, b.Extents)
+	}
+	if a.PktDelivered != 1 || b.PktDelivered != 1 {
+		t.Errorf("pkt delivered = %d/%d, want 1/1", a.PktDelivered, b.PktDelivered)
+	}
+	if a.Cycles == 0 || b.Cycles == 0 {
+		t.Errorf("cycles = %d/%d, want both nonzero", a.Cycles, b.Cycles)
+	}
+	// Every cycle is attributed to exactly one environment (env 1 was
+	// installed at boot, so nothing predates attribution).
+	if total := a.Cycles + b.Cycles; total != m.Clock.Cycles() {
+		t.Errorf("attributed %d cycles, clock shows %d", total, m.Clock.Cycles())
+	}
+}
+
+// TestDestroyReclaimsAccounting: after DestroyEnv the environment's held-
+// resource counters are zero and the trace carries an env-destroy event
+// with the freed totals.
+func TestDestroyReclaimsAccounting(t *testing.T) {
+	m, k := boot(t)
+	rec := ktrace.New(4096)
+	k.SetTracer(rec)
+
+	e, err := k.NewEnv(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, err := k.AllocPage(e, AnyFrame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := k.AllocExtent(e, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.InstallFilter(e, byteFilter(3)); err != nil {
+		t.Fatal(err)
+	}
+	pre := k.Account(e.ID)
+	if pre.Frames != 3 || pre.Extents != 1 || pre.Endpoints != 1 {
+		t.Fatalf("pre-destroy account = %+v", pre)
+	}
+
+	k.DestroyEnv(e)
+
+	post := k.Account(e.ID)
+	if post.Frames != 0 || post.Extents != 0 || post.Endpoints != 0 {
+		t.Errorf("post-destroy account not reclaimed: %+v", post)
+	}
+	var destroy *ktrace.Event
+	for _, ev := range rec.Events() {
+		if ev.Kind == ktrace.KindEnvDestroy && ev.Env == uint32(e.ID) {
+			cp := ev
+			destroy = &cp
+		}
+	}
+	if destroy == nil {
+		t.Fatal("no env-destroy event recorded")
+	}
+	// Freed totals: 2 pages + save area, 1 extent, 1 endpoint.
+	if destroy.Arg0 != 3 || destroy.Arg1 != 1 || destroy.Arg2 != 1 {
+		t.Errorf("env-destroy freed totals = %d/%d/%d, want 3/1/1",
+			destroy.Arg0, destroy.Arg1, destroy.Arg2)
+	}
+	_ = m
+}
+
+// TestTraceEventAttribution spot-checks that hot-path events carry the
+// responsible EnvID.
+func TestTraceEventAttribution(t *testing.T) {
+	m, k := boot(t)
+	rec := ktrace.New(8192)
+	k.SetTracer(rec)
+	accountWorkload(t, k, m)
+
+	byKind := map[ktrace.Kind][]ktrace.Event{}
+	for _, ev := range rec.Events() {
+		byKind[ev.Kind] = append(byKind[ev.Kind], ev)
+	}
+	if evs := byKind[ktrace.KindPktDeliver]; len(evs) != 2 || evs[0].Env != 1 || evs[1].Env != 2 {
+		t.Errorf("pkt-deliver events = %+v, want one for env 1 then env 2", evs)
+	}
+	if evs := byKind[ktrace.KindPktDrop]; len(evs) != 1 {
+		t.Errorf("pkt-drop events = %d, want 1", len(evs))
+	}
+	if evs := byKind[ktrace.KindCtxSwitch]; len(evs) < 2 {
+		t.Errorf("ctx-switch events = %d, want >= 2", len(evs))
+	}
+	if evs := byKind[ktrace.KindDiskWrite]; len(evs) != 1 {
+		t.Errorf("disk-write events = %d, want 1", len(evs))
+	}
+	if evs := byKind[ktrace.KindRevokeRequest]; len(evs) != 1 || evs[0].Env != 1 {
+		t.Errorf("revoke-request events = %+v, want one for env 1", evs)
+	}
+	// Cycle stamps are non-decreasing across the whole recording.
+	evs := rec.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Cycle < evs[i-1].Cycle {
+			t.Fatalf("trace not cycle-ordered at %d", i)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"exokernel/internal/cap"
 	"exokernel/internal/hw"
+	"exokernel/internal/ktrace"
 )
 
 // Secure bindings for stable storage. "An exokernel should protect
@@ -46,6 +47,8 @@ func (k *Kernel) AllocExtent(e *Env, nblocks uint32) (uint32, cap.Capability, er
 		}
 		guard := k.Auth.Mint(diskResource(start, nblocks), cap.Read|cap.Write|cap.Grant)
 		k.extents = append(k.extents, extent{owner: e.ID, start: start, nblocks: nblocks})
+		k.Stats.acct(e.ID).Extents++
+		k.trace(ktrace.KindExtentAlloc, e.ID, uint64(start), uint64(nblocks), 0)
 		return start, guard, nil
 	}
 	return 0, cap.Capability{}, fmt.Errorf("aegis: no contiguous %d-block extent free", nblocks)
@@ -71,6 +74,10 @@ func (k *Kernel) FreeExtent(start, nblocks uint32, guard cap.Capability) error {
 	for i, x := range k.extents {
 		if x.start == start && x.nblocks == nblocks {
 			k.extents = append(k.extents[:i], k.extents[i+1:]...)
+			if a := k.Stats.acct(x.owner); a.Extents > 0 {
+				a.Extents--
+			}
+			k.trace(ktrace.KindExtentFree, x.owner, uint64(start), uint64(nblocks), 0)
 			return nil
 		}
 	}
@@ -103,6 +110,7 @@ func (k *Kernel) DiskRead(start, nblocks, off uint32, extCap cap.Capability, fra
 	if frameCap.Resource != uint64(frame) || !k.Auth.Check(frameCap, cap.Write) {
 		return fmt.Errorf("aegis: frame capability check failed")
 	}
+	k.trace(ktrace.KindDiskRead, k.cur, uint64(start+off), uint64(frame), 0)
 	return k.M.Disk.ReadBlock(start+off, k.M.Phys, frame)
 }
 
@@ -117,6 +125,7 @@ func (k *Kernel) DiskWrite(start, nblocks, off uint32, extCap cap.Capability, fr
 	if frameCap.Resource != uint64(frame) || !k.Auth.Check(frameCap, cap.Read) {
 		return fmt.Errorf("aegis: frame capability check failed")
 	}
+	k.trace(ktrace.KindDiskWrite, k.cur, uint64(start+off), uint64(frame), 0)
 	return k.M.Disk.WriteBlock(start+off, k.M.Phys, frame)
 }
 

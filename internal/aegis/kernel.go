@@ -6,6 +6,7 @@ import (
 	"exokernel/internal/cap"
 	"exokernel/internal/hw"
 	"exokernel/internal/isa"
+	"exokernel/internal/ktrace"
 	"exokernel/internal/vm"
 )
 
@@ -44,8 +45,18 @@ type Kernel struct {
 	endpoints []*Endpoint
 	demux     Demux
 
-	// Counters (diagnostics and tests).
-	Stats Stats
+	// Stats is the accounting registry: the kernel-wide counters
+	// (promoted, so k.Stats.Syscalls reads as before) plus one account
+	// per environment (account.go).
+	Stats Registry
+
+	// Tracer, when non-nil, is the attached flight recorder. It records
+	// cycle-stamped events but never advances the clock: the cost model
+	// is identical traced or untraced.
+	Tracer *ktrace.Recorder
+	// runStart is the cycle at which the current environment's
+	// attribution span began (see settleCycles).
+	runStart uint64
 }
 
 // Stats counts kernel events.
@@ -101,6 +112,9 @@ func (k *Kernel) NewEnv(code isa.Code) (*Env, error) {
 	k.frames[frame] = frameBinding{owner: id, bound: true, guard: k.Auth.Mint(uint64(frame), cap.Read|cap.Write)}
 	k.envs = append(k.envs, e)
 	k.slices = append(k.slices, id)
+	k.Stats.acct(id).Frames++ // the save area is a held frame
+	k.trace(ktrace.KindEnvCreate, id, uint64(frame), 0, 0)
+	k.trace(ktrace.KindFrameBind, id, uint64(frame), 0, 0)
 	if k.cur == 0 {
 		k.installEnv(e)
 	}
@@ -127,6 +141,7 @@ func (k *Kernel) Envs() []*Env { return k.envs }
 // installEnv loads an environment's processor state without saving the
 // previous one (boot, or after the caller has saved explicitly).
 func (k *Kernel) installEnv(e *Env) {
+	k.settleCycles()
 	cpu := &k.M.CPU
 	cpu.Regs = e.Regs
 	cpu.PC = e.PC
@@ -150,6 +165,7 @@ func (k *Kernel) saveEnv(e *Env) {
 // kernel-forced switches, where it charges for the register file moves the
 // kernel performs on the environment's behalf.
 func (k *Kernel) switchTo(e *Env, chargeRegs bool) {
+	k.trace(ktrace.KindCtxSwitch, k.cur, uint64(e.ID), 0, 0)
 	if cur := k.CurEnv(); cur != nil {
 		k.saveEnv(cur)
 		if chargeRegs {
@@ -188,11 +204,14 @@ func (k *Kernel) DestroyEnv(e *Env) {
 		k.kill(e, TrapInfo{})
 	}
 	k.charge(20)
+	var freedFrames, freedExtents, freedEndpoints uint64
 	// Network endpoints (and any ASHs riding them).
 	kept := k.endpoints[:0]
 	for _, ep := range k.endpoints {
 		if ep.Owner != e.ID {
 			kept = append(kept, ep)
+		} else {
+			freedEndpoints++
 		}
 	}
 	k.endpoints = kept
@@ -201,6 +220,8 @@ func (k *Kernel) DestroyEnv(e *Env) {
 	for _, x := range k.extents {
 		if x.owner != e.ID {
 			exts = append(exts, x)
+		} else {
+			freedExtents++
 		}
 	}
 	k.extents = exts
@@ -210,8 +231,14 @@ func (k *Kernel) DestroyEnv(e *Env) {
 			k.breakBindings(uint32(frame))
 			k.frames[frame] = frameBinding{}
 			_ = k.M.Phys.FreeFrame(uint32(frame))
+			freedFrames++
 		}
 	}
+	// Reclaim the account: held-resource counters go to zero with the
+	// bindings; activity counters stay for post-mortem inspection.
+	acct := k.Stats.acct(e.ID)
+	acct.Frames, acct.Extents, acct.Endpoints = 0, 0, 0
+	k.trace(ktrace.KindEnvDestroy, e.ID, freedFrames, freedExtents, freedEndpoints)
 }
 
 // kill marks an environment dead, frees its slices, and stops the
@@ -220,6 +247,7 @@ func (k *Kernel) kill(e *Env, t TrapInfo) {
 	e.Dead = true
 	e.LastFault = t
 	k.Stats.KilledEnvs++
+	k.trace(ktrace.KindEnvKill, e.ID, uint64(t.Cause), uint64(t.EPC), 0)
 	live := k.slices[:0]
 	for _, id := range k.slices {
 		if id != e.ID {

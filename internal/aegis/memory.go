@@ -5,6 +5,7 @@ import (
 
 	"exokernel/internal/cap"
 	"exokernel/internal/hw"
+	"exokernel/internal/ktrace"
 )
 
 // AllocPage allocates a physical page for an environment and mints the
@@ -33,6 +34,8 @@ func (k *Kernel) AllocPage(e *Env, frame uint32) (uint32, cap.Capability, error)
 	}
 	guard := k.Auth.Mint(uint64(f), cap.Read|cap.Write|cap.Grant)
 	k.frames[f] = frameBinding{owner: e.ID, bound: true, guard: guard}
+	k.Stats.acct(e.ID).Frames++
+	k.trace(ktrace.KindFrameBind, e.ID, uint64(f), 0, 0)
 	return f, guard, nil
 }
 
@@ -50,8 +53,13 @@ func (k *Kernel) DeallocPage(frame uint32, c cap.Capability) error {
 	if c.Resource != uint64(frame) || !k.Auth.Check(c, cap.Write) {
 		return fmt.Errorf("aegis: capability check failed for frame %d", frame)
 	}
+	owner := k.frames[frame].owner
 	k.breakBindings(frame)
 	k.frames[frame] = frameBinding{}
+	if a := k.Stats.acct(owner); a.Frames > 0 {
+		a.Frames--
+	}
+	k.trace(ktrace.KindFrameUnbind, owner, uint64(frame), 0, 0)
 	return k.M.Phys.FreeFrame(frame)
 }
 

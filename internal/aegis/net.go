@@ -6,6 +6,7 @@ import (
 	"exokernel/internal/cap"
 	"exokernel/internal/hw"
 	"exokernel/internal/isa"
+	"exokernel/internal/ktrace"
 	"exokernel/internal/sandbox"
 	"exokernel/internal/vm"
 )
@@ -57,6 +58,8 @@ func (k *Kernel) InstallFilter(e *Env, f Filter) (*Endpoint, error) {
 	k.charge(20) // filter insertion bookkeeping
 	ep := &Endpoint{Owner: e.ID, Filt: f}
 	k.endpoints = append(k.endpoints, ep)
+	k.Stats.acct(e.ID).Endpoints++
+	k.trace(ktrace.KindEndpointBind, e.ID, 0, 0, 0)
 	return ep, nil
 }
 
@@ -65,6 +68,10 @@ func (k *Kernel) RemoveEndpoint(ep *Endpoint) {
 	for i, x := range k.endpoints {
 		if x == ep {
 			k.endpoints = append(k.endpoints[:i], k.endpoints[i+1:]...)
+			if a := k.Stats.acct(ep.Owner); a.Endpoints > 0 {
+				a.Endpoints--
+			}
+			k.trace(ktrace.KindEndpointUnbind, ep.Owner, 0, 0, 0)
 			return
 		}
 	}
@@ -133,23 +140,30 @@ func (k *Kernel) deliver(frame []byte) {
 	if k.demux != nil {
 		ep, cycles, ok := k.demux(frame)
 		k.M.Clock.Tick(cycles)
+		k.trace(ktrace.KindPktClassify, k.cur, uint64(len(frame)), cycles, 0)
 		if !ok || ep == nil {
 			k.Stats.PktDropped++
+			k.trace(ktrace.KindPktDrop, 0, uint64(len(frame)), 0, 0)
 			return
 		}
 		k.deliverTo(ep, frame)
 		return
 	}
+	var spent uint64
 	for _, ep := range k.endpoints {
 		accept, cycles := ep.Filt.Match(frame)
 		k.M.Clock.Tick(cycles)
+		spent += cycles
 		if !accept {
 			continue
 		}
+		k.trace(ktrace.KindPktClassify, k.cur, uint64(len(frame)), spent, 0)
 		k.deliverTo(ep, frame)
 		return
 	}
 	k.Stats.PktDropped++
+	k.trace(ktrace.KindPktClassify, k.cur, uint64(len(frame)), spent, 0)
+	k.trace(ktrace.KindPktDrop, 0, uint64(len(frame)), 0, 0)
 }
 
 // deliverTo hands an accepted frame to its endpoint: ASH in interrupt
@@ -157,6 +171,8 @@ func (k *Kernel) deliver(frame []byte) {
 func (k *Kernel) deliverTo(ep *Endpoint, frame []byte) {
 	ep.Delivered++
 	k.Stats.PktDelivered++
+	k.Stats.acct(ep.Owner).PktDelivered++
+	k.trace(ktrace.KindPktDeliver, ep.Owner, uint64(len(frame)), 0, 0)
 	if ep.ASH != nil {
 		k.runASH(ep, frame)
 		return
@@ -178,6 +194,7 @@ func (k *Kernel) deliverTo(ep *Endpoint, frame []byte) {
 // is bounded by the verifier's budget — belt and suspenders.
 func (k *Kernel) runASH(ep *Endpoint, frame []byte) {
 	k.Stats.ASHRuns++
+	k.trace(ktrace.KindASHRun, ep.Owner, uint64(len(frame)), 0, 0)
 	cpu := &k.M.CPU
 	savedRegs := cpu.Regs
 	savedPC := cpu.PC

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"exokernel/internal/hw"
+	"exokernel/internal/ktrace"
 )
 
 // Protected control transfer (§5.4): the substrate for all IPC. A PCT
@@ -52,9 +53,12 @@ func (k *Kernel) ProtCall(callee EnvID, async bool) error {
 		cur.PC = cpu.PC
 	}
 
+	k.trace(ktrace.KindProtCall, callerID(cur), uint64(callee), b2u(async), 0)
+
 	// Install the callee's addressing context. Register file is NOT
 	// touched: that is the contract.
 	k.M.Clock.Tick(hw.CostContextID)
+	k.settleCycles()
 	k.cur = target.ID
 	cpu.ASID = target.ASID
 	cpu.SetReg(hw.RegV1, uint32(callerID(cur)))

@@ -1,6 +1,10 @@
 package aegis
 
-import "fmt"
+import (
+	"fmt"
+
+	"exokernel/internal/ktrace"
+)
 
 // Resource revocation (§3.3–3.4). Aegis revokes *visibly*: it asks the
 // owning library OS to release a specific physical page, so the application
@@ -41,12 +45,15 @@ func (k *Kernel) RevokePage(frame uint32) (RevokeOutcome, error) {
 		return RevokeNoOwner, fmt.Errorf("aegis: revoke of unallocated frame %d", frame)
 	}
 	k.Stats.Revocations++
-	owner, _ := k.Env(k.frames[frame].owner)
+	ownerID := k.frames[frame].owner
+	owner, _ := k.Env(ownerID)
+	k.trace(ktrace.KindRevokeRequest, ownerID, uint64(frame), 0, 0)
 
 	// Visible phase: upcall into the library OS ("please release a page").
 	if owner != nil && owner.NativeRevoke != nil {
 		k.charge(12) // upcall dispatch
 		if owner.NativeRevoke(k, frame) && !k.frames[frame].bound {
+			k.trace(ktrace.KindRevokeComply, ownerID, uint64(frame), 0, 0)
 			return RevokeComplied, nil
 		}
 	}
@@ -57,6 +64,11 @@ func (k *Kernel) RevokePage(frame uint32) (RevokeOutcome, error) {
 	k.charge(10)
 	k.breakBindings(frame)
 	k.frames[frame] = frameBinding{}
+	if a := k.Stats.acct(ownerID); a.Frames > 0 {
+		a.Frames--
+	}
+	k.trace(ktrace.KindRevokeAbort, ownerID, uint64(frame), 0, 0)
+	k.trace(ktrace.KindFrameUnbind, ownerID, uint64(frame), 0, 0)
 	if err := k.M.Phys.FreeFrame(frame); err != nil {
 		return RevokeAborted, err
 	}

@@ -1,6 +1,9 @@
 package aegis
 
-import "exokernel/internal/hw"
+import (
+	"exokernel/internal/hw"
+	"exokernel/internal/ktrace"
+)
 
 // CPU scheduling (§5.1.1). "Aegis represents the CPU as a linear vector,
 // where each element corresponds to a time slice"; the vector is walked
@@ -78,6 +81,7 @@ func (k *Kernel) timerTick() {
 		return
 	}
 	e.Slices++
+	k.trace(ktrace.KindSliceExpiry, e.ID, e.Slices, 0, 0)
 	if e.NativeInt != nil {
 		k.charge(9)
 		e.NativeInt(k)
@@ -108,6 +112,7 @@ func (k *Kernel) timerTick() {
 // register-file save and restore plus the addressing-context switch).
 func (k *Kernel) Yield(target EnvID) bool {
 	k.charge(8) // entry + validate target
+	k.trace(ktrace.KindYield, k.cur, uint64(target), 0, 0)
 	var next *Env
 	if target == YieldNext {
 		next = k.nextRunnable()

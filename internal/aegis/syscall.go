@@ -2,6 +2,7 @@ package aegis
 
 import (
 	"exokernel/internal/hw"
+	"exokernel/internal/ktrace"
 )
 
 // System-call numbers for the VM ABI (code in v0, arguments in a0–a3,
@@ -46,6 +47,13 @@ func (k *Kernel) syscall() {
 	code := cpu.Reg(hw.RegV0)
 	a0, a1 := cpu.Reg(hw.RegA0), cpu.Reg(hw.RegA1)
 	a2, a3 := cpu.Reg(hw.RegA2), cpu.Reg(hw.RegA3)
+	k.Stats.acct(e.ID).Syscalls++
+	if k.Tracer != nil {
+		k.trace(ktrace.KindSyscallEnter, e.ID, uint64(code), uint64(a0), uint64(a1))
+		// The exit stamp is taken when the operation's body has charged
+		// its cycles, whichever return path it leaves by.
+		defer k.trace(ktrace.KindSyscallExit, e.ID, uint64(code), 0, 0)
+	}
 
 	// Most calls fall through to "advance past the SYSCALL and continue";
 	// control-transfer calls redirect and return directly.

@@ -1,6 +1,9 @@
 package aegis
 
-import "exokernel/internal/hw"
+import (
+	"exokernel/internal/hw"
+	"exokernel/internal/ktrace"
+)
 
 // Save-area layout (word offsets). The dispatcher spills the three scratch
 // registers and the exception report here using physical addresses, so the
@@ -57,6 +60,8 @@ func (k *Kernel) dispatchException() {
 		k.Interp.RequestStop()
 		return
 	}
+	k.Stats.acct(e.ID).Exceptions++
+	k.trace(ktrace.KindException, e.ID, uint64(cpu.Cause), uint64(cpu.EPC), uint64(cpu.BadVAddr))
 	t := TrapInfo{Cause: cpu.Cause, EPC: cpu.EPC, BadVAddr: cpu.BadVAddr}
 
 	k.spillScratch(e)
@@ -111,18 +116,23 @@ func (k *Kernel) tlbMiss() {
 		return
 	}
 	vpn := cpu.BadVAddr >> hw.PageShift
+	k.Stats.acct(e.ID).TLBMisses++
+	k.trace(ktrace.KindTLBMiss, e.ID, uint64(vpn), b2u(cpu.Cause == hw.ExcTLBMissS), 0)
 	if k.STLBEnabled {
 		k.M.Clock.Tick(hw.CostSTLBLookup)
 		if entry, ok := k.stlb.lookup(vpn, cpu.ASID); ok {
 			// The miss never reaches the application: install and retry.
 			k.M.TLB.WriteRandom(entry)
 			k.Stats.STLBHits++
+			k.trace(ktrace.KindSTLBHit, e.ID, uint64(vpn), 0, 0)
 			cpu.PC = cpu.EPC
 			cpu.Mode = hw.ModeUser
 			return
 		}
 	}
 	k.Stats.TLBUpcalls++
+	k.Stats.acct(e.ID).TLBUpcalls++
+	k.trace(ktrace.KindTLBUpcall, e.ID, uint64(vpn), 0, 0)
 	write := cpu.Cause == hw.ExcTLBMissS
 	if e.NativeTLBMiss != nil {
 		// Charge the same dispatch prologue an upcall costs (the spills
@@ -170,6 +180,14 @@ func (k *Kernel) dispatchTo(e *Env, vec uint32) {
 	cpu := &k.M.CPU
 	cpu.PC = vec
 	cpu.Mode = hw.ModeUser
+}
+
+// b2u converts a bool to a trace argument.
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // interrupt demultiplexes external interrupts.

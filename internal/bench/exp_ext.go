@@ -63,6 +63,7 @@ func AblationILP() *Table {
 	run := func(code isa.Code) float64 {
 		m := hw.NewMachine(hw.DEC5000)
 		k := aegis.New(m)
+		k.SetTracer(Tracer)
 		env, err := k.NewEnv(nil)
 		if err != nil {
 			panic(err)
@@ -113,6 +114,8 @@ func AblationDSM() *Table {
 	mb := hw.NewMachine(hw.DEC5000)
 	ka := aegis.New(ma)
 	kb := aegis.New(mb)
+	ka.SetTracer(Tracer)
+	kb.SetTracer(Tracer)
 	seg.Attach(ma)
 	seg.Attach(mb)
 	na := exos.NewNet(ka, pkt.Addr{0xA}, pkt.IP(10, 9, 0, 1))

@@ -7,6 +7,7 @@ import (
 	"exokernel/internal/asm"
 	"exokernel/internal/exos"
 	"exokernel/internal/hw"
+	"exokernel/internal/ktrace"
 	"exokernel/internal/pkt"
 	"exokernel/internal/ultrix"
 	"exokernel/internal/vm"
@@ -15,10 +16,19 @@ import (
 // Shared machinery: machine construction, measurement, and the VM
 // workloads used by several experiments.
 
+// Tracer, when non-nil, is attached to every Aegis kernel the harness
+// boots, so a whole experiment runs under the flight recorder
+// (aegisbench -trace, cmd/exotrace). Each experiment boots fresh
+// machines whose clocks start at zero; tracing one experiment at a time
+// gives the cleanest timeline.
+var Tracer *ktrace.Recorder
+
 // newAegis boots Aegis on a fresh primary-platform machine.
 func newAegis() (*hw.Machine, *aegis.Kernel) {
 	m := hw.NewMachine(hw.DEC5000)
-	return m, aegis.New(m)
+	k := aegis.New(m)
+	k.SetTracer(Tracer)
+	return m, k
 }
 
 // newUltrix boots the monolithic baseline on identical hardware.

@@ -1,0 +1,98 @@
+package exos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"exokernel/internal/aegis"
+)
+
+// /proc-style introspection (the read side of "visible resource
+// management"). The kernel's accounting registry is public state — an
+// exokernel has no secrets about who holds what — and ExOS renders it as
+// the familiar procfs text protocol so applications (and the tooling in
+// cmd/exotrace) can audit themselves and their neighbours.
+//
+// Paths:
+//
+//	/proc/stat        kernel-wide counters
+//	/proc/self/status this environment's account
+//	/proc/<id>/status environment <id>'s account
+//
+// Reads charge the simulated clock for the work they model: a protected
+// entry into the registry plus a word-copy of the rendered text.
+
+// ProcRead returns the contents of an introspection path.
+func (os *LibOS) ProcRead(path string) (string, error) {
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	if len(parts) < 2 || parts[0] != "proc" {
+		return "", fmt.Errorf("exos: no such proc path %q", path)
+	}
+	os.K.M.Clock.Tick(12) // protected entry into the registry
+	var out string
+	switch {
+	case len(parts) == 2 && parts[1] == "stat":
+		out = formatStat(os.K.GlobalStats())
+	case len(parts) == 3 && parts[2] == "status":
+		id := os.Env.ID
+		if parts[1] != "self" {
+			n, err := strconv.ParseUint(parts[1], 10, 32)
+			if err != nil {
+				return "", fmt.Errorf("exos: bad environment id %q", parts[1])
+			}
+			id = aegis.EnvID(n)
+		}
+		e, ok := os.K.Env(id)
+		if !ok {
+			return "", fmt.Errorf("exos: no environment %d", id)
+		}
+		out = formatStatus(e, os.K.Account(id))
+	default:
+		return "", fmt.Errorf("exos: no such proc path %q", path)
+	}
+	os.K.M.Clock.Tick(uint64((len(out) + 3) / 4)) // copy out the text
+	return out, nil
+}
+
+// formatStat renders the kernel-wide counters as key-value lines.
+func formatStat(s aegis.Stats) string {
+	var b strings.Builder
+	kv := func(k string, v uint64) { fmt.Fprintf(&b, "%s %d\n", k, v) }
+	kv("syscalls", s.Syscalls)
+	kv("exceptions", s.Exceptions)
+	kv("tlb_misses", s.TLBMisses)
+	kv("stlb_hits", s.STLBHits)
+	kv("tlb_upcalls", s.TLBUpcalls)
+	kv("prot_calls", s.ProtCalls)
+	kv("timer_ticks", s.TimerTicks)
+	kv("pkt_delivered", s.PktDelivered)
+	kv("pkt_dropped", s.PktDropped)
+	kv("ash_runs", s.ASHRuns)
+	kv("revocations", s.Revocations)
+	kv("aborts", s.Aborts)
+	kv("killed_envs", s.KilledEnvs)
+	return b.String()
+}
+
+// formatStatus renders one environment's account.
+func formatStatus(e *aegis.Env, a aegis.EnvAccount) string {
+	var b strings.Builder
+	state := "live"
+	if e.Dead {
+		state = "dead"
+	}
+	fmt.Fprintf(&b, "env %d\nstate %s\n", e.ID, state)
+	kv := func(k string, v uint64) { fmt.Fprintf(&b, "%s %d\n", k, v) }
+	kv("cycles", a.Cycles)
+	kv("syscalls", a.Syscalls)
+	kv("exceptions", a.Exceptions)
+	kv("tlb_misses", a.TLBMisses)
+	kv("tlb_upcalls", a.TLBUpcalls)
+	kv("pkt_delivered", a.PktDelivered)
+	kv("frames_held", a.Frames)
+	kv("extents_held", a.Extents)
+	kv("endpoints_held", a.Endpoints)
+	kv("slices", e.Slices)
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package exos
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProcReadStatAndStatus(t *testing.T) {
+	m, _, os := boot2(t)
+	const va = 0x1000_0000
+	if _, err := os.AllocAndMap(va); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.TouchWrite(va); err != nil {
+		t.Fatal(err)
+	}
+
+	stat, err := os.ProcRead("/proc/stat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stat, "tlb_upcalls 1") {
+		t.Errorf("/proc/stat missing the TLB upcall:\n%s", stat)
+	}
+
+	status, err := os.ProcRead("/proc/self/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"env 1", "state live", "frames_held 2", "tlb_upcalls 1"} {
+		if !strings.Contains(status, want) {
+			t.Errorf("/proc/self/status missing %q:\n%s", want, status)
+		}
+	}
+	// By-id addressing resolves to the same environment.
+	byID, err := os.ProcRead("/proc/1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(byID, "frames_held 2") {
+		t.Errorf("/proc/1/status disagrees:\n%s", byID)
+	}
+
+	// Cycles are attributed and the read itself is charged.
+	before := m.Clock.Cycles()
+	if _, err := os.ProcRead("/proc/stat"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Clock.Cycles() == before {
+		t.Error("ProcRead consumed no simulated time")
+	}
+}
+
+func TestProcReadErrors(t *testing.T) {
+	_, _, os := boot2(t)
+	for _, path := range []string{"", "/", "/proc", "/proc/nope", "/proc/self/nope", "/proc/99/status", "/proc/x/status"} {
+		if _, err := os.ProcRead(path); err == nil {
+			t.Errorf("ProcRead(%q) succeeded, want error", path)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package ktrace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Exporters. Three formats cover the three audiences: WriteText for eyes,
+// WriteJSONL for scripts, and WriteChrome for the chrome://tracing /
+// Perfetto timeline UI.
+
+// WriteText renders events as an aligned human-readable log:
+//
+//	cycle        env  kind             args
+func WriteText(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%12s  %-5s  %-16s %s\n", "cycle", "env", "event", "args")
+	for _, e := range events {
+		fmt.Fprintf(bw, "%12d  %-5d  %-16s %d %d %d\n", e.Cycle, e.Env, e.Kind, e.Arg0, e.Arg1, e.Arg2)
+	}
+	return bw.Flush()
+}
+
+// jsonEvent is the JSONL wire form of an Event.
+type jsonEvent struct {
+	Cycle uint64 `json:"cycle"`
+	Kind  string `json:"kind"`
+	Env   uint32 `json:"env"`
+	Arg0  uint64 `json:"arg0,omitempty"`
+	Arg1  uint64 `json:"arg1,omitempty"`
+	Arg2  uint64 `json:"arg2,omitempty"`
+}
+
+// WriteJSONL writes one JSON object per line, in event order.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		if err := enc.Encode(jsonEvent{Cycle: e.Cycle, Kind: e.Kind.String(), Env: e.Env, Arg0: e.Arg0, Arg1: e.Arg1, Arg2: e.Arg2}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one entry of the Chrome trace_event "JSON Object Format"
+// (the {"traceEvents": [...]} envelope), loadable in chrome://tracing and
+// in Perfetto's legacy-trace importer.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"` // microseconds
+	Dur   *float64       `json:"dur,omitempty"`
+	Pid   uint32         `json:"pid"`
+	Tid   uint32         `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome exports events in Chrome trace_event format. mhz converts
+// cycle stamps to microseconds (the trace_event time base); pass the
+// simulated machine's clock rate. Syscall enter/exit pairs become complete
+// ("X") duration slices; everything else is an instant event on the
+// responsible environment's track. Environment 0 is the kernel itself
+// (drops, decisions with no owner).
+func WriteChrome(w io.Writer, events []Event, mhz float64) error {
+	if mhz <= 0 {
+		mhz = 1
+	}
+	us := func(cycle uint64) float64 { return float64(cycle) / mhz }
+
+	out := make([]chromeEvent, 0, len(events)+8)
+	envs := map[uint32]bool{}
+	// pending syscall-enter per env, to pair into "X" slices.
+	pending := map[uint32]Event{}
+
+	flushPending := func(env uint32) {
+		if enter, ok := pending[env]; ok {
+			// Unmatched enter (window edge): degrade to an instant.
+			out = append(out, chromeEvent{
+				Name: enter.Kind.String(), Ph: "i", Ts: us(enter.Cycle),
+				Pid: enter.Env, Tid: enter.Env, Scope: "t",
+				Args: map[string]any{"code": enter.Arg0, "cycle": enter.Cycle},
+			})
+			delete(pending, env)
+		}
+	}
+
+	for _, e := range events {
+		envs[e.Env] = true
+		switch e.Kind {
+		case KindSyscallEnter:
+			flushPending(e.Env)
+			pending[e.Env] = e
+		case KindSyscallExit:
+			if enter, ok := pending[e.Env]; ok && enter.Arg0 == e.Arg0 {
+				dur := us(e.Cycle) - us(enter.Cycle)
+				out = append(out, chromeEvent{
+					Name: fmt.Sprintf("syscall %d", e.Arg0), Ph: "X",
+					Ts: us(enter.Cycle), Dur: &dur,
+					Pid: e.Env, Tid: e.Env,
+					Args: map[string]any{"code": e.Arg0, "cycles": e.Cycle - enter.Cycle},
+				})
+				delete(pending, e.Env)
+				continue
+			}
+			fallthrough
+		default:
+			out = append(out, chromeEvent{
+				Name: e.Kind.String(), Ph: "i", Ts: us(e.Cycle),
+				Pid: e.Env, Tid: e.Env, Scope: "t",
+				Args: map[string]any{"arg0": e.Arg0, "arg1": e.Arg1, "arg2": e.Arg2, "cycle": e.Cycle},
+			})
+		}
+	}
+	for env := range pending {
+		flushPending(env)
+	}
+
+	// Stable metadata order keeps the output diffable.
+	ids := make([]uint32, 0, len(envs))
+	for env := range envs {
+		ids = append(ids, env)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	meta := make([]chromeEvent, 0, len(ids))
+	for _, env := range ids {
+		name := fmt.Sprintf("env %d", env)
+		if env == 0 {
+			name = "kernel"
+		}
+		meta = append(meta, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: env, Tid: env,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: append(meta, out...), DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,207 @@
+// Package ktrace is the kernel flight recorder: a fixed-capacity ring
+// buffer of typed events stamped with the simulated cycle clock. The
+// paper's thesis is that resource management should be *visible* to
+// applications; ktrace is the observability half of that argument — every
+// kernel decision (dispatch, delivery, revocation, reclamation) leaves a
+// cycle-stamped record naming the environment it was made for.
+//
+// The recorder is deliberately dumb on the hot path: Emit writes one
+// fixed-size struct into a preallocated buffer and increments a counter.
+// It never allocates, never locks (the simulation is single-threaded by
+// construction), and never touches the simulated clock — tracing on or
+// off, the cost model is byte-identical.
+package ktrace
+
+// Kind is the event type.
+type Kind uint16
+
+// Event kinds. The taxonomy follows the kernel's decision points: control
+// transfer (syscalls, exceptions, context switches), multiplexing (TLB,
+// packets, disk), and the resource life cycle (bind/unbind, revocation,
+// environment create/destroy).
+const (
+	KindNone Kind = iota
+
+	// Control transfer.
+	KindSyscallEnter // Arg0 = syscall code
+	KindSyscallExit  // Arg0 = syscall code
+	KindException    // Arg0 = cause, Arg1 = EPC, Arg2 = BadVAddr
+	KindCtxSwitch    // Env = outgoing, Arg0 = incoming EnvID
+	KindSliceExpiry  // timer tick ended Env's slice
+	KindYield        // Arg0 = target EnvID (0 = next in vector)
+	KindProtCall     // Env = caller, Arg0 = callee, Arg1 = 1 if async
+
+	// Address translation.
+	KindTLBMiss   // Arg0 = VPN, Arg1 = 1 if store
+	KindSTLBHit   // Arg0 = VPN (absorbed in-kernel)
+	KindTLBUpcall // Arg0 = VPN (miss reached the application)
+
+	// Network multiplexing.
+	KindPktClassify // Arg0 = frame bytes, Arg1 = classification cycles
+	KindPktDeliver  // Env = endpoint owner, Arg0 = frame bytes
+	KindPktDrop     // Arg0 = frame bytes (no filter accepted)
+	KindASHRun      // Env = endpoint owner, Arg0 = frame bytes
+
+	// Resource life cycle.
+	KindEnvCreate    // Env = new environment
+	KindEnvKill      // Arg0 = cause, Arg1 = EPC of the fatal trap
+	KindEnvDestroy   // Arg0 = frames freed, Arg1 = extents freed, Arg2 = endpoints freed
+	KindFrameBind    // Env = owner, Arg0 = frame
+	KindFrameUnbind  // Env = owner, Arg0 = frame
+	KindExtentAlloc  // Env = owner, Arg0 = start block, Arg1 = nblocks
+	KindExtentFree   // Env = owner, Arg0 = start block, Arg1 = nblocks
+	KindEndpointBind // Env = owner (filter installed)
+	KindEndpointUnbind
+	KindRevokeRequest // Env = owner, Arg0 = frame (visible upcall)
+	KindRevokeComply  // Env = owner, Arg0 = frame (library OS released it)
+	KindRevokeAbort   // Env = owner, Arg0 = frame (kernel repossessed)
+
+	// Stable storage.
+	KindDiskRead  // Env = requester, Arg0 = block, Arg1 = frame
+	KindDiskWrite // Env = requester, Arg0 = block, Arg1 = frame
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindNone:           "none",
+	KindSyscallEnter:   "syscall-enter",
+	KindSyscallExit:    "syscall-exit",
+	KindException:      "exception",
+	KindCtxSwitch:      "ctx-switch",
+	KindSliceExpiry:    "slice-expiry",
+	KindYield:          "yield",
+	KindProtCall:       "prot-call",
+	KindTLBMiss:        "tlb-miss",
+	KindSTLBHit:        "stlb-hit",
+	KindTLBUpcall:      "tlb-upcall",
+	KindPktClassify:    "pkt-classify",
+	KindPktDeliver:     "pkt-deliver",
+	KindPktDrop:        "pkt-drop",
+	KindASHRun:         "ash-run",
+	KindEnvCreate:      "env-create",
+	KindEnvKill:        "env-kill",
+	KindEnvDestroy:     "env-destroy",
+	KindFrameBind:      "frame-bind",
+	KindFrameUnbind:    "frame-unbind",
+	KindExtentAlloc:    "extent-alloc",
+	KindExtentFree:     "extent-free",
+	KindEndpointBind:   "endpoint-bind",
+	KindEndpointUnbind: "endpoint-unbind",
+	KindRevokeRequest:  "revoke-request",
+	KindRevokeComply:   "revoke-comply",
+	KindRevokeAbort:    "revoke-abort",
+	KindDiskRead:       "disk-read",
+	KindDiskWrite:      "disk-write",
+}
+
+func (k Kind) String() string {
+	if k < numKinds {
+		return kindNames[k]
+	}
+	return "kind?"
+}
+
+// Event is one flight-recorder record. Env is the environment the kernel
+// made the decision *for* (the responsible party), which is not always the
+// running one — a packet delivery is attributed to the endpoint's owner
+// even though it happens in interrupt context.
+type Event struct {
+	Cycle uint64
+	Kind  Kind
+	Env   uint32
+	Arg0  uint64
+	Arg1  uint64
+	Arg2  uint64
+}
+
+// Recorder is the ring buffer. A nil *Recorder is a valid, disabled
+// recorder: every method on it is a no-op, so instrumentation sites need
+// only a single pointer check.
+type Recorder struct {
+	buf   []Event
+	total uint64 // events ever emitted; buf index = total % cap
+	on    bool
+}
+
+// New makes a recorder with the given capacity (events kept before the
+// oldest are overwritten), enabled.
+func New(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{buf: make([]Event, capacity), on: true}
+}
+
+// Enabled reports whether Emit records anything.
+func (r *Recorder) Enabled() bool { return r != nil && r.on }
+
+// SetEnabled pauses or resumes recording (the buffer is kept).
+func (r *Recorder) SetEnabled(on bool) {
+	if r != nil {
+		r.on = on
+	}
+}
+
+// Emit records one event. Zero allocations; overwrites the oldest event
+// once the ring is full.
+func (r *Recorder) Emit(cycle uint64, kind Kind, env uint32, a0, a1, a2 uint64) {
+	if r == nil || !r.on {
+		return
+	}
+	r.buf[r.total%uint64(len(r.buf))] = Event{Cycle: cycle, Kind: kind, Env: env, Arg0: a0, Arg1: a1, Arg2: a2}
+	r.total++
+}
+
+// Len reports how many events are currently held (≤ capacity).
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	if r.total < uint64(len(r.buf)) {
+		return int(r.total)
+	}
+	return len(r.buf)
+}
+
+// Total reports how many events were ever emitted.
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total
+}
+
+// Dropped reports how many events were overwritten by wraparound.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil || r.total < uint64(len(r.buf)) {
+		return 0
+	}
+	return r.total - uint64(len(r.buf))
+}
+
+// Events returns the held window, oldest first. Cycle stamps are
+// non-decreasing because the simulated clock never runs backwards within
+// one machine; the copy means callers can export while the kernel keeps
+// recording.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	n := uint64(len(r.buf))
+	if r.total <= n {
+		return append([]Event(nil), r.buf[:r.total]...)
+	}
+	start := r.total % n
+	out := make([]Event, 0, n)
+	out = append(out, r.buf[start:]...)
+	out = append(out, r.buf[:start]...)
+	return out
+}
+
+// Reset empties the recorder without resizing.
+func (r *Recorder) Reset() {
+	if r != nil {
+		r.total = 0
+	}
+}

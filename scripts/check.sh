@@ -1,0 +1,25 @@
+#!/bin/sh
+# Local verification gate (tier-1+): build, vet, format, race-enabled tests.
+# Run from the repository root: ./scripts/check.sh  (or: make check)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== gofmt -l"
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "check: OK"
