@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench
+.PHONY: all build test check fmt vet race bench results baseline benchdiff
 
 all: check
 
@@ -27,3 +27,17 @@ check:
 
 bench:
 	$(GO) run ./cmd/aegisbench
+
+# Regenerate the committed human-readable results.
+results:
+	$(GO) run ./cmd/aegisbench > results_aegisbench.txt
+
+# Regenerate the committed BENCH JSON baseline the regression gate
+# compares against (see cmd/benchdiff; schema in internal/bench/json.go).
+baseline:
+	$(GO) run ./cmd/aegisbench -format json -trials 3 > BENCH_aegisbench.json
+
+# Gate the current tree against the committed baseline (default 5%).
+benchdiff:
+	$(GO) run ./cmd/aegisbench -format json -trials 3 > /tmp/bench_new.json
+	$(GO) run ./cmd/benchdiff BENCH_aegisbench.json /tmp/bench_new.json

@@ -8,13 +8,26 @@
 //	aegisbench -only table7 # run a subset (substring match, case-folded)
 //	aegisbench -list        # list experiments
 //	aegisbench -n 64        # smaller Table 9 matrix for quick runs
+//	aegisbench -format json -trials 3 > BENCH.json
+//	                        # machine-readable BENCH JSON: every numeric
+//	                        # table cell becomes a metric with its trial
+//	                        # distribution (see internal/bench/json.go for
+//	                        # the schema; cmd/benchdiff compares two files)
 //	aegisbench -only table3 -trace out.json
 //	                        # run under the kernel flight recorder and
 //	                        # write a Chrome trace_event file (open in
 //	                        # chrome://tracing or Perfetto)
+//
+// -trials repeats each experiment (default 1) and applies to every
+// format; text and csv print each repetition, json aggregates them into
+// per-metric distributions. -only composes with all of them: the JSON
+// file contains exactly the selected experiments, so a baseline written
+// with -only must be diffed against files written with the same
+// selection (benchdiff reports disjoint metrics as churn, not failure).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,14 +42,19 @@ func main() {
 	only := flag.String("only", "", "run only experiments whose ID or title contains this substring")
 	list := flag.Bool("list", false, "list experiments and exit")
 	matN := flag.Int("n", bench.Table9MatrixN, "matrix dimension for Table 9")
-	format := flag.String("format", "text", "output format: text or csv")
+	format := flag.String("format", "text", "output format: text, csv, or json")
+	trials := flag.Int("trials", 1, "repetitions per experiment")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event recording of the run to this file")
 	traceBuf := flag.Int("tracebuf", 1<<20, "flight-recorder capacity in events (oldest overwritten)")
 	flag.Parse()
 
-	if *format != "text" && *format != "csv" {
-		fmt.Fprintf(os.Stderr, "aegisbench: unknown -format %q (want text or csv)\n", *format)
+	if *format != "text" && *format != "csv" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "aegisbench: unknown -format %q (want text, csv, or json)\n", *format)
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *trials < 1 {
+		fmt.Fprintf(os.Stderr, "aegisbench: -trials %d, want >= 1\n", *trials)
 		os.Exit(2)
 	}
 
@@ -55,25 +73,42 @@ func main() {
 		return
 	}
 	needle := strings.ToLower(strings.ReplaceAll(*only, " ", ""))
-	ran := 0
+	var selected []bench.Experiment
 	for _, e := range exps {
 		id := strings.ToLower(strings.ReplaceAll(e.ID, " ", ""))
 		title := strings.ToLower(e.Title)
 		if needle != "" && !strings.Contains(id, needle) && !strings.Contains(title, needle) {
 			continue
 		}
-		tb := e.Run()
-		if *format == "csv" {
-			fmt.Println(tb.CSV())
-		} else {
-			fmt.Println(tb.Format())
-		}
-		ran++
+		selected = append(selected, e)
 	}
-	if ran == 0 {
+	if len(selected) == 0 {
 		fmt.Fprintf(os.Stderr, "aegisbench: no experiment matches %q\n", *only)
 		os.Exit(1)
 	}
+
+	if *format == "json" {
+		platform := fmt.Sprintf("%s (simulated, %g MHz)", hw.DEC5000.Name, hw.DEC5000.MHz)
+		f := bench.CollectJSON(selected, *trials, platform)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(f); err != nil {
+			fmt.Fprintf(os.Stderr, "aegisbench: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, e := range selected {
+			for trial := 0; trial < *trials; trial++ {
+				tb := e.Run()
+				if *format == "csv" {
+					fmt.Println(tb.CSV())
+				} else {
+					fmt.Println(tb.Format())
+				}
+			}
+		}
+	}
+
 	if rec != nil {
 		f, err := os.Create(*traceFile)
 		if err != nil {

@@ -1,0 +1,87 @@
+// Command benchdiff is the perf-regression gate: it compares two BENCH
+// JSON files written by `aegisbench -format json` and fails if any
+// measured time metric got slower than the threshold allows.
+//
+// Usage:
+//
+//	benchdiff old.json new.json      # gate new against old (default 5%)
+//	benchdiff -threshold 10 a.json b.json
+//	benchdiff -validate file.json    # schema-check one file, no diff
+//
+// Only metrics with source "measured" and unit "us" are gated, on their
+// min and p50 fields; quoted paper constants and ratio columns are never
+// gated. Exit status: 0 the gate passes, 1 a regression exceeded the
+// threshold, 2 usage error or a file that fails schema validation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"exokernel/internal/bench"
+)
+
+func load(path string) (*bench.File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f bench.File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if err := bench.Validate(&f); err != nil {
+		return nil, fmt.Errorf("%s: invalid BENCH JSON: %v", path, err)
+	}
+	return &f, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 5, "regression threshold in percent, applied to min and p50")
+	validate := flag.Bool("validate", false, "validate a single file against the schema and exit")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if *threshold < 0 {
+		fail(fmt.Errorf("-threshold %g, want >= 0", *threshold))
+	}
+
+	if *validate {
+		if flag.NArg() != 1 {
+			fail(fmt.Errorf("-validate takes exactly one file, got %d", flag.NArg()))
+		}
+		f, err := load(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		metrics := 0
+		for _, e := range f.Experiments {
+			metrics += len(e.Metrics)
+		}
+		fmt.Printf("benchdiff: %s: valid (%d experiments, %d metrics, %d trials)\n",
+			flag.Arg(0), len(f.Experiments), metrics, f.Trials)
+		return
+	}
+
+	if flag.NArg() != 2 {
+		fail(fmt.Errorf("want: benchdiff [-threshold pct] old.json new.json"))
+	}
+	oldF, err := load(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	newF, err := load(flag.Arg(1))
+	if err != nil {
+		fail(err)
+	}
+	r := bench.Diff(oldF, newF, *threshold/100)
+	fmt.Print(r.Render())
+	if !r.OK() {
+		os.Exit(1)
+	}
+}

@@ -1,6 +1,9 @@
 package aegis
 
-import "exokernel/internal/ktrace"
+import (
+	"exokernel/internal/ktrace"
+	"exokernel/internal/metrics"
+)
 
 // Accounting and tracing. The paper's physical-name/visible-revocation
 // discipline only works if applications can *see* what they hold and what
@@ -30,11 +33,25 @@ type EnvAccount struct {
 }
 
 // Registry keeps the kernel-wide counters (the embedded Stats, so
-// k.Stats.Syscalls keeps meaning what it always meant) and one EnvAccount
-// per environment.
+// k.Stats.Syscalls keeps meaning what it always meant), one EnvAccount
+// per environment, and the cycle-latency histograms (metrics.go).
 type Registry struct {
 	Stats
-	perEnv []EnvAccount // index = EnvID-1
+
+	// MetricsOn gates histogram recording. Recording never ticks the
+	// simulated clock, so toggling it cannot change a measured cycle
+	// count (pinned by TestMetricsOffIsFree); the switch exists to
+	// prove exactly that, and to spare host CPU in tight loops.
+	MetricsOn bool
+	// Ops are the kernel-wide latency histograms, one per operation
+	// class, in simulated cycles.
+	Ops [NumOpClasses]metrics.Hist
+	// SyscallOps break the syscall class down by syscall number (the
+	// last slot collects undecoded codes).
+	SyscallOps [NumSyscallHists]metrics.Hist
+
+	perEnv    []EnvAccount // index = EnvID-1
+	perEnvOps []envHist    // index = EnvID-1 (grown independently of perEnv)
 }
 
 // acct returns the mutable account for an environment, growing the table

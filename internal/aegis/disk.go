@@ -101,6 +101,7 @@ func (k *Kernel) checkExtentAccess(start, nblocks, off uint32, guard cap.Capabil
 // on the frame — and then the device does the work; the kernel never
 // interprets the bytes.
 func (k *Kernel) DiskRead(start, nblocks, off uint32, extCap cap.Capability, frame uint32, frameCap cap.Capability) error {
+	c0 := k.opStart()
 	if err := k.checkExtentAccess(start, nblocks, off, extCap, cap.Read); err != nil {
 		return err
 	}
@@ -111,11 +112,16 @@ func (k *Kernel) DiskRead(start, nblocks, off uint32, extCap cap.Capability, fra
 		return fmt.Errorf("aegis: frame capability check failed")
 	}
 	k.trace(ktrace.KindDiskRead, k.cur, uint64(start+off), uint64(frame), 0)
-	return k.M.Disk.ReadBlock(start+off, k.M.Phys, frame)
+	err := k.M.Disk.ReadBlock(start+off, k.M.Phys, frame)
+	if err == nil {
+		k.recordOp(OpDiskIO, k.cur, c0)
+	}
+	return err
 }
 
 // DiskWrite DMAs a physical frame into extent block (start+off).
 func (k *Kernel) DiskWrite(start, nblocks, off uint32, extCap cap.Capability, frame uint32, frameCap cap.Capability) error {
+	c0 := k.opStart()
 	if err := k.checkExtentAccess(start, nblocks, off, extCap, cap.Write); err != nil {
 		return err
 	}
@@ -126,7 +132,11 @@ func (k *Kernel) DiskWrite(start, nblocks, off uint32, extCap cap.Capability, fr
 		return fmt.Errorf("aegis: frame capability check failed")
 	}
 	k.trace(ktrace.KindDiskWrite, k.cur, uint64(start+off), uint64(frame), 0)
-	return k.M.Disk.WriteBlock(start+off, k.M.Phys, frame)
+	err := k.M.Disk.WriteBlock(start+off, k.M.Phys, frame)
+	if err == nil {
+		k.recordOp(OpDiskIO, k.cur, c0)
+	}
+	return err
 }
 
 // hw import check (Disk block size must match the page size for 1:1 DMA).

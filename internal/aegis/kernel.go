@@ -86,6 +86,7 @@ func New(m *hw.Machine) *Kernel {
 		STLBEnabled: m.Config.STLBSize > 0,
 		quantum:     25000, // 1 ms at 25 MHz
 	}
+	k.Stats.MetricsOn = true
 	k.Interp = vm.New(m, k)
 	m.SetTrapHandler(k)
 	return k
@@ -165,6 +166,8 @@ func (k *Kernel) saveEnv(e *Env) {
 // kernel-forced switches, where it charges for the register file moves the
 // kernel performs on the environment's behalf.
 func (k *Kernel) switchTo(e *Env, chargeRegs bool) {
+	start := k.opStart()
+	out := k.cur
 	k.trace(ktrace.KindCtxSwitch, k.cur, uint64(e.ID), 0, 0)
 	if cur := k.CurEnv(); cur != nil {
 		k.saveEnv(cur)
@@ -177,6 +180,7 @@ func (k *Kernel) switchTo(e *Env, chargeRegs bool) {
 	}
 	k.M.Clock.Tick(hw.CostContextID)
 	k.installEnv(e)
+	k.recordOp(OpCtxSwitch, out, start)
 }
 
 // Fetch implements vm.CodeSource: instructions come from the current
@@ -235,9 +239,12 @@ func (k *Kernel) DestroyEnv(e *Env) {
 		}
 	}
 	// Reclaim the account: held-resource counters go to zero with the
-	// bindings; activity counters stay for post-mortem inspection.
+	// bindings; activity counters stay for post-mortem inspection. The
+	// latency histograms are reclaimed outright — a destroyed
+	// environment's /proc/<id>/hist reads back zeroed, never stale.
 	acct := k.Stats.acct(e.ID)
 	acct.Frames, acct.Extents, acct.Endpoints = 0, 0, 0
+	k.Stats.envOps(e.ID).Reset()
 	k.trace(ktrace.KindEnvDestroy, e.ID, freedFrames, freedExtents, freedEndpoints)
 }
 

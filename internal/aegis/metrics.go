@@ -1,0 +1,168 @@
+package aegis
+
+import "exokernel/internal/metrics"
+
+// Cycle-latency histograms. The accounting registry's counters say *how
+// often* each kernel decision was made; the histograms here say *how
+// long* each one took — the full distribution, not the minima the
+// paper's tables settle for, because our software kernel has real tails
+// (STLB eviction, ASH runs, revocation storms) that single numbers hide.
+//
+// Recording follows the ktrace contract: it never ticks the simulated
+// clock, so the cost model is byte-identical with histograms on or off
+// (pinned by TestMetricsOffIsFree). Durations are measured as the cycles
+// the clock advanced between entering a kernel path and leaving it, so
+// they reflect exactly what the cost model charged.
+
+// OpClass names one instrumented class of kernel operation.
+type OpClass uint8
+
+// Operation classes, one histogram each (globally and per environment).
+const (
+	OpSyscall    OpClass = iota // syscall dispatch, enter to exit (any path)
+	OpException                 // exception dispatch to handler entry
+	OpSTLBRefill                // hardware TLB miss absorbed by the STLB
+	OpProtCall                  // protected control transfer, caller to callee entry
+	OpDemux                     // packet classify + deliver (DPF match + ASH run)
+	OpASHRun                    // application-specific handler execution alone
+	OpDiskIO                    // disk read/write, capability checks + DMA
+	OpCtxSwitch                 // kernel-forced context switch
+	NumOpClasses
+)
+
+var opNames = [NumOpClasses]string{
+	OpSyscall:    "syscall",
+	OpException:  "exception",
+	OpSTLBRefill: "stlb-refill",
+	OpProtCall:   "prot-call",
+	OpDemux:      "pkt-demux",
+	OpASHRun:     "ash-run",
+	OpDiskIO:     "disk-io",
+	OpCtxSwitch:  "ctx-switch",
+}
+
+func (o OpClass) String() string {
+	if o < NumOpClasses {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// syscallNames label the per-number syscall histograms (and /proc
+// renderings). Index = syscall code; the final slot collects undecoded
+// codes.
+var syscallNames = [sysMaxDecoded + 1]string{
+	SysNull:       "null",
+	SysGetEnv:     "getenv",
+	SysYield:      "yield",
+	SysAllocPage:  "allocpage",
+	SysDealloc:    "dealloc",
+	SysMapTLB:     "maptlb",
+	SysUnmapTLB:   "unmaptlb",
+	SysRetExc:     "retexc",
+	SysPCTSync:    "pctsync",
+	SysPCTAsync:   "pctasync",
+	SysCycles:     "cycles",
+	SysExit:       "exit",
+	SysSetExcVec:  "setexcvec",
+	SysSetTLBVec:  "settlbvec",
+	SysSetIntVec:  "setintvec",
+	SysSetEntry:   "setentry",
+	sysMaxDecoded: "unknown",
+}
+
+// SyscallName returns the mnemonic for a syscall code ("unknown" for
+// codes the dispatcher does not decode).
+func SyscallName(code uint32) string {
+	if code < sysMaxDecoded {
+		return syscallNames[code]
+	}
+	return syscallNames[sysMaxDecoded]
+}
+
+// NumSyscallHists is the size of the per-syscall histogram table.
+const NumSyscallHists = sysMaxDecoded + 1
+
+// envHist is one environment's set of operation histograms.
+type envHist [NumOpClasses]metrics.Hist
+
+// Reset zeroes every histogram in the set (DestroyEnv reclamation).
+func (h *envHist) Reset() { *h = envHist{} }
+
+// noEnvHist swallows samples attributed to "no environment" (boot work,
+// packet drops), mirroring noAccount.
+var noEnvHist envHist
+
+// envOps returns the mutable histogram set for an environment, growing
+// the table on first touch (same dense-EnvID discipline as acct).
+func (r *Registry) envOps(id EnvID) *envHist {
+	if id == 0 {
+		return &noEnvHist
+	}
+	for int(id) > len(r.perEnvOps) {
+		r.perEnvOps = append(r.perEnvOps, envHist{})
+	}
+	return &r.perEnvOps[id-1]
+}
+
+// OpSnapshot summarizes one kernel-wide operation-class histogram.
+func (r *Registry) OpSnapshot(op OpClass) metrics.Snapshot {
+	if op >= NumOpClasses {
+		return metrics.Snapshot{}
+	}
+	return r.Ops[op].Snapshot()
+}
+
+// SyscallSnapshot summarizes the kernel-wide histogram for one syscall
+// number (clamped to the "unknown" slot for undecoded codes).
+func (r *Registry) SyscallSnapshot(code uint32) metrics.Snapshot {
+	if code >= sysMaxDecoded {
+		code = sysMaxDecoded
+	}
+	return r.SyscallOps[code].Snapshot()
+}
+
+// EnvOpSnapshot summarizes one environment's histogram for one operation
+// class. Unknown environments — and destroyed ones, whose histograms are
+// reclaimed with their other resources — report the zero Snapshot.
+func (r *Registry) EnvOpSnapshot(id EnvID, op OpClass) metrics.Snapshot {
+	if id == 0 || int(id) > len(r.perEnvOps) || op >= NumOpClasses {
+		return metrics.Snapshot{}
+	}
+	return r.perEnvOps[id-1][op].Snapshot()
+}
+
+// --- Kernel-side recording ------------------------------------------------
+
+// opStart samples the clock at a kernel path's entry. It exists so the
+// instrumentation sites read as a pair (start := k.opStart(); ...;
+// k.recordOp(op, env, start)) and so the read itself is visibly not a
+// Tick.
+func (k *Kernel) opStart() uint64 { return k.M.Clock.Cycles() }
+
+// recordOp attributes the cycles elapsed since start to an operation
+// class, both kernel-wide and on the responsible environment's account.
+// Pure observation: no clock ticks, no allocation.
+func (k *Kernel) recordOp(op OpClass, env EnvID, start uint64) {
+	if !k.Stats.MetricsOn {
+		return
+	}
+	d := k.M.Clock.Cycles() - start
+	k.Stats.Ops[op].Record(d)
+	k.Stats.envOps(env)[op].Record(d)
+}
+
+// recordSyscall is recordOp for the syscall class plus the per-number
+// breakdown.
+func (k *Kernel) recordSyscall(code uint32, env EnvID, start uint64) {
+	if !k.Stats.MetricsOn {
+		return
+	}
+	d := k.M.Clock.Cycles() - start
+	k.Stats.Ops[OpSyscall].Record(d)
+	if code >= sysMaxDecoded {
+		code = sysMaxDecoded
+	}
+	k.Stats.SyscallOps[code].Record(d)
+	k.Stats.envOps(env)[OpSyscall].Record(d)
+}

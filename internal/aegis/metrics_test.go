@@ -1,0 +1,192 @@
+package aegis
+
+import (
+	"testing"
+
+	"exokernel/internal/asm"
+	"exokernel/internal/hw"
+	"exokernel/internal/vm"
+)
+
+// metricsWorkload exercises several instrumented paths: syscalls (alloc,
+// map, getenv, null), a store/load through the TLB, and a halt.
+const metricsWorkload = `
+	nop
+entry:
+	addiu v0, zero, 3       ; allocpage
+	addiu a0, zero, -1
+	syscall
+	addu  s0, v0, zero
+	addu  s1, v1, zero
+	addiu v0, zero, 5       ; maptlb va 0x10000 -> frame, writable
+	lui   a0, 1
+	addu  a1, s0, zero
+	addiu a2, zero, 2
+	addu  a3, s1, zero
+	syscall
+	lui   t0, 1
+	addiu t1, zero, 42
+	sw    t1, 8(t0)
+	lw    t2, 8(t0)
+	addiu v0, zero, 1       ; getenv
+	syscall
+	addiu v0, zero, 0       ; null
+	syscall
+	halt
+reload:
+	lui   t0, 1
+	lw    t3, 8(t0)
+	halt
+`
+
+// runMetricsWorkload boots a kernel with histogram recording set to `on`,
+// runs both phases of metricsWorkload (the second after a hardware TLB
+// flush, forcing an STLB refill), and returns the machine and kernel.
+func runMetricsWorkload(t *testing.T, on bool) (*hw.Machine, *Kernel) {
+	t.Helper()
+	m := hw.NewMachine(hw.DEC5000)
+	k := New(m)
+	k.Stats.MetricsOn = on
+	code, labels, err := asm.AssembleWithLabels(metricsWorkload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := k.NewEnv(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.CPU.PC = uint32(labels["entry"])
+	if r := k.Interp.Run(100000); r != vm.StopHalt {
+		t.Fatalf("phase 1 stopped with %v (fault=%+v)", r, env.LastFault)
+	}
+	m.TLB.Flush()
+	m.CPU.PC = uint32(labels["reload"])
+	if r := k.Interp.Run(100000); r != vm.StopHalt {
+		t.Fatalf("phase 2 stopped with %v (fault=%+v)", r, env.LastFault)
+	}
+	return m, k
+}
+
+// TestMetricsOffIsFree pins the invariant the whole metrics layer rests
+// on: histogram recording never advances the simulated clock, so an
+// identical workload costs the identical number of cycles with recording
+// on or off.
+func TestMetricsOffIsFree(t *testing.T) {
+	mOn, kOn := runMetricsWorkload(t, true)
+	mOff, kOff := runMetricsWorkload(t, false)
+
+	if on, off := mOn.Clock.Cycles(), mOff.Clock.Cycles(); on != off {
+		t.Fatalf("metrics perturbed the cost model: %d cycles with recording on, %d off", on, off)
+	}
+	if kOn.Stats.OpSnapshot(OpSyscall).Count == 0 {
+		t.Error("recording on, but the syscall histogram is empty")
+	}
+	if kOff.Stats.OpSnapshot(OpSyscall).Count != 0 {
+		t.Error("recording off, but the syscall histogram has samples")
+	}
+}
+
+func TestSyscallHistogramPerNumber(t *testing.T) {
+	_, k := runMetricsWorkload(t, true)
+
+	// 4 decoded syscalls ran: allocpage, maptlb, getenv, null.
+	if got := k.Stats.OpSnapshot(OpSyscall).Count; got != 4 {
+		t.Errorf("syscall class count = %d, want 4", got)
+	}
+	for _, code := range []uint32{SysNull, SysGetEnv, SysAllocPage, SysMapTLB} {
+		s := k.Stats.SyscallSnapshot(code)
+		if s.Count != 1 {
+			t.Errorf("syscall %q count = %d, want 1", SyscallName(code), s.Count)
+		}
+		if s.Min == 0 || s.Min > s.Max {
+			t.Errorf("syscall %q snapshot malformed: %+v", SyscallName(code), s)
+		}
+	}
+	// Latency must be plausible: the null syscall charges 10 (demux) + 3
+	// (body) + return, so its recorded latency is well above zero.
+	if s := k.Stats.SyscallSnapshot(SysNull); s.Min < 10 {
+		t.Errorf("null syscall min latency = %d cycles, want >= 10 (the dispatch alone)", s.Min)
+	}
+}
+
+func TestSTLBRefillHistogram(t *testing.T) {
+	_, k := runMetricsWorkload(t, true)
+	s := k.Stats.OpSnapshot(OpSTLBRefill)
+	if s.Count == 0 {
+		t.Fatal("no STLB refill recorded despite the post-flush reload")
+	}
+	if s.Min == 0 {
+		t.Errorf("STLB refill min = 0 cycles; the lookup charges %d", hw.CostSTLBLookup)
+	}
+}
+
+func TestEnvHistogramAndGlobalAgree(t *testing.T) {
+	_, k := runMetricsWorkload(t, true)
+	global := k.Stats.OpSnapshot(OpSyscall)
+	env := k.Stats.EnvOpSnapshot(1, OpSyscall)
+	if env != global {
+		t.Errorf("single-environment run: per-env snapshot %+v != global %+v", env, global)
+	}
+	if k.Stats.EnvOpSnapshot(99, OpSyscall).Count != 0 {
+		t.Error("unknown environment reports samples")
+	}
+}
+
+func TestCtxSwitchHistogram(t *testing.T) {
+	m := hw.NewMachine(hw.DEC5000)
+	k := New(m)
+	a, err := k.NewEnv(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := k.NewEnv(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.Yield(b.ID) || !k.Yield(a.ID) {
+		t.Fatal("yield failed")
+	}
+	s := k.Stats.OpSnapshot(OpCtxSwitch)
+	if s.Count != 2 {
+		t.Errorf("ctx-switch count = %d, want 2", s.Count)
+	}
+	if s.Min == 0 {
+		t.Error("ctx-switch recorded zero cycles; register saves and the context-ID change are charged")
+	}
+}
+
+func TestDestroyEnvReclaimsHistograms(t *testing.T) {
+	_, k := runMetricsWorkload(t, true)
+	e, ok := k.Env(1)
+	if !ok {
+		t.Fatal("environment 1 missing")
+	}
+	if k.Stats.EnvOpSnapshot(1, OpSyscall).Count == 0 {
+		t.Fatal("precondition: environment 1 has syscall samples")
+	}
+	k.DestroyEnv(e)
+	for op := OpClass(0); op < NumOpClasses; op++ {
+		if s := k.Stats.EnvOpSnapshot(1, op); s.Count != 0 {
+			t.Errorf("destroyed environment still reports %q samples: %+v", op, s)
+		}
+	}
+	// The kernel-wide histograms survive: they are the machine's history,
+	// not the environment's property.
+	if k.Stats.OpSnapshot(OpSyscall).Count == 0 {
+		t.Error("kernel-wide histogram was lost with the environment")
+	}
+}
+
+func TestOpClassNames(t *testing.T) {
+	for op := OpClass(0); op < NumOpClasses; op++ {
+		if op.String() == "" || op.String() == "op?" {
+			t.Errorf("operation class %d has no name", op)
+		}
+	}
+	if OpClass(200).String() != "op?" {
+		t.Error("out-of-range class should render op?")
+	}
+	if SyscallName(SysNull) != "null" || SyscallName(12345) != "unknown" {
+		t.Error("syscall naming broken")
+	}
+}

@@ -136,6 +136,11 @@ func (k *Kernel) SetDemux(d Demux) { k.demux = d }
 // deliver classifies one frame against the installed filters and hands it
 // to the owning endpoint.
 func (k *Kernel) deliver(frame []byte) {
+	// The demux-path histogram spans classification through delivery
+	// (filter match, ASH run or copy-out) — the end-to-end latency a
+	// multiplexed receiver actually experiences. Drops are attributed
+	// to the kernel (environment 0): no one owns an unclaimed frame.
+	start := k.opStart()
 	k.charge(6) // interrupt-level receive bookkeeping
 	if k.demux != nil {
 		ep, cycles, ok := k.demux(frame)
@@ -144,9 +149,11 @@ func (k *Kernel) deliver(frame []byte) {
 		if !ok || ep == nil {
 			k.Stats.PktDropped++
 			k.trace(ktrace.KindPktDrop, 0, uint64(len(frame)), 0, 0)
+			k.recordOp(OpDemux, 0, start)
 			return
 		}
 		k.deliverTo(ep, frame)
+		k.recordOp(OpDemux, ep.Owner, start)
 		return
 	}
 	var spent uint64
@@ -159,11 +166,13 @@ func (k *Kernel) deliver(frame []byte) {
 		}
 		k.trace(ktrace.KindPktClassify, k.cur, uint64(len(frame)), spent, 0)
 		k.deliverTo(ep, frame)
+		k.recordOp(OpDemux, ep.Owner, start)
 		return
 	}
 	k.Stats.PktDropped++
 	k.trace(ktrace.KindPktClassify, k.cur, uint64(len(frame)), spent, 0)
 	k.trace(ktrace.KindPktDrop, 0, uint64(len(frame)), 0, 0)
+	k.recordOp(OpDemux, 0, start)
 }
 
 // deliverTo hands an accepted frame to its endpoint: ASH in interrupt
@@ -193,6 +202,8 @@ func (k *Kernel) deliverTo(ep *Endpoint, frame []byte) {
 // own register context), memory instructions are sandboxed, and execution
 // is bounded by the verifier's budget — belt and suspenders.
 func (k *Kernel) runASH(ep *Endpoint, frame []byte) {
+	start := k.opStart()
+	defer k.recordOp(OpASHRun, ep.Owner, start)
 	k.Stats.ASHRuns++
 	k.trace(ktrace.KindASHRun, ep.Owner, uint64(len(frame)), 0, 0)
 	cpu := &k.M.CPU

@@ -32,6 +32,7 @@ import (
 // The caller's ID is placed in v1 so the callee can reply; all other
 // registers pass through untouched (they are the message).
 func (k *Kernel) ProtCall(callee EnvID, async bool) error {
+	start := k.opStart()
 	k.Stats.ProtCalls++
 	// 30-instruction kernel path, less the work modelled separately below
 	// (context-ID switch is charged by switchAddressing).
@@ -64,6 +65,9 @@ func (k *Kernel) ProtCall(callee EnvID, async bool) error {
 	cpu.SetReg(hw.RegV1, uint32(callerID(cur)))
 
 	if target.NativeEntry != nil {
+		// The transfer is complete at callee entry; the callee's work is
+		// not part of PCT latency.
+		k.recordOp(OpProtCall, callerID(cur), start)
 		target.NativeEntry(k, callerID(cur))
 		return nil
 	}
@@ -72,6 +76,7 @@ func (k *Kernel) ProtCall(callee EnvID, async bool) error {
 	}
 	cpu.PC = entry
 	cpu.Mode = hw.ModeUser
+	k.recordOp(OpProtCall, callerID(cur), start)
 	return nil
 }
 

@@ -36,6 +36,7 @@ const (
 // other hardware exceptions on the MIPS architecture" — charged as the
 // demultiplex cost; each operation then charges its own body.
 func (k *Kernel) syscall() {
+	start := k.opStart()
 	k.Stats.Syscalls++
 	k.charge(10)
 	cpu := &k.M.CPU
@@ -48,6 +49,10 @@ func (k *Kernel) syscall() {
 	a0, a1 := cpu.Reg(hw.RegA0), cpu.Reg(hw.RegA1)
 	a2, a3 := cpu.Reg(hw.RegA2), cpu.Reg(hw.RegA3)
 	k.Stats.acct(e.ID).Syscalls++
+	// Latency is stamped when the operation's body has charged its
+	// cycles, whichever return path it leaves by (same shape as the
+	// exit trace below).
+	defer k.recordSyscall(code, e.ID, start)
 	if k.Tracer != nil {
 		k.trace(ktrace.KindSyscallEnter, e.ID, uint64(code), uint64(a0), uint64(a1))
 		// The exit stamp is taken when the operation's body has charged

@@ -53,6 +53,7 @@ func (k *Kernel) HandleTrap(m *hw.Machine) {
 // into those registers, and jump to the application handler in user mode.
 // "Aegis dispatches exceptions in 18 instructions."
 func (k *Kernel) dispatchException() {
+	start := k.opStart()
 	k.Stats.Exceptions++
 	cpu := &k.M.CPU
 	e := k.CurEnv()
@@ -67,6 +68,9 @@ func (k *Kernel) dispatchException() {
 	k.spillScratch(e)
 
 	if e.NativeExc != nil {
+		// Dispatch latency ends where the handler begins; the handler's
+		// own work is not the kernel's dispatch cost.
+		k.recordOp(OpException, e.ID, start)
 		e.NativeExc(k, t)
 		return
 	}
@@ -74,9 +78,11 @@ func (k *Kernel) dispatchException() {
 		// Step 4: enter the application handler in user mode.
 		cpu.PC = vec
 		cpu.Mode = hw.ModeUser
+		k.recordOp(OpException, e.ID, start)
 		return
 	}
 	// No handler installed: the environment cannot make progress.
+	k.recordOp(OpException, e.ID, start)
 	k.kill(e, t)
 }
 
@@ -108,6 +114,7 @@ func (k *Kernel) ReturnFromException(e *Env, action Resume) {
 // miss is the application's to handle — ExOS installs a native hook (its
 // page table), or a VM environment installs a TLBVec handler.
 func (k *Kernel) tlbMiss() {
+	start := k.opStart()
 	k.Stats.TLBMisses++
 	cpu := &k.M.CPU
 	e := k.CurEnv()
@@ -127,6 +134,7 @@ func (k *Kernel) tlbMiss() {
 			k.trace(ktrace.KindSTLBHit, e.ID, uint64(vpn), 0, 0)
 			cpu.PC = cpu.EPC
 			cpu.Mode = hw.ModeUser
+			k.recordOp(OpSTLBRefill, e.ID, start)
 			return
 		}
 	}

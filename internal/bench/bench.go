@@ -80,6 +80,12 @@ type Table struct {
 	Cols  []string // column headings, not counting the row-name column
 	Rows  []Row
 	Notes []string
+
+	// PaperRefs maps "row/col" metric names to the value the paper
+	// reports for that measurement (quoted constants, never produced by
+	// the simulator). The BENCH JSON exporter attaches them so every
+	// measured distribution carries its paper reference.
+	PaperRefs map[string]float64
 }
 
 // Add appends a row.
@@ -91,6 +97,19 @@ func (t *Table) Add(name string, cells ...Value) {
 func (t *Table) Note(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
+
+// PaperRef records the paper's reported value for the metric named
+// "row/col" (see MetricName).
+func (t *Table) PaperRef(row, col string, v float64) {
+	if t.PaperRefs == nil {
+		t.PaperRefs = make(map[string]float64)
+	}
+	t.PaperRefs[MetricName(row, col)] = v
+}
+
+// MetricName is the canonical "row/col" identifier of one table cell in
+// the BENCH JSON schema.
+func MetricName(row, col string) string { return row + "/" + col }
 
 // Format renders the table as aligned text.
 func (t *Table) Format() string {

@@ -48,6 +48,9 @@ func Table7() *Table {
 	t.Add("DPF (compiled, merged)", Us(dU), Us(1.35))
 	t.Add("DPF speedup vs MPF", X(mU/dU), X(35.0/1.35))
 	t.Add("DPF speedup vs PATHFINDER", X(pU/dU), X(19.0/1.35))
+	t.PaperRef("MPF (interpreted, per-filter)", "measured", 35.0)
+	t.PaperRef("PATHFINDER (interpreted, merged)", "measured", 19.0)
+	t.PaperRef("DPF (compiled, merged)", "measured", 1.35)
 	t.Note("wall-clock host-time comparison of the same three engines is in BenchmarkTable7_* (go test -bench)")
 	return t
 }

@@ -79,6 +79,8 @@ func Table2() *Table {
 	sysU := runUltrixVM(fmt.Sprintf(syscallLoopSource, callLoopIters, ultrix.SysGetpid), false, nil) / callLoopIters
 	t.Add("system call (null/getpid)", Us(sysA), Us(sysU), X(sysU/sysA))
 
+	t.PaperRef("procedure call", "Aegis", 0.59)
+	t.PaperRef("system call (null/getpid)", "Aegis", 1.6)
 	t.Note("paper (DEC2100): procedure call 0.59 us; Aegis syscall 1.6/2.3 us vs Ultrix ~10x slower")
 	t.Note("loop overhead (2 instructions/iteration) included, as in the paper")
 	return t
@@ -247,6 +249,7 @@ func Table4() *Table {
 		func(k *ultrix.Kernel, p *ultrix.Proc) { setUltrixSigHandler(p, hw.ExcBreak) }) / trapIters
 	t.Add("trap + handler + resume", Us(rtA), Us(rtU), X(rtU/rtA))
 
+	t.PaperRef("dispatch to application handler", "Aegis", 1.5)
 	t.Note("paper: Aegis dispatch 1.5 us (DEC5000/125); best published 8 us [50]; Ultrix ~2 orders of magnitude slower")
 	t.Note("Ultrix-model round trip is conservative: the real signal path also recomputed masks and touched the u-area")
 	return t

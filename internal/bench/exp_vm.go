@@ -269,6 +269,13 @@ func Table10() *Table {
 	t.Add("trap", Us(trapA), Us(trapU), X(trapU/trapA))
 	t.Add("appel1 (per page)", Us(appel1A), Us(appel1U), X(appel1U/appel1A))
 	t.Add("appel2 (per page)", Us(appel2A), Us(appel2U), X(appel2U/appel2A))
+	t.PaperRef("dirty", "ExOS/Aegis", 17.5)
+	t.PaperRef("prot1", "ExOS/Aegis", 11.1)
+	t.PaperRef("prot100 (whole batch)", "ExOS/Aegis", 1170)
+	t.PaperRef("unprot100 (whole batch)", "ExOS/Aegis", 1030)
+	t.PaperRef("trap", "ExOS/Aegis", 37.5)
+	t.PaperRef("appel1 (per page)", "ExOS/Aegis", 54.4)
+	t.PaperRef("appel2 (per page)", "ExOS/Aegis", 45.9)
 	t.Note("paper (DEC5000/125): ExOS dirty 17.5, prot1 11.1, prot100 1170, unprot100 1030, trap 37.5, appel1 54.4, appel2 45.9 us; Ultrix 5-40x slower and no dirty interface")
 	t.Note("random orders are seeded and identical across both systems")
 	return t

@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Machine-readable benchmark output: the BENCH JSON schema. Where the
+// paper's tables (and our text/CSV renderings of them) collapse each
+// measurement to one number, the JSON form carries the full trial
+// distribution — min/mean/p50/p99/max over N independent repetitions —
+// plus the paper's reference value where the table records one. This is
+// the file cmd/benchdiff gates perf regressions against: every future
+// change to a hot path is judged by comparing two of these files.
+//
+// Schema (version 1):
+//
+//	{
+//	  "schema": "aegis-bench",          // constant discriminator
+//	  "schema_version": 1,
+//	  "platform": "...",                // simulated machine
+//	  "trials": N,                      // repetitions per experiment
+//	  "experiments": [{
+//	    "id": "Table 2", "title": "...",
+//	    "notes": ["..."],               // table footnotes (incl. paper values as prose)
+//	    "metrics": [{
+//	      "name": "row/col",            // canonical metric identifier
+//	      "row": "...", "col": "...",
+//	      "unit": "us" | "x" | "",      // simulated microseconds, ratio, or unitless
+//	      "source": "measured"|"paper", // paper-constant rows are never gated
+//	      "paper": 1.6,                 // optional: the paper's reference value
+//	      "trials": N,
+//	      "samples": [...],             // one value per trial, in trial order
+//	      "min": .., "mean": .., "p50": .., "p99": .., "max": ..
+//	    }]
+//	  }]
+//	}
+//
+// The simulator is deterministic, so today all samples of a metric are
+// equal and min == p50 == max; the distribution fields exist so that the
+// moment any nondeterminism (or real tail behavior) enters the pipeline,
+// it is visible in the trajectory rather than averaged away.
+
+// SchemaName discriminates BENCH JSON files from other JSON.
+const SchemaName = "aegis-bench"
+
+// SchemaVersion is bumped on any incompatible schema change.
+const SchemaVersion = 1
+
+// File is the top-level BENCH JSON document.
+type File struct {
+	Schema        string           `json:"schema"`
+	SchemaVersion int              `json:"schema_version"`
+	Platform      string           `json:"platform"`
+	Trials        int              `json:"trials"`
+	Experiments   []ExperimentJSON `json:"experiments"`
+}
+
+// ExperimentJSON is one experiment's structured result.
+type ExperimentJSON struct {
+	ID      string       `json:"id"`
+	Title   string       `json:"title"`
+	Notes   []string     `json:"notes,omitempty"`
+	Metrics []MetricJSON `json:"metrics"`
+}
+
+// MetricJSON is one table cell's trial distribution.
+type MetricJSON struct {
+	Name    string    `json:"name"`
+	Row     string    `json:"row"`
+	Col     string    `json:"col"`
+	Unit    string    `json:"unit"`
+	Source  string    `json:"source"`
+	Paper   *float64  `json:"paper,omitempty"`
+	Trials  int       `json:"trials"`
+	Samples []float64 `json:"samples"`
+	Min     float64   `json:"min"`
+	Mean    float64   `json:"mean"`
+	P50     float64   `json:"p50"`
+	P99     float64   `json:"p99"`
+	Max     float64   `json:"max"`
+}
+
+// SourceMeasured and SourcePaper are the metric source values.
+const (
+	SourceMeasured = "measured"
+	SourcePaper    = "paper"
+)
+
+// metricSource classifies a cell: rows or columns quoting the paper
+// ("L3 ... (paper)", the "paper" column of Table 7) are labelled so
+// benchdiff never gates on a constant.
+func metricSource(rowName, colName string) string {
+	if strings.Contains(strings.ToLower(rowName), "paper") ||
+		strings.Contains(strings.ToLower(colName), "paper") {
+		return SourcePaper
+	}
+	return SourceMeasured
+}
+
+// sampleStats summarizes one metric's trial samples: min/mean/p50/p99/max
+// with nearest-rank quantiles over the sorted copy.
+func sampleStats(samples []float64) (min, mean, p50, p99, max float64) {
+	if len(samples) == 0 {
+		return 0, 0, 0, 0, 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	rank := func(q float64) float64 {
+		i := int(q*float64(len(sorted))+0.999999) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	return sorted[0], sum / float64(len(sorted)), rank(0.50), rank(0.99), sorted[len(sorted)-1]
+}
+
+// numericCell reports whether a cell is a gateable number (not a spacer,
+// not n/a, not a text-only note).
+func numericCell(v Value) bool {
+	if v == (Value{}) || v.NA {
+		return false
+	}
+	if v.V == 0 && v.Unit == "" && v.Note != "" {
+		return false // text-only cell
+	}
+	return true
+}
+
+// CollectJSON runs each experiment `trials` times and aggregates every
+// numeric table cell into a metric with its trial distribution. The
+// metric set is defined by the first trial; a later trial whose table
+// shape diverges is a harness bug and panics.
+func CollectJSON(exps []Experiment, trials int, platform string) *File {
+	if trials < 1 {
+		trials = 1
+	}
+	f := &File{Schema: SchemaName, SchemaVersion: SchemaVersion, Platform: platform, Trials: trials}
+	for _, e := range exps {
+		var ej *ExperimentJSON
+		index := map[string]int{} // metric name -> index in ej.Metrics
+		for trial := 0; trial < trials; trial++ {
+			tb := e.Run()
+			if trial == 0 {
+				ej = &ExperimentJSON{ID: tb.ID, Title: tb.Title, Notes: tb.Notes}
+			}
+			for _, row := range tb.Rows {
+				for c, cell := range row.Cells {
+					if c >= len(tb.Cols) || !numericCell(cell) {
+						continue
+					}
+					name := MetricName(row.Name, tb.Cols[c])
+					i, seen := index[name]
+					if !seen {
+						if trial != 0 {
+							panic(fmt.Sprintf("bench: %s: metric %q appeared in trial %d but not trial 0", tb.ID, name, trial))
+						}
+						m := MetricJSON{
+							Name:   name,
+							Row:    row.Name,
+							Col:    tb.Cols[c],
+							Unit:   cell.Unit,
+							Source: metricSource(row.Name, tb.Cols[c]),
+							Trials: trials,
+						}
+						if ref, ok := tb.PaperRefs[name]; ok {
+							r := ref
+							m.Paper = &r
+						}
+						index[name] = len(ej.Metrics)
+						i = len(ej.Metrics)
+						ej.Metrics = append(ej.Metrics, m)
+					}
+					ej.Metrics[i].Samples = append(ej.Metrics[i].Samples, cell.V)
+				}
+			}
+		}
+		for i := range ej.Metrics {
+			m := &ej.Metrics[i]
+			if len(m.Samples) != trials {
+				panic(fmt.Sprintf("bench: %s: metric %q has %d samples over %d trials", ej.ID, m.Name, len(m.Samples), trials))
+			}
+			m.Min, m.Mean, m.P50, m.P99, m.Max = sampleStats(m.Samples)
+		}
+		f.Experiments = append(f.Experiments, *ej)
+	}
+	return f
+}

@@ -23,11 +23,19 @@ import (
 // gives the cleanest timeline.
 var Tracer *ktrace.Recorder
 
+// MetricsOff, when true, disables kernel latency histograms on every
+// Aegis kernel the harness boots. Histogram recording is free on the
+// simulated clock (the ktrace observation contract), so this must never
+// change a measured number — TestBenchOutputIdenticalWithMetricsOff pins
+// that by comparing byte-identical table output both ways.
+var MetricsOff bool
+
 // newAegis boots Aegis on a fresh primary-platform machine.
 func newAegis() (*hw.Machine, *aegis.Kernel) {
 	m := hw.NewMachine(hw.DEC5000)
 	k := aegis.New(m)
 	k.SetTracer(Tracer)
+	k.Stats.MetricsOn = !MetricsOff
 	return m, k
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"exokernel/internal/aegis"
+	"exokernel/internal/metrics"
 )
 
 // /proc-style introspection (the read side of "visible resource
@@ -16,9 +17,15 @@ import (
 //
 // Paths:
 //
-//	/proc/stat        kernel-wide counters
+//	/proc/stat        kernel-wide counters + histogram summary
+//	/proc/histograms  kernel-wide cycle-latency histograms, including
+//	                  the per-syscall-number breakdown
 //	/proc/self/status this environment's account
 //	/proc/<id>/status environment <id>'s account
+//	/proc/self/hist   this environment's latency histograms
+//	/proc/<id>/hist   environment <id>'s latency histograms (a destroyed
+//	                  environment reads back zeroed: its histograms are
+//	                  reclaimed with its other resources)
 //
 // Reads charge the simulated clock for the work they model: a protected
 // entry into the registry plus a word-copy of the rendered text.
@@ -33,8 +40,10 @@ func (os *LibOS) ProcRead(path string) (string, error) {
 	var out string
 	switch {
 	case len(parts) == 2 && parts[1] == "stat":
-		out = formatStat(os.K.GlobalStats())
-	case len(parts) == 3 && parts[2] == "status":
+		out = formatStat(os.K)
+	case len(parts) == 2 && parts[1] == "histograms":
+		out = formatHistograms(os.K)
+	case len(parts) == 3 && (parts[2] == "status" || parts[2] == "hist"):
 		id := os.Env.ID
 		if parts[1] != "self" {
 			n, err := strconv.ParseUint(parts[1], 10, 32)
@@ -47,7 +56,11 @@ func (os *LibOS) ProcRead(path string) (string, error) {
 		if !ok {
 			return "", fmt.Errorf("exos: no environment %d", id)
 		}
-		out = formatStatus(e, os.K.Account(id))
+		if parts[2] == "hist" {
+			out = formatEnvHist(os.K, e)
+		} else {
+			out = formatStatus(e, os.K.Account(id))
+		}
 	default:
 		return "", fmt.Errorf("exos: no such proc path %q", path)
 	}
@@ -55,8 +68,57 @@ func (os *LibOS) ProcRead(path string) (string, error) {
 	return out, nil
 }
 
-// formatStat renders the kernel-wide counters as key-value lines.
-func formatStat(s aegis.Stats) string {
+// histLine renders one histogram summary as a parseable line:
+// "hist <name> <count> <min> <mean> <p50> <p90> <p99> <max>" (cycles).
+func histLine(b *strings.Builder, name string, s metrics.Snapshot) {
+	fmt.Fprintf(b, "hist %s %d %d %.1f %d %d %d %d\n",
+		name, s.Count, s.Min, s.Mean, s.P50, s.P90, s.P99, s.Max)
+}
+
+// histHeader is the column legend written before histogram lines.
+const histHeader = "# hist <op> <count> <min> <mean> <p50> <p90> <p99> <max> cycles\n"
+
+// formatHistograms renders every kernel-wide cycle-latency histogram:
+// the operation classes, then the per-syscall-number breakdown (only
+// numbers that were actually invoked).
+func formatHistograms(k *aegis.Kernel) string {
+	var b strings.Builder
+	b.WriteString(histHeader)
+	for op := aegis.OpClass(0); op < aegis.NumOpClasses; op++ {
+		histLine(&b, op.String(), k.Stats.OpSnapshot(op))
+	}
+	for code := uint32(0); code < aegis.NumSyscallHists; code++ {
+		s := k.Stats.SyscallSnapshot(code)
+		if s.Count == 0 {
+			continue
+		}
+		histLine(&b, "syscall/"+aegis.SyscallName(code), s)
+	}
+	return b.String()
+}
+
+// formatEnvHist renders one environment's latency histograms. After
+// DestroyEnv every line reads zero — reclaimed, like the frames.
+func formatEnvHist(k *aegis.Kernel, e *aegis.Env) string {
+	var b strings.Builder
+	state := "live"
+	if e.Dead {
+		state = "dead"
+	}
+	fmt.Fprintf(&b, "env %d\nstate %s\n", e.ID, state)
+	b.WriteString(histHeader)
+	for op := aegis.OpClass(0); op < aegis.NumOpClasses; op++ {
+		histLine(&b, op.String(), k.Stats.EnvOpSnapshot(e.ID, op))
+	}
+	return b.String()
+}
+
+// formatStat renders the kernel-wide counters as key-value lines,
+// followed by a summary of the operation-class latency histograms (the
+// full set, including the per-syscall breakdown, lives at
+// /proc/histograms).
+func formatStat(k *aegis.Kernel) string {
+	s := k.GlobalStats()
 	var b strings.Builder
 	kv := func(k string, v uint64) { fmt.Fprintf(&b, "%s %d\n", k, v) }
 	kv("syscalls", s.Syscalls)
@@ -72,6 +134,10 @@ func formatStat(s aegis.Stats) string {
 	kv("revocations", s.Revocations)
 	kv("aborts", s.Aborts)
 	kv("killed_envs", s.KilledEnvs)
+	b.WriteString(histHeader)
+	for op := aegis.OpClass(0); op < aegis.NumOpClasses; op++ {
+		histLine(&b, op.String(), k.Stats.OpSnapshot(op))
+	}
 	return b.String()
 }
 

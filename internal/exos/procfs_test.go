@@ -1,8 +1,11 @@
 package exos
 
 import (
+	"fmt"
 	"strings"
 	"testing"
+
+	"exokernel/internal/aegis"
 )
 
 func TestProcReadStatAndStatus(t *testing.T) {
@@ -53,9 +56,122 @@ func TestProcReadStatAndStatus(t *testing.T) {
 
 func TestProcReadErrors(t *testing.T) {
 	_, _, os := boot2(t)
-	for _, path := range []string{"", "/", "/proc", "/proc/nope", "/proc/self/nope", "/proc/99/status", "/proc/x/status"} {
+	for _, path := range []string{"", "/", "/proc", "/proc/nope", "/proc/self/nope", "/proc/99/status", "/proc/x/status", "/proc/99/hist", "/proc/x/hist"} {
 		if _, err := os.ProcRead(path); err == nil {
 			t.Errorf("ProcRead(%q) succeeded, want error", path)
+		}
+	}
+}
+
+func TestProcStatIncludesHistogramSummary(t *testing.T) {
+	_, _, os := boot2(t)
+	const va = 0x1000_0000
+	if _, err := os.AllocAndMap(va); err != nil {
+		t.Fatal(err)
+	}
+	stat, err := os.ProcRead("/proc/stat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# hist", "hist syscall ", "hist exception ", "hist ctx-switch "} {
+		if !strings.Contains(stat, want) {
+			t.Errorf("/proc/stat missing histogram summary line %q:\n%s", want, stat)
+		}
+	}
+}
+
+func TestProcHistograms(t *testing.T) {
+	_, k, os := boot2(t)
+	const va = 0x1000_0000
+	if _, err := os.AllocAndMap(va); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ProcRead("/proc/histograms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AllocAndMap goes through the kernel entry points directly (native
+	// library-OS code, not VM syscalls), so assert on presence of every
+	// class line plus a live count somewhere.
+	for op := 0; op < int(aegis.NumOpClasses); op++ {
+		name := aegis.OpClass(op).String()
+		if !strings.Contains(out, "hist "+name+" ") {
+			t.Errorf("/proc/histograms missing class %q:\n%s", name, out)
+		}
+	}
+	// Force at least one syscall through the dispatcher so the
+	// per-number section has content.
+	if k.Stats.OpSnapshot(aegis.OpSyscall).Count == 0 {
+		if got := strings.Count(out, "hist syscall/"); got != 0 {
+			t.Errorf("per-syscall section has %d lines with no syscalls run", got)
+		}
+	}
+}
+
+func TestProcSelfHist(t *testing.T) {
+	_, _, os := boot2(t)
+	const va = 0x1000_0000
+	if _, err := os.AllocAndMap(va); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.TouchWrite(va); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ProcRead("/proc/self/hist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "env 1") || !strings.Contains(out, "state live") {
+		t.Errorf("/proc/self/hist missing identity lines:\n%s", out)
+	}
+	byID, err := os.ProcRead("/proc/1/hist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byID != out {
+		t.Errorf("/proc/1/hist disagrees with /proc/self/hist:\n%s\nvs\n%s", byID, out)
+	}
+}
+
+// TestProcHistDestroyedEnvIsReclaimed: a destroyed environment's
+// histograms are reclaimed with its other resources — the read must
+// return zeroed state, never stale samples.
+func TestProcHistDestroyedEnvIsReclaimed(t *testing.T) {
+	_, k, os := boot2(t)
+	victim, err := Boot(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const va = 0x2000_0000
+	if _, err := victim.AllocAndMap(va); err != nil {
+		t.Fatal(err)
+	}
+	id := victim.Env.ID
+	if k.Stats.EnvOpSnapshot(id, aegis.OpCtxSwitch).Count == 0 &&
+		k.Stats.EnvOpSnapshot(id, aegis.OpSTLBRefill).Count == 0 {
+		// Give it at least one recorded op via a directed yield pair.
+		k.Yield(id)
+		k.Yield(os.Env.ID)
+	}
+	k.DestroyEnv(victim.Env)
+
+	out, err := os.ProcRead(fmt.Sprintf("/proc/%d/hist", id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "state dead") {
+		t.Errorf("destroyed environment not marked dead:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "hist ") {
+			continue
+		}
+		f := strings.Fields(line)
+		// hist <op> <count> <min> <mean> <p50> <p90> <p99> <max>
+		for _, v := range f[2:] {
+			if v != "0" && v != "0.0" {
+				t.Errorf("destroyed environment reports stale histogram data: %q", line)
+			}
 		}
 	}
 }

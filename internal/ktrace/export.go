@@ -46,6 +46,51 @@ func WriteJSONL(w io.Writer, events []Event) error {
 	return bw.Flush()
 }
 
+// kindsByName is the inverse of kindNames, for parsing exported traces.
+var kindsByName = func() map[string]Kind {
+	m := make(map[string]Kind, int(numKinds))
+	for k, name := range kindNames {
+		m[name] = Kind(k)
+	}
+	return m
+}()
+
+// KindByName resolves an event-kind name (the inverse of Kind.String).
+func KindByName(name string) (Kind, bool) {
+	k, ok := kindsByName[name]
+	return k, ok
+}
+
+// ParseJSONL reads a WriteJSONL stream back into events, so scripts (and
+// tests) can round-trip a trace instead of scraping text. Blank lines are
+// skipped; an unknown kind name or malformed line is an error.
+func ParseJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal(text, &je); err != nil {
+			return nil, fmt.Errorf("ktrace: line %d: %w", line, err)
+		}
+		kind, ok := KindByName(je.Kind)
+		if !ok {
+			return nil, fmt.Errorf("ktrace: line %d: unknown event kind %q", line, je.Kind)
+		}
+		out = append(out, Event{Cycle: je.Cycle, Kind: kind, Env: je.Env, Arg0: je.Arg0, Arg1: je.Arg1, Arg2: je.Arg2})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ktrace: %w", err)
+	}
+	return out, nil
+}
+
 // chromeEvent is one entry of the Chrome trace_event "JSON Object Format"
 // (the {"traceEvents": [...]} envelope), loadable in chrome://tracing and
 // in Perfetto's legacy-trace importer.

@@ -1,0 +1,73 @@
+package ktrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestJSONLRoundTrip: every exported line parses back into the event that
+// produced it — type, environment, cycle stamp, and args all survive.
+func TestJSONLRoundTrip(t *testing.T) {
+	r := New(64)
+	emitted := []Event{
+		{Cycle: 0, Kind: KindEnvCreate, Env: 1, Arg0: 7},
+		{Cycle: 12, Kind: KindSyscallEnter, Env: 1, Arg0: 3, Arg1: 0xffff_ffff},
+		{Cycle: 40, Kind: KindSyscallExit, Env: 1, Arg0: 3},
+		{Cycle: 55, Kind: KindTLBMiss, Env: 2, Arg0: 0x1000, Arg1: 1},
+		{Cycle: 90, Kind: KindPktDeliver, Env: 3, Arg0: 60},
+		{Cycle: 1 << 40, Kind: KindEnvDestroy, Env: 2, Arg0: 5, Arg1: 1, Arg2: 2},
+	}
+	for _, e := range emitted {
+		r.Emit(e.Cycle, e.Kind, e.Env, e.Arg0, e.Arg1, e.Arg2)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, r.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != len(emitted) {
+		t.Fatalf("exported %d lines, want %d", got, len(emitted))
+	}
+
+	parsed, err := ParseJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(emitted) {
+		t.Fatalf("parsed %d events, want %d", len(parsed), len(emitted))
+	}
+	for i, want := range emitted {
+		if parsed[i] != want {
+			t.Errorf("event %d: round-trip %+v, want %+v", i, parsed[i], want)
+		}
+	}
+}
+
+func TestKindByNameCoversAllKinds(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		got, ok := KindByName(k.String())
+		if !ok || got != k {
+			t.Errorf("KindByName(%q) = %v, %v; want %v, true", k.String(), got, ok, k)
+		}
+	}
+	if _, ok := KindByName("no-such-kind"); ok {
+		t.Error("KindByName accepted garbage")
+	}
+}
+
+func TestParseJSONLRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"not json\n",
+		`{"cycle": 1, "kind": "martian", "env": 0}` + "\n",
+	} {
+		if _, err := ParseJSONL(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseJSONL accepted %q", bad)
+		}
+	}
+	// Blank lines are tolerated (trailing newline artifacts).
+	events, err := ParseJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(events) != 0 {
+		t.Errorf("blank input: got %v, %v; want empty, nil", events, err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package metrics provides allocation-free cycle-latency histograms for
+// the simulated kernel. The paper's evaluation reports minima and means
+// (Tables 2-9) because on real MIPS hardware the distributions were
+// boring; our software-simulated kernel has real tails — STLB eviction,
+// ASH compilation, revocation storms — that single numbers hide. A Hist
+// records every sample into fixed log₂ buckets so the whole distribution
+// is visible: count, min, mean, p50, p90, p99, max.
+//
+// The design contract mirrors ktrace: recording is observation, never
+// participation. Record touches only plain counters — it cannot advance
+// the simulated clock (this package does not even import internal/hw),
+// never allocates, and never locks (the simulation is single-threaded by
+// construction). Enabling histograms cannot change a measured cycle
+// count; internal/aegis pins that invariant with a test.
+package metrics
+
+import (
+	"math"
+	"math/bits"
+)
+
+// NumBuckets is the number of log₂ buckets. Bucket 0 holds the value 0;
+// bucket i (1 ≤ i ≤ 64) holds values v with bit length i, i.e. the range
+// [2^(i-1), 2^i - 1]. Every uint64 lands in exactly one bucket.
+const NumBuckets = 65
+
+// Hist is a fixed-size log₂-bucketed histogram of uint64 samples
+// (cycles, in kernel use). The zero value is an empty, ready histogram;
+// Record never allocates, so a Hist can sit in hot kernel structs and in
+// per-environment arrays without touching the garbage collector.
+type Hist struct {
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+	buckets [NumBuckets]uint64
+}
+
+// Record adds one sample. Nil-safe (a nil *Hist swallows the sample), so
+// callers can keep a single pointer check as their only fast-path cost.
+func (h *Hist) Record(v uint64) {
+	if h == nil {
+		return
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bits.Len64(v)]++
+}
+
+// Count reports how many samples were recorded.
+func (h *Hist) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum reports the total of all recorded samples.
+func (h *Hist) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Min reports the smallest recorded sample (0 when empty).
+func (h *Hist) Min() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the largest recorded sample (0 when empty).
+func (h *Hist) Max() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Mean reports the arithmetic mean of recorded samples (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// BucketBounds returns the inclusive value range [lo, hi] of bucket i.
+func BucketBounds(i int) (lo, hi uint64) {
+	if i <= 0 {
+		return 0, 0
+	}
+	lo = uint64(1) << (i - 1)
+	hi = lo<<1 - 1 // wraps to MaxUint64 for i == 64, which is correct
+	return lo, hi
+}
+
+// Quantile returns the q-quantile (0 < q < 1) by nearest rank, linearly
+// interpolated within the log₂ bucket that holds the rank and clamped to
+// the observed [min, max]. Exact at the extremes; within one bucket
+// width (a factor of two) elsewhere — plenty for latency tails.
+func (h *Hist) Quantile(q float64) uint64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		if cum+n >= target {
+			lo, hi := BucketBounds(i)
+			frac := float64(target-cum) / float64(n)
+			v := uint64(float64(lo) + frac*float64(hi-lo))
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		cum += n
+	}
+	return h.max
+}
+
+// Reset empties the histogram in place (no allocation).
+func (h *Hist) Reset() {
+	if h != nil {
+		*h = Hist{}
+	}
+}
+
+// Snapshot is an immutable summary of a histogram, the unit /proc reads
+// and the bench pipeline serialize. All cycle fields are in the sample's
+// unit (simulated cycles for kernel histograms).
+type Snapshot struct {
+	Count uint64  `json:"count"`
+	Min   uint64  `json:"min"`
+	Mean  float64 `json:"mean"`
+	P50   uint64  `json:"p50"`
+	P90   uint64  `json:"p90"`
+	P99   uint64  `json:"p99"`
+	Max   uint64  `json:"max"`
+}
+
+// Snapshot summarizes the histogram. Cheap enough to call on every
+// /proc read; the zero Snapshot means "no samples".
+func (h *Hist) Snapshot() Snapshot {
+	if h == nil || h.count == 0 {
+		return Snapshot{}
+	}
+	return Snapshot{
+		Count: h.count,
+		Min:   h.min,
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		Max:   h.max,
+	}
+}

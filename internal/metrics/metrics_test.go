@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEmptyHist(t *testing.T) {
+	var h Hist
+	s := h.Snapshot()
+	if s != (Snapshot{}) {
+		t.Errorf("empty histogram snapshot = %+v, want zero", s)
+	}
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram reports nonzero statistics")
+	}
+}
+
+func TestNilHistIsSafe(t *testing.T) {
+	var h *Hist
+	h.Record(42) // must not panic
+	if h.Count() != 0 || h.Snapshot() != (Snapshot{}) {
+		t.Error("nil histogram is not a silent sink")
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	cases := []struct {
+		i      int
+		lo, hi uint64
+	}{
+		{0, 0, 0},
+		{1, 1, 1},
+		{2, 2, 3},
+		{3, 4, 7},
+		{10, 512, 1023},
+		{64, 1 << 63, math.MaxUint64},
+	}
+	for _, c := range cases {
+		lo, hi := BucketBounds(c.i)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("BucketBounds(%d) = [%d, %d], want [%d, %d]", c.i, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestRecordBasicStats(t *testing.T) {
+	var h Hist
+	for _, v := range []uint64{10, 20, 30, 40, 1000} {
+		h.Record(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Min() != 10 || h.Max() != 1000 {
+		t.Errorf("min/max = %d/%d, want 10/1000", h.Min(), h.Max())
+	}
+	if got, want := h.Mean(), 220.0; got != want {
+		t.Errorf("mean = %g, want %g", got, want)
+	}
+	if h.Sum() != 1100 {
+		t.Errorf("sum = %d, want 1100", h.Sum())
+	}
+}
+
+func TestQuantilesClampedAndOrdered(t *testing.T) {
+	var h Hist
+	// Heavy head at ~16 cycles, one tail outlier.
+	for i := 0; i < 99; i++ {
+		h.Record(16)
+	}
+	h.Record(100000)
+	s := h.Snapshot()
+	if s.P50 < h.Min() || s.Max < s.P99 || s.P99 < s.P90 || s.P90 < s.P50 {
+		t.Errorf("quantiles out of order: %+v", s)
+	}
+	// p50 must land in the head bucket [16, 31], nowhere near the outlier.
+	if s.P50 < 16 || s.P50 > 31 {
+		t.Errorf("p50 = %d, want within the head bucket [16, 31]", s.P50)
+	}
+	// p99 ranks onto the 99th of 100 samples, still head.
+	if s.P99 > 31 {
+		t.Errorf("p99 = %d, want head bucket", s.P99)
+	}
+	// max sees the outlier exactly.
+	if s.Max != 100000 {
+		t.Errorf("max = %d, want 100000", s.Max)
+	}
+	if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+		t.Error("quantile extremes do not clamp to min/max")
+	}
+}
+
+func TestSingleSampleQuantiles(t *testing.T) {
+	var h Hist
+	h.Record(77)
+	s := h.Snapshot()
+	if s.Min != 77 || s.P50 != 77 || s.P90 != 77 || s.P99 != 77 || s.Max != 77 {
+		t.Errorf("single-sample snapshot not degenerate at 77: %+v", s)
+	}
+}
+
+func TestZeroSampleGoesToBucketZero(t *testing.T) {
+	var h Hist
+	h.Record(0)
+	h.Record(0)
+	s := h.Snapshot()
+	if s.Count != 2 || s.Min != 0 || s.Max != 0 || s.P99 != 0 {
+		t.Errorf("zero samples mishandled: %+v", s)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var h Hist
+	h.Record(5)
+	h.Reset()
+	if h.Count() != 0 || h.Snapshot() != (Snapshot{}) {
+		t.Error("Reset did not empty the histogram")
+	}
+}
+
+// TestRecordNeverAllocates pins the hot-path contract: hanging histograms
+// off every kernel operation must not create garbage-collector work.
+func TestRecordNeverAllocates(t *testing.T) {
+	var h Hist
+	v := uint64(17)
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(v)
+		v = v*7 + 3
+	})
+	if allocs != 0 {
+		t.Errorf("Record allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestSnapshotNeverAllocates keeps observation cheap too.
+func TestSnapshotNeverAllocates(t *testing.T) {
+	var h Hist
+	for i := uint64(1); i < 1000; i += 7 {
+		h.Record(i)
+	}
+	allocs := testing.AllocsPerRun(100, func() { _ = h.Snapshot() })
+	if allocs != 0 {
+		t.Errorf("Snapshot allocates %.1f objects per call, want 0", allocs)
+	}
+}

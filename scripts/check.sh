@@ -22,4 +22,11 @@ fi
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== bench smoke (BENCH JSON + benchdiff self-compare)"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/aegisbench -only table2 -format json > "$tmp/bench.json"
+go run ./cmd/benchdiff -validate "$tmp/bench.json"
+go run ./cmd/benchdiff -threshold 0 "$tmp/bench.json" "$tmp/bench.json"
+
 echo "check: OK"
