@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench results baseline benchdiff
+.PHONY: all build test check fmt vet race bench results baseline benchdiff invariance profile
 
 all: check
 
@@ -41,3 +41,22 @@ baseline:
 benchdiff:
 	$(GO) run ./cmd/aegisbench -format json -trials 3 > /tmp/bench_new.json
 	$(GO) run ./cmd/benchdiff BENCH_aegisbench.json /tmp/bench_new.json
+
+# Full engine-invariance gate: every simulated number must be identical
+# under the fast engine and the reference engine (EXO_SLOWPATH=1) —
+# byte-identical text tables, zero-threshold JSON diff. Host wall-clock
+# metrics are informational and never gated.
+invariance:
+	$(GO) run ./cmd/aegisbench > /tmp/bench_fast.txt
+	EXO_SLOWPATH=1 $(GO) run ./cmd/aegisbench > /tmp/bench_slow.txt
+	cmp /tmp/bench_fast.txt /tmp/bench_slow.txt
+	$(GO) run ./cmd/aegisbench -format json -trials 1 > /tmp/bench_fast.json
+	EXO_SLOWPATH=1 $(GO) run ./cmd/aegisbench -format json -trials 1 > /tmp/bench_slow.json
+	$(GO) run ./cmd/benchdiff -threshold 0 /tmp/bench_slow.json /tmp/bench_fast.json
+	@echo "invariance: OK"
+
+# CPU-profile the hottest workload (Table 9) for host-speed work:
+# go tool pprof cpu.pprof
+profile:
+	$(GO) run ./cmd/aegisbench -only table9 -cpuprofile cpu.pprof > /dev/null
+	@echo "wrote cpu.pprof; inspect with: go tool pprof cpu.pprof"

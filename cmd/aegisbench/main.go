@@ -17,6 +17,10 @@
 //	                        # run under the kernel flight recorder and
 //	                        # write a Chrome trace_event file (open in
 //	                        # chrome://tracing or Perfetto)
+//	aegisbench -only table9 -cpuprofile cpu.pprof
+//	                        # profile the host-side cost of the run
+//	                        # (go tool pprof cpu.pprof); `make profile`
+//	                        # wraps this
 //
 // -trials repeats each experiment (default 1) and applies to every
 // format; text and csv print each repetition, json aggregates them into
@@ -31,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"exokernel/internal/bench"
@@ -46,6 +51,7 @@ func main() {
 	trials := flag.Int("trials", 1, "repetitions per experiment")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event recording of the run to this file")
 	traceBuf := flag.Int("tracebuf", 1<<20, "flight-recorder capacity in events (oldest overwritten)")
+	cpuProfile := flag.String("cpuprofile", "", "write a host CPU profile of the run to this file")
 	flag.Parse()
 
 	if *format != "text" && *format != "csv" && *format != "json" {
@@ -85,6 +91,22 @@ func main() {
 	if len(selected) == 0 {
 		fmt.Fprintf(os.Stderr, "aegisbench: no experiment matches %q\n", *only)
 		os.Exit(1)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aegisbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "aegisbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 
 	if *format == "json" {

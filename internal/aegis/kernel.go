@@ -28,6 +28,10 @@ type Kernel struct {
 
 	envs []*Env // index = EnvID-1
 	cur  EnvID
+	// curCode mirrors the current environment's code segment for the
+	// per-instruction fetch path. Republished by setCode at every point
+	// where cur changes; Env.Code itself is immutable after NewEnv.
+	curCode isa.Code
 
 	frames  []frameBinding
 	extents []extent
@@ -150,6 +154,16 @@ func (k *Kernel) installEnv(e *Env) {
 	cpu.FPUOn = e.FPU
 	cpu.Mode = hw.ModeUser
 	k.cur = e.ID
+	k.setCode(e.Code)
+}
+
+// setCode publishes the current environment's code segment to both fetch
+// paths: the hoisted guard state Fetch reads, and the interpreter's
+// direct-fetch slice. The two always change together, so the engines
+// cannot disagree about what the current PC maps to.
+func (k *Kernel) setCode(code isa.Code) {
+	k.curCode = code
+	k.Interp.SetCode(code)
 }
 
 // saveEnv captures the processor state into the environment.
@@ -184,13 +198,16 @@ func (k *Kernel) switchTo(e *Env, chargeRegs bool) {
 }
 
 // Fetch implements vm.CodeSource: instructions come from the current
-// environment's segment.
+// environment's segment. The per-instruction nil-env and nil-code guards
+// are hoisted out of this path: they can only change at context-switch
+// boundaries, where setCode republishes curCode, and a vacant or
+// code-less environment leaves curCode nil — which the bounds check
+// rejects (len(nil) == 0) with the same address error as before.
 func (k *Kernel) Fetch(pc uint32) (isa.Inst, hw.Exc) {
-	e := k.CurEnv()
-	if e == nil || e.Code == nil || int(pc) >= len(e.Code) {
+	if int(pc) >= len(k.curCode) {
 		return isa.Inst{}, hw.ExcAddrErrL
 	}
-	return e.Code[pc], hw.ExcNone
+	return k.curCode[pc], hw.ExcNone
 }
 
 // Kill terminates an environment: a library OS uses it when a fault has no

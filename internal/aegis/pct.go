@@ -61,6 +61,7 @@ func (k *Kernel) ProtCall(callee EnvID, async bool) error {
 	k.M.Clock.Tick(hw.CostContextID)
 	k.settleCycles()
 	k.cur = target.ID
+	k.setCode(target.Code)
 	cpu.ASID = target.ASID
 	cpu.SetReg(hw.RegV1, uint32(callerID(cur)))
 

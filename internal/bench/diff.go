@@ -46,7 +46,7 @@ func Validate(f *File) error {
 				return fmt.Errorf("%s: duplicate", where)
 			}
 			names[m.Name] = true
-			if m.Source != SourceMeasured && m.Source != SourcePaper {
+			if m.Source != SourceMeasured && m.Source != SourcePaper && m.Source != SourceHost {
 				return fmt.Errorf("%s: bad source %q", where, m.Source)
 			}
 			if m.Trials != f.Trials {
@@ -122,7 +122,8 @@ func (r *DiffReport) Render() string {
 // measured (never a quoted paper constant) and time-valued (simulated
 // microseconds, where lower is better). Ratios and counts are reported
 // in the JSON but not gated — a "slowdown ×" column moving is a symptom;
-// the gated time metric is the cause.
+// the gated time metric is the cause. Host wall-clock metrics (source
+// "host", unit "ns") are informational only: they vary with the host.
 func gated(m MetricJSON) bool {
 	return m.Source == SourceMeasured && m.Unit == "us"
 }

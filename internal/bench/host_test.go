@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"exokernel/internal/asm"
+	"exokernel/internal/exos"
+	"exokernel/internal/hw"
+)
+
+// Host-side performance harness for the two execution engines, and the
+// table-level half of the invariance contract. The benchmarks measure
+// host wall-clock (ns/op) for the paper's heaviest workloads under the
+// fast engine and the reference engine:
+//
+//	go test ./internal/bench -bench HostMatmul -run xx
+//	go test ./internal/bench -bench HostAppel  -run xx
+//
+// The Fast/Ref ratio is the speedup the host-speed fast path buys; the
+// simulated numbers are identical either way (TestEngineInvarianceTables
+// below, plus the full-run gate in scripts/check.sh and `make invariance`).
+
+// benchMatmulN keeps the per-iteration cost reasonable for `go test
+// -bench` while staying large enough (3 × 16 pages) to exercise real TLB
+// pressure.
+const benchMatmulN = 64
+
+func benchmarkHostMatmul(b *testing.B, slowPath bool) {
+	m, _, run, err := aegisMatmul(benchMatmulN)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.SetSlowPath(slowPath)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+func BenchmarkHostMatmulFast(b *testing.B) { benchmarkHostMatmul(b, false) }
+func BenchmarkHostMatmulRef(b *testing.B)  { benchmarkHostMatmul(b, true) }
+
+// appelSweepSource is the interpreted Appel–Li-style workload (the
+// pattern behind Table 10's numbers, e.g. a concurrent GC): sweep a
+// working set larger than the 64-entry TLB so page visits take capacity
+// misses serviced by the ExOS refill handler, write-touch each page,
+// then scan the faulted page's contents, for a2 passes.
+// a0 = base, a1 = pages, a2 = passes.
+const appelSweepSource = `
+entry:
+	addiu t3, zero, 0      ; pass counter
+pass:
+	addu  t0, a0, zero     ; addr = base
+	addiu t1, zero, 0      ; page counter
+page:
+	sw    t1, 0(t0)        ; dirty the page (miss + install on most visits)
+	addu  t5, t0, zero     ; scan the faulted page
+	addiu t6, zero, 256    ; words to scan
+scan:
+	lw    t4, 0(t5)
+	addiu t5, t5, 4
+	addiu t6, t6, -1
+	bgtz  t6, scan
+	addiu t0, t0, 4096     ; next page
+	addiu t1, t1, 1
+	bne   t1, a1, page
+	addiu t3, t3, 1
+	bne   t3, a2, pass
+	halt
+`
+
+func benchmarkHostAppel(b *testing.B, slowPath bool) {
+	const passes = 5
+	m, k := newAegis()
+	m.SetSlowPath(slowPath)
+	code, labels, err := asm.AssembleWithLabels(appelSweepSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := k.NewEnv(code)
+	if err != nil {
+		b.Fatal(err)
+	}
+	os := exos.Attach(k, env)
+	for i := 0; i < appelPages; i++ {
+		if _, err := os.AllocAndMap(appelBase + uint32(i)*hw.PageSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+	entry := uint32(labels["entry"])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.PC = entry
+		m.CPU.PC = entry
+		m.CPU.SetReg(hw.RegA0, appelBase)
+		m.CPU.SetReg(hw.RegA1, appelPages)
+		m.CPU.SetReg(hw.RegA2, passes)
+		runToHalt(k.Interp, uint64(passes)*appelPages*1024+4096)
+	}
+}
+
+func BenchmarkHostAppelFast(b *testing.B) { benchmarkHostAppel(b, false) }
+func BenchmarkHostAppelRef(b *testing.B)  { benchmarkHostAppel(b, true) }
+
+// TestEngineInvarianceTables renders benchmark tables under the fast
+// engine and again with EXO_SLOWPATH=1 and requires the text output —
+// every simulated number the repo reports — to be byte-identical. Short
+// mode covers the trap-heavy tables; the full run sweeps every
+// experiment (with a small Table 9 matrix, like the full-sweep test).
+func TestEngineInvarianceTables(t *testing.T) {
+	old := Table9MatrixN
+	Table9MatrixN = 32
+	defer func() { Table9MatrixN = old }()
+	shortSet := map[string]bool{"Table 2": true, "Table 4": true, "Table 5": true, "Table 10": true}
+	for _, e := range All() {
+		if testing.Short() && !shortSet[e.ID] {
+			continue
+		}
+		t.Setenv("EXO_SLOWPATH", "")
+		fast := e.Run().Format()
+		t.Setenv("EXO_SLOWPATH", "1")
+		ref := e.Run().Format()
+		if fast != ref {
+			t.Errorf("%s: output differs between engines:\n--- fast ---\n%s\n--- reference ---\n%s",
+				e.ID, fast, ref)
+		}
+		if !strings.Contains(fast, e.ID) {
+			t.Errorf("%s: output missing its ID", e.ID)
+		}
+	}
+}

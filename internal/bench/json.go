@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Machine-readable benchmark output: the BENCH JSON schema. Where the
@@ -27,8 +28,8 @@ import (
 //	    "metrics": [{
 //	      "name": "row/col",            // canonical metric identifier
 //	      "row": "...", "col": "...",
-//	      "unit": "us" | "x" | "",      // simulated microseconds, ratio, or unitless
-//	      "source": "measured"|"paper", // paper-constant rows are never gated
+//	      "unit": "us" | "x" | "ns" | "",      // simulated µs, ratio, host ns, unitless
+//	      "source": "measured"|"paper"|"host", // only measured µs metrics are gated
 //	      "paper": 1.6,                 // optional: the paper's reference value
 //	      "trials": N,
 //	      "samples": [...],             // one value per trial, in trial order
@@ -37,10 +38,13 @@ import (
 //	  }]
 //	}
 //
-// The simulator is deterministic, so today all samples of a metric are
-// equal and min == p50 == max; the distribution fields exist so that the
-// moment any nondeterminism (or real tail behavior) enters the pipeline,
-// it is visible in the trajectory rather than averaged away.
+// The simulator is deterministic, so today all samples of a simulated
+// metric are equal and min == p50 == max; the distribution fields exist
+// so that the moment any nondeterminism (or real tail behavior) enters
+// the pipeline, it is visible in the trajectory rather than averaged
+// away. The one deliberately nondeterministic metric is "host/wall_ns"
+// (source "host"): each experiment's host-side wall-clock per trial,
+// recorded as an informational trajectory and never gated.
 
 // SchemaName discriminates BENCH JSON files from other JSON.
 const SchemaName = "aegis-bench"
@@ -82,11 +86,23 @@ type MetricJSON struct {
 	Max     float64   `json:"max"`
 }
 
-// SourceMeasured and SourcePaper are the metric source values.
+// Metric source values. Only "measured" time metrics are gated by
+// cmd/benchdiff; "paper" marks quoted constants and "host" marks
+// informational host-side wall-clock measurements (nondeterministic by
+// nature, tracked as a trajectory, never gated).
 const (
 	SourceMeasured = "measured"
 	SourcePaper    = "paper"
+	SourceHost     = "host"
 )
+
+// HostMetricName is the per-experiment host wall-clock metric: the
+// host-side nanoseconds one run of the experiment took, one sample per
+// trial. It rides alongside the simulated-time metrics so the BENCH
+// files track a host-perf trajectory, but it is never part of the
+// regression gate (see gated in diff.go) and never appears in the text
+// or CSV tables — simulated output stays byte-identical across hosts.
+var HostMetricName = MetricName("host", "wall_ns")
 
 // metricSource classifies a cell: rows or columns quoting the paper
 // ("L3 ... (paper)", the "paper" column of Table 7) are labelled so
@@ -147,9 +163,12 @@ func CollectJSON(exps []Experiment, trials int, platform string) *File {
 	f := &File{Schema: SchemaName, SchemaVersion: SchemaVersion, Platform: platform, Trials: trials}
 	for _, e := range exps {
 		var ej *ExperimentJSON
+		var wall []float64        // host ns per trial
 		index := map[string]int{} // metric name -> index in ej.Metrics
 		for trial := 0; trial < trials; trial++ {
+			hostStart := time.Now()
 			tb := e.Run()
+			wall = append(wall, float64(time.Since(hostStart).Nanoseconds()))
 			if trial == 0 {
 				ej = &ExperimentJSON{ID: tb.ID, Title: tb.Title, Notes: tb.Notes}
 			}
@@ -184,6 +203,15 @@ func CollectJSON(exps []Experiment, trials int, platform string) *File {
 				}
 			}
 		}
+		ej.Metrics = append(ej.Metrics, MetricJSON{
+			Name:    HostMetricName,
+			Row:     "host",
+			Col:     "wall_ns",
+			Unit:    "ns",
+			Source:  SourceHost,
+			Trials:  trials,
+			Samples: wall,
+		})
 		for i := range ej.Metrics {
 			m := &ej.Metrics[i]
 			if len(m.Samples) != trials {

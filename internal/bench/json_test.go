@@ -42,8 +42,9 @@ func TestCollectJSONShape(t *testing.T) {
 	if len(e.Notes) != 1 || e.Notes[0] != "a footnote" {
 		t.Fatalf("notes = %v", e.Notes)
 	}
-	// Numeric cells only: op/measured, op/paper, ratio/measured. The n/a
-	// and text-only cells and the spacer cells must not become metrics.
+	// Numeric cells only: op/measured, op/paper, ratio/measured — plus
+	// the synthesized host wall-clock metric. The n/a and text-only
+	// cells and the spacer cells must not become metrics.
 	want := map[string]struct {
 		unit, source string
 		v            float64
@@ -53,10 +54,24 @@ func TestCollectJSONShape(t *testing.T) {
 		"op/paper":       {"us", SourcePaper, 1.6, false},
 		"ratio/measured": {"x", SourceMeasured, 3.5, false},
 	}
-	if len(e.Metrics) != len(want) {
-		t.Fatalf("got %d metrics, want %d: %+v", len(e.Metrics), len(want), e.Metrics)
+	if len(e.Metrics) != len(want)+1 {
+		t.Fatalf("got %d metrics, want %d: %+v", len(e.Metrics), len(want)+1, e.Metrics)
 	}
 	for _, m := range e.Metrics {
+		if m.Name == HostMetricName {
+			if m.Unit != "ns" || m.Source != SourceHost {
+				t.Errorf("%s: unit %q source %q, want ns host", m.Name, m.Unit, m.Source)
+			}
+			if m.Trials != 3 || len(m.Samples) != 3 {
+				t.Errorf("%s: trials %d samples %d", m.Name, m.Trials, len(m.Samples))
+			}
+			for _, s := range m.Samples {
+				if s < 0 {
+					t.Errorf("%s: negative wall-clock sample %g", m.Name, s)
+				}
+			}
+			continue
+		}
 		w, ok := want[m.Name]
 		if !ok {
 			t.Fatalf("unexpected metric %q", m.Name)

@@ -1,0 +1,270 @@
+package hw
+
+import "testing"
+
+// The host-speed fast paths (hashed TLB index, translation micro-cache)
+// must be invisible: for any operation sequence, a machine on the fast
+// path and one forced to the reference path agree on every lookup result
+// and every charged cycle. These tests drive both side by side.
+
+// lcgT is a deterministic pseudo-random source for test sequences.
+type lcgT uint64
+
+func (r *lcgT) next() uint32 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint32(*r >> 33)
+}
+
+// TestTLBHashedMatchesLinear drives a hashed-index TLB and a linear-probe
+// TLB through an identical random mutation/lookup sequence and requires
+// identical results and identical cycle charges throughout.
+func TestTLBHashedMatchesLinear(t *testing.T) {
+	var cFast, cSlow Clock
+	fast := NewTLB(&cFast, 16)
+	slow := NewTLB(&cSlow, 16)
+	slow.slow = true
+
+	r := lcgT(42)
+	for step := 0; step < 20000; step++ {
+		op := r.next() % 10
+		vpn := r.next() % 24 // small space forces tag collisions and evictions
+		asid := uint8(r.next() % 3)
+		pfn := r.next() % 64
+		perms := uint8(PermValid | uint8(r.next()&uint32(PermWrite|PermKernel)))
+		switch op {
+		case 0, 1:
+			e := TLBEntry{VPN: vpn, ASID: asid, PFN: pfn, Perms: perms}
+			fast.WriteRandom(e)
+			slow.WriteRandom(e)
+		case 2:
+			i := int(r.next()) % fast.Size()
+			e := TLBEntry{VPN: vpn, ASID: asid, PFN: pfn, Perms: perms}
+			fast.WriteIndexed(i, e)
+			slow.WriteIndexed(i, e)
+		case 3:
+			if fast.Invalidate(vpn, asid) != slow.Invalidate(vpn, asid) {
+				t.Fatalf("step %d: Invalidate(%d, %d) diverged", step, vpn, asid)
+			}
+		case 4:
+			fast.InvalidateASID(asid)
+			slow.InvalidateASID(asid)
+		case 5:
+			fast.FlushFrame(pfn)
+			slow.FlushFrame(pfn)
+		default:
+			ef, okf := fast.Lookup(vpn, asid)
+			es, oks := slow.Lookup(vpn, asid)
+			if okf != oks || ef != es {
+				t.Fatalf("step %d: Lookup(%d, %d) = %+v/%v fast, %+v/%v linear",
+					step, vpn, asid, ef, okf, es, oks)
+			}
+		}
+		if cFast.Cycles() != cSlow.Cycles() {
+			t.Fatalf("step %d: clocks diverged: fast %d, linear %d", step, cFast.Cycles(), cSlow.Cycles())
+		}
+	}
+	// Exhaustive sweep at the end: every (vpn, asid) in range agrees.
+	for vpn := uint32(0); vpn < 24; vpn++ {
+		for asid := uint8(0); asid < 3; asid++ {
+			ef, okf := fast.Lookup(vpn, asid)
+			es, oks := slow.Lookup(vpn, asid)
+			if okf != oks || ef != es {
+				t.Fatalf("final: Lookup(%d, %d) = %+v/%v fast, %+v/%v linear", vpn, asid, ef, okf, es, oks)
+			}
+		}
+	}
+}
+
+// TestTLBHashedDuplicateTagFirstWins pins the first-match-wins semantics
+// of the reference linear probe: when WriteIndexed creates duplicate
+// (VPN, ASID) tags, the hashed index must return the lowest-indexed one.
+func TestTLBHashedDuplicateTagFirstWins(t *testing.T) {
+	var c Clock
+	tlb := NewTLB(&c, 8)
+	tlb.WriteIndexed(5, TLBEntry{VPN: 7, ASID: 1, PFN: 50, Perms: PermValid})
+	tlb.WriteIndexed(2, TLBEntry{VPN: 7, ASID: 1, PFN: 20, Perms: PermValid})
+	e, ok := tlb.Lookup(7, 1)
+	if !ok || e.PFN != 20 {
+		t.Fatalf("Lookup = %+v/%v, want the index-2 entry (PFN 20)", e, ok)
+	}
+	es, oks := tlb.lookupLinear(7, 1)
+	if oks != ok || es != e {
+		t.Fatalf("hashed %+v/%v != linear %+v/%v", e, ok, es, oks)
+	}
+}
+
+// TestMicroTLBInvalidation exercises the three invalidation edges of the
+// translation micro-cache: a TLB mutation, an ASID change, and a mode
+// switch must each be reflected by the next Translate.
+func TestMicroTLBInvalidation(t *testing.T) {
+	m := NewMachine(DEC5000)
+	m.SetSlowPath(false)
+	m.CPU.Mode = ModeUser
+	m.CPU.ASID = 1
+	m.TLB.WriteRandom(TLBEntry{VPN: 3, ASID: 1, PFN: 9, Perms: PermValid | PermWrite})
+
+	va := uint32(3<<PageShift | 0x10)
+	if pa, exc := m.Translate(va, false); exc != ExcNone || pa != 9<<PageShift|0x10 {
+		t.Fatalf("initial translate: pa %#x exc %v", pa, exc)
+	}
+	// Remap the page: the cached translation must not survive the write.
+	m.TLB.WriteRandom(TLBEntry{VPN: 3, ASID: 1, PFN: 4, Perms: PermValid | PermWrite})
+	if pa, exc := m.Translate(va, false); exc != ExcNone || pa != 4<<PageShift|0x10 {
+		t.Fatalf("after remap: pa %#x exc %v, want frame 4", pa, exc)
+	}
+	// ASID change: the tag must miss, not alias another address space.
+	m.CPU.ASID = 2
+	if _, exc := m.Translate(va, false); exc != ExcTLBMissL {
+		t.Fatalf("after ASID change: exc %v, want TLB miss", exc)
+	}
+	m.CPU.ASID = 1
+	// Invalidate: cached entry must not resurrect the mapping.
+	m.TLB.Invalidate(3, 1)
+	if _, exc := m.Translate(va, false); exc != ExcTLBMissL {
+		t.Fatalf("after invalidate: exc %v, want TLB miss", exc)
+	}
+	// Kernel-only page: mode is checked on every access, so a mode switch
+	// needs no cache invalidation in either direction.
+	m.TLB.WriteRandom(TLBEntry{VPN: 3, ASID: 1, PFN: 7, Perms: PermValid | PermKernel})
+	m.CPU.Mode = ModeKernel
+	if _, exc := m.Translate(va, false); exc != ExcNone {
+		t.Fatalf("kernel access to kernel page: exc %v", exc)
+	}
+	m.CPU.Mode = ModeUser
+	if _, exc := m.Translate(va, false); exc != ExcTLBMissL {
+		t.Fatalf("user access to kernel page after cached kernel hit: exc %v, want miss", exc)
+	}
+	// Write permission is likewise per-access: a cached load translation
+	// must not let a store through a read-only page.
+	m.TLB.WriteRandom(TLBEntry{VPN: 5, ASID: 1, PFN: 8, Perms: PermValid})
+	ro := uint32(5 << PageShift)
+	if _, exc := m.Translate(ro, false); exc != ExcNone {
+		t.Fatalf("read of read-only page: exc %v", exc)
+	}
+	if _, exc := m.Translate(ro, true); exc != ExcTLBMod {
+		t.Fatalf("write to read-only page: exc %v, want Mod", exc)
+	}
+}
+
+// TestTranslateFastMatchesSlow random-walks loads and stores across a
+// small set of pages interleaved with remaps, comparing a fast-path and
+// a slow-path machine translation by translation.
+func TestTranslateFastMatchesSlow(t *testing.T) {
+	fast := NewMachine(DEC5000)
+	slow := NewMachine(DEC5000)
+	fast.SetSlowPath(false)
+	slow.SetSlowPath(true)
+	ms := [2]*Machine{fast, slow}
+
+	r := lcgT(7)
+	for step := 0; step < 20000; step++ {
+		switch r.next() % 8 {
+		case 0:
+			vpn, asid := r.next()%8, uint8(r.next()%2)
+			pfn := r.next() % 32
+			perms := uint8(PermValid | uint8(r.next()&uint32(PermWrite|PermKernel)))
+			for _, m := range ms {
+				m.TLB.WriteRandom(TLBEntry{VPN: vpn, ASID: asid, PFN: pfn, Perms: perms})
+			}
+		case 1:
+			vpn, asid := r.next()%8, uint8(r.next()%2)
+			for _, m := range ms {
+				m.TLB.Invalidate(vpn, asid)
+			}
+		case 2:
+			asid := uint8(r.next() % 2)
+			for _, m := range ms {
+				m.CPU.ASID = asid
+			}
+		case 3:
+			mode := ModeUser
+			if r.next()%2 == 0 {
+				mode = ModeKernel
+			}
+			for _, m := range ms {
+				m.CPU.Mode = mode
+			}
+		default:
+			va := (r.next() % 8 << PageShift) | r.next()&(PageSize-1)
+			write := r.next()%2 == 0
+			paF, excF := fast.Translate(va, write)
+			paS, excS := slow.Translate(va, write)
+			if paF != paS || excF != excS {
+				t.Fatalf("step %d: Translate(%#x, %v) = %#x/%v fast, %#x/%v slow",
+					step, va, write, paF, excF, paS, excS)
+			}
+		}
+		if fast.Clock.Cycles() != slow.Clock.Cycles() {
+			t.Fatalf("step %d: clocks diverged: fast %d, slow %d", step, fast.Clock.Cycles(), slow.Clock.Cycles())
+		}
+	}
+}
+
+// TestTimerDueAndEventHorizon pins the event-horizon conditions the fast
+// engine gates polling on: TimerDue is exactly Timer.Check's firing
+// condition, and EventHorizon reports the earliest service cycle.
+func TestTimerDueAndEventHorizon(t *testing.T) {
+	m := NewMachine(DEC5000)
+	never := ^uint64(0)
+	if m.TimerDue() {
+		t.Fatal("TimerDue with timer disarmed")
+	}
+	if got := m.EventHorizon(); got != never {
+		t.Fatalf("EventHorizon = %d with nothing pending, want never", got)
+	}
+	m.Timer.Arm(100)
+	if m.TimerDue() {
+		t.Fatal("TimerDue before the deadline")
+	}
+	if got := m.EventHorizon(); got != m.Clock.Cycles()+100 {
+		t.Fatalf("EventHorizon = %d, want deadline %d", got, m.Clock.Cycles()+100)
+	}
+	m.Clock.Tick(99)
+	if m.TimerDue() {
+		t.Fatal("TimerDue one cycle early")
+	}
+	if m.Timer.Check() {
+		t.Fatal("Check fired one cycle early")
+	}
+	m.Clock.Tick(1)
+	if !m.TimerDue() {
+		t.Fatal("TimerDue false at the deadline")
+	}
+	if !m.Timer.Check() {
+		t.Fatal("Check did not fire at the deadline")
+	}
+	// The fired interrupt is now pending: the horizon is "now".
+	if got := m.EventHorizon(); got != m.Clock.Cycles() {
+		t.Fatalf("EventHorizon = %d with IRQ pending, want now %d", got, m.Clock.Cycles())
+	}
+	m.CPU.IntrOn = false
+	if got := m.EventHorizon(); got != m.Clock.Cycles()+100 {
+		t.Fatalf("EventHorizon = %d with interrupts masked, want re-armed deadline", got)
+	}
+	m.Timer.Disarm()
+	if m.TimerDue() {
+		t.Fatal("TimerDue after Disarm")
+	}
+	if got := m.EventHorizon(); got != never {
+		t.Fatalf("EventHorizon = %d after Disarm with IRQ masked, want never", got)
+	}
+}
+
+// TestSetSlowPathRoundTrip flips the engine switch mid-stream and checks
+// translations stay correct in both directions (micro-caches are dropped
+// on every transition).
+func TestSetSlowPathRoundTrip(t *testing.T) {
+	m := NewMachine(DEC5000)
+	m.CPU.ASID = 1
+	m.TLB.WriteRandom(TLBEntry{VPN: 2, ASID: 1, PFN: 6, Perms: PermValid | PermWrite})
+	va := uint32(2 << PageShift)
+	for _, on := range []bool{false, true, false, true} {
+		m.SetSlowPath(on)
+		if m.SlowPath() != on {
+			t.Fatalf("SlowPath() = %v, want %v", m.SlowPath(), on)
+		}
+		if pa, exc := m.Translate(va, true); exc != ExcNone || pa != 6<<PageShift {
+			t.Fatalf("slow=%v: pa %#x exc %v", on, pa, exc)
+		}
+	}
+}

@@ -1,10 +1,58 @@
 package hw
 
+import "os"
+
 // TrapHandler is implemented by a kernel (Aegis, or the monolithic
 // baseline). The machine calls it whenever an exception or interrupt is
 // raised; the CPU's Cause/EPC/BadVAddr registers describe the event.
 type TrapHandler interface {
 	HandleTrap(m *Machine)
+}
+
+// microTLB is a last-translation cache in front of the hardware TLB: a
+// pure memo of TLB.Lookup results under a TLB epoch. It keeps the two
+// most recent translations, MRU first — one entry thrashes on the
+// commonest hot loop of all, alternating loads from two arrays on
+// different pages (matmul's A and B). Permission checks are NOT
+// memoized — Translate re-runs them on every reference against the
+// cached entry, so a mode switch needs no explicit invalidation; a TLB
+// mutation invalidates via the epoch, and an ASID change simply misses
+// the tag. Host-side state only: it never charges cycles and holds
+// nothing the TLB does not.
+type microTLB struct {
+	way [2]microWay
+}
+
+// microWay is one cached translation with its validity tag.
+type microWay struct {
+	valid bool
+	asid  uint8
+	vpn   uint32
+	epoch uint64
+	entry TLBEntry
+}
+
+// lookup returns the memoized entry for (vpn, asid) if one is cached
+// under the given TLB epoch, promoting a second-way hit to MRU.
+func (mc *microTLB) lookup(vpn uint32, asid uint8, epoch uint64) (TLBEntry, bool) {
+	w := &mc.way[0]
+	if w.valid && w.vpn == vpn && w.asid == asid && w.epoch == epoch {
+		return w.entry, true
+	}
+	w = &mc.way[1]
+	if w.valid && w.vpn == vpn && w.asid == asid && w.epoch == epoch {
+		hit := *w
+		mc.way[1] = mc.way[0]
+		mc.way[0] = hit
+		return hit.entry, true
+	}
+	return TLBEntry{}, false
+}
+
+// fill records a fresh Lookup result as the MRU translation.
+func (mc *microTLB) fill(vpn uint32, asid uint8, epoch uint64, e TLBEntry) {
+	mc.way[1] = mc.way[0]
+	mc.way[0] = microWay{valid: true, asid: asid, vpn: vpn, epoch: epoch, entry: e}
 }
 
 // Machine is one simulated computer: CPU, clock, physical memory, hardware
@@ -23,6 +71,14 @@ type Machine struct {
 	Disk   *Disk
 
 	handler TrapHandler
+
+	// Host-speed fast path (see DESIGN.md "Host speed vs simulated
+	// time"): split load/store last-translation caches — the analogue of
+	// an iTLB/dTLB pair for a machine whose instruction fetch does not
+	// translate — and the switch forcing the reference paths.
+	mcLoad  microTLB
+	mcStore microTLB
+	slow    bool
 }
 
 // NewMachine builds a machine from a configuration.
@@ -40,11 +96,28 @@ func NewMachine(cfg Config) *Machine {
 	m.Disk = NewDisk(clock, cfg.DiskBlocks)
 	m.CPU.Mode = ModeKernel
 	m.CPU.IntrOn = true
+	m.SetSlowPath(os.Getenv("EXO_SLOWPATH") == "1")
 	return m
 }
 
 // SetTrapHandler installs the kernel.
 func (m *Machine) SetTrapHandler(h TrapHandler) { m.handler = h }
+
+// SlowPath reports whether the host-side fast paths are disabled.
+func (m *Machine) SlowPath() bool { return m.slow }
+
+// SetSlowPath forces (on=true) or re-enables (on=false) the reference
+// execution paths: linear TLB probe, no translation micro-cache, and the
+// unconditional per-step interrupt polling in vm.Interp.Run. The two
+// settings are cycle-identical by contract; the switch exists so the
+// invariance tests can prove it. Micro-caches are dropped on every
+// transition.
+func (m *Machine) SetSlowPath(on bool) {
+	m.slow = on
+	m.TLB.slow = on
+	m.mcLoad = microTLB{}
+	m.mcStore = microTLB{}
+}
 
 // Micros converts cycles elapsed on this machine's clock to microseconds.
 func (m *Machine) Micros(cycles uint64) float64 { return m.Config.Micros(cycles) }
@@ -79,23 +152,73 @@ func (m *Machine) PollInterrupts() {
 // the physical address; on a miss or permission failure it returns the
 // exception the hardware would raise. Alignment is the caller's problem
 // (the VM checks it per access width).
+//
+// The split load/store micro-caches memoize only the TLB.Lookup result;
+// the kernel-page and write-permission checks below run on every
+// reference, so the outcome is identical to an uncached lookup for any
+// CPU mode and any access kind.
 func (m *Machine) Translate(va uint32, write bool) (uint32, Exc) {
 	vpn := va >> PageShift
-	e, ok := m.TLB.Lookup(vpn, m.CPU.ASID)
-	if !ok {
-		if write {
-			return 0, ExcTLBMissS
+	var e TLBEntry
+	if m.slow {
+		var ok bool
+		e, ok = m.TLB.Lookup(vpn, m.CPU.ASID)
+		if !ok {
+			return 0, missExc(write)
 		}
-		return 0, ExcTLBMissL
+	} else {
+		mc := &m.mcLoad
+		if write {
+			mc = &m.mcStore
+		}
+		var hit bool
+		e, hit = mc.lookup(vpn, m.CPU.ASID, m.TLB.epoch)
+		if !hit {
+			var ok bool
+			e, ok = m.TLB.Lookup(vpn, m.CPU.ASID)
+			if !ok {
+				return 0, missExc(write)
+			}
+			mc.fill(vpn, m.CPU.ASID, m.TLB.epoch, e)
+		}
 	}
 	if e.Perms&PermKernel != 0 && m.CPU.Mode != ModeKernel {
-		if write {
-			return 0, ExcTLBMissS
-		}
-		return 0, ExcTLBMissL
+		return 0, missExc(write)
 	}
 	if write && e.Perms&PermWrite == 0 {
 		return 0, ExcTLBMod
 	}
 	return e.PFN<<PageShift | va&(PageSize-1), Exc(ExcNone)
+}
+
+// missExc is the exception a TLB miss raises for the access kind.
+func missExc(write bool) Exc {
+	if write {
+		return ExcTLBMissS
+	}
+	return ExcTLBMissL
+}
+
+// TimerDue reports whether the interval timer's deadline has passed —
+// exactly the condition under which Timer.Check fires. The execution
+// cores use it to skip the Check call entirely while the clock is short
+// of the deadline.
+func (m *Machine) TimerDue() bool {
+	return m.Timer.armed && m.Clock.Cycles() >= m.Timer.deadline
+}
+
+// EventHorizon returns the earliest cycle at which an asynchronous event
+// can require service: the current cycle if an interrupt is already
+// deliverable, the timer deadline if armed, and "never" (^uint64(0))
+// otherwise. Any clock-advancing operation — a device delivery, a timer
+// re-arm inside a trap handler — can shrink the horizon, so callers must
+// re-derive it after every instruction rather than cache it across them.
+func (m *Machine) EventHorizon() uint64 {
+	if m.CPU.IntrOn && m.CPU.Pending != 0 {
+		return m.Clock.Cycles()
+	}
+	if m.Timer.armed {
+		return m.Timer.deadline
+	}
+	return ^uint64(0)
 }

@@ -21,23 +21,136 @@ type TLBEntry struct {
 // associative, software managed. Lookups on ordinary references are free on
 // hits (they happen in parallel with the cache access); software management
 // instructions (probe/write) charge their cost.
+//
+// Host-side fast path: Lookup is the hottest function in the simulator
+// (every load and store translates), so alongside the architectural entry
+// array the TLB keeps a hashed index from (VPN, ASID) to the entry the
+// linear probe would return — a small open-addressed table, far cheaper
+// per probe than a Go map. The index is rebuilt lazily after any
+// mutation — `epoch` counts mutations so dependent caches (the machine's
+// translation micro-cache) can invalidate, and `dirty` marks the index
+// stale. None of this is architectural state: the entry array alone
+// defines behaviour, and `slow` forces the reference linear probe.
 type TLB struct {
 	clock   *Clock
 	entries []TLBEntry
 	next    uint32 // wired random-replacement cursor (deterministic)
+
+	epoch    uint64    // bumped on every mutation (over-counting is safe)
+	dirty    bool      // index out of date with entries
+	index    []tlbSlot // open-addressed: tlbKey → first matching entry index
+	mask     uint32    // len(index) - 1 (power of two)
+	sinceMut uint32    // lookups served linearly since the last mutation
+	slow     bool      // force the reference linear probe
+}
+
+// rebuildThreshold is how many post-mutation lookups run on the linear
+// probe before the hash index is rebuilt. A rebuild costs about as much
+// as a couple dozen linear probes, so mutation-heavy phases (protection
+// storms, TLB shootdowns) should not pay it per mutation; lookup-heavy
+// phases (instruction streams) amortize one rebuild over millions of
+// probes.
+const rebuildThreshold = 16
+
+// tlbSlot is one hash-index slot; idx < 0 marks it empty.
+type tlbSlot struct {
+	key uint32
+	idx int32
 }
 
 // NewTLB creates a TLB with size entries.
 func NewTLB(clock *Clock, size int) *TLB {
-	return &TLB{clock: clock, entries: make([]TLBEntry, size)}
+	return &TLB{clock: clock, entries: make([]TLBEntry, size), dirty: true}
 }
 
 // Size reports the number of entries.
 func (t *TLB) Size() int { return len(t.entries) }
 
+// Epoch counts TLB mutations since creation. A cached translation is
+// valid only while the epoch it was filled under still matches.
+func (t *TLB) Epoch() uint64 { return t.epoch }
+
+// tlbKey packs a lookup tag. VPNs are at most 20 bits (32-bit VA, 4 KB
+// pages), so VPN and ASID pack into one uint32 without collision.
+func tlbKey(vpn uint32, asid uint8) uint32 { return vpn<<8 | uint32(asid) }
+
+// mutated records that the entry array changed: dependent caches must
+// revalidate, and the hash index must be rebuilt before its next use.
+func (t *TLB) mutated() {
+	t.epoch++
+	t.dirty = true
+	t.sinceMut = 0
+}
+
+// hashSlot spreads a key over the index table (Fibonacci hashing).
+func (t *TLB) hashSlot(key uint32) uint32 { return (key * 2654435769) & t.mask }
+
+// rebuild reconstructs the hash index from the entry array. Where
+// duplicate (VPN, ASID) tags exist (possible via WriteIndexed), the
+// lowest index wins — exactly the entry the reference linear probe
+// returns first. The table stays ≤ 25% loaded (4× the entry count,
+// rounded up to a power of two), so probe chains are short.
+func (t *TLB) rebuild() {
+	if t.index == nil {
+		size := uint32(16)
+		for size < 4*uint32(len(t.entries)) {
+			size *= 2
+		}
+		t.index = make([]tlbSlot, size)
+		t.mask = size - 1
+	}
+	for i := range t.index {
+		t.index[i] = tlbSlot{idx: -1}
+	}
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.Perms&PermValid == 0 {
+			continue
+		}
+		key := tlbKey(e.VPN, e.ASID)
+		s := t.hashSlot(key)
+		for {
+			slot := &t.index[s]
+			if slot.idx < 0 {
+				*slot = tlbSlot{key: key, idx: int32(i)}
+				break
+			}
+			if slot.key == key {
+				break // duplicate tag: earlier entry wins
+			}
+			s = (s + 1) & t.mask
+		}
+	}
+	t.dirty = false
+}
+
 // Lookup translates (vpn, asid) on the fast path. It returns the entry and
 // true on a hit. No cycles are charged: hardware lookup is overlapped.
 func (t *TLB) Lookup(vpn uint32, asid uint8) (TLBEntry, bool) {
+	if t.slow {
+		return t.lookupLinear(vpn, asid)
+	}
+	if t.dirty {
+		if t.sinceMut < rebuildThreshold {
+			t.sinceMut++
+			return t.lookupLinear(vpn, asid)
+		}
+		t.rebuild()
+	}
+	key := tlbKey(vpn, asid)
+	for s := t.hashSlot(key); ; s = (s + 1) & t.mask {
+		slot := &t.index[s]
+		if slot.idx < 0 {
+			return TLBEntry{}, false
+		}
+		if slot.key == key {
+			return t.entries[slot.idx], true
+		}
+	}
+}
+
+// lookupLinear is the reference probe: first valid matching entry wins.
+func (t *TLB) lookupLinear(vpn uint32, asid uint8) (TLBEntry, bool) {
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.Perms&PermValid != 0 && e.VPN == vpn && e.ASID == asid {
@@ -66,6 +179,7 @@ func (t *TLB) Probe(vpn uint32, asid uint8) int {
 // is preferred.
 func (t *TLB) WriteRandom(e TLBEntry) {
 	t.clock.Tick(CostTLBWrite)
+	t.mutated()
 	for i := range t.entries {
 		if t.entries[i].Perms&PermValid != 0 && t.entries[i].VPN == e.VPN && t.entries[i].ASID == e.ASID {
 			t.entries[i] = e
@@ -85,6 +199,7 @@ func (t *TLB) WriteRandom(e TLBEntry) {
 // WriteIndexed installs an entry at a specific index (TLBWI).
 func (t *TLB) WriteIndexed(i int, e TLBEntry) {
 	t.clock.Tick(CostTLBWrite)
+	t.mutated()
 	t.entries[i] = e
 }
 
@@ -96,6 +211,7 @@ func (t *TLB) Invalidate(vpn uint32, asid uint8) bool {
 		return false
 	}
 	t.clock.Tick(CostTLBWrite)
+	t.mutated()
 	t.entries[i] = TLBEntry{}
 	return true
 }
@@ -104,6 +220,7 @@ func (t *TLB) Invalidate(vpn uint32, asid uint8) bool {
 // ASID is recycled). Cost: one pass over the TLB.
 func (t *TLB) InvalidateASID(asid uint8) {
 	t.clock.Tick(uint64(len(t.entries)) * CostTLBWrite / 4)
+	t.mutated()
 	for i := range t.entries {
 		if t.entries[i].ASID == asid {
 			t.entries[i] = TLBEntry{}
@@ -116,6 +233,7 @@ func (t *TLB) InvalidateASID(asid uint8) {
 // repossessed or deallocated page. Cost: one sweep of the TLB.
 func (t *TLB) FlushFrame(pfn uint32) {
 	t.clock.Tick(uint64(len(t.entries)) * CostTLBWrite / 4)
+	t.mutated()
 	for i := range t.entries {
 		if t.entries[i].Perms&PermValid != 0 && t.entries[i].PFN == pfn {
 			t.entries[i] = TLBEntry{}
@@ -126,6 +244,7 @@ func (t *TLB) FlushFrame(pfn uint32) {
 // Flush invalidates the whole TLB.
 func (t *TLB) Flush() {
 	t.clock.Tick(uint64(len(t.entries)) * CostTLBWrite / 4)
+	t.mutated()
 	for i := range t.entries {
 		t.entries[i] = TLBEntry{}
 	}

@@ -93,6 +93,9 @@ type Kernel struct {
 	procs []*Proc
 	cur   PID
 	rrPos int
+	// curCode mirrors the current process's code segment; republished in
+	// install so Fetch needs no per-instruction nil guards.
+	curCode isa.Code
 
 	sockets []*Socket
 
@@ -145,6 +148,8 @@ func (k *Kernel) install(p *Proc) {
 	cpu.ASID = p.ASID
 	cpu.Mode = hw.ModeUser
 	k.cur = p.PID
+	k.curCode = p.Code
+	k.Interp.SetCode(p.Code)
 }
 
 func (k *Kernel) save(p *Proc) {
@@ -176,13 +181,13 @@ func (k *Kernel) nextRunnable() *Proc {
 	return nil
 }
 
-// Fetch implements vm.CodeSource.
+// Fetch implements vm.CodeSource. The nil guards are hoisted: curCode is
+// republished in install, and a nil segment fails the bounds check.
 func (k *Kernel) Fetch(pc uint32) (isa.Inst, hw.Exc) {
-	p := k.Cur()
-	if p == nil || p.Code == nil || int(pc) >= len(p.Code) {
+	if int(pc) >= len(k.curCode) {
 		return isa.Inst{}, hw.ExcAddrErrL
 	}
-	return p.Code[pc], hw.ExcNone
+	return k.curCode[pc], hw.ExcNone
 }
 
 // HandleTrap is the monolithic trap entry: every crossing saves the full

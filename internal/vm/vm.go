@@ -80,11 +80,35 @@ type Interp struct {
 	stop bool
 	// Steps counts instructions executed over the Interp's lifetime.
 	Steps uint64
+
+	// Direct-fetch fast path: when a code segment is published via
+	// SetCode, the run loop indexes it straight off, skipping the
+	// interface call through Src. The kernel republishes at every
+	// context switch, so the slice always mirrors what Src.Fetch would
+	// return.
+	code   isa.Code
+	direct bool
 }
 
-// New creates an interpreter for machine m reading code from src.
+// New creates an interpreter for machine m reading code from src. A
+// FixedCode source is automatically published to the direct-fetch path.
 func New(m *hw.Machine, src CodeSource) *Interp {
-	return &Interp{M: m, Src: src}
+	in := &Interp{M: m, Src: src}
+	if fc, ok := src.(FixedCode); ok {
+		in.SetCode(isa.Code(fc))
+	}
+	return in
+}
+
+// SetCode publishes the current code segment to the direct-fetch path.
+// The caller owns the invariant that fetching code[pc] is equivalent to
+// Src.Fetch(pc) until the next SetCode; the kernel maintains it by
+// republishing whenever the current environment changes. A nil segment is
+// valid and fetches as an empty one (every PC takes an address error),
+// matching a code-less environment.
+func (in *Interp) SetCode(code isa.Code) {
+	in.code = code
+	in.direct = true
 }
 
 // RequestStop makes Run return StopRequested after the current instruction.
@@ -94,16 +118,30 @@ func (in *Interp) RequestStop() { in.stop = true }
 // reports why it stopped. Exceptions do not stop execution: they trap to
 // the kernel, which redirects the CPU, and execution continues — exactly
 // the hardware's behaviour.
+//
+// Two engines implement the loop: runFast (the default) and runRef (the
+// reference, forced by EXO_SLOWPATH=1 / hw.Machine.SetSlowPath). They
+// are cycle-identical by contract — runFast may only skip work that is
+// provably a no-op this iteration — and the invariance tests hold them
+// to it.
 func (in *Interp) Run(maxSteps uint64) StopReason {
+	if in.M.SlowPath() {
+		return in.runRef(maxSteps)
+	}
+	return in.runFast(maxSteps)
+}
+
+// runRef is the reference engine: poll the timer and the interrupt lines
+// unconditionally, fetch through the CodeSource interface.
+func (in *Interp) runRef(maxSteps uint64) StopReason {
 	cpu := &in.M.CPU
 	for n := uint64(0); maxSteps == 0 || n < maxSteps; n++ {
-		if in.stop {
-			in.stop = false
-			return StopRequested
-		}
 		in.M.Timer.Check()
 		in.M.PollInterrupts()
-		if in.stop { // an interrupt handler may have requested stop
+		// One stop check per iteration, after interrupt delivery: it
+		// sees both a stop requested before entry and one requested by
+		// an interrupt handler just now, before any instruction runs.
+		if in.stop {
 			in.stop = false
 			return StopRequested
 		}
@@ -113,6 +151,53 @@ func (in *Interp) Run(maxSteps uint64) StopReason {
 			continue
 		}
 		in.M.Clock.Tick(hw.CostInstr)
+		in.Steps++
+		if in.Step(inst) {
+			return StopHalt
+		}
+	}
+	return StopSteps
+}
+
+// runFast is the host-speed engine. Per iteration it skips Timer.Check
+// unless the deadline has passed (TimerDue is Check's own firing
+// condition) and PollInterrupts unless a line is pending and enabled
+// (PollInterrupts' own guard) — the event-horizon conditions are
+// re-derived every iteration because any instruction can advance the
+// clock or re-arm the timer. Fetch indexes the published code slice
+// directly when one is installed; the slice is re-read each iteration
+// since a trap handler may have switched segments.
+func (in *Interp) runFast(maxSteps uint64) StopReason {
+	m := in.M
+	cpu := &m.CPU
+	for n := uint64(0); maxSteps == 0 || n < maxSteps; n++ {
+		if m.TimerDue() {
+			m.Timer.Check()
+		}
+		if cpu.IntrOn && cpu.Pending != 0 {
+			m.PollInterrupts()
+		}
+		if in.stop {
+			in.stop = false
+			return StopRequested
+		}
+		pc := cpu.PC
+		var inst isa.Inst
+		if in.direct {
+			if int(pc) >= len(in.code) {
+				m.RaiseException(hw.ExcAddrErrL, pc, pc)
+				continue
+			}
+			inst = in.code[pc]
+		} else {
+			var exc hw.Exc
+			inst, exc = in.Src.Fetch(pc)
+			if exc != hw.ExcNone {
+				m.RaiseException(exc, pc, pc)
+				continue
+			}
+		}
+		m.Clock.Tick(hw.CostInstr)
 		in.Steps++
 		if in.Step(inst) {
 			return StopHalt

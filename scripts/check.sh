@@ -29,4 +29,15 @@ go run ./cmd/aegisbench -only table2 -format json > "$tmp/bench.json"
 go run ./cmd/benchdiff -validate "$tmp/bench.json"
 go run ./cmd/benchdiff -threshold 0 "$tmp/bench.json" "$tmp/bench.json"
 
+echo "== engine invariance smoke (fast vs EXO_SLOWPATH=1)"
+# The fast execution engine must be invisible in simulated time: text
+# tables byte-identical, JSON metrics clean under benchdiff at threshold
+# 0 (host wall-clock metrics are informational and never gated). Full
+# sweep: make invariance.
+go run ./cmd/aegisbench -only table2 > "$tmp/fast.txt"
+EXO_SLOWPATH=1 go run ./cmd/aegisbench -only table2 > "$tmp/slow.txt"
+cmp "$tmp/fast.txt" "$tmp/slow.txt"
+EXO_SLOWPATH=1 go run ./cmd/aegisbench -only table2 -format json > "$tmp/bench_slow.json"
+go run ./cmd/benchdiff -threshold 0 "$tmp/bench_slow.json" "$tmp/bench.json"
+
 echo "check: OK"
