@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench results baseline benchdiff invariance profile
+.PHONY: all build test check fmt vet race bench results baseline benchdiff invariance profile chaos
 
 all: check
 
@@ -54,6 +54,13 @@ invariance:
 	EXO_SLOWPATH=1 $(GO) run ./cmd/aegisbench -format json -trials 1 > /tmp/bench_slow.json
 	$(GO) run ./cmd/benchdiff -threshold 0 /tmp/bench_slow.json /tmp/bench_fast.json
 	@echo "invariance: OK"
+
+# Chaos gate: fixed-seed randomized fault schedule (1000+ injected
+# faults across wire/disk/NIC plus forced revocations and env kills),
+# kernel invariants checked after every step, and the whole run replayed
+# to prove the seed reproduces it bit-identically (see cmd/chaos).
+chaos:
+	$(GO) run ./cmd/chaos -seed 1 -target 1000 -verify
 
 # CPU-profile the hottest workload (Table 9) for host-speed work:
 # go tool pprof cpu.pprof

@@ -78,6 +78,13 @@ type Stats struct {
 	Revocations  uint64
 	Aborts       uint64
 	KilledEnvs   uint64
+	// RxOverflow counts frames that died at the NIC receive ring before
+	// classification. The hardware used to drop these silently
+	// (hw.NIC.Deliver past the ring depth); the kernel now observes every
+	// one through the NIC's OnDrop hook. Ring drops happen before any
+	// filter runs, so no environment owns them — the loss is a
+	// machine-level fact, surfaced here and in /proc/stat.
+	RxOverflow uint64
 }
 
 // New boots Aegis on a machine.
@@ -93,6 +100,10 @@ func New(m *hw.Machine) *Kernel {
 	k.Stats.MetricsOn = true
 	k.Interp = vm.New(m, k)
 	m.SetTrapHandler(k)
+	m.NIC.OnDrop = func() {
+		k.Stats.RxOverflow++
+		k.trace(ktrace.KindNICOverflow, 0, k.Stats.RxOverflow, 0, 0)
+	}
 	return k
 }
 

@@ -1,0 +1,111 @@
+package aegis
+
+import (
+	"fmt"
+
+	"exokernel/internal/hw"
+)
+
+// Kernel self-verification. The exokernel contract is a set of
+// bookkeeping invariants — secure bindings, the accounting registry, and
+// the cached translations must all tell the same story about who holds
+// what. The chaos harness (internal/chaos) calls CheckInvariants after
+// every step of a randomized fault/kill/revoke schedule; tests call it
+// after targeted scenarios. The check is host-side only: it never ticks
+// the simulated clock, so running it cannot change a measurement.
+
+// CheckInvariants audits the kernel's resource bookkeeping and returns
+// the first violation found (nil if consistent):
+//
+//  1. Frame conservation: every physical frame is either on the free
+//     list or carries exactly one secure binding — no leaked, no
+//     double-booked frames.
+//  2. Registry accuracy: each environment's account (frames, extents,
+//     endpoints held) equals what the binding tables actually record,
+//     and a dead-and-reclaimed environment holds nothing.
+//  3. Translation consistency: every valid hardware TLB and software
+//     TLB entry maps a bound frame — a revoked or freed page can leave
+//     no cached translation behind (the abort protocol's "break all
+//     existing secure bindings" made real).
+//  4. Schedule sanity: the time-slice vector names only live
+//     environments.
+func (k *Kernel) CheckInvariants() error {
+	// 1. Frame conservation against the physical free list.
+	bound := 0
+	for f := range k.frames {
+		if k.frames[f].bound {
+			bound++
+			if k.frames[f].owner == 0 {
+				return fmt.Errorf("invariant: frame %d bound with no owner", f)
+			}
+		}
+	}
+	allocated := k.M.Phys.NumPages() - k.M.Phys.FreeFrames()
+	if bound != allocated {
+		return fmt.Errorf("invariant: %d frames bound but %d allocated (leak or double-book)",
+			bound, allocated)
+	}
+
+	// 2. Per-environment accounts vs the binding tables.
+	frameCount := make(map[EnvID]uint64)
+	for f := range k.frames {
+		if k.frames[f].bound {
+			frameCount[k.frames[f].owner]++
+		}
+	}
+	extentCount := make(map[EnvID]uint64)
+	for _, x := range k.extents {
+		extentCount[x.owner]++
+	}
+	endpointCount := make(map[EnvID]uint64)
+	for _, ep := range k.endpoints {
+		endpointCount[ep.Owner]++
+	}
+	for _, e := range k.envs {
+		a := k.Stats.EnvAccount(e.ID)
+		if a.Frames != frameCount[e.ID] {
+			return fmt.Errorf("invariant: env %d account says %d frames, binding table says %d",
+				e.ID, a.Frames, frameCount[e.ID])
+		}
+		if a.Extents != extentCount[e.ID] {
+			return fmt.Errorf("invariant: env %d account says %d extents, extent table says %d",
+				e.ID, a.Extents, extentCount[e.ID])
+		}
+		if a.Endpoints != endpointCount[e.ID] {
+			return fmt.Errorf("invariant: env %d account says %d endpoints, endpoint list says %d",
+				e.ID, a.Endpoints, endpointCount[e.ID])
+		}
+	}
+
+	// 3. No cached translation may outlive its binding.
+	for _, te := range k.M.TLB.Entries() {
+		if te.Perms&hw.PermValid == 0 {
+			continue
+		}
+		if int(te.PFN) >= len(k.frames) || !k.frames[te.PFN].bound {
+			return fmt.Errorf("invariant: TLB maps vpn %#x to unbound frame %d (asid %d)",
+				te.VPN, te.PFN, te.ASID)
+		}
+	}
+	for _, se := range k.stlb.entries {
+		if se.Perms&hw.PermValid == 0 {
+			continue
+		}
+		if int(se.PFN) >= len(k.frames) || !k.frames[se.PFN].bound {
+			return fmt.Errorf("invariant: STLB maps vpn %#x to unbound frame %d (asid %d)",
+				se.VPN, se.PFN, se.ASID)
+		}
+	}
+
+	// 4. The slice vector names only live environments.
+	for _, id := range k.slices {
+		e, ok := k.Env(id)
+		if !ok {
+			return fmt.Errorf("invariant: slice vector names unknown env %d", id)
+		}
+		if e.Dead {
+			return fmt.Errorf("invariant: slice vector still holds dead env %d", id)
+		}
+	}
+	return nil
+}

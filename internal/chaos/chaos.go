@@ -1,0 +1,557 @@
+// Package chaos is the randomized fault schedule with an invariant gate:
+// two simulated machines run live workloads (a TCP transfer, a
+// checksummed disk mill, environments allocating and mapping memory)
+// while a seeded injector abuses the hardware underneath them and the
+// harness abuses the kernel API above them — revocations against
+// uncooperative owners, environment kills mid-schedule. After every step
+// the kernels' bookkeeping invariants (aegis.CheckInvariants) must hold:
+// no leaked frame, no drifted account, no stale translation, ever.
+//
+// Everything is keyed by one seed. The schedule generator and the fault
+// injector both derive from it, the simulation is single-threaded, and
+// no wall-clock or map-iteration order leaks into any decision, so a
+// failing run is reproduced exactly by its seed — the Report carries the
+// full fault log and trace fingerprint as the witness.
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+
+	"exokernel/internal/aegis"
+	"exokernel/internal/cap"
+	"exokernel/internal/ether"
+	"exokernel/internal/exos"
+	"exokernel/internal/fault"
+	"exokernel/internal/hw"
+	"exokernel/internal/ktrace"
+	"exokernel/internal/pkt"
+)
+
+// Config parameterizes one chaos run.
+type Config struct {
+	// Seed keys both the fault injector and the operation schedule.
+	Seed uint64
+	// TargetFaults stops the schedule once the injector has recorded this
+	// many events (default 1000).
+	TargetFaults uint64
+	// MaxSteps bounds the schedule regardless of fault count (default 20000).
+	MaxSteps int
+	// Fault overrides the injector rates; zero means aggressive defaults.
+	Fault fault.Config
+}
+
+// DefaultFaultConfig returns the rates a chaos run uses when none are
+// given: every fault class enabled, hot enough that a thousand events
+// arrive within a few hundred schedule steps.
+func DefaultFaultConfig(seed uint64) fault.Config {
+	return fault.Config{
+		Seed:            seed,
+		NetDropPPM:      80_000,
+		NetDupPPM:       30_000,
+		NetCorruptPPM:   30_000,
+		NetHoldPPM:      30_000,
+		DiskReadErrPPM:  60_000,
+		DiskWriteErrPPM: 40_000,
+		DiskSlowPPM:     60_000,
+		DiskCorruptPPM:  30_000,
+		DiskSlowCycles:  5_000,
+		RxPressurePPM:   40_000,
+		RxPressureDepth: 64,
+	}
+}
+
+// Report is the outcome of a run — the determinism witness (fault log,
+// trace fingerprint, final clocks) plus the workload verdicts.
+type Report struct {
+	Seed  uint64
+	Steps int
+
+	// Fault census.
+	FaultEvents uint64
+	Counts      [fault.NumKinds]uint64
+	Events      []fault.Event
+
+	// Kernel-API abuse census.
+	EnvsCreated, EnvsKilled        int
+	Revocations, Complied, Aborted int
+
+	// Workload verdicts.
+	TCPBytesSent, TCPBytesGot int
+	TCPIntact                 bool
+	DiskWrites, DiskReads     int
+	DiskErrs, DiskBadReads    int
+
+	// Determinism witness.
+	CyclesA, CyclesB         uint64
+	TraceTotalA, TraceTotalB uint64
+	TraceHash                uint64
+	RxOverflowA, RxOverflowB uint64
+}
+
+// sched is the schedule's own splitmix64 stream — separate from the
+// injector's so harness decisions and device decisions never alias.
+type sched struct{ s uint64 }
+
+func (r *sched) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+func (r *sched) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// chance draws a 1-in-n decision.
+func (r *sched) chance(n int) bool { return r.intn(n) == 0 }
+
+// revokePolicy is how a victim environment answers the revocation upcall.
+type revokePolicy int
+
+const (
+	polLibOS  revokePolicy = iota // ExOS handler: complies when mapped
+	polNone                       // no handler installed
+	polRefuse                     // handler returns false
+	polLie                        // handler claims success, releases nothing
+)
+
+// page is one tracked allocation of a victim.
+type page struct {
+	frame uint32
+	guard cap.Capability
+	va    uint32 // nonzero if mapped (LibOS victims map through the PT)
+}
+
+// victim is one expendable environment under the harness's control.
+type victim struct {
+	k     *aegis.Kernel
+	env   *aegis.Env
+	os    *exos.LibOS // nil unless polLibOS
+	pol   revokePolicy
+	pages []page
+	vaSeq uint32
+}
+
+const (
+	victimMaxPages = 8
+	maxEnvsPerSide = 90 // ASIDs are 8-bit; stay far from wraparound
+	tcpChunk       = 256
+	tcpMaxAhead    = 16 * 1024 // stop sending when this far ahead of receipt
+	diskBlocks     = 48
+)
+
+// world is the full two-machine chaos setup.
+type world struct {
+	cfg Config
+	rng sched
+	inj *fault.Injector
+
+	seg    *ether.Segment
+	ma, mb *hw.Machine
+	ka, kb *aegis.Kernel
+
+	recA, recB *ktrace.Recorder
+
+	// TCP service (never killed): client on A, server on B.
+	cli, srv  *exos.TCPConn
+	osA, osB  *exos.LibOS
+	sent, got []byte
+
+	// Disk service on A: a checksummed reliable device over a kernel
+	// extent, with a host-side shadow of every verified write.
+	rdev           *exos.ReliableDev
+	diskOS         *exos.LibOS
+	wFrame, rFrame uint32
+	shadow         [diskBlocks][]byte
+
+	victims []*victim
+	rep     *Report
+}
+
+// Run executes one chaos schedule and returns its report. A non-nil
+// error means a kernel invariant broke (or a workload check failed) —
+// the report is still returned, as the witness.
+func Run(cfg Config) (*Report, error) {
+	if cfg.TargetFaults == 0 {
+		cfg.TargetFaults = 1000
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 20000
+	}
+	if cfg.Fault == (fault.Config{}) {
+		cfg.Fault = DefaultFaultConfig(cfg.Seed)
+	}
+
+	w, err := setup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := w.rep
+
+	for step := 0; step < cfg.MaxSteps && w.inj.Total() < cfg.TargetFaults; step++ {
+		rep.Steps = step + 1
+		w.stepTraffic()
+		w.stepDisk()
+		w.stepEnvs()
+		if err := w.checkBoth(step); err != nil {
+			w.finish()
+			return rep, err
+		}
+	}
+
+	// Quiesce: injection off, drain the transport, verify the stream.
+	if err := w.drain(); err != nil {
+		w.finish()
+		return rep, err
+	}
+	if err := w.checkBoth(rep.Steps); err != nil {
+		w.finish()
+		return rep, err
+	}
+	w.finish()
+
+	if rep.FaultEvents < cfg.TargetFaults {
+		return rep, fmt.Errorf("chaos: schedule exhausted at %d/%d fault events (seed %#x)",
+			rep.FaultEvents, cfg.TargetFaults, cfg.Seed)
+	}
+	if !rep.TCPIntact {
+		return rep, fmt.Errorf("chaos: TCP stream not intact: got %d of %d bytes (seed %#x)",
+			rep.TCPBytesGot, rep.TCPBytesSent, cfg.Seed)
+	}
+	if rep.DiskBadReads > 0 {
+		return rep, fmt.Errorf("chaos: %d disk reads returned wrong data undetected (seed %#x)",
+			rep.DiskBadReads, cfg.Seed)
+	}
+	return rep, nil
+}
+
+func setup(cfg Config) (*world, error) {
+	w := &world{cfg: cfg, rng: sched{s: cfg.Seed ^ 0xC4A05}, rep: &Report{Seed: cfg.Seed}}
+	w.inj = fault.New(cfg.Fault)
+	w.seg = ether.NewSegment()
+	w.ma = hw.NewMachine(hw.DEC5000)
+	w.mb = hw.NewMachine(hw.DEC5000)
+	w.ka = aegis.New(w.ma)
+	w.kb = aegis.New(w.mb)
+	w.seg.Attach(w.ma)
+	w.seg.Attach(w.mb)
+
+	// Flight recorders on both kernels; injected faults interleave into
+	// machine A's stream (the injector is shared; the choice is fixed, so
+	// it is as deterministic as everything else).
+	w.recA, w.recB = ktrace.New(4096), ktrace.New(4096)
+	w.ka.SetTracer(w.recA)
+	w.kb.SetTracer(w.recB)
+	w.inj.Observe = func(e fault.Event) {
+		w.recA.Emit(w.ma.Clock.Cycles(), ktrace.KindFaultInject, 0, uint64(e.Kind), e.Arg, 0)
+	}
+
+	// Wire the injector under every device.
+	w.seg.Fault = w.inj
+	w.ma.Disk.Fault = w.inj
+	w.mb.Disk.Fault = w.inj
+	w.ma.NIC.Fault = w.inj
+	w.mb.NIC.Fault = w.inj
+
+	// TCP service pair.
+	macA := pkt.Addr{0x02, 0, 0, 0, 0, 0xA}
+	macB := pkt.Addr{0x02, 0, 0, 0, 0, 0xB}
+	na := exos.NewNet(w.ka, macA, 0x0A000001)
+	nb := exos.NewNet(w.kb, macB, 0x0A000002)
+	osA, err := exos.Boot(w.ka)
+	if err != nil {
+		return nil, err
+	}
+	osB, err := exos.Boot(w.kb)
+	if err != nil {
+		return nil, err
+	}
+	w.osA, w.osB = osA, osB
+	if w.srv, err = exos.ListenTCP(nb, osB, 80); err != nil {
+		return nil, err
+	}
+	if w.cli, err = exos.DialTCP(na, osA, 30000, macB, 0x0A000002, 80); err != nil {
+		return nil, err
+	}
+
+	// Disk service on A.
+	w.diskOS, err = exos.Boot(w.ka)
+	if err != nil {
+		return nil, err
+	}
+	dev, err := exos.NewAegisDev(w.diskOS, diskBlocks)
+	if err != nil {
+		return nil, err
+	}
+	wf, wg, err := w.ka.AllocPage(w.diskOS.Env, aegis.AnyFrame)
+	if err != nil {
+		return nil, err
+	}
+	rf, rg, err := w.ka.AllocPage(w.diskOS.Env, aegis.AnyFrame)
+	if err != nil {
+		return nil, err
+	}
+	dev.RegisterFrame(wf, wg)
+	dev.RegisterFrame(rf, rg)
+	w.wFrame, w.rFrame = wf, rf
+	w.rdev = exos.NewReliableDev(dev, w.ma.Phys, w.ma.Clock)
+
+	// Seed victims on both machines.
+	for i := 0; i < 6; i++ {
+		if err := w.spawnVictim(); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// stepTraffic advances the TCP workload one round under fire.
+func (w *world) stepTraffic() {
+	if len(w.sent)-len(w.got) < tcpMaxAhead && w.rng.chance(2) {
+		chunk := make([]byte, tcpChunk)
+		for i := range chunk {
+			chunk[i] = byte(w.rng.next())
+		}
+		// Send fails until the handshake completes (which itself runs
+		// under fire); only bytes the transport accepted are owed back.
+		if w.cli.Send(chunk) == nil {
+			w.sent = append(w.sent, chunk...)
+		}
+	}
+	w.cli.Process()
+	w.srv.Process()
+	w.got = append(w.got, w.srv.Recv()...)
+	w.ma.Clock.Tick(2000)
+	w.mb.Clock.Tick(2000)
+	w.seg.Sync()
+}
+
+// stepDisk runs the disk mill: a verified write, or a read-back checked
+// against the host shadow. A read may fail (injected error, or corruption
+// the checksum caught) — that is recovery working; what it may never do
+// is succeed with wrong bytes.
+func (w *world) stepDisk() {
+	if !w.rng.chance(2) {
+		return
+	}
+	b := uint32(w.rng.intn(diskBlocks))
+	if w.shadow[b] == nil || w.rng.chance(3) { // write
+		pg := w.ma.Phys.Page(w.wFrame)
+		for i := range pg {
+			pg[i] = byte(w.rng.next())
+		}
+		w.rep.DiskWrites++
+		if err := w.rdev.WriteBlock(b, w.wFrame); err != nil {
+			w.rep.DiskErrs++
+			// Failed writes leave the shadow stale; forget the block
+			// rather than compare against an unknown platter state.
+			w.shadow[b] = nil
+			return
+		}
+		w.shadow[b] = append([]byte(nil), pg...)
+		return
+	}
+	w.rep.DiskReads++
+	if err := w.rdev.ReadBlock(b, w.rFrame); err != nil {
+		w.rep.DiskErrs++
+		return
+	}
+	if !bytes.Equal(w.ma.Phys.Page(w.rFrame), w.shadow[b]) {
+		w.rep.DiskBadReads++
+	}
+}
+
+// stepEnvs abuses the kernel resource API on the victim pool.
+func (w *world) stepEnvs() {
+	if len(w.victims) > 0 {
+		v := w.victims[w.rng.intn(len(w.victims))]
+		switch w.rng.intn(4) {
+		case 0:
+			w.victimAlloc(v)
+		case 1:
+			w.victimFree(v)
+		case 2:
+			w.victimRevoke(v)
+		case 3:
+			if w.rng.chance(5) {
+				w.killVictim(v)
+			}
+		}
+	}
+	if w.rng.chance(8) {
+		_ = w.spawnVictim()
+	}
+}
+
+func (w *world) spawnVictim() error {
+	if w.rep.EnvsCreated >= 2*maxEnvsPerSide {
+		return nil
+	}
+	k := w.ka
+	if w.rng.chance(2) {
+		k = w.kb
+	}
+	pol := revokePolicy(w.rng.intn(4))
+	v := &victim{k: k, pol: pol}
+	if pol == polLibOS {
+		os, err := exos.Boot(k)
+		if err != nil {
+			return err
+		}
+		v.os, v.env = os, os.Env
+	} else {
+		env, err := k.NewEnv(nil)
+		if err != nil {
+			return err
+		}
+		v.env = env
+		switch pol {
+		case polRefuse:
+			env.NativeRevoke = func(*aegis.Kernel, uint32) bool { return false }
+		case polLie:
+			env.NativeRevoke = func(*aegis.Kernel, uint32) bool { return true }
+		}
+	}
+	w.victims = append(w.victims, v)
+	w.rep.EnvsCreated++
+	return nil
+}
+
+func (w *world) victimAlloc(v *victim) {
+	if len(v.pages) >= victimMaxPages {
+		return
+	}
+	if v.os != nil {
+		va := (uint32(v.vaSeq) + 0x40) << hw.PageShift
+		v.vaSeq++
+		frame, err := v.os.AllocAndMap(va)
+		if err != nil {
+			return
+		}
+		v.pages = append(v.pages, page{frame: frame, va: va})
+		return
+	}
+	frame, guard, err := v.k.AllocPage(v.env, aegis.AnyFrame)
+	if err != nil {
+		return
+	}
+	v.pages = append(v.pages, page{frame: frame, guard: guard})
+}
+
+func (w *world) victimFree(v *victim) {
+	if len(v.pages) == 0 {
+		return
+	}
+	i := w.rng.intn(len(v.pages))
+	p := v.pages[i]
+	if v.os != nil {
+		pte := v.os.Unmap(p.va)
+		_ = v.k.DeallocPage(p.frame, pte.Guard)
+	} else {
+		_ = v.k.DeallocPage(p.frame, p.guard)
+	}
+	v.pages = append(v.pages[:i], v.pages[i+1:]...)
+}
+
+// victimRevoke is the kernel-initiated path: every revocation must
+// resolve to complied or aborted, and the page is gone either way.
+func (w *world) victimRevoke(v *victim) {
+	if len(v.pages) == 0 {
+		return
+	}
+	i := w.rng.intn(len(v.pages))
+	p := v.pages[i]
+	out, _ := v.k.RevokePage(p.frame)
+	w.rep.Revocations++
+	switch out {
+	case aegis.RevokeComplied:
+		w.rep.Complied++
+	case aegis.RevokeAborted:
+		w.rep.Aborted++
+	}
+	if v.os != nil && out == aegis.RevokeAborted {
+		// The ExOS handler only clears its PT entry when it complies;
+		// after a forced abort the harness clears the stale entry the
+		// way a real library OS would on seeing its repossession vector.
+		v.os.PT.Set(p.va, exos.PTE{})
+	}
+	v.pages = append(v.pages[:i], v.pages[i+1:]...)
+}
+
+func (w *world) killVictim(v *victim) {
+	w.inj.Note(fault.EnvKill, uint64(v.env.ID))
+	v.k.DestroyEnv(v.env)
+	w.rep.EnvsKilled++
+	for i, o := range w.victims {
+		if o == v {
+			w.victims = append(w.victims[:i], w.victims[i+1:]...)
+			break
+		}
+	}
+}
+
+// checkBoth runs the kernel invariant gate on both machines.
+func (w *world) checkBoth(step int) error {
+	if err := w.ka.CheckInvariants(); err != nil {
+		return fmt.Errorf("chaos: machine A, step %d, seed %#x: %w", step, w.cfg.Seed, err)
+	}
+	if err := w.kb.CheckInvariants(); err != nil {
+		return fmt.Errorf("chaos: machine B, step %d, seed %#x: %w", step, w.cfg.Seed, err)
+	}
+	return nil
+}
+
+// drain turns injection off and pumps the transport until every sent
+// byte arrived (bounded; the retransmission backoff caps the wait).
+func (w *world) drain() error {
+	w.inj.SetEnabled(false)
+	for round := 0; round < 4000 && len(w.got) < len(w.sent); round++ {
+		w.cli.Process()
+		w.srv.Process()
+		w.got = append(w.got, w.srv.Recv()...)
+		w.ma.Clock.Tick(50_000)
+		w.mb.Clock.Tick(50_000)
+		w.seg.Sync()
+	}
+	return nil
+}
+
+// finish freezes the report.
+func (w *world) finish() {
+	r := w.rep
+	r.FaultEvents = w.inj.Total()
+	r.Counts = w.inj.Counts
+	r.Events = append([]fault.Event(nil), w.inj.Log...)
+	r.TCPBytesSent, r.TCPBytesGot = len(w.sent), len(w.got)
+	r.TCPIntact = bytes.Equal(w.sent, w.got)
+	r.CyclesA, r.CyclesB = w.ma.Clock.Cycles(), w.mb.Clock.Cycles()
+	r.TraceTotalA, r.TraceTotalB = w.recA.Total(), w.recB.Total()
+	r.TraceHash = traceHash(w.recA, w.recB)
+	r.RxOverflowA = w.ka.GlobalStats().RxOverflow
+	r.RxOverflowB = w.kb.GlobalStats().RxOverflow
+}
+
+// traceHash fingerprints both kernels' event windows (FNV-1a over every
+// field) — the "identical ktrace sequence" witness without shipping the
+// full buffers.
+func traceHash(recs ...*ktrace.Recorder) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xFF)) * 1099511628211
+			v >>= 8
+		}
+	}
+	for _, rec := range recs {
+		for _, e := range rec.Events() {
+			mix(e.Cycle)
+			mix(uint64(e.Kind))
+			mix(uint64(e.Env))
+			mix(e.Arg0)
+			mix(e.Arg1)
+			mix(e.Arg2)
+		}
+	}
+	return h
+}

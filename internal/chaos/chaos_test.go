@@ -1,0 +1,96 @@
+package chaos
+
+import (
+	"testing"
+
+	"exokernel/internal/fault"
+)
+
+// A moderate run: several hundred faults across every class, invariants
+// after every step, stream intact at the end. This is the same gate
+// `make chaos` runs at full size.
+func TestChaosRun(t *testing.T) {
+	rep, err := Run(Config{Seed: 1, TargetFaults: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FaultEvents < 400 {
+		t.Errorf("only %d fault events", rep.FaultEvents)
+	}
+	// Coverage must span the three fault families.
+	wire := rep.Counts[fault.NetDrop] + rep.Counts[fault.NetDup] +
+		rep.Counts[fault.NetCorrupt] + rep.Counts[fault.NetHold]
+	disk := rep.Counts[fault.DiskReadErr] + rep.Counts[fault.DiskWriteErr] +
+		rep.Counts[fault.DiskSlow] + rep.Counts[fault.DiskCorrupt]
+	if wire == 0 || disk == 0 || rep.Counts[fault.EnvKill] == 0 {
+		t.Errorf("fault families not all exercised: wire=%d disk=%d kills=%d",
+			wire, disk, rep.Counts[fault.EnvKill])
+	}
+	if !rep.TCPIntact {
+		t.Errorf("TCP stream damaged: %d of %d bytes", rep.TCPBytesGot, rep.TCPBytesSent)
+	}
+	if rep.DiskBadReads != 0 {
+		t.Errorf("%d undetected bad disk reads", rep.DiskBadReads)
+	}
+	// The abort protocol was actually provoked (uncooperative victims).
+	if rep.Revocations == 0 || rep.Aborted == 0 {
+		t.Errorf("revocation not exercised: %d revocations, %d aborts",
+			rep.Revocations, rep.Aborted)
+	}
+	if rep.Revocations != rep.Complied+rep.Aborted {
+		t.Errorf("unresolved revocations: %d != %d + %d",
+			rep.Revocations, rep.Complied, rep.Aborted)
+	}
+	if rep.EnvsKilled == 0 {
+		t.Error("no environments were killed")
+	}
+}
+
+// The reproducibility gate: the same seed must yield the identical fault
+// log, trace fingerprint, and final simulated clocks.
+func TestChaosDeterminism(t *testing.T) {
+	cfg := Config{Seed: 0xD00D, TargetFaults: 250}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("fault logs diverged: %d vs %d events", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("fault log diverged at %d: %v vs %v", i, a.Events[i], b.Events[i])
+		}
+	}
+	if a.TraceHash != b.TraceHash || a.TraceTotalA != b.TraceTotalA || a.TraceTotalB != b.TraceTotalB {
+		t.Errorf("ktrace diverged: hash %#x/%#x totals %d+%d vs %d+%d",
+			a.TraceHash, b.TraceHash, a.TraceTotalA, a.TraceTotalB, b.TraceTotalA, b.TraceTotalB)
+	}
+	if a.CyclesA != b.CyclesA || a.CyclesB != b.CyclesB {
+		t.Errorf("simulated time diverged: %d/%d vs %d/%d",
+			a.CyclesA, a.CyclesB, b.CyclesA, b.CyclesB)
+	}
+	if a.Steps != b.Steps {
+		t.Errorf("step counts diverged: %d vs %d", a.Steps, b.Steps)
+	}
+}
+
+// Different seeds must explore different schedules (sanity that the seed
+// actually steers the run).
+func TestChaosSeedsDiffer(t *testing.T) {
+	a, err := Run(Config{Seed: 10, TargetFaults: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Seed: 11, TargetFaults: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TraceHash == b.TraceHash {
+		t.Error("different seeds produced identical traces")
+	}
+}

@@ -1,0 +1,211 @@
+package dpf
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzCompile drives the filter compiler with arbitrary filter sets and
+// frames, cross-checking the compiled trie classifier against a naive
+// per-atom oracle. The compiler is the one dynamic-code-generation
+// analogue in the tree (§5.5): bugs here silently misroute packets, so it
+// gets adversarial input, not just the protocol filters the tests use.
+//
+// Input encoding (consumed byte-wise, zero-padded past the end):
+//
+//	[nf] then per filter: [na] then per atom:
+//	    [off] [sizeSel] [mask:4BE] [val:4BE]
+//	remaining bytes: the frame to classify
+//
+// sizeSel maps {0,1,2}→{1,2,4} and 3→3 (invalid, must be rejected);
+// an off byte of 0xFF encodes a negative offset (must be rejected).
+func FuzzCompile(f *testing.F) {
+	// One filter, one atom, matching frame.
+	f.Add([]byte{1, 1, 0, 0, 0, 0, 0, 0xFF, 0, 0, 0, 0x2A, 0x2A, 9, 9})
+	// Two filters sharing a first atom, dispatching on a second.
+	f.Add([]byte{
+		2,
+		2, 12, 1, 0, 0, 0, 0, 0, 0, 8, 0, 23, 0, 0, 0, 0, 0, 0, 0, 17,
+		2, 12, 1, 0, 0, 0, 0, 0, 8, 0, 23, 0, 0, 0, 0, 0, 0, 0, 99,
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 8, 0,
+	})
+	// Invalid size selector and negative offset (error paths).
+	f.Add([]byte{2, 1, 4, 3, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0xFF, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	// Prefix filter: one filter is a strict prefix of another.
+	f.Add([]byte{
+		2,
+		1, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0x55,
+		2, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0x55, 2, 1, 0, 0, 0, 0, 0, 0, 0, 0x66,
+		0x55, 0, 0x66, 1, 2, 3,
+	})
+	// Wide atoms with masks, short frame (out-of-bounds loads).
+	f.Add([]byte{1, 2, 0, 2, 0, 0, 0xFF, 0, 0, 0, 0x30, 0, 30, 2, 0xF0, 0xF0, 0, 0, 0xAB, 0xCD, 0x31})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &reader{data: data}
+		e := NewEngine()
+		var live []FilterID
+		nf := int(r.take())%4 + 1
+		for i := 0; i < nf; i++ {
+			na := int(r.take())%5 + 1
+			filt := make(Filter, 0, na)
+			for j := 0; j < na; j++ {
+				off := int(r.take())
+				if off == 0xFF {
+					off = -1
+				} else {
+					off %= 40
+				}
+				size := []int{1, 2, 4, 3}[r.take()%4]
+				filt = append(filt, Atom{
+					Off: off, Size: size,
+					Mask: r.u32(), Val: r.u32(),
+				})
+			}
+			id, err := e.Insert(filt)
+			bad := hasInvalidAtom(filt)
+			if err == nil && bad {
+				t.Fatalf("invalid filter %v accepted as %d", filt, id)
+			}
+			if err == nil {
+				live = append(live, id)
+			}
+		}
+		if e.Count() != len(live) {
+			t.Fatalf("Count = %d, %d live", e.Count(), len(live))
+		}
+
+		frame := r.rest(64)
+		check(t, e, live, frame)
+
+		// Removal keeps survivors classifiable and never resurrects the
+		// removed ID.
+		if len(live) > 0 {
+			victim := live[int(r.take())%len(live)]
+			if err := e.Remove(victim); err != nil {
+				t.Fatalf("Remove(%d): %v", victim, err)
+			}
+			if err := e.Remove(victim); err == nil {
+				t.Fatalf("double Remove(%d) accepted", victim)
+			}
+			rest := make([]FilterID, 0, len(live)-1)
+			for _, id := range live {
+				if id != victim {
+					rest = append(rest, id)
+				}
+			}
+			id, _, _ := e.Classify(frame)
+			if id == victim {
+				t.Fatalf("removed filter %d still classifying", victim)
+			}
+			check(t, e, rest, frame)
+		}
+	})
+}
+
+// check compares the compiled classifier against the naive oracle: an
+// accepted ID must genuinely match, a rejection must mean no live filter
+// matches, and the charged cycles must be whole atom evaluations.
+func check(t *testing.T, e *Engine, live []FilterID, frame []byte) {
+	t.Helper()
+	id, cycles, ok := e.Classify(frame)
+	if ok != (id != None) {
+		t.Fatalf("ok=%v but id=%d", ok, id)
+	}
+	if cycles%CyclesPerAtom != 0 {
+		t.Fatalf("cycles %d not a multiple of %d", cycles, CyclesPerAtom)
+	}
+	if ok {
+		if e.installed[id] == nil {
+			t.Fatalf("classifier returned dead filter %d", id)
+		}
+		if !oracleMatches(e.installed[id], frame) {
+			t.Fatalf("classifier accepted %d = %v for frame %x, oracle rejects",
+				id, e.installed[id], frame)
+		}
+		return
+	}
+	for _, l := range live {
+		if oracleMatches(e.installed[l], frame) {
+			t.Fatalf("classifier missed filter %d = %v on frame %x",
+				l, e.installed[l], frame)
+		}
+	}
+}
+
+// oracleMatches is the reference semantics: every atom's masked field
+// equals its masked value, out-of-bounds loads fail the atom.
+func oracleMatches(f Filter, p []byte) bool {
+	for _, a := range f {
+		mask := a.Mask
+		if mask == 0 {
+			mask = widthMask(a.Size)
+		}
+		var v uint32
+		switch a.Size {
+		case 1:
+			if a.Off >= len(p) {
+				return false
+			}
+			v = uint32(p[a.Off])
+		case 2:
+			if a.Off+2 > len(p) {
+				return false
+			}
+			v = uint32(binary.BigEndian.Uint16(p[a.Off:]))
+		default:
+			if a.Off+4 > len(p) {
+				return false
+			}
+			v = binary.BigEndian.Uint32(p[a.Off:])
+		}
+		if v&mask != a.Val&mask {
+			return false
+		}
+	}
+	return true
+}
+
+func hasInvalidAtom(f Filter) bool {
+	for _, a := range f {
+		if a.Off < 0 || (a.Size != 1 && a.Size != 2 && a.Size != 4) {
+			return true
+		}
+	}
+	return false
+}
+
+// reader consumes fuzz input, yielding zeros past the end so every input
+// decodes to something.
+type reader struct {
+	data []byte
+	i    int
+}
+
+func (r *reader) take() byte {
+	if r.i >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.i]
+	r.i++
+	return b
+}
+
+func (r *reader) u32() uint32 {
+	var v uint32
+	for k := 0; k < 4; k++ {
+		v = v<<8 | uint32(r.take())
+	}
+	return v
+}
+
+func (r *reader) rest(max int) []byte {
+	if r.i >= len(r.data) {
+		return nil
+	}
+	out := r.data[r.i:]
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
+}

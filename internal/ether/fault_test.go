@@ -1,0 +1,152 @@
+package ether
+
+import (
+	"testing"
+
+	"exokernel/internal/fault"
+	"exokernel/internal/hw"
+)
+
+// scriptedWire replays a fixed verdict per frame, in order; frames past
+// the script are delivered intact. Scripted verdicts make the segment's
+// fault plumbing testable without probabilities.
+type scriptedWire struct {
+	verdicts []fault.WireVerdict
+	i        int
+}
+
+func (s *scriptedWire) FrameFate(frame []byte) fault.WireVerdict {
+	if s.i >= len(s.verdicts) {
+		return fault.WireVerdict{CorruptOff: -1}
+	}
+	v := s.verdicts[s.i]
+	s.i++
+	return v
+}
+
+func faultPair(t *testing.T, w *scriptedWire) (*Segment, *hw.Machine, *hw.Machine) {
+	t.Helper()
+	seg := NewSegment()
+	seg.Fault = w
+	a := hw.NewMachine(hw.DEC5000)
+	b := hw.NewMachine(hw.DEC5000)
+	seg.Attach(a)
+	seg.Attach(b)
+	return seg, a, b
+}
+
+func TestInjectedDrop(t *testing.T) {
+	seg, a, b := faultPair(t, &scriptedWire{verdicts: []fault.WireVerdict{
+		{Drop: true, CorruptOff: -1},
+	}})
+	a.NIC.Send(hw.Packet{Data: []byte{1}})
+	if b.NIC.Pending() != 0 {
+		t.Error("dropped frame was delivered")
+	}
+	if seg.Dropped != 1 {
+		t.Errorf("Dropped = %d", seg.Dropped)
+	}
+	a.NIC.Send(hw.Packet{Data: []byte{2}})
+	if b.NIC.Pending() != 1 {
+		t.Error("frame after the script was not delivered intact")
+	}
+}
+
+func TestInjectedDuplicate(t *testing.T) {
+	seg, a, b := faultPair(t, &scriptedWire{verdicts: []fault.WireVerdict{
+		{Dup: true, CorruptOff: -1},
+	}})
+	a.NIC.Send(hw.Packet{Data: []byte{7}})
+	if b.NIC.Pending() != 2 {
+		t.Errorf("pending = %d, want 2 (duplicate)", b.NIC.Pending())
+	}
+	if seg.Duplicated != 1 {
+		t.Errorf("Duplicated = %d", seg.Duplicated)
+	}
+}
+
+func TestInjectedCorruptionFlipsOneByteInCopy(t *testing.T) {
+	seg, a, b := faultPair(t, &scriptedWire{verdicts: []fault.WireVerdict{
+		{CorruptOff: 1, CorruptXor: 0xFF},
+	}})
+	src := []byte{10, 20, 30}
+	a.NIC.Send(hw.Packet{Data: src})
+	p, ok := b.NIC.Recv()
+	if !ok {
+		t.Fatal("corrupted frame not delivered")
+	}
+	if p.Data[0] != 10 || p.Data[1] != 20^0xFF || p.Data[2] != 30 {
+		t.Errorf("received %v, want one flipped byte at offset 1", p.Data)
+	}
+	if src[1] != 20 {
+		t.Error("corruption mutated the sender's buffer")
+	}
+	if seg.Corrupted != 1 {
+		t.Errorf("Corrupted = %d", seg.Corrupted)
+	}
+}
+
+// A held frame is overtaken by at most HoldSpan later frames, then
+// delivered — bounded reorder, not loss.
+func TestInjectedHoldReordersBounded(t *testing.T) {
+	seg, a, b := faultPair(t, &scriptedWire{verdicts: []fault.WireVerdict{
+		{Hold: true, CorruptOff: -1},
+	}})
+	seg.HoldSpan = 2
+	a.NIC.Send(hw.Packet{Data: []byte{1}}) // held
+	a.NIC.Send(hw.Packet{Data: []byte{2}}) // overtakes
+	a.NIC.Send(hw.Packet{Data: []byte{3}}) // overtakes
+	a.NIC.Send(hw.Packet{Data: []byte{4}}) // pushes the held frame out
+	var got []byte
+	for {
+		p, ok := b.NIC.Recv()
+		if !ok {
+			break
+		}
+		got = append(got, p.Data[0])
+	}
+	want := []byte{2, 3, 4, 1}
+	if len(got) != len(want) {
+		t.Fatalf("received %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("received %v, want %v", got, want)
+		}
+	}
+	if seg.Reordered != 1 {
+		t.Errorf("Reordered = %d", seg.Reordered)
+	}
+}
+
+// Sync flushes held frames so nothing is starved across phases.
+func TestSyncFlushesHeldFrames(t *testing.T) {
+	seg, a, b := faultPair(t, &scriptedWire{verdicts: []fault.WireVerdict{
+		{Hold: true, CorruptOff: -1},
+	}})
+	a.NIC.Send(hw.Packet{Data: []byte{5}})
+	if b.NIC.Pending() != 0 {
+		t.Fatal("held frame delivered early")
+	}
+	seg.Sync()
+	if b.NIC.Pending() != 1 {
+		t.Error("Sync did not flush the held frame")
+	}
+}
+
+// The held frame keeps its original causal arrival time: delivery after
+// later frames must not rewind the receiver's clock.
+func TestHeldFrameKeepsCausalArrival(t *testing.T) {
+	seg, a, b := faultPair(t, &scriptedWire{verdicts: []fault.WireVerdict{
+		{Hold: true, CorruptOff: -1},
+	}})
+	seg.WireCycles = 1000
+	a.NIC.Send(hw.Packet{Data: []byte{1}})
+	a.Clock.Tick(50_000)
+	a.NIC.Send(hw.Packet{Data: []byte{2}})
+	before := b.Clock.Cycles()
+	seg.Sync()
+	if b.Clock.Cycles() < before {
+		t.Errorf("receiver clock rewound: %d -> %d", before, b.Clock.Cycles())
+	}
+}

@@ -25,6 +25,11 @@ type LibOS struct {
 	Env *aegis.Env
 	PT  PageTable
 
+	// Net is the network multiplexor this LibOS last bound a socket or
+	// connection through (set by Net.Bind and the TCP opens). ProcRead
+	// uses it to render /proc/net/tcp; nil until networking is used.
+	Net *Net
+
 	// OnFault is the application's memory-fault handler ("signal handler"
 	// in UNIX terms; the dispatch substrate for DSM, GC barriers, and the
 	// Appel-Li trap benchmark). It returns true if the fault was resolved

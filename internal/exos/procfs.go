@@ -43,6 +43,8 @@ func (os *LibOS) ProcRead(path string) (string, error) {
 		out = formatStat(os.K)
 	case len(parts) == 2 && parts[1] == "histograms":
 		out = formatHistograms(os.K)
+	case len(parts) == 3 && parts[1] == "net" && parts[2] == "tcp":
+		out = formatNetTCP(os.Net)
 	case len(parts) == 3 && (parts[2] == "status" || parts[2] == "hist"):
 		id := os.Env.ID
 		if parts[1] != "self" {
@@ -134,9 +136,28 @@ func formatStat(k *aegis.Kernel) string {
 	kv("revocations", s.Revocations)
 	kv("aborts", s.Aborts)
 	kv("killed_envs", s.KilledEnvs)
+	kv("nic_rx_overflow", s.RxOverflow)
 	b.WriteString(histHeader)
 	for op := aegis.OpClass(0); op < aegis.NumOpClasses; op++ {
 		histLine(&b, op.String(), k.Stats.OpSnapshot(op))
+	}
+	return b.String()
+}
+
+// formatNetTCP renders the live TCP connections with their loss-recovery
+// counters: one line per connection, open order, parseable key=value
+// pairs. The transport is library code, so its internals are as
+// inspectable as the kernel's.
+func formatNetTCP(n *Net) string {
+	var b strings.Builder
+	b.WriteString("# tcp local=<port> remote=<ip>:<port> state=<s> retransmits backoffs checksum_drops out_of_order acked\n")
+	if n == nil {
+		return b.String()
+	}
+	for _, c := range n.conns {
+		fmt.Fprintf(&b, "tcp local=%d remote=%d:%d state=%s retransmits=%d backoffs=%d checksum_drops=%d out_of_order=%d acked=%d\n",
+			c.localPort, c.remoteIP, c.remotePort, c.State(),
+			c.Retransmits, c.Backoffs, c.ChecksumDrops, c.OutOfOrder, c.Acked)
 	}
 	return b.String()
 }

@@ -1,0 +1,130 @@
+package exos
+
+import (
+	"fmt"
+	"testing"
+
+	"exokernel/internal/hw"
+)
+
+// flakyDev is a BlockDev test double: a backing store in host memory,
+// with scripted error and corruption behaviour.
+type flakyDev struct {
+	mem      *hw.PhysMem
+	blocks   map[uint32][]byte
+	readErrs int // fail this many reads, then succeed
+	corrupts int // deliver this many reads with a flipped byte, then clean
+}
+
+func (d *flakyDev) ReadBlock(b uint32, frame uint32) error {
+	if d.readErrs > 0 {
+		d.readErrs--
+		return fmt.Errorf("flaky: injected read error on block %d", b)
+	}
+	data, ok := d.blocks[b]
+	if !ok {
+		data = make([]byte, hw.PageSize)
+	}
+	page := d.mem.Page(frame)
+	copy(page, data)
+	if d.corrupts > 0 {
+		d.corrupts--
+		page[17] ^= 0x40
+	}
+	return nil
+}
+
+func (d *flakyDev) WriteBlock(b uint32, frame uint32) error {
+	buf := make([]byte, hw.PageSize)
+	copy(buf, d.mem.Page(frame))
+	d.blocks[b] = buf
+	return nil
+}
+
+func (d *flakyDev) NumBlocks() uint32 { return 64 }
+
+func reliableWorld() (*ReliableDev, *flakyDev, *hw.Machine, uint32) {
+	m := hw.NewMachine(hw.DEC5000)
+	dev := &flakyDev{mem: m.Phys, blocks: make(map[uint32][]byte)}
+	r := NewReliableDev(dev, m.Phys, m.Clock)
+	frame, _ := m.Phys.AllocFrame()
+	return r, dev, m, frame
+}
+
+func TestReliableDevRetriesTransientErrors(t *testing.T) {
+	r, dev, m, frame := reliableWorld()
+	page := m.Phys.Page(frame)
+	for i := range page {
+		page[i] = byte(i * 7)
+	}
+	if err := r.WriteBlock(3, frame); err != nil {
+		t.Fatal(err)
+	}
+
+	dev.readErrs = 2 // two transient failures, then success
+	clear := make([]byte, hw.PageSize)
+	copy(page, clear)
+	before := m.Clock.Cycles()
+	if err := r.ReadBlock(3, frame); err != nil {
+		t.Fatalf("read failed despite retry budget: %v", err)
+	}
+	if r.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", r.Retries)
+	}
+	if m.Clock.Cycles()-before < retryBackoffCycles+2*retryBackoffCycles {
+		t.Error("backoff did not charge the simulated clock")
+	}
+	if page[5] != byte(5*7) {
+		t.Error("recovered read returned wrong data")
+	}
+}
+
+func TestReliableDevCatchesCorruption(t *testing.T) {
+	r, dev, m, frame := reliableWorld()
+	page := m.Phys.Page(frame)
+	for i := range page {
+		page[i] = byte(i)
+	}
+	if err := r.WriteBlock(9, frame); err != nil {
+		t.Fatal(err)
+	}
+
+	dev.corrupts = 1 // first read delivers a flipped byte
+	if err := r.ReadBlock(9, frame); err != nil {
+		t.Fatalf("read failed: %v", err)
+	}
+	if r.ChecksumRejects != 1 {
+		t.Errorf("ChecksumRejects = %d, want 1", r.ChecksumRejects)
+	}
+	if page[17] != 17 {
+		t.Error("corrupted data was handed to the caller")
+	}
+}
+
+func TestReliableDevBoundedFailure(t *testing.T) {
+	r, dev, _, frame := reliableWorld()
+	dev.readErrs = 1000 // dead controller
+	if err := r.ReadBlock(0, frame); err == nil {
+		t.Fatal("read of a dead device succeeded")
+	}
+	if r.Failures != 1 {
+		t.Errorf("Failures = %d, want 1", r.Failures)
+	}
+	if r.Retries != uint64(r.budget()) {
+		t.Errorf("Retries = %d, want the budget %d", r.Retries, r.budget())
+	}
+}
+
+// An unverifiable read (block never written through the wrapper) passes
+// through without a checksum claim — the wrapper must not invent one.
+func TestReliableDevUnverifiedReadPasses(t *testing.T) {
+	r, dev, _, frame := reliableWorld()
+	dev.blocks[5] = make([]byte, hw.PageSize)
+	dev.corrupts = 1
+	if err := r.ReadBlock(5, frame); err != nil {
+		t.Fatalf("unverifiable read failed: %v", err)
+	}
+	if r.ChecksumRejects != 0 {
+		t.Error("rejected a block it had no checksum for")
+	}
+}

@@ -140,6 +140,9 @@ func (sw *Swapper) pageIn(va uint32) bool {
 	}
 	sw.dev.RegisterFrame(frame, guard)
 	if err := sw.dev.ReadBlock(slot.block, frame); err != nil {
+		// Give the frame back: failing the fault must not leak the page
+		// we just allocated (the swap slot still holds the data).
+		_ = sw.os.K.DeallocPage(frame, guard)
 		return false
 	}
 	pte := slot.pte

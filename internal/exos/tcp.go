@@ -83,6 +83,11 @@ type TCPConn struct {
 
 	// Stats.
 	Retransmits, Acked, OutOfOrder uint64
+	// ChecksumDrops counts received segments discarded for a bad
+	// checksum (corrupted on the wire); Backoffs counts retransmissions
+	// sent with a doubled (or more) timeout. Both surface in
+	// /proc/net/tcp so loss-recovery behaviour is auditable.
+	ChecksumDrops, Backoffs uint64
 }
 
 // State reports the connection state (diagnostics).
@@ -114,6 +119,8 @@ func newTCPConn(n *Net, os *LibOS, localPort uint16, remIP uint32, remPort uint1
 		remoteIP: remIP, remotePort: remPort}
 	ep.Deliver = c.deliver
 	n.eps[id] = ep
+	n.conns = append(n.conns, c)
+	os.Net = n
 	return c, nil
 }
 
@@ -123,6 +130,13 @@ func (c *TCPConn) Release() error {
 	c.state = tcpClosedDone
 	c.net.K.RemoveEndpoint(c.ep)
 	delete(c.net.eps, c.id)
+	kept := c.net.conns[:0]
+	for _, o := range c.net.conns {
+		if o != c {
+			kept = append(kept, o)
+		}
+	}
+	c.net.conns = kept
 	return c.net.Engine.Remove(c.id)
 }
 
@@ -244,7 +258,9 @@ func (c *TCPConn) sendSeg(seg tcpSegment, flags byte) {
 	}
 	frame := pkt.Build(c.remoteMAC, c.net.MAC, f, seg.data)
 	pkt.SetTCP(frame, seg.seq, c.rcvNxt, flags, tcpWindowSegs*tcpMSS)
-	c.os.K.M.Clock.Tick(uint64(pkt.TCPLen/4) + 8)
+	pkt.SetTCPChecksum(frame)
+	// Header work plus one pass over the segment for the checksum.
+	c.os.K.M.Clock.Tick(uint64(pkt.TCPLen/4) + 8 + uint64((len(frame)+3)/4))
 	c.os.K.M.NIC.Send(hw.Packet{Data: frame})
 }
 
@@ -272,6 +288,14 @@ func (c *TCPConn) handle(frame []byte) {
 		return
 	}
 	c.os.K.M.Clock.Tick(12) // header validation + state demux
+	// Verify before trusting a single header field: a corrupted segment is
+	// dropped silently, and the peer's retransmission timer recovers it.
+	// (Acking a bad segment would teach the sender a lie.)
+	c.os.K.M.Clock.Tick(uint64((len(frame) + 3) / 4))
+	if !pkt.TCPChecksumOK(frame) {
+		c.ChecksumDrops++
+		return
+	}
 	flags := pkt.TCPFlags(frame)
 	seq := pkt.TCPSeq(frame)
 	flow, _ := pkt.ParseFlow(frame)
@@ -406,5 +430,8 @@ func (c *TCPConn) retransmit() {
 		seg.sentAt = now
 		seg.retries++
 		c.Retransmits++
+		if backoff > 0 {
+			c.Backoffs++
+		}
 	}
 }

@@ -1,0 +1,166 @@
+package exos
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"exokernel/internal/fault"
+)
+
+// The acceptance scenario for the hardened transport: a faulty wire
+// losing 10% of frames and flipping a byte in 1% more must not corrupt
+// the byte stream. Loss is recovered by the retransmission timer;
+// corruption is caught by the segment checksum (a corrupted segment is
+// dropped unacknowledged, so it too becomes a retransmission).
+func TestTCPUnderLossAndCorruption(t *testing.T) {
+	w := newTCPWorld(t)
+	inj := fault.New(fault.Config{
+		Seed:          0xFA17,
+		NetDropPPM:    100_000, // 10% loss
+		NetCorruptPPM: 10_000,  // 1% single-byte corruption
+	})
+	inj.SetEnabled(true)
+	w.seg.Fault = inj
+
+	// The handshake runs under fire too: SYN loss is just another
+	// retransmission.
+	cli, srv := dialPair(t, w)
+
+	msg := bytes.Repeat([]byte("bytes-must-survive-the-wire."), 250) // 7 KB, 14 segments
+	if err := cli.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	w.pump(t, cli, srv, func() bool {
+		got = append(got, srv.Recv()...)
+		return len(got) >= len(msg)
+	})
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("stream corrupted: got %d bytes, want %d", len(got), len(msg))
+	}
+
+	// The reverse direction under the same fire.
+	reply := bytes.Repeat([]byte("and-back-again."), 150) // ~2.2 KB
+	if err := srv.Send(reply); err != nil {
+		t.Fatal(err)
+	}
+	var back []byte
+	w.pump(t, cli, srv, func() bool {
+		back = append(back, cli.Recv()...)
+		return len(back) >= len(reply)
+	})
+	if !bytes.Equal(back, reply) {
+		t.Fatalf("reverse stream corrupted: got %d bytes, want %d", len(back), len(reply))
+	}
+
+	// The injector really fired across both fault classes.
+	if inj.Counts[fault.NetDrop] == 0 {
+		t.Error("injector never dropped a frame at 10% loss")
+	}
+	if inj.Counts[fault.NetCorrupt] == 0 {
+		t.Error("injector never corrupted a frame at 1%")
+	}
+	if cli.Retransmits == 0 && srv.Retransmits == 0 {
+		t.Error("no retransmissions despite injected loss")
+	}
+}
+
+// Pin the detection path itself: under heavy corruption and no loss,
+// every delivered-but-damaged segment must be caught by the checksum
+// (a corrupted frame can also die earlier — a flipped IP header byte
+// misroutes it at the filter — so detection is checksum rejects at TCP
+// plus classification drops at the kernel; nothing may slip through).
+func TestTCPChecksumCatchesCorruption(t *testing.T) {
+	w := newTCPWorld(t)
+	inj := fault.New(fault.Config{Seed: 7, NetCorruptPPM: 200_000}) // 20%
+	inj.SetEnabled(true)
+	w.seg.Fault = inj
+
+	cli, srv := dialPair(t, w)
+	msg := bytes.Repeat([]byte("poisoned-wire."), 500) // 7 KB
+	if err := cli.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	w.pump(t, cli, srv, func() bool {
+		got = append(got, srv.Recv()...)
+		return len(got) >= len(msg)
+	})
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("stream corrupted: got %d bytes, want %d", len(got), len(msg))
+	}
+	if inj.Counts[fault.NetCorrupt] == 0 {
+		t.Fatal("injector never corrupted a frame at 20%")
+	}
+	if cli.ChecksumDrops+srv.ChecksumDrops == 0 {
+		t.Error("no checksum rejects despite heavy corruption")
+	}
+}
+
+// The recovery counters must be auditable through /proc/net/tcp.
+func TestProcNetTCP(t *testing.T) {
+	w := newTCPWorld(t)
+	cli, srv := dialPair(t, w)
+	cli.Retransmits, cli.Backoffs, cli.ChecksumDrops = 7, 3, 2
+
+	out, err := w.osA.ProcRead("/proc/net/tcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "retransmits=7") ||
+		!strings.Contains(out, "backoffs=3") ||
+		!strings.Contains(out, "checksum_drops=2") {
+		t.Errorf("counters missing from /proc/net/tcp:\n%s", out)
+	}
+	if !strings.Contains(out, "\ntcp local=30000") || !strings.Contains(out, "state=established") {
+		t.Errorf("connection line missing from /proc/net/tcp:\n%s", out)
+	}
+
+	// Release removes the connection from the table.
+	if err := srv.Release(); err != nil {
+		t.Fatal(err)
+	}
+	out, err = w.osB.ProcRead("/proc/net/tcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "\ntcp local=") {
+		t.Errorf("released connection still listed:\n%s", out)
+	}
+}
+
+// Identical seeds must produce identical fault decisions — the property
+// that makes a failing chaos run reproducible from its seed alone.
+func TestTCPFaultDeterminism(t *testing.T) {
+	run := func() ([]fault.Event, uint64) {
+		w := newTCPWorld(t)
+		inj := fault.New(fault.Config{Seed: 42, NetDropPPM: 150_000, NetCorruptPPM: 20_000})
+		inj.SetEnabled(true)
+		w.seg.Fault = inj
+		cli, srv := dialPair(t, w)
+		msg := bytes.Repeat([]byte("replay"), 500)
+		if err := cli.Send(msg); err != nil {
+			t.Fatal(err)
+		}
+		var got []byte
+		w.pump(t, cli, srv, func() bool {
+			got = append(got, srv.Recv()...)
+			return len(got) >= len(msg)
+		})
+		return append([]fault.Event(nil), inj.Log...), w.ma.Clock.Cycles()
+	}
+	log1, cyc1 := run()
+	log2, cyc2 := run()
+	if len(log1) != len(log2) {
+		t.Fatalf("fault logs diverged: %d vs %d events", len(log1), len(log2))
+	}
+	for i := range log1 {
+		if log1[i] != log2[i] {
+			t.Fatalf("fault log diverged at event %d: %v vs %v", i, log1[i], log2[i])
+		}
+	}
+	if cyc1 != cyc2 {
+		t.Fatalf("simulated time diverged: %d vs %d cycles", cyc1, cyc2)
+	}
+}

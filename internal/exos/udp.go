@@ -23,6 +23,8 @@ type Net struct {
 	MAC    pkt.Addr
 	IP     uint32
 	eps    map[dpf.FilterID]*aegis.Endpoint
+	// conns lists live TCP connections, in open order, for /proc/net/tcp.
+	conns []*TCPConn
 }
 
 // NewNet attaches a network multiplexor to a kernel.
@@ -86,6 +88,7 @@ func (n *Net) Bind(os *LibOS, port uint16) (*UDPSocket, error) {
 	s := &UDPSocket{Net: n, os: os, Port: port, EP: ep, id: id}
 	ep.Deliver = s.deliver
 	n.eps[id] = ep
+	os.Net = n
 	return s, nil
 }
 

@@ -1,0 +1,320 @@
+// Package fault is the deterministic fault-injection layer for the
+// simulated hardware. The paper's robustness story — visible revocation
+// with a forced abort protocol (§3.3–3.4), library operating systems that
+// implement their own recovery policy — is only testable when resources
+// actually fail or get yanked, so this package lets the simulated world
+// misbehave on purpose: frames dropped, duplicated, corrupted, or held
+// back on the wire; disk transfers that error, stall, or flip bits; NIC
+// receive rings under artificial pressure.
+//
+// Two properties are load-bearing:
+//
+//   - Off by default. A nil injector (or one that is disabled) is never
+//     consulted beyond a pointer check, so every benchmark and invariance
+//     gate runs on the byte-identical perfect hardware it always had.
+//   - Deterministic. All decisions come from one splitmix64 generator
+//     keyed by a single seed; the simulation is single-threaded, so the
+//     same seed over the same schedule yields the identical fault
+//     sequence, cycle for cycle. A failing chaos run is reproduced by its
+//     seed alone.
+//
+// Probabilities are expressed in parts-per-million (integer arithmetic:
+// no float rounding in the decision path). The injector implements the
+// device hook interfaces in internal/hw and internal/ether; it imports
+// neither, so it threads under every layer without cycles.
+package fault
+
+import "fmt"
+
+// Kind classifies one injected fault.
+type Kind uint8
+
+// Fault kinds. NetHold is a bounded reorder: the frame is delivered, just
+// after frames sent later. EnvKill is harness-driven (the injector cannot
+// kill an environment itself) and enters the log through Note.
+const (
+	NetDrop Kind = iota
+	NetDup
+	NetCorrupt
+	NetHold
+	DiskReadErr
+	DiskWriteErr
+	DiskSlow
+	DiskCorrupt
+	NICPressure
+	EnvKill
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	NetDrop:      "net-drop",
+	NetDup:       "net-dup",
+	NetCorrupt:   "net-corrupt",
+	NetHold:      "net-hold",
+	DiskReadErr:  "disk-read-err",
+	DiskWriteErr: "disk-write-err",
+	DiskSlow:     "disk-slow",
+	DiskCorrupt:  "disk-corrupt",
+	NICPressure:  "nic-pressure",
+	EnvKill:      "env-kill",
+}
+
+func (k Kind) String() string {
+	if k < numKinds {
+		return kindNames[k]
+	}
+	return "fault?"
+}
+
+// NumKinds is the number of fault kinds (for tables indexed by Kind).
+const NumKinds = int(numKinds)
+
+// Event is one injected fault, recorded in injection order.
+type Event struct {
+	Kind Kind
+	// Arg identifies the victim: block number for disk faults, frame
+	// length for wire faults, environment ID for kills.
+	Arg uint64
+}
+
+// Config sets the per-decision fault rates. All rates are parts per
+// million; the zero Config injects nothing.
+type Config struct {
+	Seed uint64
+
+	// Wire (per frame broadcast on the segment).
+	NetDropPPM    uint32
+	NetDupPPM     uint32
+	NetCorruptPPM uint32
+	NetHoldPPM    uint32
+
+	// Disk (per block transfer).
+	DiskReadErrPPM  uint32
+	DiskWriteErrPPM uint32
+	DiskSlowPPM     uint32
+	DiskCorruptPPM  uint32
+	// DiskSlowCycles is the latency spike added when DiskSlow fires.
+	DiskSlowCycles uint64
+
+	// NIC (per delivery attempt): probability that queue pressure steals
+	// RxPressureDepth slots of the receive ring.
+	RxPressurePPM   uint32
+	RxPressureDepth int
+}
+
+// Injector makes fault decisions. Methods are safe on a nil receiver
+// (no faults) so device hooks need only a nil interface check.
+type Injector struct {
+	cfg     Config
+	rng     uint64
+	enabled bool
+
+	// Counts tallies injected faults by kind.
+	Counts [NumKinds]uint64
+	// Log records every injected fault in order (the determinism witness;
+	// Reset drops it).
+	Log []Event
+	// Observe, when set, sees each fault as it is injected — the chaos
+	// harness wires it to the kernel flight recorder so fault events
+	// interleave with the kernel's own trace.
+	Observe func(Event)
+}
+
+// New creates an enabled injector for a config.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, rng: cfg.Seed, enabled: true}
+}
+
+// SetEnabled pauses (false) or resumes (true) injection. Disabled, every
+// decision is "no fault" and the generator does not advance — re-enabling
+// resumes the seeded sequence where it stopped.
+func (in *Injector) SetEnabled(on bool) { in.enabled = on }
+
+// Total reports the number of faults injected so far.
+func (in *Injector) Total() uint64 {
+	if in == nil {
+		return 0
+	}
+	var t uint64
+	for _, c := range in.Counts {
+		t += c
+	}
+	return t
+}
+
+// next advances the splitmix64 generator.
+func (in *Injector) next() uint64 {
+	in.rng += 0x9E3779B97F4A7C15
+	z := in.rng
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+// chance draws one decision at ppm parts per million.
+func (in *Injector) chance(ppm uint32) bool {
+	if ppm == 0 {
+		return false
+	}
+	return in.next()%1_000_000 < uint64(ppm)
+}
+
+// record tallies and publishes one injected fault.
+func (in *Injector) record(k Kind, arg uint64) {
+	in.Counts[k]++
+	ev := Event{Kind: k, Arg: arg}
+	in.Log = append(in.Log, ev)
+	if in.Observe != nil {
+		in.Observe(ev)
+	}
+}
+
+// Note records a harness-driven fault (e.g. a forced environment kill)
+// into the same log and counters as device-level injections.
+func (in *Injector) Note(k Kind, arg uint64) {
+	if in == nil {
+		return
+	}
+	in.record(k, arg)
+}
+
+// --- Wire faults (implements ether.WireFault) ------------------------------
+
+// WireVerdict is the fate of one frame in flight.
+type WireVerdict struct {
+	Drop bool // discard the frame
+	Dup  bool // deliver it twice
+	Hold bool // hold it back: delivered after later frames (bounded reorder)
+	// CorruptOff/CorruptXor flip one byte; CorruptOff < 0 means intact.
+	CorruptOff int
+	CorruptXor byte
+}
+
+// FrameFate decides what happens to one broadcast frame of n bytes.
+// At most one of Drop/Dup/Hold fires per frame; corruption composes with
+// Dup and Hold (a duplicated frame may carry a flipped byte) but not with
+// Drop. The RNG consumption per call is fixed by the configured rates,
+// never by prior outcomes, so decision streams stay aligned across runs.
+func (in *Injector) FrameFate(frame []byte) WireVerdict {
+	v := WireVerdict{CorruptOff: -1}
+	if in == nil || !in.enabled {
+		return v
+	}
+	n := uint64(len(frame))
+	if in.chance(in.cfg.NetDropPPM) {
+		v.Drop = true
+		in.record(NetDrop, n)
+		return v
+	}
+	if in.chance(in.cfg.NetDupPPM) {
+		v.Dup = true
+		in.record(NetDup, n)
+	} else if in.chance(in.cfg.NetHoldPPM) {
+		v.Hold = true
+		in.record(NetHold, n)
+	}
+	if len(frame) > 0 && in.chance(in.cfg.NetCorruptPPM) {
+		v.CorruptOff = int(in.next() % n)
+		v.CorruptXor = byte(in.next()%255) + 1 // never a no-op flip
+		in.record(NetCorrupt, n)
+	}
+	return v
+}
+
+// --- Disk faults (implements hw.DiskFault) ---------------------------------
+
+// DiskVerdict is the fate of one block transfer.
+type DiskVerdict struct {
+	// Delay is added to the access cost (a latency spike); charged even
+	// when the transfer errors, as a stalled controller would.
+	Delay uint64
+	// Err, when non-nil, fails the transfer after the cost is paid.
+	Err error
+	// CorruptOff/CorruptXor flip one byte of the transferred block
+	// (after a read, before a write hits the platter); CorruptOff < 0
+	// means intact.
+	CorruptOff int
+	CorruptXor byte
+}
+
+// errInjected is the error type of injected disk failures; it lets
+// recovery code (and tests) distinguish injected faults from structural
+// errors like out-of-range blocks.
+type errInjected struct {
+	op    string
+	block uint32
+}
+
+func (e errInjected) Error() string {
+	return fmt.Sprintf("fault: injected disk %s error at block %d", e.op, e.block)
+}
+
+// IsInjected reports whether an error came from the injector.
+func IsInjected(err error) bool {
+	_, ok := err.(errInjected)
+	return ok
+}
+
+func (in *Injector) diskFate(op string, write bool, b uint32, errPPM uint32) DiskVerdict {
+	v := DiskVerdict{CorruptOff: -1}
+	if in == nil || !in.enabled {
+		return v
+	}
+	if in.chance(in.cfg.DiskSlowPPM) {
+		v.Delay = in.cfg.DiskSlowCycles
+		in.record(DiskSlow, uint64(b))
+	}
+	if in.chance(errPPM) {
+		v.Err = errInjected{op: op, block: b}
+		if write {
+			in.record(DiskWriteErr, uint64(b))
+		} else {
+			in.record(DiskReadErr, uint64(b))
+		}
+		return v
+	}
+	if in.chance(in.cfg.DiskCorruptPPM) {
+		// The device applies the offset modulo its block size.
+		v.CorruptOff = int(in.next() % 65536)
+		v.CorruptXor = byte(in.next()%255) + 1
+		in.record(DiskCorrupt, uint64(b))
+	}
+	return v
+}
+
+// ReadFault decides the fate of a block read.
+func (in *Injector) ReadFault(b uint32) DiskVerdict {
+	return in.diskFate("read", false, b, in.cfgOrZero().DiskReadErrPPM)
+}
+
+// WriteFault decides the fate of a block write.
+func (in *Injector) WriteFault(b uint32) DiskVerdict {
+	return in.diskFate("write", true, b, in.cfgOrZero().DiskWriteErrPPM)
+}
+
+// cfgOrZero lets the exported fault methods run on a nil receiver.
+func (in *Injector) cfgOrZero() Config {
+	if in == nil {
+		return Config{}
+	}
+	return in.cfg
+}
+
+// --- NIC faults (implements hw.NICFault) -----------------------------------
+
+// RxPressure reports how many receive-ring slots artificial queue
+// pressure is occupying for this delivery (0 = none).
+func (in *Injector) RxPressure() int {
+	if in == nil || !in.enabled {
+		return 0
+	}
+	if in.chance(in.cfg.RxPressurePPM) {
+		depth := in.cfg.RxPressureDepth
+		if depth <= 0 {
+			depth = 64
+		}
+		in.record(NICPressure, uint64(depth))
+		return depth
+	}
+	return 0
+}

@@ -1,0 +1,240 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+// A nil injector must be completely inert: zero verdicts, no panics.
+// Device hooks rely on this so perfect hardware needs only a nil check.
+func TestNilInjectorInert(t *testing.T) {
+	var in *Injector
+	v := in.FrameFate(make([]byte, 60))
+	if v.Drop || v.Dup || v.Hold || v.CorruptOff >= 0 {
+		t.Errorf("nil injector produced a wire fault: %+v", v)
+	}
+	if d := in.ReadFault(3); d.Err != nil || d.Delay != 0 || d.CorruptOff >= 0 {
+		t.Errorf("nil injector produced a disk fault: %+v", d)
+	}
+	if d := in.WriteFault(3); d.Err != nil || d.Delay != 0 || d.CorruptOff >= 0 {
+		t.Errorf("nil injector produced a disk fault: %+v", d)
+	}
+	if in.RxPressure() != 0 {
+		t.Error("nil injector produced rx pressure")
+	}
+	in.Note(EnvKill, 1) // must not panic
+	if in.Total() != 0 {
+		t.Errorf("nil injector Total = %d", in.Total())
+	}
+}
+
+// everything is a config with every rate high enough to fire often.
+func everything(seed uint64) Config {
+	return Config{
+		Seed:            seed,
+		NetDropPPM:      200_000,
+		NetDupPPM:       200_000,
+		NetCorruptPPM:   200_000,
+		NetHoldPPM:      200_000,
+		DiskReadErrPPM:  200_000,
+		DiskWriteErrPPM: 200_000,
+		DiskSlowPPM:     200_000,
+		DiskCorruptPPM:  200_000,
+		DiskSlowCycles:  777,
+		RxPressurePPM:   200_000,
+		RxPressureDepth: 9,
+	}
+}
+
+// Same seed, same call sequence, identical fault log — the property the
+// whole chaos gate rests on.
+func TestDeterminism(t *testing.T) {
+	run := func() *Injector {
+		in := New(everything(42))
+		frame := make([]byte, 128)
+		for i := 0; i < 500; i++ {
+			switch i % 4 {
+			case 0:
+				in.FrameFate(frame)
+			case 1:
+				in.ReadFault(uint32(i))
+			case 2:
+				in.WriteFault(uint32(i))
+			case 3:
+				in.RxPressure()
+			}
+		}
+		return in
+	}
+	a, b := run(), run()
+	if len(a.Log) != len(b.Log) {
+		t.Fatalf("log lengths diverged: %d vs %d", len(a.Log), len(b.Log))
+	}
+	if len(a.Log) == 0 {
+		t.Fatal("no faults injected at 20% rates over 500 decisions")
+	}
+	for i := range a.Log {
+		if a.Log[i] != b.Log[i] {
+			t.Fatalf("log diverged at %d: %v vs %v", i, a.Log[i], b.Log[i])
+		}
+	}
+	if a.Counts != b.Counts {
+		t.Errorf("counts diverged: %v vs %v", a.Counts, b.Counts)
+	}
+}
+
+// Disabling pauses the generator without advancing it: decisions made
+// while disabled are all "no fault" and cost nothing, so re-enabling
+// resumes the seeded sequence exactly where it stopped.
+func TestSetEnabledPausesGenerator(t *testing.T) {
+	frame := make([]byte, 64)
+	straight := New(everything(7))
+	paused := New(everything(7))
+	for i := 0; i < 10; i++ {
+		straight.FrameFate(frame)
+		paused.FrameFate(frame)
+	}
+	paused.SetEnabled(false)
+	for i := 0; i < 100; i++ {
+		if v := paused.FrameFate(frame); v.Drop || v.Dup || v.Hold || v.CorruptOff >= 0 {
+			t.Fatal("disabled injector produced a fault")
+		}
+		if d := paused.ReadFault(0); d.Err != nil || d.Delay != 0 || d.CorruptOff >= 0 {
+			t.Fatal("disabled injector produced a disk fault")
+		}
+	}
+	paused.SetEnabled(true)
+	for i := 0; i < 10; i++ {
+		straight.FrameFate(frame)
+		paused.FrameFate(frame)
+	}
+	if len(straight.Log) != len(paused.Log) {
+		t.Fatalf("pause perturbed the sequence: %d vs %d events",
+			len(straight.Log), len(paused.Log))
+	}
+	for i := range straight.Log {
+		if straight.Log[i] != paused.Log[i] {
+			t.Fatalf("pause perturbed event %d: %v vs %v",
+				i, straight.Log[i], paused.Log[i])
+		}
+	}
+}
+
+// At most one of Drop/Dup/Hold per frame; corruption never rides on a
+// dropped frame (there is nothing left to corrupt).
+func TestFrameFateExclusivity(t *testing.T) {
+	in := New(everything(3))
+	frame := make([]byte, 100)
+	for i := 0; i < 5000; i++ {
+		v := in.FrameFate(frame)
+		if v.Drop && (v.Dup || v.Hold || v.CorruptOff >= 0) {
+			t.Fatalf("drop composed with another fate: %+v", v)
+		}
+		if v.Dup && v.Hold {
+			t.Fatalf("dup and hold both fired: %+v", v)
+		}
+		if v.CorruptOff >= len(frame) {
+			t.Fatalf("corrupt offset %d beyond frame", v.CorruptOff)
+		}
+		if v.CorruptOff >= 0 && v.CorruptXor == 0 {
+			t.Fatal("no-op corruption (xor 0)")
+		}
+	}
+	if in.Counts[NetDrop] == 0 || in.Counts[NetDup] == 0 ||
+		in.Counts[NetHold] == 0 || in.Counts[NetCorrupt] == 0 {
+		t.Errorf("some wire fates never fired: %v", in.Counts)
+	}
+}
+
+// Injection rates must track the configured PPM (coarsely — this guards
+// against unit mistakes like treating PPM as percent, not against bias).
+func TestRateRoughlyMatchesPPM(t *testing.T) {
+	in := New(Config{Seed: 11, NetDropPPM: 500_000})
+	n := 4000
+	for i := 0; i < n; i++ {
+		in.FrameFate([]byte{1})
+	}
+	got := in.Counts[NetDrop]
+	if got < uint64(n*40/100) || got > uint64(n*60/100) {
+		t.Errorf("drop rate %d/%d at 50%% configured", got, n)
+	}
+}
+
+// A slow verdict composes with an error (a stalled controller still
+// consumed the time before failing); corruption never composes with an
+// error (the transfer that would carry it failed).
+func TestDiskVerdictComposition(t *testing.T) {
+	in := New(Config{
+		Seed:           5,
+		DiskReadErrPPM: 500_000,
+		DiskSlowPPM:    500_000,
+		DiskCorruptPPM: 500_000,
+		DiskSlowCycles: 1234,
+	})
+	sawSlowErr := false
+	for i := 0; i < 2000; i++ {
+		v := in.ReadFault(uint32(i))
+		if v.Err != nil && v.CorruptOff >= 0 {
+			t.Fatalf("error composed with corruption: %+v", v)
+		}
+		if v.Delay != 0 && v.Delay != 1234 {
+			t.Fatalf("delay %d, configured 1234", v.Delay)
+		}
+		if v.Err != nil && v.Delay > 0 {
+			sawSlowErr = true
+		}
+	}
+	if !sawSlowErr {
+		t.Error("slow+error never composed in 2000 draws at 50%/50%")
+	}
+}
+
+// Injected errors are distinguishable from structural ones.
+func TestIsInjected(t *testing.T) {
+	in := New(Config{Seed: 1, DiskWriteErrPPM: 1_000_000})
+	v := in.WriteFault(17)
+	if v.Err == nil {
+		t.Fatal("certain error did not fire")
+	}
+	if !IsInjected(v.Err) {
+		t.Errorf("IsInjected(%v) = false", v.Err)
+	}
+	if IsInjected(errors.New("disk on fire")) {
+		t.Error("IsInjected accepted a foreign error")
+	}
+	if in.Counts[DiskWriteErr] != 1 {
+		t.Errorf("write-error count = %d", in.Counts[DiskWriteErr])
+	}
+}
+
+// Note enters harness-driven faults into the same log, and Observe sees
+// every event in injection order.
+func TestNoteAndObserve(t *testing.T) {
+	in := New(Config{Seed: 9, NetDropPPM: 1_000_000})
+	var seen []Event
+	in.Observe = func(ev Event) { seen = append(seen, ev) }
+	in.FrameFate([]byte{1, 2, 3})
+	in.Note(EnvKill, 44)
+	want := []Event{{Kind: NetDrop, Arg: 3}, {Kind: EnvKill, Arg: 44}}
+	if len(in.Log) != 2 || in.Log[0] != want[0] || in.Log[1] != want[1] {
+		t.Errorf("log = %v, want %v", in.Log, want)
+	}
+	if len(seen) != 2 || seen[0] != want[0] || seen[1] != want[1] {
+		t.Errorf("observed = %v, want %v", seen, want)
+	}
+	if in.Total() != 2 {
+		t.Errorf("Total = %d", in.Total())
+	}
+}
+
+// RxPressure reports the configured depth (default 64 when unset).
+func TestRxPressureDepth(t *testing.T) {
+	in := New(Config{Seed: 2, RxPressurePPM: 1_000_000, RxPressureDepth: 48})
+	if d := in.RxPressure(); d != 48 {
+		t.Errorf("depth = %d, want 48", d)
+	}
+	in = New(Config{Seed: 2, RxPressurePPM: 1_000_000})
+	if d := in.RxPressure(); d != 64 {
+		t.Errorf("default depth = %d, want 64", d)
+	}
+}

@@ -1,6 +1,19 @@
 package hw
 
-import "fmt"
+import (
+	"fmt"
+
+	"exokernel/internal/fault"
+)
+
+// DiskFault decides, per block transfer, whether the simulated disk
+// misbehaves: a latency spike, a hard error, or a flipped byte in the
+// transferred data. nil means perfect hardware — the default, and the
+// only configuration the benchmarks ever run.
+type DiskFault interface {
+	ReadFault(b uint32) fault.DiskVerdict
+	WriteFault(b uint32) fault.DiskVerdict
+}
 
 // Disk models a fixed disk with page-sized blocks and a seek-dependent
 // access cost — the storage substrate for the paper's claim that an
@@ -19,8 +32,15 @@ type Disk struct {
 	CostPerSeek uint64 // per blocksBetween(head, target)/seekUnit step
 	seekUnit    uint32
 
+	// Fault, when non-nil, is consulted once per block transfer (after
+	// the bounds check, before the DMA). See internal/fault.
+	Fault DiskFault
+
 	// Stats.
 	Reads, Writes, SeekBlocks uint64
+	// Fault-injection stats: failed transfers, injected latency, and
+	// corrupted transfers. All zero with Fault nil.
+	ReadErrs, WriteErrs, SlowCycles, Corruptions uint64
 }
 
 // DiskBlockSize is the disk block size; equal to the page size so a block
@@ -64,25 +84,67 @@ func (d *Disk) access(b uint32) {
 	d.head = b
 }
 
-// ReadBlock DMAs block b into the physical frame.
+// ReadBlock DMAs block b into the physical frame. Under fault injection a
+// read may stall (latency spike), fail outright after the seek cost is
+// paid (a stalled controller still consumed the time), or deliver the
+// block with one byte flipped — which only a caller that checksums its
+// data can detect.
 func (d *Disk) ReadBlock(b uint32, mem *PhysMem, frame uint32) error {
 	if int(b) >= len(d.blocks) {
 		return fmt.Errorf("hw: disk read past end: block %d", b)
 	}
+	var v fault.DiskVerdict
+	v.CorruptOff = -1
+	if d.Fault != nil {
+		v = d.Fault.ReadFault(b)
+	}
 	d.access(b)
+	if v.Delay > 0 {
+		d.clock.Tick(v.Delay)
+		d.SlowCycles += v.Delay
+	}
+	if v.Err != nil {
+		d.ReadErrs++
+		return v.Err
+	}
 	d.Reads++
-	copy(mem.Page(frame), d.block(b))
+	page := mem.Page(frame)
+	copy(page, d.block(b))
+	if v.CorruptOff >= 0 {
+		page[v.CorruptOff%len(page)] ^= v.CorruptXor
+		d.Corruptions++
+	}
 	return nil
 }
 
-// WriteBlock DMAs the physical frame into block b.
+// WriteBlock DMAs the physical frame into block b. Fault injection
+// mirrors ReadBlock; a corrupted write lands the flipped byte on the
+// platter, so the damage is durable until overwritten.
 func (d *Disk) WriteBlock(b uint32, mem *PhysMem, frame uint32) error {
 	if int(b) >= len(d.blocks) {
 		return fmt.Errorf("hw: disk write past end: block %d", b)
 	}
+	var v fault.DiskVerdict
+	v.CorruptOff = -1
+	if d.Fault != nil {
+		v = d.Fault.WriteFault(b)
+	}
 	d.access(b)
+	if v.Delay > 0 {
+		d.clock.Tick(v.Delay)
+		d.SlowCycles += v.Delay
+	}
+	if v.Err != nil {
+		d.WriteErrs++
+		return v.Err
+	}
 	d.Writes++
-	copy(d.block(b), mem.Page(frame))
+	blk := d.block(b)
+	copy(blk, mem.Page(frame))
+	if v.CorruptOff >= 0 {
+		blk[v.CorruptOff%len(blk)] ^= v.CorruptXor
+		d.Corruptions++
+	}
 	return nil
 }
 

@@ -1,0 +1,147 @@
+package hw
+
+import (
+	"testing"
+
+	"exokernel/internal/fault"
+)
+
+// scriptedDisk replays fixed verdicts for block transfers (reads and
+// writes share one script, consumed in call order).
+type scriptedDisk struct {
+	verdicts []fault.DiskVerdict
+	i        int
+}
+
+func (s *scriptedDisk) take() fault.DiskVerdict {
+	if s.i >= len(s.verdicts) {
+		return fault.DiskVerdict{CorruptOff: -1}
+	}
+	v := s.verdicts[s.i]
+	s.i++
+	return v
+}
+
+func (s *scriptedDisk) ReadFault(b uint32) fault.DiskVerdict  { return s.take() }
+func (s *scriptedDisk) WriteFault(b uint32) fault.DiskVerdict { return s.take() }
+
+func TestDiskInjectedReadError(t *testing.T) {
+	m := NewMachine(DEC5000)
+	errv := fault.DiskVerdict{Err: injected(t), Delay: 5000, CorruptOff: -1}
+	m.Disk.Fault = &scriptedDisk{verdicts: []fault.DiskVerdict{errv}}
+	before := m.Clock.Cycles()
+	if err := m.Disk.ReadBlock(0, m.Phys, 1); err == nil {
+		t.Fatal("injected read error did not surface")
+	}
+	// The seek cost and the latency spike are both charged: a stalled
+	// controller consumed the time before failing.
+	if charged := m.Clock.Cycles() - before; charged < m.Disk.CostFixed+5000 {
+		t.Errorf("failed read charged only %d cycles", charged)
+	}
+	if m.Disk.ReadErrs != 1 || m.Disk.SlowCycles != 5000 {
+		t.Errorf("stats: ReadErrs=%d SlowCycles=%d", m.Disk.ReadErrs, m.Disk.SlowCycles)
+	}
+	if m.Disk.Reads != 0 {
+		t.Errorf("failed transfer counted as a read: Reads=%d", m.Disk.Reads)
+	}
+	// The next transfer (past the script) succeeds.
+	if err := m.Disk.ReadBlock(0, m.Phys, 1); err != nil {
+		t.Errorf("clean read after injected error failed: %v", err)
+	}
+}
+
+// injected obtains a real injector-made error so the device path carries
+// the distinguishable type end to end.
+func injected(t *testing.T) error {
+	t.Helper()
+	in := fault.New(fault.Config{Seed: 1, DiskReadErrPPM: 1_000_000})
+	v := in.ReadFault(0)
+	if v.Err == nil || !fault.IsInjected(v.Err) {
+		t.Fatal("could not mint an injected error")
+	}
+	return v.Err
+}
+
+func TestDiskInjectedReadCorruption(t *testing.T) {
+	m := NewMachine(DEC5000)
+	page := m.Phys.Page(2)
+	for i := range page {
+		page[i] = byte(i)
+	}
+	if err := m.Disk.WriteBlock(3, m.Phys, 2); err != nil {
+		t.Fatal(err)
+	}
+	m.Disk.Fault = &scriptedDisk{verdicts: []fault.DiskVerdict{
+		{CorruptOff: 17, CorruptXor: 0x40},
+	}}
+	if err := m.Disk.ReadBlock(3, m.Phys, 4); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Phys.Page(4)
+	if got[17] != byte(17)^0x40 {
+		t.Errorf("byte 17 = %#x, want flipped", got[17])
+	}
+	if got[16] != 16 || got[18] != 18 {
+		t.Error("corruption touched more than one byte")
+	}
+	// The platter itself is intact: a clean re-read sees the original.
+	m.Disk.Fault = nil
+	if err := m.Disk.ReadBlock(3, m.Phys, 5); err != nil {
+		t.Fatal(err)
+	}
+	if m.Phys.Page(5)[17] != 17 {
+		t.Error("read corruption damaged the platter")
+	}
+	if m.Disk.Corruptions != 1 {
+		t.Errorf("Corruptions = %d", m.Disk.Corruptions)
+	}
+}
+
+func TestDiskInjectedWriteCorruptionIsDurable(t *testing.T) {
+	m := NewMachine(DEC5000)
+	page := m.Phys.Page(2)
+	for i := range page {
+		page[i] = 0xAA
+	}
+	m.Disk.Fault = &scriptedDisk{verdicts: []fault.DiskVerdict{
+		{CorruptOff: 5, CorruptXor: 0x01},
+	}}
+	if err := m.Disk.WriteBlock(7, m.Phys, 2); err != nil {
+		t.Fatal(err)
+	}
+	m.Disk.Fault = nil
+	if err := m.Disk.ReadBlock(7, m.Phys, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Phys.Page(4)[5]; got != 0xAA^0x01 {
+		t.Errorf("platter byte 5 = %#x, want corrupted value", got)
+	}
+}
+
+// scriptedPressure steals a fixed number of rx slots per delivery.
+type scriptedPressure struct{ depth int }
+
+func (s scriptedPressure) RxPressure() int { return s.depth }
+
+func TestNICPressureShrinksRing(t *testing.T) {
+	m := NewMachine(DEC5000)
+	// Steal all but 2 of the 64 default slots.
+	m.NIC.Fault = scriptedPressure{depth: 62}
+	drops := 0
+	m.NIC.OnDrop = func() { drops++ }
+	for i := 0; i < 5; i++ {
+		m.NIC.Deliver(Packet{Data: []byte{byte(i)}})
+	}
+	if m.NIC.Pending() != 2 {
+		t.Errorf("pending = %d, want 2 under pressure", m.NIC.Pending())
+	}
+	if m.NIC.RxDropped != 3 || drops != 3 {
+		t.Errorf("RxDropped = %d, OnDrop fired %d times, want 3", m.NIC.RxDropped, drops)
+	}
+	// Pressure lifted: the ring accepts again.
+	m.NIC.Fault = nil
+	m.NIC.Deliver(Packet{Data: []byte{9}})
+	if m.NIC.Pending() != 3 {
+		t.Errorf("pending = %d after pressure lifted", m.NIC.Pending())
+	}
+}

@@ -6,6 +6,13 @@ type Packet struct {
 	Data []byte
 }
 
+// NICFault models receive-queue pressure: per delivery it reports how
+// many ring slots are artificially occupied (DMA descriptors stolen by a
+// misbehaving peer device, in hardware terms). nil means none.
+type NICFault interface {
+	RxPressure() int
+}
+
 // NIC models the network interface: a receive queue fed by the wire and a
 // transmit hook connected to an Ethernet segment (internal/ether). Receive
 // raises IRQNIC; the kernel demultiplexes with packet filters and copies
@@ -14,6 +21,14 @@ type NIC struct {
 	m  *Machine
 	rx []Packet
 	tx func(Packet)
+
+	// Fault, when non-nil, injects receive-queue pressure.
+	Fault NICFault
+	// OnDrop, when non-nil, is invoked for every frame dropped at the
+	// ring (overflow or injected pressure) — the kernel wires it into
+	// its accounting registry so silent hardware drops become visible.
+	OnDrop func()
+
 	// Stats
 	RxCount, TxCount, RxDropped uint64
 	rxLimit                     int
@@ -32,8 +47,15 @@ func (n *NIC) ConnectTx(tx func(Packet)) { n.tx = tx }
 // scheduled; when the kernel is running with interrupts masked (e.g.
 // inside an ASH), the pending bit is picked up at the next poll.
 func (n *NIC) Deliver(p Packet) {
-	if len(n.rx) >= n.rxLimit {
+	limit := n.rxLimit
+	if n.Fault != nil {
+		limit -= n.Fault.RxPressure()
+	}
+	if len(n.rx) >= limit {
 		n.RxDropped++
+		if n.OnDrop != nil {
+			n.OnDrop()
+		}
 		return
 	}
 	n.rx = append(n.rx, p)

@@ -66,6 +66,13 @@ func NewTLB(clock *Clock, size int) *TLB {
 // Size reports the number of entries.
 func (t *TLB) Size() int { return len(t.entries) }
 
+// Entries returns a copy of the architectural entry array. Diagnostic
+// only (invariant checkers, tests): it charges nothing and bypasses the
+// hash index, so it cannot perturb either clock or lookup state.
+func (t *TLB) Entries() []TLBEntry {
+	return append([]TLBEntry(nil), t.entries...)
+}
+
 // Epoch counts TLB mutations since creation. A cached translation is
 // valid only while the epoch it was filled under still matches.
 func (t *TLB) Epoch() uint64 { return t.epoch }

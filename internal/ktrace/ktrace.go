@@ -60,6 +60,10 @@ const (
 	KindDiskRead  // Env = requester, Arg0 = block, Arg1 = frame
 	KindDiskWrite // Env = requester, Arg0 = block, Arg1 = frame
 
+	// Faults.
+	KindNICOverflow // a frame died at the receive ring (Arg0 = drops so far)
+	KindFaultInject // Arg0 = fault.Kind, Arg1 = victim (block/frame bytes/env)
+
 	numKinds
 )
 
@@ -93,6 +97,8 @@ var kindNames = [numKinds]string{
 	KindRevokeAbort:    "revoke-abort",
 	KindDiskRead:       "disk-read",
 	KindDiskWrite:      "disk-write",
+	KindNICOverflow:    "nic-overflow",
+	KindFaultInject:    "fault-inject",
 }
 
 func (k Kind) String() string {

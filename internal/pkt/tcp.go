@@ -19,6 +19,7 @@ const (
 	tcpAckOff   = EtherLen + IPLen + 8
 	tcpFlagsOff = EtherLen + IPLen + 13
 	tcpWinOff   = EtherLen + IPLen + 14
+	tcpCkOff    = EtherLen + IPLen + 16
 )
 
 // SetTCP fills the sequence, acknowledgement, flag, and window fields of a
@@ -45,4 +46,37 @@ func TCPWindow(frame []byte) uint16 { return binary.BigEndian.Uint16(frame[tcpWi
 // IsTCP reports whether a frame is long enough to carry the TCP fields.
 func IsTCP(frame []byte) bool {
 	return len(frame) >= EtherLen+IPLen+TCPLen && frame[IPProto] == ProtoTCP
+}
+
+// TCPChecksum computes the segment checksum: an FNV-1a hash over the TCP
+// header and payload (the checksum field itself taken as zero), folded to
+// 16 bits. The format deviates from RFC 793's ones'-complement sum on
+// purpose — the Internet checksum cannot see a 0x0000↔0xFFFF word flip,
+// and this wire's fault injector flips exactly one byte, so the library
+// TCP wants a code with no blind spots for that error class. Both ends
+// are library code; the wire format is theirs to choose (§6.3).
+func TCPChecksum(frame []byte) uint16 {
+	const (
+		offsetBasis = 2166136261
+		prime       = 16777619
+	)
+	h := uint32(offsetBasis)
+	for i := EtherLen + IPLen; i < len(frame); i++ {
+		b := frame[i]
+		if i == tcpCkOff || i == tcpCkOff+1 {
+			b = 0
+		}
+		h = (h ^ uint32(b)) * prime
+	}
+	return uint16(h>>16) ^ uint16(h)
+}
+
+// SetTCPChecksum stamps the checksum field.
+func SetTCPChecksum(frame []byte) {
+	binary.BigEndian.PutUint16(frame[tcpCkOff:], TCPChecksum(frame))
+}
+
+// TCPChecksumOK verifies a received segment against its stamped checksum.
+func TCPChecksumOK(frame []byte) bool {
+	return binary.BigEndian.Uint16(frame[tcpCkOff:]) == TCPChecksum(frame)
 }

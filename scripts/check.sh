@@ -40,4 +40,10 @@ cmp "$tmp/fast.txt" "$tmp/slow.txt"
 EXO_SLOWPATH=1 go run ./cmd/aegisbench -only table2 -format json > "$tmp/bench_slow.json"
 go run ./cmd/benchdiff -threshold 0 "$tmp/bench_slow.json" "$tmp/bench.json"
 
+echo "== chaos smoke (fixed-seed fault schedule + invariant gate + replay)"
+# Smaller than \`make chaos\` (300 events vs 1000) but the same gate:
+# seeded faults on every device, invariants after every step, and a
+# replay that must reproduce the identical fault log and traces.
+go run ./cmd/chaos -seed 1 -target 300 -verify -q
+
 echo "check: OK"
