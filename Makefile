@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench results baseline benchdiff invariance profile chaos
+.PHONY: all build test check fmt vet race bench results baseline benchdiff invariance profile chaos soak soakbaseline top
 
 all: check
 
@@ -61,6 +61,26 @@ invariance:
 # to prove the seed reproduces it bit-identically (see cmd/chaos).
 chaos:
 	$(GO) run ./cmd/chaos -seed 1 -target 1000 -verify
+
+# Continuous soak gate: a 10⁶-event long-horizon chaos run (100 rounds
+# of 10⁴ fault events under rotating seeds, invariants checked after
+# every step) through the fleet observability bus, writing versioned
+# SOAK JSON that trends invariant-check latency, events/sec, and host
+# wall time per 10⁵ events (see internal/chaos/soak.go; cmd/soak -h for
+# knobs). scripts/check.sh runs a 10⁴-event smoke of the same gate.
+soak:
+	$(GO) run ./cmd/soak -seed 1 -rounds 100 -events 10000 -o SOAK_soak.json
+	@echo "wrote SOAK_soak.json"
+
+# Regenerate the committed SOAK baseline (small fixed config so the
+# trend file is cheap to refresh and diff).
+soakbaseline:
+	$(GO) run ./cmd/soak -seed 1 -rounds 4 -events 2500 -q -o SOAK_baseline.json
+	@echo "wrote SOAK_baseline.json"
+
+# Live fleet view of a chaos run (cmd/exotop; -once for one snapshot).
+top:
+	$(GO) run ./cmd/exotop -seed 1 -target 2000
 
 # CPU-profile the hottest workload (Table 9) for host-speed work:
 # go tool pprof cpu.pprof

@@ -39,6 +39,7 @@ import (
 	"strings"
 
 	"exokernel/internal/bench"
+	"exokernel/internal/fleet"
 	"exokernel/internal/hw"
 	"exokernel/internal/ktrace"
 )
@@ -52,6 +53,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace_event recording of the run to this file")
 	traceBuf := flag.Int("tracebuf", 1<<20, "flight-recorder capacity in events (oldest overwritten)")
 	cpuProfile := flag.String("cpuprofile", "", "write a host CPU profile of the run to this file")
+	top := flag.Bool("top", false, "after the run, print an exotop-style fleet view of every booted kernel to stderr")
 	flag.Parse()
 
 	if *format != "text" && *format != "csv" && *format != "json" {
@@ -68,6 +70,11 @@ func main() {
 	if *traceFile != "" {
 		rec = ktrace.New(*traceBuf)
 		bench.Tracer = rec
+	}
+	var bus *fleet.Bus
+	if *top {
+		bus = fleet.NewBus()
+		bench.Bus = bus
 	}
 
 	bench.Table9MatrixN = *matN
@@ -147,5 +154,8 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "aegisbench: wrote %d events to %s (%d recorded, %d overwritten)\n",
 			rec.Len(), *traceFile, rec.Total(), rec.Dropped())
+	}
+	if bus != nil {
+		fmt.Fprint(os.Stderr, fleet.RenderTop(bus.Snapshot(), nil, 12))
 	}
 }

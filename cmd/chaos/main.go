@@ -111,4 +111,7 @@ func print(r *chaos.Report, verified bool) {
 	fmt.Printf("  tcp: %d bytes intact=%v; disk: %d writes, %d reads, %d recovered errors\n",
 		r.TCPBytesSent, r.TCPIntact, r.DiskWrites, r.DiskReads, r.DiskErrs)
 	fmt.Printf("  nic overflow drops: %d/%d\n", r.RxOverflowA, r.RxOverflowB)
+	inv := r.InvariantNS
+	fmt.Printf("  invariant checks: %d sweeps, host ns p50=%d p99=%d max=%d\n",
+		inv.Count, inv.P50, inv.P99, inv.Max)
 }

@@ -1,0 +1,164 @@
+// Command exotop is the top-style fleet view: every machine in a run —
+// its per-env cycles, syscall and TLB/STLB rates, packet drops, NIC
+// overflow, revocations — plus the harness's live gauges (faults
+// injected by class, workload counters) and probes (invariant-check
+// latency), rendered from the fleet observability bus (internal/fleet).
+//
+// Workloads:
+//
+//	chaos          the two-machine chaos schedule (default), watched live
+//	<bench-id>     any aegisbench experiment (substring match, as in
+//	               `aegisbench -only`), snapshot at the end of the run
+//
+// Usage:
+//
+//	exotop                               # live view of a chaos run
+//	exotop -seed 7 -target 20000         # bigger run, chosen seed
+//	exotop -once -seed 1 -target 300     # one plaintext snapshot, then exit
+//	exotop -once table3                  # fleet view of a bench experiment
+//	exotop -trace merged.json -once      # also write the merged Perfetto
+//	                                     # timeline (one track per machine)
+//	exotop -jsonl merged.jsonl -once     # machine-tagged JSONL instead
+//
+// In live mode the screen redraws every -every schedule steps (ANSI
+// clear; -plain appends screens instead, for dumb terminals and pipes).
+// Rates are deltas per simulated millisecond between redraws — functions
+// of simulated time only, so the same seed renders the same numbers.
+// -once renders a single snapshot after the run completes; its output is
+// deterministic and is pinned by a golden test in internal/fleet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"exokernel/internal/bench"
+	"exokernel/internal/chaos"
+	"exokernel/internal/fleet"
+)
+
+func main() {
+	once := flag.Bool("once", false, "render one snapshot at the end of the run and exit")
+	seed := flag.Uint64("seed", 1, "chaos schedule + injector seed")
+	target := flag.Uint64("target", 5000, "chaos fault-event target")
+	steps := flag.Int("steps", 0, "chaos max schedule steps (0 = scaled default)")
+	every := flag.Int("every", 250, "live mode: redraw every N schedule steps")
+	maxEnvs := flag.Int("envs", 12, "max environments listed (0 = all)")
+	plain := flag.Bool("plain", false, "live mode: no ANSI clear, append screens")
+	traceOut := flag.String("trace", "", "write the merged Chrome/Perfetto trace to this file")
+	jsonlOut := flag.String("jsonl", "", "write the merged machine-tagged JSONL trace to this file")
+	flag.Parse()
+
+	workload := "chaos"
+	if flag.NArg() == 1 {
+		workload = flag.Arg(0)
+	} else if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: exotop [flags] [chaos|<bench-id>]")
+		os.Exit(2)
+	}
+
+	bus := fleet.NewBus()
+	var err error
+	if strings.EqualFold(workload, "chaos") {
+		err = runChaos(bus, *seed, *target, *steps, *every, *once, *plain, *maxEnvs)
+	} else {
+		err = runBench(bus, workload)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "exotop: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *once {
+		fmt.Print(fleet.RenderTop(bus.Snapshot(), nil, *maxEnvs))
+	}
+	if *traceOut != "" {
+		if err := writeTo(*traceOut, bus.WriteChrome); err != nil {
+			fmt.Fprintf(os.Stderr, "exotop: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "exotop: wrote merged trace (%d machines) to %s\n",
+			len(bus.Members()), *traceOut)
+	}
+	if *jsonlOut != "" {
+		if err := writeTo(*jsonlOut, bus.WriteJSONL); err != nil {
+			fmt.Fprintf(os.Stderr, "exotop: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "exotop: wrote merged JSONL to %s\n", *jsonlOut)
+	}
+}
+
+// runChaos drives the two-machine chaos schedule over the bus, redrawing
+// in live mode.
+func runChaos(bus *fleet.Bus, seed, target uint64, steps, every int, once, plain bool, maxEnvs int) error {
+	if steps == 0 {
+		steps = 3*int(target) + 20000
+	}
+	var prev *fleet.Snapshot
+	cfg := chaos.Config{Seed: seed, TargetFaults: target, MaxSteps: steps, Bus: bus}
+	if !once {
+		cfg.OnStep = func(step int) {
+			if step%every != 0 {
+				return
+			}
+			cur := bus.Snapshot()
+			if !plain {
+				fmt.Print("\033[H\033[2J")
+			}
+			fmt.Printf("exotop: chaos seed=%#x step=%d\n", seed, step)
+			fmt.Print(fleet.RenderTop(cur, prev, maxEnvs))
+			prev = cur
+		}
+	}
+	rep, err := chaos.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if !once {
+		if !plain {
+			fmt.Print("\033[H\033[2J")
+		}
+		fmt.Printf("exotop: chaos seed=%#x done: %d steps, %d fault events, tcp intact=%v\n",
+			seed, rep.Steps, rep.FaultEvents, rep.TCPIntact)
+		fmt.Print(fleet.RenderTop(bus.Snapshot(), prev, maxEnvs))
+	}
+	return nil
+}
+
+// runBench runs the matching aegisbench experiments with every booted
+// kernel registered on the bus (bench.Bus), so the final snapshot covers
+// the whole experiment's machines.
+func runBench(bus *fleet.Bus, name string) error {
+	bench.Bus = bus
+	needle := strings.ToLower(strings.ReplaceAll(name, " ", ""))
+	ran := 0
+	for _, e := range bench.All() {
+		id := strings.ToLower(strings.ReplaceAll(e.ID, " ", ""))
+		if !strings.Contains(id, needle) && !strings.Contains(strings.ToLower(e.Title), needle) {
+			continue
+		}
+		fmt.Fprint(os.Stderr, e.Run().Format()+"\n")
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no workload matches %q (try `aegisbench -list`, or `chaos`)", name)
+	}
+	return nil
+}
+
+// writeTo creates path and streams write into it.
+func writeTo(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

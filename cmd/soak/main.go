@@ -1,0 +1,69 @@
+// Command soak is the continuous soak gate: a long-horizon chaos driver
+// that runs the two-machine fault schedule round after round under
+// rotating seeds, every round through the full invariant gate, and
+// writes a versioned SOAK JSON trending invariant-check latency, fault
+// events per second, and host wall time per 10⁵ events (see
+// internal/chaos/soak.go for the schema). `make soak` runs the 10⁶-event
+// configuration; scripts/check.sh runs a 10⁴-event smoke; the committed
+// SOAK_baseline.json is the first trend to diff against.
+//
+// Usage:
+//
+//	soak                                  # default: 4 rounds x 2500 events
+//	soak -rounds 100 -events 10000        # the `make soak` 10⁶-event run
+//	soak -seed 1 -o SOAK.json             # write the JSON to a file
+//	soak -q                               # no per-round progress on stderr
+//
+// Exit status is nonzero if any round breaks a kernel invariant or a
+// workload check; the failing seed is in the error, and rerunning
+// `chaos -seed N` reproduces that round fault for fault.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"exokernel/internal/chaos"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "first round's seed; round i uses seed+i")
+	rounds := flag.Int("rounds", 4, "number of chaos rounds")
+	events := flag.Uint64("events", 2500, "fault-event target per round")
+	out := flag.String("o", "", "write SOAK JSON to this file (default stdout)")
+	quiet := flag.Bool("q", false, "suppress per-round progress on stderr")
+	flag.Parse()
+
+	cfg := chaos.SoakConfig{SeedStart: *seed, Rounds: *rounds, EventsPerRound: *events}
+	if !*quiet {
+		cfg.Progress = func(w chaos.SoakWindow) {
+			fmt.Fprintf(os.Stderr, "soak: round %d/%d seed=%d: %d events, %d steps, %.0f ev/sec, invariant p99=%dns\n",
+				w.Round+1, *rounds, w.Seed, w.FaultEvents, w.Steps, w.EventsPerSec, w.InvariantNS.P99)
+		}
+	}
+	rep, err := chaos.Soak(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL %v\n", err)
+		os.Exit(1)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, cerr := os.Create(*out)
+		if cerr != nil {
+			fmt.Fprintf(os.Stderr, "soak: %v\n", cerr)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprint(os.Stderr, rep.TrendTable())
+	}
+}

@@ -117,3 +117,13 @@ func (k *Kernel) Account(id EnvID) EnvAccount {
 
 // GlobalStats returns a copy of the kernel-wide counters.
 func (k *Kernel) GlobalStats() Stats { return k.Stats.Stats }
+
+// Accounts returns a settled copy of every environment's account,
+// indexed by EnvID-1 (the table may be shorter than Envs() when trailing
+// environments were never charged anything). One settle, one copy: the
+// fleet bus snapshots a whole machine in a single call, and — like every
+// accounting read — without touching the simulated clock.
+func (k *Kernel) Accounts() []EnvAccount {
+	k.settleCycles()
+	return append([]EnvAccount(nil), k.Stats.perEnv...)
+}

@@ -64,6 +64,7 @@ func AblationILP() *Table {
 		m := hw.NewMachine(hw.DEC5000)
 		k := aegis.New(m)
 		k.SetTracer(Tracer)
+		registerFleet(m, k)
 		env, err := k.NewEnv(nil)
 		if err != nil {
 			panic(err)
@@ -116,6 +117,8 @@ func AblationDSM() *Table {
 	kb := aegis.New(mb)
 	ka.SetTracer(Tracer)
 	kb.SetTracer(Tracer)
+	registerFleet(ma, ka)
+	registerFleet(mb, kb)
 	seg.Attach(ma)
 	seg.Attach(mb)
 	na := exos.NewNet(ka, pkt.Addr{0xA}, pkt.IP(10, 9, 0, 1))

@@ -6,6 +6,7 @@ import (
 	"exokernel/internal/aegis"
 	"exokernel/internal/asm"
 	"exokernel/internal/exos"
+	"exokernel/internal/fleet"
 	"exokernel/internal/hw"
 	"exokernel/internal/ktrace"
 	"exokernel/internal/pkt"
@@ -30,12 +31,33 @@ var Tracer *ktrace.Recorder
 // that by comparing byte-identical table output both ways.
 var MetricsOff bool
 
+// Bus, when non-nil, registers every Aegis kernel the harness boots as a
+// fleet member (m1, m2, ...), so cmd/exotop and `aegisbench -top` can
+// render a fleet view of a whole experiment run. Registration is pure
+// observation — the fleet bus never ticks a simulated clock — so wiring
+// it cannot change a measured number.
+var Bus *fleet.Bus
+
+// busSeq numbers the members registered on Bus within one process.
+var busSeq int
+
+// registerFleet adds a freshly booted kernel to the fleet bus (no-op
+// when no bus is attached).
+func registerFleet(m *hw.Machine, k *aegis.Kernel) {
+	if Bus == nil {
+		return
+	}
+	busSeq++
+	Bus.Register(fmt.Sprintf("m%d", busSeq), m, k, Tracer)
+}
+
 // newAegis boots Aegis on a fresh primary-platform machine.
 func newAegis() (*hw.Machine, *aegis.Kernel) {
 	m := hw.NewMachine(hw.DEC5000)
 	k := aegis.New(m)
 	k.SetTracer(Tracer)
 	k.Stats.MetricsOn = !MetricsOff
+	registerFleet(m, k)
 	return m, k
 }
 

@@ -17,16 +17,23 @@ package chaos
 import (
 	"bytes"
 	"fmt"
+	"time"
 
 	"exokernel/internal/aegis"
 	"exokernel/internal/cap"
 	"exokernel/internal/ether"
 	"exokernel/internal/exos"
 	"exokernel/internal/fault"
+	"exokernel/internal/fleet"
 	"exokernel/internal/hw"
 	"exokernel/internal/ktrace"
+	"exokernel/internal/metrics"
 	"exokernel/internal/pkt"
 )
+
+// InvariantProbe is the fleet-bus probe name under which the harness
+// records each invariant-check's host-side latency (nanoseconds).
+const InvariantProbe = "invariant_check_ns"
 
 // Config parameterizes one chaos run.
 type Config struct {
@@ -39,6 +46,19 @@ type Config struct {
 	MaxSteps int
 	// Fault overrides the injector rates; zero means aggressive defaults.
 	Fault fault.Config
+
+	// Bus, when non-nil, has both machines registered on it (names "A"
+	// and "B") along with the run's live gauges — per-class fault counts,
+	// step and workload counters — and the invariant-check latency probe,
+	// so cmd/exotop (or any observer) can watch the run mid-flight
+	// instead of reading a report after the fact. A Bus observes one run;
+	// pass a fresh one per Run. Nil means Run keeps a private bus (the
+	// report still carries the probe summary).
+	Bus *fleet.Bus
+	// OnStep, when non-nil, is called after each schedule step passes the
+	// invariant gate. Observation only: it must not mutate the world or
+	// tick a simulated clock, or seed-replay breaks.
+	OnStep func(step int)
 }
 
 // DefaultFaultConfig returns the rates a chaos run uses when none are
@@ -87,6 +107,11 @@ type Report struct {
 	TraceTotalA, TraceTotalB uint64
 	TraceHash                uint64
 	RxOverflowA, RxOverflowB uint64
+
+	// InvariantNS summarizes the host-side latency of every
+	// aegis.CheckInvariants sweep the gate ran (both machines per check).
+	// Host time, so informational — never part of the replay witness.
+	InvariantNS metrics.Snapshot
 }
 
 // sched is the schedule's own splitmix64 stream — separate from the
@@ -167,6 +192,9 @@ type world struct {
 
 	victims []*victim
 	rep     *Report
+
+	bus     *fleet.Bus
+	invHist *metrics.Hist // bus probe: host ns per invariant check
 }
 
 // Run executes one chaos schedule and returns its report. A non-nil
@@ -197,6 +225,9 @@ func Run(cfg Config) (*Report, error) {
 		if err := w.checkBoth(step); err != nil {
 			w.finish()
 			return rep, err
+		}
+		if cfg.OnStep != nil {
+			cfg.OnStep(step)
 		}
 	}
 
@@ -253,6 +284,32 @@ func setup(cfg Config) (*world, error) {
 	w.mb.Disk.Fault = w.inj
 	w.ma.NIC.Fault = w.inj
 	w.mb.NIC.Fault = w.inj
+
+	// Fleet bus: both machines, the run's live gauges, and the
+	// invariant-check latency probe. The per-step counters used to exist
+	// only in the final report; through the bus they are observable while
+	// the schedule is still running.
+	w.bus = cfg.Bus
+	if w.bus == nil {
+		w.bus = fleet.NewBus()
+	}
+	w.bus.Register("A", w.ma, w.ka, w.recA)
+	w.bus.Register("B", w.mb, w.kb, w.recB)
+	w.invHist = w.bus.Probe(InvariantProbe)
+	w.bus.AddGauge("steps", func() uint64 { return uint64(w.rep.Steps) })
+	w.bus.AddGauge("fault_events", w.inj.Total)
+	for k := 0; k < fault.NumKinds; k++ {
+		k := k
+		w.bus.AddGauge("faults/"+fault.Kind(k).String(), func() uint64 { return w.inj.Counts[k] })
+	}
+	w.bus.AddGauge("envs_created", func() uint64 { return uint64(w.rep.EnvsCreated) })
+	w.bus.AddGauge("envs_killed", func() uint64 { return uint64(w.rep.EnvsKilled) })
+	w.bus.AddGauge("revocations", func() uint64 { return uint64(w.rep.Revocations) })
+	w.bus.AddGauge("tcp_sent_bytes", func() uint64 { return uint64(len(w.sent)) })
+	w.bus.AddGauge("tcp_recv_bytes", func() uint64 { return uint64(len(w.got)) })
+	w.bus.AddGauge("disk_writes", func() uint64 { return uint64(w.rep.DiskWrites) })
+	w.bus.AddGauge("disk_reads", func() uint64 { return uint64(w.rep.DiskReads) })
+	w.bus.AddGauge("disk_errs", func() uint64 { return uint64(w.rep.DiskErrs) })
 
 	// TCP service pair.
 	macA := pkt.Addr{0x02, 0, 0, 0, 0, 0xA}
@@ -491,13 +548,21 @@ func (w *world) killVictim(v *victim) {
 	}
 }
 
-// checkBoth runs the kernel invariant gate on both machines.
+// checkBoth runs the kernel invariant gate on both machines, recording
+// the sweep's host-side latency on the bus probe. The timing is pure
+// observation (host clock, not simulated), so it cannot perturb the
+// schedule or the replay witness — but its trend over a long soak is the
+// early warning that the audits stopped scaling.
 func (w *world) checkBoth(step int) error {
-	if err := w.ka.CheckInvariants(); err != nil {
-		return fmt.Errorf("chaos: machine A, step %d, seed %#x: %w", step, w.cfg.Seed, err)
+	start := time.Now()
+	errA := w.ka.CheckInvariants()
+	errB := w.kb.CheckInvariants()
+	w.invHist.Record(uint64(time.Since(start)))
+	if errA != nil {
+		return fmt.Errorf("chaos: machine A, step %d, seed %#x: %w", step, w.cfg.Seed, errA)
 	}
-	if err := w.kb.CheckInvariants(); err != nil {
-		return fmt.Errorf("chaos: machine B, step %d, seed %#x: %w", step, w.cfg.Seed, err)
+	if errB != nil {
+		return fmt.Errorf("chaos: machine B, step %d, seed %#x: %w", step, w.cfg.Seed, errB)
 	}
 	return nil
 }
@@ -530,6 +595,7 @@ func (w *world) finish() {
 	r.TraceHash = traceHash(w.recA, w.recB)
 	r.RxOverflowA = w.ka.GlobalStats().RxOverflow
 	r.RxOverflowB = w.kb.GlobalStats().RxOverflow
+	r.InvariantNS = w.invHist.Snapshot()
 }
 
 // traceHash fingerprints both kernels' event windows (FNV-1a over every

@@ -1,0 +1,201 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"exokernel/internal/fleet"
+	"exokernel/internal/metrics"
+)
+
+// The soak gate: a long-horizon chaos driver. One soak is R rounds of
+// the two-machine chaos schedule, each round a fresh world under a
+// rotating seed (SeedStart, SeedStart+1, ...), each required to pass the
+// full invariant gate. What the gate *trends* — rather than passes or
+// fails — is scale: invariant-check latency, fault events per host
+// second, and host wall time per 10⁵ events, window by window. A scale
+// regression in the kernel's audits or hot paths shows up as a drifting
+// trend long before it becomes a timeout in someone's CI.
+//
+// The output is versioned SOAK JSON (schema below), the soak sibling of
+// BENCH JSON: deterministic fields (seeds, fault counts, sim cycles,
+// trace hashes) replay bit-identically; host-time fields are the
+// informational trend. `make soak` runs the 10⁶-event configuration;
+// scripts/check.sh runs a 10⁴-event smoke; SOAK_baseline.json is the
+// committed first trend to diff against.
+
+// SoakSchema discriminates SOAK JSON files from other JSON.
+const SoakSchema = "aegis-soak"
+
+// SoakSchemaVersion is bumped on any incompatible schema change.
+const SoakSchemaVersion = 1
+
+// SoakConfig parameterizes one soak.
+type SoakConfig struct {
+	// SeedStart seeds round 0; round i uses SeedStart + i.
+	SeedStart uint64
+	// Rounds is the number of chaos runs (default 4).
+	Rounds int
+	// EventsPerRound is each round's fault-event target (default 2500).
+	// Rounds × EventsPerRound is the soak's total event budget.
+	EventsPerRound uint64
+	// Progress, when non-nil, sees each window as it completes.
+	Progress func(SoakWindow)
+	// OnBus, when non-nil, sees each round's fleet bus before the round
+	// runs — cmd/exotop hooks live rendering here.
+	OnBus func(round int, bus *fleet.Bus)
+}
+
+// SoakWindow is one round's measurements: the deterministic witness
+// (seed, events, steps, cycles, trace hash) plus the host-side trend
+// fields.
+type SoakWindow struct {
+	Round       int    `json:"round"`
+	Seed        uint64 `json:"seed"`
+	FaultEvents uint64 `json:"fault_events"`
+	Steps       int    `json:"steps"`
+	SimCycles   uint64 `json:"sim_cycles"` // both machines' clocks, summed
+	TraceEvents uint64 `json:"trace_events"`
+	TraceHash   string `json:"trace_hash"` // replay witness, hex
+
+	WallNS        int64   `json:"wall_ns"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	WallNSPer100K float64 `json:"wall_ns_per_100k_events"`
+
+	InvariantNS metrics.Snapshot `json:"invariant_ns"`
+}
+
+// SoakReport is the SOAK JSON document.
+type SoakReport struct {
+	Schema         string `json:"schema"`
+	SchemaVersion  int    `json:"schema_version"`
+	SeedStart      uint64 `json:"seed_start"`
+	Rounds         int    `json:"rounds"`
+	EventsPerRound uint64 `json:"events_per_round"`
+
+	TotalEvents   uint64  `json:"total_events"`
+	TotalSteps    int     `json:"total_steps"`
+	TotalWallNS   int64   `json:"total_wall_ns"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	WallNSPer100K float64 `json:"wall_ns_per_100k_events"`
+
+	// InvariantNS pools every round's invariant-check latency histogram
+	// (bucket merge, not snapshot averaging).
+	InvariantNS metrics.Snapshot `json:"invariant_ns"`
+
+	Windows []SoakWindow `json:"windows"`
+}
+
+// Soak runs the configured rounds. A non-nil error means some round
+// broke an invariant or a workload check; the report still carries every
+// completed window (and the failing round's seed is in the error).
+func Soak(cfg SoakConfig) (*SoakReport, error) {
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 4
+	}
+	if cfg.EventsPerRound == 0 {
+		cfg.EventsPerRound = 2500
+	}
+	rep := &SoakReport{
+		Schema:         SoakSchema,
+		SchemaVersion:  SoakSchemaVersion,
+		SeedStart:      cfg.SeedStart,
+		Rounds:         cfg.Rounds,
+		EventsPerRound: cfg.EventsPerRound,
+	}
+	var pooled metrics.Hist
+	for round := 0; round < cfg.Rounds; round++ {
+		seed := cfg.SeedStart + uint64(round)
+		bus := fleet.NewBus()
+		if cfg.OnBus != nil {
+			cfg.OnBus(round, bus)
+		}
+		// The default step bound is sized for the default event target;
+		// scale it with the per-round budget (the schedule injects a
+		// fraction of a fault per step).
+		maxSteps := 3*int(cfg.EventsPerRound) + 20000
+		start := time.Now()
+		run, err := Run(Config{Seed: seed, TargetFaults: cfg.EventsPerRound, MaxSteps: maxSteps, Bus: bus})
+		wall := time.Since(start)
+		if err != nil {
+			return rep, fmt.Errorf("soak: round %d: %w", round, err)
+		}
+		w := SoakWindow{
+			Round:       round,
+			Seed:        seed,
+			FaultEvents: run.FaultEvents,
+			Steps:       run.Steps,
+			SimCycles:   run.CyclesA + run.CyclesB,
+			TraceEvents: run.TraceTotalA + run.TraceTotalB,
+			TraceHash:   fmt.Sprintf("%016x", run.TraceHash),
+			WallNS:      wall.Nanoseconds(),
+			InvariantNS: run.InvariantNS,
+		}
+		if s := wall.Seconds(); s > 0 {
+			w.EventsPerSec = float64(run.FaultEvents) / s
+		}
+		if run.FaultEvents > 0 {
+			w.WallNSPer100K = float64(wall.Nanoseconds()) / (float64(run.FaultEvents) / 1e5)
+		}
+		pooled.Merge(bus.Probe(InvariantProbe))
+		rep.Windows = append(rep.Windows, w)
+		rep.TotalEvents += w.FaultEvents
+		rep.TotalSteps += w.Steps
+		rep.TotalWallNS += w.WallNS
+		if cfg.Progress != nil {
+			cfg.Progress(w)
+		}
+	}
+	if s := float64(rep.TotalWallNS) / 1e9; s > 0 {
+		rep.EventsPerSec = float64(rep.TotalEvents) / s
+	}
+	if rep.TotalEvents > 0 {
+		rep.WallNSPer100K = float64(rep.TotalWallNS) / (float64(rep.TotalEvents) / 1e5)
+	}
+	rep.InvariantNS = pooled.Snapshot()
+	return rep, nil
+}
+
+// WriteJSON writes the report as indented SOAK JSON.
+func (r *SoakReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ParseSoakJSON reads a SOAK JSON document back (for diffing against a
+// committed baseline).
+func ParseSoakJSON(rd io.Reader) (*SoakReport, error) {
+	var r SoakReport
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("soak: %w", err)
+	}
+	if r.Schema != SoakSchema {
+		return nil, fmt.Errorf("soak: schema %q, want %q", r.Schema, SoakSchema)
+	}
+	if r.SchemaVersion != SoakSchemaVersion {
+		return nil, fmt.Errorf("soak: schema version %d, want %d", r.SchemaVersion, SoakSchemaVersion)
+	}
+	return &r, nil
+}
+
+// TrendTable renders the window-by-window trend as aligned text — the
+// human read of the SOAK JSON, one row per round.
+func (r *SoakReport) TrendTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "soak: %d rounds x %d events, seeds %d..%d\n",
+		r.Rounds, r.EventsPerRound, r.SeedStart, r.SeedStart+uint64(r.Rounds)-1)
+	b.WriteString("round  seed       events   steps   ev/sec   wall_ms/100k   inv_p50_ns  inv_p99_ns\n")
+	for _, w := range r.Windows {
+		fmt.Fprintf(&b, "%5d  %-9d %7d  %6d  %7.0f  %13.1f  %11d  %10d\n",
+			w.Round, w.Seed, w.FaultEvents, w.Steps, w.EventsPerSec,
+			w.WallNSPer100K/1e6, w.InvariantNS.P50, w.InvariantNS.P99)
+	}
+	fmt.Fprintf(&b, "total  %d events, %d steps, %.0f ev/sec, %.1f wall_ms/100k, invariant p50=%dns p99=%dns max=%dns\n",
+		r.TotalEvents, r.TotalSteps, r.EventsPerSec, r.WallNSPer100K/1e6,
+		r.InvariantNS.P50, r.InvariantNS.P99, r.InvariantNS.Max)
+	return b.String()
+}

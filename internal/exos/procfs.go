@@ -17,6 +17,10 @@ import (
 //
 // Paths:
 //
+//	/proc/machine     the hardware underneath: model, clock rate, cycle
+//	                  count, memory/TLB/disk geometry, and the flight
+//	                  recorder's census (the local slice of what the
+//	                  fleet bus aggregates across machines)
 //	/proc/stat        kernel-wide counters + histogram summary
 //	/proc/histograms  kernel-wide cycle-latency histograms, including
 //	                  the per-syscall-number breakdown
@@ -39,6 +43,8 @@ func (os *LibOS) ProcRead(path string) (string, error) {
 	os.K.M.Clock.Tick(12) // protected entry into the registry
 	var out string
 	switch {
+	case len(parts) == 2 && parts[1] == "machine":
+		out = formatMachine(os.K)
 	case len(parts) == 2 && parts[1] == "stat":
 		out = formatStat(os.K)
 	case len(parts) == 2 && parts[1] == "histograms":
@@ -112,6 +118,27 @@ func formatEnvHist(k *aegis.Kernel, e *aegis.Env) string {
 	for op := aegis.OpClass(0); op < aegis.NumOpClasses; op++ {
 		histLine(&b, op.String(), k.Stats.EnvOpSnapshot(e.ID, op))
 	}
+	return b.String()
+}
+
+// formatMachine renders the hardware this kernel multiplexes: the model
+// and clock, the resource geometry, and the flight recorder's census.
+// All of it is observation of state that already exists — the same facts
+// the fleet bus reads when this machine is a member.
+func formatMachine(k *aegis.Kernel) string {
+	c := k.M.Config
+	var b strings.Builder
+	fmt.Fprintf(&b, "model %s\n", c.Name)
+	fmt.Fprintf(&b, "mhz %g\n", c.MHz)
+	fmt.Fprintf(&b, "cycles %d\n", k.M.Clock.Cycles())
+	kv := func(k string, v uint64) { fmt.Fprintf(&b, "%s %d\n", k, v) }
+	kv("mem_pages", uint64(c.MemPages))
+	kv("tlb_entries", uint64(c.TLBSize))
+	kv("stlb_entries", uint64(c.STLBSize))
+	kv("disk_blocks", uint64(c.DiskBlocks))
+	kv("trace_total", k.Tracer.Total())
+	kv("trace_held", uint64(k.Tracer.Len()))
+	kv("trace_overwritten", k.Tracer.Dropped())
 	return b.String()
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"exokernel/internal/aegis"
+	"exokernel/internal/ktrace"
 )
 
 func TestProcReadStatAndStatus(t *testing.T) {
@@ -51,6 +52,35 @@ func TestProcReadStatAndStatus(t *testing.T) {
 	}
 	if m.Clock.Cycles() == before {
 		t.Error("ProcRead consumed no simulated time")
+	}
+}
+
+func TestProcReadMachine(t *testing.T) {
+	m, k, os := boot2(t)
+	out, err := os.ProcRead("/proc/machine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"model DEC5000/125", "mhz 25", "mem_pages 8192", "tlb_entries 64", "stlb_entries 4096", "trace_total 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/proc/machine missing %q:\n%s", want, out)
+		}
+	}
+	// The cycle count reported is the live clock (minus the entry charge,
+	// which precedes rendering): reading again must report progress.
+	if !strings.Contains(out, fmt.Sprintf("cycles %d", m.Clock.Cycles()-uint64((len(out)+3)/4))) {
+		t.Errorf("/proc/machine cycle count is not the live clock:\n%s (clock now %d)", out, m.Clock.Cycles())
+	}
+	// With a flight recorder attached, the census is the recorder's.
+	rec := ktrace.New(16)
+	k.SetTracer(rec)
+	k.Yield(os.Env.ID) // emit something
+	out, err = os.ProcRead("/proc/machine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, fmt.Sprintf("trace_total %d", rec.Total())) || rec.Total() == 0 {
+		t.Errorf("/proc/machine trace census stale (recorder total %d):\n%s", rec.Total(), out)
 	}
 }
 

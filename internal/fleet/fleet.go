@@ -1,0 +1,268 @@
+// Package fleet is the multi-machine observability bus: N simulated
+// machines — each with its Aegis kernel, accounting registry, and ktrace
+// flight recorder — register as members, and the bus renders them as one
+// system. It snapshots every member's counters in one call, merges every
+// member's trace window into a single cycle-ordered stream with a
+// machine dimension, and exports the merged stream as one Perfetto
+// timeline with a process track per machine.
+//
+// The bus inherits the observation contract of ktrace and metrics:
+// aggregation is observation, never participation. Snapshot, MergedEvents
+// and the exporters read registries and recorders but never tick a
+// simulated clock — observing a fleet costs zero simulated cycles
+// (pinned by TestFleetObservationIsFree), so a run observed continuously
+// is cycle-identical to one observed never. That is the paper's
+// discipline at datacenter scale: the kernel (and here, the harness
+// around many kernels) multiplexes; measurement and policy stay outside
+// the cost model.
+//
+// Harness-side series ride the same bus: probes are named host-time
+// histograms (e.g. the chaos gate's invariant-check latency) and gauges
+// are named counters sampled at snapshot time (e.g. faults injected by
+// class). They carry host-side facts, so they never appear in simulated
+// exports — only in top views and SOAK trends.
+package fleet
+
+import (
+	"io"
+	"sort"
+
+	"exokernel/internal/aegis"
+	"exokernel/internal/hw"
+	"exokernel/internal/ktrace"
+	"exokernel/internal/metrics"
+)
+
+// Member is one registered machine: the hardware (for its clock and
+// config), the kernel (for its registry), and the flight recorder (which
+// may be nil — a member without tracing still snapshots counters).
+type Member struct {
+	Name string
+	M    *hw.Machine
+	K    *aegis.Kernel
+	Rec  *ktrace.Recorder
+}
+
+// probe is a named host-side histogram owned by the bus.
+type probe struct {
+	name string
+	h    metrics.Hist
+}
+
+// gauge is a named counter sampled at snapshot time.
+type gauge struct {
+	name string
+	fn   func() uint64
+}
+
+// Bus aggregates members, probes, and gauges. A Bus observes one run;
+// re-registering a name replaces the member (and likewise for gauges),
+// so a harness that restarts its world on the same bus never presents
+// stale machines.
+type Bus struct {
+	members []*Member
+	probes  []*probe
+	gauges  []gauge
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Register adds a machine to the fleet (replacing any member with the
+// same name) and returns its member record. Registration order fixes the
+// machine's track position in merged exports.
+func (b *Bus) Register(name string, m *hw.Machine, k *aegis.Kernel, rec *ktrace.Recorder) *Member {
+	mb := &Member{Name: name, M: m, K: k, Rec: rec}
+	for i, old := range b.members {
+		if old.Name == name {
+			b.members[i] = mb
+			return mb
+		}
+	}
+	b.members = append(b.members, mb)
+	return mb
+}
+
+// Members returns the registered machines in registration order.
+func (b *Bus) Members() []*Member { return b.members }
+
+// MachineNames returns the member names in registration order — the pid
+// assignment of merged exports.
+func (b *Bus) MachineNames() []string {
+	names := make([]string, len(b.members))
+	for i, m := range b.members {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// Probe returns the named host-side histogram, creating it on first use.
+// Probe order is first-use order, which snapshots preserve.
+func (b *Bus) Probe(name string) *metrics.Hist {
+	for _, p := range b.probes {
+		if p.name == name {
+			return &p.h
+		}
+	}
+	p := &probe{name: name}
+	b.probes = append(b.probes, p)
+	return &p.h
+}
+
+// AddGauge registers (or replaces) a named counter sampled at snapshot
+// time. The function must be cheap and must not tick any simulated clock.
+func (b *Bus) AddGauge(name string, fn func() uint64) {
+	for i := range b.gauges {
+		if b.gauges[i].name == name {
+			b.gauges[i].fn = fn
+			return
+		}
+	}
+	b.gauges = append(b.gauges, gauge{name: name, fn: fn})
+}
+
+// EnvSnap is one environment's slice of a machine snapshot.
+type EnvSnap struct {
+	ID     aegis.EnvID
+	Dead   bool
+	Slices uint64
+	Acct   aegis.EnvAccount
+}
+
+// MachineSnap is one member's counters at a snapshot instant.
+type MachineSnap struct {
+	Name   string
+	MHz    float64
+	Cycles uint64
+	Stats  aegis.Stats
+	Envs   []EnvSnap
+
+	// Flight-recorder census (zero when the member has no recorder).
+	TraceTotal   uint64
+	TraceHeld    int
+	TraceDropped uint64
+
+	// Kernel-wide operation-latency summaries (simulated cycles).
+	Ops [aegis.NumOpClasses]metrics.Snapshot
+}
+
+// SimMicros converts this machine's cycle count to simulated
+// microseconds.
+func (ms *MachineSnap) SimMicros() float64 {
+	if ms.MHz <= 0 {
+		return 0
+	}
+	return float64(ms.Cycles) / ms.MHz
+}
+
+// ProbeSnap is one probe's summary at a snapshot instant.
+type ProbeSnap struct {
+	Name string
+	Snap metrics.Snapshot
+}
+
+// GaugeSnap is one gauge's value at a snapshot instant.
+type GaugeSnap struct {
+	Name  string
+	Value uint64
+}
+
+// Snapshot is the whole fleet's counters at one instant.
+type Snapshot struct {
+	Machines []MachineSnap
+	Probes   []ProbeSnap
+	Gauges   []GaugeSnap
+}
+
+// Snapshot reads every member's registry, recorder census, and the bus's
+// probes and gauges. Pure observation: no simulated clock moves, so a
+// run interleaved with snapshots is cycle-identical to one without.
+func (b *Bus) Snapshot() *Snapshot {
+	s := &Snapshot{Machines: make([]MachineSnap, 0, len(b.members))}
+	for _, mb := range b.members {
+		ms := MachineSnap{
+			Name:         mb.Name,
+			MHz:          mb.M.Config.MHz,
+			Cycles:       mb.M.Clock.Cycles(),
+			Stats:        mb.K.GlobalStats(),
+			TraceTotal:   mb.Rec.Total(),
+			TraceHeld:    mb.Rec.Len(),
+			TraceDropped: mb.Rec.Dropped(),
+		}
+		for op := aegis.OpClass(0); op < aegis.NumOpClasses; op++ {
+			ms.Ops[op] = mb.K.Stats.OpSnapshot(op)
+		}
+		accts := mb.K.Accounts()
+		for _, e := range mb.K.Envs() {
+			es := EnvSnap{ID: e.ID, Dead: e.Dead, Slices: e.Slices}
+			if int(e.ID) <= len(accts) {
+				es.Acct = accts[e.ID-1]
+			}
+			ms.Envs = append(ms.Envs, es)
+		}
+		s.Machines = append(s.Machines, ms)
+	}
+	for _, p := range b.probes {
+		s.Probes = append(s.Probes, ProbeSnap{Name: p.name, Snap: p.h.Snapshot()})
+	}
+	for _, g := range b.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: g.name, Value: g.fn()})
+	}
+	return s
+}
+
+// MergedEvents merges every member's held trace window into one stream
+// ordered by cycle stamp, tagged with the member name. Each machine has
+// its own simulated clock; ordering by cycle is the fleet-wide "happened
+// at the same simulated time" view. Ties break by registration order,
+// then by each recorder's own emission order, so the merge is
+// deterministic: the same recorders always merge to the same stream.
+func (b *Bus) MergedEvents() []ktrace.SourcedEvent {
+	type tagged struct {
+		ev  ktrace.SourcedEvent
+		mi  int // member index
+		seq int // emission order within the member
+	}
+	var all []tagged
+	for mi, mb := range b.members {
+		for seq, e := range mb.Rec.Events() {
+			all = append(all, tagged{
+				ev:  ktrace.SourcedEvent{Machine: mb.Name, Event: e},
+				mi:  mi,
+				seq: seq,
+			})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].ev.Cycle != all[j].ev.Cycle {
+			return all[i].ev.Cycle < all[j].ev.Cycle
+		}
+		if all[i].mi != all[j].mi {
+			return all[i].mi < all[j].mi
+		}
+		return all[i].seq < all[j].seq
+	})
+	out := make([]ktrace.SourcedEvent, len(all))
+	for i, t := range all {
+		out[i] = t.ev
+	}
+	return out
+}
+
+// WriteChrome exports the merged stream as one Chrome/Perfetto timeline
+// with a process track per machine, using the first member's clock rate
+// as the time base (the fleet runs homogeneous configs today; a mixed
+// fleet would need per-track scaling). Deterministic: same recorders,
+// same bytes.
+func (b *Bus) WriteChrome(w io.Writer) error {
+	mhz := float64(0)
+	if len(b.members) > 0 {
+		mhz = b.members[0].M.Config.MHz
+	}
+	return ktrace.WriteChromeMerged(w, b.MergedEvents(), b.MachineNames(), mhz)
+}
+
+// WriteJSONL exports the merged stream as machine-tagged JSONL.
+func (b *Bus) WriteJSONL(w io.Writer) error {
+	return ktrace.WriteJSONLSourced(w, b.MergedEvents())
+}

@@ -1,0 +1,227 @@
+// Tests live in fleet_test (external) so they can drive the chaos
+// harness — internal/chaos imports internal/fleet, so an internal test
+// package would be an import cycle.
+package fleet_test
+
+import (
+	"bytes"
+	"testing"
+
+	"exokernel/internal/aegis"
+	"exokernel/internal/chaos"
+	"exokernel/internal/fleet"
+	"exokernel/internal/hw"
+	"exokernel/internal/ktrace"
+)
+
+// twoMachines builds a scripted two-machine fleet with deterministic
+// activity: machine A runs two environments through yields and page
+// allocations, machine B runs one. Every cycle is simulated, so the
+// world (and anything rendered from it) is bit-stable across runs.
+func twoMachines(t *testing.T) *fleet.Bus {
+	t.Helper()
+	bus := fleet.NewBus()
+
+	ma := hw.NewMachine(hw.DEC5000)
+	ka := aegis.New(ma)
+	recA := ktrace.New(1024)
+	ka.SetTracer(recA)
+	bus.Register("A", ma, ka, recA)
+	a1, err := ka.NewEnv(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := ka.NewEnv(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := ka.AllocPage(a1, aegis.AnyFrame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := ka.AllocPage(a2, aegis.AnyFrame); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if !ka.Yield(a2.ID) || !ka.Yield(a1.ID) {
+			t.Fatal("yield failed on A")
+		}
+	}
+
+	mb := hw.NewMachine(hw.DEC5000)
+	kb := aegis.New(mb)
+	recB := ktrace.New(1024)
+	kb.SetTracer(recB)
+	bus.Register("B", mb, kb, recB)
+	b1, err := kb.NewEnv(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := kb.AllocPage(b1, aegis.AnyFrame); err != nil {
+		t.Fatal(err)
+	}
+	if !kb.Yield(b1.ID) {
+		t.Fatal("yield failed on B")
+	}
+
+	bus.AddGauge("steps", func() uint64 { return 42 })
+	return bus
+}
+
+// TestFleetObservationIsFree pins the bus's half of the observation
+// contract at fleet scale: a chaos run observed continuously (snapshot,
+// merge, and render after every step) is cycle-identical and
+// trace-identical to the same seed never observed. If any bus read ever
+// ticked a simulated clock, the determinism witnesses would split.
+func TestFleetObservationIsFree(t *testing.T) {
+	cfg := chaos.Config{Seed: 7, TargetFaults: 150}
+	quiet, err := chaos.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bus := fleet.NewBus()
+	watched := cfg
+	watched.Bus = bus
+	var prev *fleet.Snapshot
+	watched.OnStep = func(step int) {
+		s := bus.Snapshot()
+		_ = fleet.RenderTop(s, prev, 8)
+		prev = s
+		if step%16 == 0 {
+			_ = bus.MergedEvents()
+			var sink bytes.Buffer
+			if err := bus.WriteChrome(&sink); err != nil {
+				t.Fatalf("step %d: WriteChrome: %v", step, err)
+			}
+		}
+	}
+	observed, err := chaos.Run(watched)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if quiet.CyclesA != observed.CyclesA || quiet.CyclesB != observed.CyclesB {
+		t.Errorf("observation perturbed the clocks: %d/%d unobserved vs %d/%d observed",
+			quiet.CyclesA, quiet.CyclesB, observed.CyclesA, observed.CyclesB)
+	}
+	if quiet.TraceHash != observed.TraceHash {
+		t.Errorf("observation perturbed the trace: hash %#x unobserved vs %#x observed",
+			quiet.TraceHash, observed.TraceHash)
+	}
+	if quiet.FaultEvents != observed.FaultEvents || quiet.Steps != observed.Steps {
+		t.Errorf("observation perturbed the schedule: %d events/%d steps vs %d/%d",
+			quiet.FaultEvents, quiet.Steps, observed.FaultEvents, observed.Steps)
+	}
+}
+
+// TestMergedChromeByteIdentical pins merged-export determinism: two runs
+// of the same chaos seed merge to byte-identical Perfetto files, with
+// one process track per machine.
+func TestMergedChromeByteIdentical(t *testing.T) {
+	render := func() []byte {
+		bus := fleet.NewBus()
+		if _, err := chaos.Run(chaos.Config{Seed: 3, TargetFaults: 120, Bus: bus}); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := bus.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first := render()
+	second := render()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("same seed, different merged Perfetto bytes (%d vs %d bytes)", len(first), len(second))
+	}
+	for _, want := range []string{`"machine A"`, `"machine B"`, `"process_name"`} {
+		if !bytes.Contains(first, []byte(want)) {
+			t.Errorf("merged export missing %s", want)
+		}
+	}
+}
+
+// TestMergedEventsOrdering: the merged stream is cycle-ordered with
+// registration order breaking ties, and every event keeps its source
+// machine.
+func TestMergedEventsOrdering(t *testing.T) {
+	bus := twoMachines(t)
+	events := bus.MergedEvents()
+	if len(events) == 0 {
+		t.Fatal("scripted world merged to an empty stream")
+	}
+	machines := map[string]int{}
+	for i, e := range events {
+		machines[e.Machine]++
+		if i == 0 {
+			continue
+		}
+		p := events[i-1]
+		if e.Cycle < p.Cycle {
+			t.Fatalf("event %d out of order: cycle %d after %d", i, e.Cycle, p.Cycle)
+		}
+		if e.Cycle == p.Cycle && p.Machine == "B" && e.Machine == "A" {
+			t.Fatalf("event %d breaks registration-order tie-break: A after B at cycle %d", i, e.Cycle)
+		}
+	}
+	if machines["A"] == 0 || machines["B"] == 0 {
+		t.Errorf("merged stream lost a machine: %v", machines)
+	}
+
+	var jsonl bytes.Buffer
+	if err := bus.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	back, truncated, err := ktrace.ParseJSONLSourced(&jsonl)
+	if err != nil || truncated != 0 {
+		t.Fatalf("merged JSONL did not round-trip: err=%v truncated=%d", err, truncated)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("round trip lost events: %d vs %d", len(back), len(events))
+	}
+	for i := range back {
+		if back[i] != events[i] {
+			t.Fatalf("event %d changed in round trip: %+v vs %+v", i, back[i], events[i])
+		}
+	}
+}
+
+// TestRegisterReplacesByName: re-registering a name swaps the member in
+// place, so a harness restarting its world never shows stale machines.
+func TestRegisterReplacesByName(t *testing.T) {
+	bus := fleet.NewBus()
+	m1 := hw.NewMachine(hw.DEC5000)
+	k1 := aegis.New(m1)
+	bus.Register("A", m1, k1, nil)
+	m2 := hw.NewMachine(hw.DEC5000)
+	k2 := aegis.New(m2)
+	bus.Register("A", m2, k2, nil)
+	if n := len(bus.Members()); n != 1 {
+		t.Fatalf("re-registering a name grew the fleet to %d members", n)
+	}
+	if bus.Members()[0].M != m2 {
+		t.Error("re-registering a name kept the old machine")
+	}
+	bus.AddGauge("g", func() uint64 { return 1 })
+	bus.AddGauge("g", func() uint64 { return 2 })
+	s := bus.Snapshot()
+	if len(s.Gauges) != 1 || s.Gauges[0].Value != 2 {
+		t.Errorf("re-adding a gauge did not replace it: %+v", s.Gauges)
+	}
+}
+
+// TestProbeIsStable: the same name always returns the same histogram.
+func TestProbeIsStable(t *testing.T) {
+	bus := fleet.NewBus()
+	h := bus.Probe("lat")
+	h.Record(10)
+	if got := bus.Probe("lat"); got != h {
+		t.Fatal("Probe returned a different histogram for the same name")
+	}
+	s := bus.Snapshot()
+	if len(s.Probes) != 1 || s.Probes[0].Name != "lat" || s.Probes[0].Snap.Count != 1 {
+		t.Errorf("probe snapshot wrong: %+v", s.Probes)
+	}
+}

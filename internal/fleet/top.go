@@ -1,0 +1,192 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"exokernel/internal/aegis"
+	"exokernel/internal/metrics"
+)
+
+// RenderTop renders a snapshot as the exotop screen: a fleet summary
+// line, one row per machine, the busiest environments across the fleet,
+// and the harness gauges and probes. With a previous snapshot it adds
+// per-machine rate columns — deltas normalized to simulated
+// milliseconds, so even the "live" rates are functions of simulated
+// time only and the rendering stays deterministic for a deterministic
+// run. maxEnvs caps the environment table (0 = all live environments).
+func RenderTop(cur, prev *Snapshot, maxEnvs int) string {
+	var b strings.Builder
+
+	// Fleet summary.
+	var envs, live int
+	var traceTotal, traceDropped uint64
+	for _, m := range cur.Machines {
+		for _, e := range m.Envs {
+			envs++
+			if !e.Dead {
+				live++
+			}
+		}
+		traceTotal += m.TraceTotal
+		traceDropped += m.TraceDropped
+	}
+	fmt.Fprintf(&b, "fleet  machines=%d  envs=%d live / %d total  trace=%d events (%d overwritten)\n",
+		len(cur.Machines), live, envs, traceTotal, traceDropped)
+
+	// Per-machine counters.
+	b.WriteString("\nmachine        cycles      sim_us  syscalls    exc  tlbmiss  stlb%  upcall   pkt_in  pkt_drop  rx_ovf  revoke  kills\n")
+	for _, m := range cur.Machines {
+		s := m.Stats
+		stlbPct := 0.0
+		if s.TLBMisses > 0 {
+			stlbPct = 100 * float64(s.STLBHits) / float64(s.TLBMisses)
+		}
+		fmt.Fprintf(&b, "%-8s %12d  %10.1f  %8d  %5d  %7d  %5.1f  %6d  %7d  %8d  %6d  %6d  %5d\n",
+			m.Name, m.Cycles, m.SimMicros(), s.Syscalls, s.Exceptions, s.TLBMisses,
+			stlbPct, s.TLBUpcalls, s.PktDelivered, s.PktDropped, s.RxOverflow,
+			s.Revocations, s.KilledEnvs)
+		if prev != nil {
+			if pm := prev.machine(m.Name); pm != nil && m.Cycles > pm.Cycles {
+				simMS := float64(m.Cycles-pm.Cycles) / (m.MHz * 1000)
+				ps := pm.Stats
+				fmt.Fprintf(&b, "%-8s %12s  %10s  %8.1f  %5.1f  %7.1f  %5s  %6.1f  %7.1f  %8.1f  %6.1f  %6.1f  %5.1f  /sim_ms\n",
+					"", "", "",
+					rate(s.Syscalls-ps.Syscalls, simMS), rate(s.Exceptions-ps.Exceptions, simMS),
+					rate(s.TLBMisses-ps.TLBMisses, simMS), "",
+					rate(s.TLBUpcalls-ps.TLBUpcalls, simMS), rate(s.PktDelivered-ps.PktDelivered, simMS),
+					rate(s.PktDropped-ps.PktDropped, simMS), rate(s.RxOverflow-ps.RxOverflow, simMS),
+					rate(s.Revocations-ps.Revocations, simMS), rate(s.KilledEnvs-ps.KilledEnvs, simMS))
+			}
+		}
+	}
+
+	// Busiest environments fleet-wide, by attributed cycles. Dead
+	// environments keep their activity counters (post-mortem reads), so
+	// they are listed while they out-rank live ones, marked dead.
+	type envRow struct {
+		machine string
+		e       EnvSnap
+	}
+	var rows []envRow
+	for _, m := range cur.Machines {
+		for _, e := range m.Envs {
+			rows = append(rows, envRow{machine: m.Name, e: e})
+		}
+	}
+	// Insertion sort by (cycles desc, machine order, env id) — stable and
+	// deterministic for the small tables a top view shows.
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rows[j].e.Acct.Cycles > rows[j-1].e.Acct.Cycles; j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+	if maxEnvs > 0 && len(rows) > maxEnvs {
+		rows = rows[:maxEnvs]
+	}
+	if len(rows) > 0 {
+		b.WriteString("\nmachine  env  state       cycles  syscalls  tlbmiss  upcall  pkt_in  frames  extents  endpts  slices\n")
+		for _, r := range rows {
+			state := "live"
+			if r.e.Dead {
+				state = "dead"
+			}
+			a := r.e.Acct
+			fmt.Fprintf(&b, "%-8s %3d  %-5s %12d  %8d  %7d  %6d  %6d  %6d  %7d  %6d  %6d\n",
+				r.machine, r.e.ID, state, a.Cycles, a.Syscalls, a.TLBMisses,
+				a.TLBUpcalls, a.PktDelivered, a.Frames, a.Extents, a.Endpoints, r.e.Slices)
+		}
+	}
+
+	// Kernel operation latencies (simulated cycles), pooled across the
+	// fleet by bucket merge — the distribution view a single mean hides.
+	pooled := poolOps(cur)
+	header := false
+	for op := aegis.OpClass(0); op < aegis.NumOpClasses; op++ {
+		s := pooled[op]
+		if s.Count == 0 {
+			continue
+		}
+		if !header {
+			b.WriteString("\nop latency (sim cycles, fleet-wide)   count      min     mean      p50      p99      max\n")
+			header = true
+		}
+		fmt.Fprintf(&b, "  %-33s %7d  %7d  %7.1f  %7d  %7d  %7d\n",
+			op.String(), s.Count, s.Min, s.Mean, s.P50, s.P99, s.Max)
+	}
+
+	if len(cur.Gauges) > 0 {
+		b.WriteString("\ngauges\n")
+		for _, g := range cur.Gauges {
+			fmt.Fprintf(&b, "  %-28s %12d\n", g.Name, g.Value)
+		}
+	}
+	if len(cur.Probes) > 0 {
+		b.WriteString("\nprobes (host ns)\n")
+		for _, p := range cur.Probes {
+			s := p.Snap
+			fmt.Fprintf(&b, "  %-28s n=%d p50=%d p99=%d max=%d\n",
+				p.Name, s.Count, s.P50, s.P99, s.Max)
+		}
+	}
+	return b.String()
+}
+
+// machine finds a snapshot's machine by name (nil if absent).
+func (s *Snapshot) machine(name string) *MachineSnap {
+	for i := range s.Machines {
+		if s.Machines[i].Name == name {
+			return &s.Machines[i]
+		}
+	}
+	return nil
+}
+
+// rate is a per-simulated-millisecond delta (0 when the window is empty).
+func rate(delta uint64, simMS float64) float64 {
+	if simMS <= 0 {
+		return 0
+	}
+	return float64(delta) / simMS
+}
+
+// poolOps merges each operation class's snapshot across machines. The
+// per-machine data are already collapsed to summaries, so the pool is a
+// count-weighted combination: exact for count/min/max/mean, and the
+// quantiles are the count-weighted largest per-machine quantile — the
+// conservative (upper-bound) fleet tail.
+func poolOps(s *Snapshot) [aegis.NumOpClasses]metrics.Snapshot {
+	var out [aegis.NumOpClasses]metrics.Snapshot
+	for op := range out {
+		var pool metrics.Snapshot
+		var sum float64
+		for _, m := range s.Machines {
+			ms := m.Ops[op]
+			if ms.Count == 0 {
+				continue
+			}
+			if pool.Count == 0 || ms.Min < pool.Min {
+				pool.Min = ms.Min
+			}
+			if ms.Max > pool.Max {
+				pool.Max = ms.Max
+			}
+			if ms.P50 > pool.P50 {
+				pool.P50 = ms.P50
+			}
+			if ms.P90 > pool.P90 {
+				pool.P90 = ms.P90
+			}
+			if ms.P99 > pool.P99 {
+				pool.P99 = ms.P99
+			}
+			pool.Count += ms.Count
+			sum += ms.Mean * float64(ms.Count)
+		}
+		if pool.Count > 0 {
+			pool.Mean = sum / float64(pool.Count)
+		}
+		out[op] = pool
+	}
+	return out
+}

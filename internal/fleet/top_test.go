@@ -1,0 +1,66 @@
+package fleet_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"exokernel/internal/fleet"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestRenderTopGolden pins the exotop -once rendering over the scripted
+// two-machine world: every number in the view derives from simulated
+// state, so the screen is byte-stable. `go test ./internal/fleet
+// -run Golden -update` rewrites the golden after an intentional change.
+func TestRenderTopGolden(t *testing.T) {
+	bus := twoMachines(t)
+	got := fleet.RenderTop(bus.Snapshot(), nil, 8)
+
+	path := filepath.Join("testdata", "exotop_once.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("RenderTop drifted from golden %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestRenderTopRates: with a previous snapshot, machines that advanced
+// get a /sim_ms rate row — computed from simulated time only.
+func TestRenderTopRates(t *testing.T) {
+	bus := twoMachines(t)
+	first := bus.Snapshot()
+	// Advance machine A deterministically.
+	a := bus.Members()[0]
+	env, err := a.K.NewEnv(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if !a.K.Yield(env.ID) || !a.K.Yield(1) {
+			t.Fatal("yield failed")
+		}
+	}
+	second := bus.Snapshot()
+	out := fleet.RenderTop(second, first, 8)
+	if !strings.Contains(out, "/sim_ms") {
+		t.Errorf("no rate row despite clock progress:\n%s", out)
+	}
+	// Rendering twice from the same snapshots is identical (pure function).
+	if out != fleet.RenderTop(second, first, 8) {
+		t.Error("RenderTop is not deterministic for fixed snapshots")
+	}
+}

@@ -30,9 +30,12 @@ func TestJSONLRoundTrip(t *testing.T) {
 		t.Fatalf("exported %d lines, want %d", got, len(emitted))
 	}
 
-	parsed, err := ParseJSONL(&buf)
+	parsed, truncated, err := ParseJSONL(&buf)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if truncated != 0 {
+		t.Errorf("complete stream reported %d truncated lines", truncated)
 	}
 	if len(parsed) != len(emitted) {
 		t.Fatalf("parsed %d events, want %d", len(parsed), len(emitted))
@@ -57,17 +60,74 @@ func TestKindByNameCoversAllKinds(t *testing.T) {
 }
 
 func TestParseJSONLRejectsGarbage(t *testing.T) {
+	valid := `{"cycle": 5, "kind": "syscall-enter", "env": 1}` + "\n"
 	for _, bad := range []string{
-		"not json\n",
+		// Garbage with valid lines after it is corruption, not truncation.
+		"not json\n" + valid,
+		// An unknown kind name is a schema error wherever it appears.
 		`{"cycle": 1, "kind": "martian", "env": 0}` + "\n",
+		valid + `{"cycle": 2, "kind": "martian", "env": 0}` + "\n",
 	} {
-		if _, err := ParseJSONL(strings.NewReader(bad)); err == nil {
+		if _, _, err := ParseJSONL(strings.NewReader(bad)); err == nil {
 			t.Errorf("ParseJSONL accepted %q", bad)
 		}
 	}
 	// Blank lines are tolerated (trailing newline artifacts).
-	events, err := ParseJSONL(strings.NewReader("\n\n"))
-	if err != nil || len(events) != 0 {
-		t.Errorf("blank input: got %v, %v; want empty, nil", events, err)
+	events, truncated, err := ParseJSONL(strings.NewReader("\n\n"))
+	if err != nil || truncated != 0 || len(events) != 0 {
+		t.Errorf("blank input: got %v, %d, %v; want empty, 0, nil", events, truncated, err)
+	}
+}
+
+// TestParseJSONLTruncatedTail: a crash-time dump whose final line was cut
+// mid-write parses cleanly — the complete prefix comes back, the ragged
+// tail is counted, not fatal.
+func TestParseJSONLTruncatedTail(t *testing.T) {
+	complete := `{"cycle": 5, "kind": "syscall-enter", "env": 1}` + "\n" +
+		`{"cycle": 9, "kind": "syscall-exit", "env": 1}` + "\n"
+	for _, tail := range []string{
+		`{"cycle": 12, "kind": "tlb-mi`,        // cut inside the line
+		`{"cycle": 12, "kind": "tlb-miss", "e`, // cut inside a key
+		`{`,
+	} {
+		events, truncated, err := ParseJSONL(strings.NewReader(complete + tail))
+		if err != nil {
+			t.Fatalf("tail %q: %v", tail, err)
+		}
+		if truncated != 1 {
+			t.Errorf("tail %q: truncated = %d, want 1", tail, truncated)
+		}
+		if len(events) != 2 {
+			t.Errorf("tail %q: parsed %d events, want 2", tail, len(events))
+		}
+	}
+}
+
+// TestJSONLSourcedRoundTrip: the machine dimension survives the wire, and
+// untagged lines come back with an empty machine.
+func TestJSONLSourcedRoundTrip(t *testing.T) {
+	emitted := []SourcedEvent{
+		{Machine: "A", Event: Event{Cycle: 1, Kind: KindSyscallEnter, Env: 1, Arg0: 3}},
+		{Machine: "B", Event: Event{Cycle: 2, Kind: KindPktDeliver, Env: 2, Arg0: 60}},
+		{Machine: "", Event: Event{Cycle: 3, Kind: KindEnvCreate, Env: 3}},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONLSourced(&buf, emitted); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), `"machine"`) != 2 {
+		t.Errorf("machine field should be omitted when empty:\n%s", buf.String())
+	}
+	parsed, truncated, err := ParseJSONLSourced(&buf)
+	if err != nil || truncated != 0 {
+		t.Fatalf("parse: %v (truncated %d)", err, truncated)
+	}
+	if len(parsed) != len(emitted) {
+		t.Fatalf("parsed %d events, want %d", len(parsed), len(emitted))
+	}
+	for i, want := range emitted {
+		if parsed[i] != want {
+			t.Errorf("event %d: round-trip %+v, want %+v", i, parsed[i], want)
+		}
 	}
 }

@@ -143,6 +143,27 @@ func (h *Hist) Quantile(q float64) uint64 {
 	return h.max
 }
 
+// Merge folds another histogram into this one, bucket by bucket — the
+// aggregation primitive for fleet and soak views, where per-round or
+// per-machine distributions pool into one trend. Quantiles of the merged
+// histogram are exact to the same bucket resolution as its inputs.
+func (h *Hist) Merge(o *Hist) {
+	if h == nil || o == nil || o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}
+
 // Reset empties the histogram in place (no allocation).
 func (h *Hist) Reset() {
 	if h != nil {

@@ -144,3 +144,37 @@ func TestSnapshotNeverAllocates(t *testing.T) {
 		t.Errorf("Snapshot allocates %.1f objects per call, want 0", allocs)
 	}
 }
+
+func TestMergePoolsBuckets(t *testing.T) {
+	var a, b, all Hist
+	for _, v := range []uint64{3, 100, 7000} {
+		a.Record(v)
+		all.Record(v)
+	}
+	for _, v := range []uint64{1, 50, 1 << 20} {
+		b.Record(v)
+		all.Record(v)
+	}
+	a.Merge(&b)
+	if got, want := a.Snapshot(), all.Snapshot(); got != want {
+		t.Errorf("merged snapshot %+v != recording everything into one histogram %+v", got, want)
+	}
+
+	// Merging an empty (or nil) histogram is a no-op; merging into nil is safe.
+	before := a.Snapshot()
+	var empty Hist
+	a.Merge(&empty)
+	a.Merge(nil)
+	if a.Snapshot() != before {
+		t.Error("merging empty/nil changed the histogram")
+	}
+	var nilH *Hist
+	nilH.Merge(&a) // must not panic
+
+	// Merge into an empty histogram copies the source.
+	var dst Hist
+	dst.Merge(&a)
+	if dst.Snapshot() != a.Snapshot() {
+		t.Error("merge into empty did not copy the source")
+	}
+}

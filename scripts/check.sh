@@ -46,4 +46,16 @@ echo "== chaos smoke (fixed-seed fault schedule + invariant gate + replay)"
 # replay that must reproduce the identical fault log and traces.
 go run ./cmd/chaos -seed 1 -target 300 -verify -q
 
+echo "== soak smoke (10^4 events, fixed seeds, SOAK JSON round-trip)"
+# Smaller than \`make soak\` (4 rounds x 2500 events vs 100 x 10000) but
+# the same gate: rotating seeds, invariants after every step, the fleet
+# bus aggregating both machines, SOAK JSON out. The committed
+# SOAK_baseline.json is the same configuration (make soakbaseline).
+go run ./cmd/soak -seed 1 -rounds 4 -events 2500 -q -o "$tmp/soak.json"
+grep -q '"schema": "aegis-soak"' "$tmp/soak.json"
+
+echo "== exotop smoke (one-shot fleet snapshot over a scripted run)"
+go run ./cmd/exotop -once -seed 1 -target 200 > "$tmp/top.txt"
+grep -q 'fleet  machines=2' "$tmp/top.txt"
+
 echo "check: OK"
