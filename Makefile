@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench results baseline benchdiff invariance profile chaos soak soakbaseline top
+.PHONY: all build test check fmt vet race bench results baseline benchdiff invariance profile chaos soak soakbaseline soakdiff top flow
 
 all: check
 
@@ -77,6 +77,21 @@ soak:
 soakbaseline:
 	$(GO) run ./cmd/soak -seed 1 -rounds 4 -events 2500 -q -o SOAK_baseline.json
 	@echo "wrote SOAK_baseline.json"
+
+# Gate a fresh soak run against the committed SOAK baseline: simulated
+# determinism witnesses (seeds, fault counts, steps, sim cycles, trace
+# hashes) at zero tolerance, host-side trend metrics (ev/sec,
+# wall_ns/100k, invariant-latency percentiles) at the default 30%
+# (see cmd/soakdiff).
+soakdiff:
+	$(GO) run ./cmd/soak -seed 1 -rounds 4 -events 2500 -q -o /tmp/soak_new.json
+	$(GO) run ./cmd/soakdiff SOAK_baseline.json /tmp/soak_new.json
+
+# Causal trace of the built-in cross-machine request scenario: span
+# trees, critical paths, and queue/handler/wire breakdowns
+# (cmd/exoflow; -format json|perfetto for machine-readable output).
+flow:
+	$(GO) run ./cmd/exoflow
 
 # Live fleet view of a chaos run (cmd/exotop; -once for one snapshot).
 top:

@@ -85,6 +85,9 @@ func diverged(a, b *chaos.Report) string {
 	if a.TraceHash != b.TraceHash {
 		return fmt.Sprintf("trace hash %#x vs %#x", a.TraceHash, b.TraceHash)
 	}
+	if a.SpanHash != b.SpanHash {
+		return fmt.Sprintf("span hash %#x vs %#x", a.SpanHash, b.SpanHash)
+	}
 	if a.CyclesA != b.CyclesA || a.CyclesB != b.CyclesB {
 		return fmt.Sprintf("clocks %d/%d vs %d/%d", a.CyclesA, a.CyclesB, b.CyclesA, b.CyclesB)
 	}
@@ -111,6 +114,8 @@ func print(r *chaos.Report, verified bool) {
 	fmt.Printf("  tcp: %d bytes intact=%v; disk: %d writes, %d reads, %d recovered errors\n",
 		r.TCPBytesSent, r.TCPIntact, r.DiskWrites, r.DiskReads, r.DiskErrs)
 	fmt.Printf("  nic overflow drops: %d/%d\n", r.RxOverflowA, r.RxOverflowB)
+	fmt.Printf("  spans: %d/%d recorded, %d traces, %d orphans, %d open, hash %#x\n",
+		r.SpanTotalA, r.SpanTotalB, r.SpanTraces, r.SpanOrphans, r.SpanOpen, r.SpanHash)
 	inv := r.InvariantNS
 	fmt.Printf("  invariant checks: %d sweeps, host ns p50=%d p99=%d max=%d\n",
 		inv.Count, inv.P50, inv.P99, inv.Max)

@@ -1,0 +1,79 @@
+// Command exoflow renders causal request traces: the span trees the
+// fleet's machines recorded for each request, the critical path through
+// them, and where the cycles went (handler vs. queue vs. wire).
+//
+// It drives the built-in flowdemo scenario — two machines, a client on A,
+// a front end and PCT backend on B, plus an ASH echo endpoint — and
+// renders every assembled trace. The run is deterministic: the same seed
+// always produces byte-identical output (pinned by the golden test).
+//
+// Usage:
+//
+//	exoflow                          # text trees + critical paths
+//	exoflow -seed 7 -requests 5      # more round trips, different IDs
+//	exoflow -format json             # one JSON document per trace
+//	exoflow -format perfetto -o t.json   # Chrome/Perfetto with flow arrows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"exokernel/internal/fleet"
+	"exokernel/internal/flowdemo"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "scenario seed (span identities + payload bytes)")
+	requests := flag.Int("requests", 3, "client→front→backend round trips before the ASH echo")
+	format := flag.String("format", "text", "output format: text, json, or perfetto")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	if *format != "text" && *format != "json" && *format != "perfetto" {
+		fmt.Fprintf(os.Stderr, "exoflow: unknown -format %q (want text, json, or perfetto)\n", *format)
+		os.Exit(2)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "exoflow: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := run(w, *seed, *requests, *format); err != nil {
+		fmt.Fprintf(os.Stderr, "exoflow: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the scenario and renders its traces in the given format.
+func run(w io.Writer, seed uint64, requests int, format string) error {
+	res, err := flowdemo.Run(flowdemo.Config{Seed: seed, Requests: requests})
+	if err != nil {
+		return err
+	}
+	if format == "perfetto" {
+		return res.Bus.WriteChromeSpans(w)
+	}
+	traces := fleet.AssembleTraces(res.Bus.MergedSpans())
+	for i, tr := range traces {
+		switch format {
+		case "json":
+			if err := fleet.WriteTraceJSON(w, tr); err != nil {
+				return err
+			}
+		default:
+			if i > 0 {
+				fmt.Fprintln(w)
+			}
+			fleet.RenderTrace(w, tr)
+		}
+	}
+	return nil
+}

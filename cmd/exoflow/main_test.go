@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestExoflowGolden pins the text rendering of the default scenario:
+// every number in the trees, critical paths, and breakdowns derives from
+// simulated state and seeded span identities, so the output is
+// byte-stable. `go test ./cmd/exoflow -run Golden -update` rewrites the
+// golden after an intentional change.
+func TestExoflowGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 1, 3, "text"); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+
+	path := filepath.Join("testdata", "flow_seed1.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exoflow output drifted from golden %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+	// The scenario's essentials are present: a cross-machine critical
+	// path with wire time, an ASH hop, and no broken trees.
+	for _, needle := range []string{"wire+queue", "ash [B", "orphans=0", "critical path ("} {
+		if !strings.Contains(got, needle) {
+			t.Errorf("output missing %q", needle)
+		}
+	}
+}
+
+// TestExoflowSameSeedByteIdentical is the determinism acceptance pin:
+// two runs of one seed render identical bytes in every format.
+func TestExoflowSameSeedByteIdentical(t *testing.T) {
+	for _, format := range []string{"text", "json", "perfetto"} {
+		var a, b bytes.Buffer
+		if err := run(&a, 7, 2, format); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(&b, 7, 2, format); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("format %s: same seed rendered different bytes", format)
+		}
+	}
+}
+
+// TestExoflowJSONParses: every line of -format json is a standalone JSON
+// document with the breakdown fields.
+func TestExoflowJSONParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 1, 2, "json"); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	docs := 0
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &doc); err != nil {
+			t.Fatalf("line %d not JSON: %v", docs+1, err)
+		}
+		for _, k := range []string{"trace", "total_cycles", "handler_cycles", "wire_cycles", "tree"} {
+			if _, ok := doc[k]; !ok {
+				t.Fatalf("trace document missing %q: %v", k, doc)
+			}
+		}
+		docs++
+	}
+	if docs != 3 { // 2 rpc requests + 1 echo
+		t.Errorf("json documents = %d, want 3", docs)
+	}
+}

@@ -13,6 +13,11 @@
 //	exotrace -o trace.json table3        # Chrome trace_event (Perfetto)
 //	exotrace -format jsonl -o t.jsonl demo
 //	exotrace -format text demo           # human-readable log to stdout
+//	exotrace -in t.jsonl -format text    # re-render a recorded JSONL trace
+//
+// With -in, no workload runs: the JSONL trace is parsed back (a
+// truncated final line — a writer that died mid-dump — is skipped with
+// a stderr warning, never silently) and re-rendered in -format.
 package main
 
 import (
@@ -35,6 +40,7 @@ func main() {
 	bufCap := flag.Int("buf", 1<<20, "flight-recorder capacity in events (oldest overwritten)")
 	list := flag.Bool("list", false, "list workloads and exit")
 	quiet := flag.Bool("q", false, "suppress the workload's own output")
+	in := flag.String("in", "", "re-render this JSONL trace instead of running a workload")
 	flag.Parse()
 
 	if *list {
@@ -44,14 +50,23 @@ func main() {
 		}
 		return
 	}
-	if flag.NArg() != 1 {
+	if (*in == "" && flag.NArg() != 1) || (*in != "" && flag.NArg() != 0) {
 		fmt.Fprintln(os.Stderr, "usage: exotrace [-o file] [-format chrome|jsonl|text] <workload>")
+		fmt.Fprintln(os.Stderr, "       exotrace -in trace.jsonl [-o file] [-format ...]")
 		fmt.Fprintln(os.Stderr, "       exotrace -list")
 		os.Exit(2)
 	}
 	if *format != "chrome" && *format != "jsonl" && *format != "text" {
 		fmt.Fprintf(os.Stderr, "exotrace: unknown -format %q (want chrome, jsonl, or text)\n", *format)
 		os.Exit(2)
+	}
+
+	if *in != "" {
+		if err := rerender(*in, *format, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "exotrace: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	rec := ktrace.New(*bufCap)
@@ -119,6 +134,50 @@ func main() {
 		fmt.Fprintf(os.Stderr, "exotrace: wrote %d events to %s (%d recorded, %d overwritten)\n",
 			rec.Len(), *out, rec.Total(), rec.Dropped())
 	}
+}
+
+// rerender parses a recorded JSONL trace back and renders it in the
+// requested format. A truncated final line (the writer died mid-dump) is
+// skipped, and the loss is reported on stderr rather than silently
+// dropped — at crash-analysis time a missing tail is itself a finding.
+func rerender(in, format, out string) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	events, truncated, err := ktrace.ParseJSONL(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if truncated > 0 {
+		fmt.Fprintf(os.Stderr, "exotrace: warning: %s: skipped %d truncated tail line(s) (writer died mid-dump?)\n",
+			in, truncated)
+	}
+	var w io.Writer = os.Stdout
+	if out != "" {
+		file, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		w = file
+	}
+	switch format {
+	case "chrome":
+		err = ktrace.WriteChrome(w, events, hw.DEC5000.MHz)
+	case "jsonl":
+		err = ktrace.WriteJSONL(w, events)
+	case "text":
+		err = ktrace.WriteText(w, events)
+	}
+	if err != nil {
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	if out != "" {
+		fmt.Fprintf(os.Stderr, "exotrace: re-rendered %d events from %s to %s\n", len(events), in, out)
+	}
+	return nil
 }
 
 // oddByteFilter accepts frames whose first byte matches.

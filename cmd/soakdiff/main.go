@@ -1,0 +1,82 @@
+// Command soakdiff is the soak-trend regression gate: it compares two
+// SOAK JSON files written by `soak -format json` and fails if the trend
+// degraded beyond the threshold — or, for files from the same soak
+// configuration, if any determinism witness (seed, fault count, steps,
+// simulated cycles, trace hash) differs at all.
+//
+// Usage:
+//
+//	soakdiff old.json new.json        # gate new against old (default 30%)
+//	soakdiff -threshold 50 a.json b.json
+//	soakdiff -validate file.json      # schema-check one file, no diff
+//
+// Trend metrics (ev/sec, wall_ns/100k, invariant-latency percentiles)
+// are host-side and wear the tolerance; determinism witnesses are
+// simulated-side and wear none. Exit status: 0 the gate passes, 1 a
+// regression or witness mismatch, 2 usage error or invalid SOAK JSON.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"exokernel/internal/chaos"
+)
+
+func load(path string) (*chaos.SoakReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := chaos.ParseSoakJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return r, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 30, "trend-regression threshold in percent")
+	validate := flag.Bool("validate", false, "validate a single file against the schema and exit")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "soakdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if *threshold < 0 {
+		fail(fmt.Errorf("-threshold %g, want >= 0", *threshold))
+	}
+
+	if *validate {
+		if flag.NArg() != 1 {
+			fail(fmt.Errorf("-validate takes exactly one file, got %d", flag.NArg()))
+		}
+		r, err := load(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("soakdiff: %s: valid (%d rounds x %d events, %d windows)\n",
+			flag.Arg(0), r.Rounds, r.EventsPerRound, len(r.Windows))
+		return
+	}
+
+	if flag.NArg() != 2 {
+		fail(fmt.Errorf("want: soakdiff [-threshold pct] old.json new.json"))
+	}
+	oldR, err := load(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	newR, err := load(flag.Arg(1))
+	if err != nil {
+		fail(err)
+	}
+	r := chaos.DiffSoak(oldR, newR, *threshold/100)
+	fmt.Print(r.Render())
+	if !r.OK() {
+		os.Exit(1)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"exokernel/internal/cap"
 	"exokernel/internal/hw"
 	"exokernel/internal/isa"
+	"exokernel/internal/ktrace"
 )
 
 // EnvID names an environment. 0 is never a valid environment.
@@ -68,6 +69,13 @@ type Env struct {
 	// (register-sized handles for heap-sized capabilities). Native code
 	// holds cap.Capability values directly.
 	caps []cap.Capability
+
+	// Trace is the environment's active span context — the causal identity
+	// of the request it is currently working for. Protected control
+	// transfers copy it caller→callee the same way registers carry the
+	// message; library code sets and clears it around request boundaries.
+	// Pure observation metadata: no kernel decision ever reads it.
+	Trace ktrace.SpanContext
 
 	// Repossession vector (§3.4): physical pages the kernel took by force,
 	// so the library OS can discover losses after an abort.

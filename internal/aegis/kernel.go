@@ -58,9 +58,38 @@ type Kernel struct {
 	// cycle-stamped events but never advances the clock: the cost model
 	// is identical traced or untraced.
 	Tracer *ktrace.Recorder
+	// Spans, when non-nil, collects causal request spans (same
+	// contract as Tracer: observation only, zero clock perturbation; a
+	// nil recorder is valid and inert).
+	Spans *ktrace.SpanRecorder
+	// TraceParse and TraceStamp are library-installed wire hooks (the
+	// SetDemux pattern: the kernel knows no protocols, so the library
+	// that owns the frame format tells it where trace context lives).
+	// TraceParse extracts the span context carried by an incoming
+	// frame; TraceStamp writes a context into an outgoing one. Either
+	// may be nil.
+	TraceParse func(frame []byte) ktrace.SpanContext
+	TraceStamp func(frame []byte, ctx ktrace.SpanContext)
 	// runStart is the cycle at which the current environment's
 	// attribution span began (see settleCycles).
 	runStart uint64
+}
+
+// SetSpans attaches (or detaches, nil) the span recorder.
+func (k *Kernel) SetSpans(r *ktrace.SpanRecorder) { k.Spans = r }
+
+// SetTraceWire installs the wire-format trace hooks.
+func (k *Kernel) SetTraceWire(parse func([]byte) ktrace.SpanContext, stamp func([]byte, ktrace.SpanContext)) {
+	k.TraceParse = parse
+	k.TraceStamp = stamp
+}
+
+// wireCtx reads the trace context of a frame via the installed hook.
+func (k *Kernel) wireCtx(frame []byte) ktrace.SpanContext {
+	if k.TraceParse == nil {
+		return ktrace.SpanContext{}
+	}
+	return k.TraceParse(frame)
 }
 
 // Stats counts kernel events.

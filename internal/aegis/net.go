@@ -206,6 +206,13 @@ func (k *Kernel) runASH(ep *Endpoint, frame []byte) {
 	defer k.recordOp(OpASHRun, ep.Owner, start)
 	k.Stats.ASHRuns++
 	k.trace(ktrace.KindASHRun, ep.Owner, uint64(len(frame)), 0, 0)
+	// The handler run is a span under whatever request the frame carries
+	// (wire hook; zero context if none). Replies the handler transmits
+	// are stamped with the ASH span's context, so the echo's receiver
+	// parents under the handler — the causal chain survives a request
+	// that never leaves interrupt level.
+	ash := k.Spans.Begin(start, ktrace.SpanASH, uint32(ep.Owner), k.wireCtx(frame), uint64(len(frame)))
+	defer func() { k.Spans.End(ash, k.M.Clock.Cycles()) }()
 	cpu := &k.M.CPU
 	savedRegs := cpu.Regs
 	savedPC := cpu.PC
@@ -218,7 +225,12 @@ func (k *Kernel) runASH(ep *Endpoint, frame []byte) {
 		SandboxBase: ep.ASH.Sandbox,
 		SandboxMask: ep.ASH.SandMask,
 		Phys:        k.M.Phys,
-		Xmit:        func(data []byte) { k.M.NIC.Send(hw.Packet{Data: data}) },
+		Xmit: func(data []byte) {
+			if k.TraceStamp != nil && ash.Ctx().Valid() {
+				k.TraceStamp(data, ash.Ctx())
+			}
+			k.M.NIC.Send(hw.Packet{Data: data})
+		},
 	}
 	savedIntr := cpu.IntrOn
 	cpu.Regs = [hw.NumRegs]uint32{}

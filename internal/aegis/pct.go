@@ -56,6 +56,18 @@ func (k *Kernel) ProtCall(callee EnvID, async bool) error {
 
 	k.trace(ktrace.KindProtCall, callerID(cur), uint64(callee), b2u(async), 0)
 
+	// The caller's span context rides the transfer exactly like the
+	// register file does: copied to the callee, untouched by the kernel.
+	// The PCT itself is a point span under the caller's context — the
+	// hop that moved the request between environments.
+	if cur != nil {
+		if cur.Trace.Valid() {
+			now := k.M.Clock.Cycles()
+			k.Spans.End(k.Spans.Begin(now, ktrace.SpanPCT, uint32(cur.ID), cur.Trace, uint64(callee)), now)
+		}
+		target.Trace = cur.Trace
+	}
+
 	// Install the callee's addressing context. Register file is NOT
 	// touched: that is the contract.
 	k.M.Clock.Tick(hw.CostContextID)

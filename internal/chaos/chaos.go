@@ -59,6 +59,10 @@ type Config struct {
 	// invariant gate. Observation only: it must not mutate the world or
 	// tick a simulated clock, or seed-replay breaks.
 	OnStep func(step int)
+
+	// DisableSpans runs without causal span recorders — the control arm of
+	// the "tracing is free" invariant (the run must be cycle-identical).
+	DisableSpans bool
 }
 
 // DefaultFaultConfig returns the rates a chaos run uses when none are
@@ -107,6 +111,17 @@ type Report struct {
 	TraceTotalA, TraceTotalB uint64
 	TraceHash                uint64
 	RxOverflowA, RxOverflowB uint64
+
+	// Causal-tracing census and completeness verdict: every TCP chunk the
+	// client submits opens a request span, and the gate demands that the
+	// assembled trees are whole — no orphan spans (a child whose parent
+	// never made it into the stream) and no span left open — as long as
+	// neither ring overwrote history. SpanHash fingerprints the merged
+	// span stream; it joins the replay witness.
+	SpanTotalA, SpanTotalB            uint64
+	SpanDroppedA, SpanDroppedB        uint64
+	SpanTraces, SpanOrphans, SpanOpen int
+	SpanHash                          uint64
 
 	// InvariantNS summarizes the host-side latency of every
 	// aegis.CheckInvariants sweep the gate ran (both machines per check).
@@ -176,7 +191,8 @@ type world struct {
 	ma, mb *hw.Machine
 	ka, kb *aegis.Kernel
 
-	recA, recB *ktrace.Recorder
+	recA, recB     *ktrace.Recorder
+	spansA, spansB *ktrace.SpanRecorder
 
 	// TCP service (never killed): client on A, server on B.
 	cli, srv  *exos.TCPConn
@@ -254,6 +270,17 @@ func Run(cfg Config) (*Report, error) {
 		return rep, fmt.Errorf("chaos: %d disk reads returned wrong data undetected (seed %#x)",
 			rep.DiskBadReads, cfg.Seed)
 	}
+	// Causal completeness: unless a span ring overwrote history, every
+	// recorded span must close and every recorded child must find its
+	// parent in the merged stream — fault injection may sever a request
+	// mid-flight (a dropped frame ends the tree early), but it must never
+	// leave a dangling reference.
+	if rep.SpanDroppedA == 0 && rep.SpanDroppedB == 0 {
+		if rep.SpanOrphans > 0 || rep.SpanOpen > 0 {
+			return rep, fmt.Errorf("chaos: causal record broken: %d orphan, %d open spans across %d traces (seed %#x)",
+				rep.SpanOrphans, rep.SpanOpen, rep.SpanTraces, cfg.Seed)
+		}
+	}
 	return rep, nil
 }
 
@@ -278,6 +305,17 @@ func setup(cfg Config) (*world, error) {
 		w.recA.Emit(w.ma.Clock.Cycles(), ktrace.KindFaultInject, 0, uint64(e.Kind), e.Arg, 0)
 	}
 
+	// Causal span recorders, sized so no default-length run wraps (the
+	// completeness gate only fires when nothing was overwritten). Span
+	// collection is pure observation: the control arm with DisableSpans
+	// set must land on identical clocks and the identical fault log.
+	if !cfg.DisableSpans {
+		w.spansA = ktrace.NewSpans(1<<17, cfg.Seed^0x51A)
+		w.spansB = ktrace.NewSpans(1<<17, cfg.Seed^0x51B)
+		w.ka.SetSpans(w.spansA)
+		w.kb.SetSpans(w.spansB)
+	}
+
 	// Wire the injector under every device.
 	w.seg.Fault = w.inj
 	w.ma.Disk.Fault = w.inj
@@ -295,6 +333,10 @@ func setup(cfg Config) (*world, error) {
 	}
 	w.bus.Register("A", w.ma, w.ka, w.recA)
 	w.bus.Register("B", w.mb, w.kb, w.recB)
+	if w.spansA != nil {
+		w.bus.AttachSpans("A", w.spansA)
+		w.bus.AttachSpans("B", w.spansB)
+	}
 	w.invHist = w.bus.Probe(InvariantProbe)
 	w.bus.AddGauge("steps", func() uint64 { return uint64(w.rep.Steps) })
 	w.bus.AddGauge("fault_events", w.inj.Total)
@@ -370,11 +412,16 @@ func (w *world) stepTraffic() {
 		for i := range chunk {
 			chunk[i] = byte(w.rng.next())
 		}
-		// Send fails until the handshake completes (which itself runs
-		// under fire); only bytes the transport accepted are owed back.
+		// Each submitted chunk is one causally-traced request: the root
+		// span covers the submit, and the per-segment contexts carry it
+		// through every (re)transmission to the server's recv spans. Send
+		// fails until the handshake completes (which itself runs under
+		// fire); only bytes the transport accepted are owed back.
+		req := w.osA.BeginRequest(uint64(len(w.sent)))
 		if w.cli.Send(chunk) == nil {
 			w.sent = append(w.sent, chunk...)
 		}
+		w.osA.EndRequest(req)
 	}
 	w.cli.Process()
 	w.srv.Process()
@@ -596,6 +643,43 @@ func (w *world) finish() {
 	r.RxOverflowA = w.ka.GlobalStats().RxOverflow
 	r.RxOverflowB = w.kb.GlobalStats().RxOverflow
 	r.InvariantNS = w.invHist.Snapshot()
+	if w.spansA != nil {
+		r.SpanTotalA, r.SpanTotalB = w.spansA.Total(), w.spansB.Total()
+		r.SpanDroppedA, r.SpanDroppedB = w.spansA.Dropped(), w.spansB.Dropped()
+		merged := w.bus.MergedSpans()
+		for _, tr := range fleet.AssembleTraces(merged) {
+			r.SpanTraces++
+			r.SpanOrphans += len(tr.Orphans)
+			r.SpanOpen += tr.Open
+		}
+		r.SpanHash = spanHash(merged)
+	}
+}
+
+// spanHash fingerprints the merged span stream (every field of every
+// span, machine tag included) — the "identical causal record" witness.
+func spanHash(spans []ktrace.SourcedSpan) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xFF)) * 1099511628211
+			v >>= 8
+		}
+	}
+	for _, s := range spans {
+		for i := 0; i < len(s.Machine); i++ {
+			h = (h ^ uint64(s.Machine[i])) * 1099511628211
+		}
+		mix(uint64(s.Trace))
+		mix(uint64(s.ID))
+		mix(uint64(s.Parent))
+		mix(uint64(s.Env))
+		mix(uint64(s.Kind))
+		mix(s.Start)
+		mix(s.End)
+		mix(s.Arg)
+	}
+	return h
 }
 
 // traceHash fingerprints both kernels' event windows (FNV-1a over every

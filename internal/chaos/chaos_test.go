@@ -44,6 +44,18 @@ func TestChaosRun(t *testing.T) {
 	if rep.EnvsKilled == 0 {
 		t.Error("no environments were killed")
 	}
+	// The causal record was collected and is whole: requests were traced,
+	// nothing wrapped, and Run's own gate already rejected orphans/opens.
+	if rep.SpanTotalA == 0 || rep.SpanTotalB == 0 || rep.SpanTraces == 0 {
+		t.Errorf("no causal spans recorded: A=%d B=%d traces=%d",
+			rep.SpanTotalA, rep.SpanTotalB, rep.SpanTraces)
+	}
+	if rep.SpanDroppedA != 0 || rep.SpanDroppedB != 0 {
+		t.Errorf("span rings wrapped: dropped A=%d B=%d", rep.SpanDroppedA, rep.SpanDroppedB)
+	}
+	if rep.SpanOrphans != 0 || rep.SpanOpen != 0 {
+		t.Errorf("causal record broken: %d orphans, %d open", rep.SpanOrphans, rep.SpanOpen)
+	}
 }
 
 // The reproducibility gate: the same seed must yield the identical fault
@@ -76,6 +88,48 @@ func TestChaosDeterminism(t *testing.T) {
 	}
 	if a.Steps != b.Steps {
 		t.Errorf("step counts diverged: %d vs %d", a.Steps, b.Steps)
+	}
+	if a.SpanHash != b.SpanHash || a.SpanTotalA != b.SpanTotalA || a.SpanTotalB != b.SpanTotalB {
+		t.Errorf("span record diverged: hash %#x/%#x totals %d+%d vs %d+%d",
+			a.SpanHash, b.SpanHash, a.SpanTotalA, a.SpanTotalB, b.SpanTotalA, b.SpanTotalB)
+	}
+}
+
+// TestSpanCollectionIsFree pins the tentpole invariant under fire: a run
+// with causal span recorders attached is cycle-identical — same clocks,
+// same fault log, same ktrace fingerprint — to the same seed without
+// them. Tracing is observation, never participation, even while the
+// injector is corrupting the frames that carry the trace context.
+func TestSpanCollectionIsFree(t *testing.T) {
+	on, err := Run(Config{Seed: 0xFEE, TargetFaults: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Run(Config{Seed: 0xFEE, TargetFaults: 250, DisableSpans: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.CyclesA != off.CyclesA || on.CyclesB != off.CyclesB {
+		t.Errorf("span collection moved the clocks: on=(%d,%d) off=(%d,%d)",
+			on.CyclesA, on.CyclesB, off.CyclesA, off.CyclesB)
+	}
+	if on.TraceHash != off.TraceHash {
+		t.Errorf("span collection changed the ktrace stream: %#x vs %#x",
+			on.TraceHash, off.TraceHash)
+	}
+	if len(on.Events) != len(off.Events) {
+		t.Fatalf("fault logs diverged: %d vs %d events", len(on.Events), len(off.Events))
+	}
+	for i := range on.Events {
+		if on.Events[i] != off.Events[i] {
+			t.Fatalf("fault log diverged at %d: %v vs %v", i, on.Events[i], off.Events[i])
+		}
+	}
+	if on.SpanTotalA == 0 {
+		t.Error("traced run recorded no spans")
+	}
+	if off.SpanTotalA != 0 || off.SpanHash != 0 {
+		t.Error("control arm recorded spans")
 	}
 }
 

@@ -1,0 +1,148 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The soak-trend gate: compare two SOAK JSON documents the way benchdiff
+// compares BENCH JSON. Two kinds of comparison, with very different
+// strictness:
+//
+//   - Determinism witnesses (seeds, fault counts, steps, simulated
+//     cycles, trace hashes) are simulated-side facts. When the two files
+//     ran the same configuration, these must match bit for bit — any
+//     difference means the simulation itself changed, and no tolerance
+//     applies.
+//   - Trend metrics (events per host second, wall ns per 10⁵ events,
+//     invariant-check latency percentiles) are host-side facts. They wear
+//     a fractional tolerance, because hosts differ run to run.
+
+// SoakDiffEntry is one trend metric's comparison. Delta is the raw
+// fractional change (new-old)/old; Worse normalizes direction (true when
+// the change is a degradation, whatever the metric's polarity).
+type SoakDiffEntry struct {
+	Metric   string
+	Old, New float64
+	Delta    float64
+	Worse    bool
+}
+
+func (e SoakDiffEntry) String() string {
+	return fmt.Sprintf("%s: %.4g -> %.4g (%+.1f%%)", e.Metric, e.Old, e.New, e.Delta*100)
+}
+
+// SoakDiffReport is the outcome of comparing two SOAK files.
+type SoakDiffReport struct {
+	Threshold  float64 // fractional tolerance on trend metrics
+	Comparable bool    // same (seed_start, rounds, events_per_round)
+	Compared   int     // trend metrics checked
+
+	// WitnessDiffs are simulated-side mismatches between same-config
+	// files; each one fails the gate outright.
+	WitnessDiffs []string
+
+	Regressions  []SoakDiffEntry
+	Improvements []SoakDiffEntry
+}
+
+// OK reports whether the gate passes.
+func (r *SoakDiffReport) OK() bool {
+	return len(r.Regressions) == 0 && len(r.WitnessDiffs) == 0
+}
+
+// Render formats the report for humans.
+func (r *SoakDiffReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "soakdiff: %d trend metrics compared, threshold %.1f%%\n", r.Compared, r.Threshold*100)
+	if !r.Comparable {
+		b.WriteString("  note: different soak configurations; determinism witnesses not compared\n")
+	}
+	for _, d := range r.WitnessDiffs {
+		fmt.Fprintf(&b, "  WITNESS     %s\n", d)
+	}
+	for _, d := range r.Regressions {
+		fmt.Fprintf(&b, "  REGRESSION  %s\n", d)
+	}
+	for _, d := range r.Improvements {
+		fmt.Fprintf(&b, "  improvement %s\n", d)
+	}
+	if r.OK() {
+		b.WriteString("  gate: PASS\n")
+	} else {
+		fmt.Fprintf(&b, "  gate: FAIL (%d witness diffs, %d regressions)\n",
+			len(r.WitnessDiffs), len(r.Regressions))
+	}
+	return b.String()
+}
+
+// DiffSoak compares two SOAK reports. threshold is fractional (0.3 =
+// 30%) and applies only to the host-side trend metrics; the same file
+// diffed against itself always passes with zero deltas.
+func DiffSoak(oldR, newR *SoakReport, threshold float64) *SoakDiffReport {
+	r := &SoakDiffReport{Threshold: threshold}
+	r.Comparable = oldR.SeedStart == newR.SeedStart &&
+		oldR.Rounds == newR.Rounds &&
+		oldR.EventsPerRound == newR.EventsPerRound
+
+	if r.Comparable {
+		if len(oldR.Windows) != len(newR.Windows) {
+			r.WitnessDiffs = append(r.WitnessDiffs,
+				fmt.Sprintf("window count %d vs %d", len(oldR.Windows), len(newR.Windows)))
+		}
+		n := len(oldR.Windows)
+		if len(newR.Windows) < n {
+			n = len(newR.Windows)
+		}
+		for i := 0; i < n; i++ {
+			ow, nw := oldR.Windows[i], newR.Windows[i]
+			for _, f := range []struct {
+				name     string
+				old, new string
+			}{
+				{"seed", fmt.Sprint(ow.Seed), fmt.Sprint(nw.Seed)},
+				{"fault_events", fmt.Sprint(ow.FaultEvents), fmt.Sprint(nw.FaultEvents)},
+				{"steps", fmt.Sprint(ow.Steps), fmt.Sprint(nw.Steps)},
+				{"sim_cycles", fmt.Sprint(ow.SimCycles), fmt.Sprint(nw.SimCycles)},
+				{"trace_hash", ow.TraceHash, nw.TraceHash},
+			} {
+				if f.old != f.new {
+					r.WitnessDiffs = append(r.WitnessDiffs,
+						fmt.Sprintf("window %d %s: %s vs %s", i, f.name, f.old, f.new))
+				}
+			}
+		}
+	}
+
+	// Trend metrics: polarity-aware tolerance. higherBetter metrics
+	// regress downward; the rest regress upward.
+	for _, m := range []struct {
+		name         string
+		old, new     float64
+		higherBetter bool
+	}{
+		{"events_per_sec", oldR.EventsPerSec, newR.EventsPerSec, true},
+		{"wall_ns_per_100k_events", oldR.WallNSPer100K, newR.WallNSPer100K, false},
+		{"invariant_p50_ns", float64(oldR.InvariantNS.P50), float64(newR.InvariantNS.P50), false},
+		{"invariant_p99_ns", float64(oldR.InvariantNS.P99), float64(newR.InvariantNS.P99), false},
+	} {
+		if m.old <= 0 {
+			continue
+		}
+		r.Compared++
+		delta := (m.new - m.old) / m.old
+		e := SoakDiffEntry{Metric: m.name, Old: m.old, New: m.new, Delta: delta}
+		worse := delta
+		if m.higherBetter {
+			worse = -delta
+		}
+		switch {
+		case worse > threshold:
+			e.Worse = true
+			r.Regressions = append(r.Regressions, e)
+		case worse < -threshold:
+			r.Improvements = append(r.Improvements, e)
+		}
+	}
+	return r
+}

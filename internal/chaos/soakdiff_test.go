@@ -1,0 +1,86 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"exokernel/internal/metrics"
+)
+
+// soakFixture builds a minimal comparable SOAK report.
+func soakFixture() *SoakReport {
+	return &SoakReport{
+		Schema: SoakSchema, SchemaVersion: SoakSchemaVersion,
+		SeedStart: 1, Rounds: 2, EventsPerRound: 100,
+		TotalEvents: 200, EventsPerSec: 1000, WallNSPer100K: 5e8,
+		InvariantNS: metrics.Snapshot{Count: 10, P50: 20000, P99: 60000, Max: 90000},
+		Windows: []SoakWindow{
+			{Round: 0, Seed: 1, FaultEvents: 100, Steps: 500, SimCycles: 1 << 20, TraceHash: "00aa"},
+			{Round: 1, Seed: 2, FaultEvents: 100, Steps: 520, SimCycles: 1 << 21, TraceHash: "00bb"},
+		},
+	}
+}
+
+func TestSoakDiffSelfPasses(t *testing.T) {
+	a := soakFixture()
+	r := DiffSoak(a, a, 0.3)
+	if !r.OK() {
+		t.Fatalf("self-diff failed:\n%s", r.Render())
+	}
+	if r.Compared != 4 || !r.Comparable {
+		t.Fatalf("compared=%d comparable=%v", r.Compared, r.Comparable)
+	}
+	if !strings.Contains(r.Render(), "gate: PASS") {
+		t.Fatalf("render missing PASS:\n%s", r.Render())
+	}
+}
+
+func TestSoakDiffTrendGate(t *testing.T) {
+	old, cur := soakFixture(), soakFixture()
+	cur.EventsPerSec = old.EventsPerSec * 0.5     // throughput halved: worse
+	cur.WallNSPer100K = old.WallNSPer100K * 2     // wall cost doubled: worse
+	cur.InvariantNS.P50 = old.InvariantNS.P50 / 2 // got faster: improvement
+	r := DiffSoak(old, cur, 0.3)
+	if r.OK() {
+		t.Fatalf("gate passed a halved throughput:\n%s", r.Render())
+	}
+	if len(r.Regressions) != 2 {
+		t.Fatalf("regressions = %d, want 2:\n%s", len(r.Regressions), r.Render())
+	}
+	if len(r.Improvements) != 1 {
+		t.Fatalf("improvements = %d, want 1:\n%s", len(r.Improvements), r.Render())
+	}
+	// Within tolerance: no regression.
+	mild := soakFixture()
+	mild.EventsPerSec = old.EventsPerSec * 0.9
+	if r := DiffSoak(old, mild, 0.3); !r.OK() {
+		t.Fatalf("10%% drift failed a 30%% gate:\n%s", r.Render())
+	}
+}
+
+func TestSoakDiffWitnessGate(t *testing.T) {
+	old, cur := soakFixture(), soakFixture()
+	cur.Windows[1].TraceHash = "00cc"
+	cur.Windows[1].SimCycles++
+	r := DiffSoak(old, cur, 0.3)
+	if r.OK() {
+		t.Fatalf("witness mismatch passed the gate:\n%s", r.Render())
+	}
+	if len(r.WitnessDiffs) != 2 {
+		t.Fatalf("witness diffs = %d, want 2:\n%s", len(r.WitnessDiffs), r.Render())
+	}
+	// Different configurations: the witness comparison is skipped, trends
+	// still gate.
+	foreign := soakFixture()
+	foreign.SeedStart = 99
+	foreign.Windows[0].TraceHash = "ffff"
+	r = DiffSoak(old, foreign, 0.3)
+	if !r.Comparable {
+		// expected
+	} else {
+		t.Fatalf("different configs marked comparable")
+	}
+	if len(r.WitnessDiffs) != 0 || !r.OK() {
+		t.Fatalf("incomparable files produced witness diffs:\n%s", r.Render())
+	}
+}

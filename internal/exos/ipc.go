@@ -5,6 +5,7 @@ import (
 
 	"exokernel/internal/aegis"
 	"exokernel/internal/hw"
+	"exokernel/internal/ktrace"
 )
 
 // IPC abstractions (§6.1): built by *application code* on two Aegis
@@ -186,16 +187,26 @@ func (s *Server) Register(proc uint32, h Handler) { s.procs[proc] = h }
 // call back to the caller.
 func (s *Server) entry(k *aegis.Kernel, caller aegis.EnvID) {
 	k.M.Clock.Tick(8) // server stub: demux + frame setup
+	// The caller's PCT installed its span context in our environment; the
+	// handler runs as a serve span under it, and any work the handler
+	// does (packet sends, nested calls) parents under the serve span.
+	var serve ktrace.SpanRef
+	if s.os.Env.Trace.Valid() {
+		serve = k.Spans.Begin(k.M.Clock.Cycles(), ktrace.SpanIPCServe, uint32(s.os.Env.ID), s.os.Env.Trace, uint64(s.proc))
+		s.os.Env.Trace = serve.Ctx()
+	}
 	h, ok := s.procs[s.proc]
 	if !ok {
 		s.res = [2]uint32{^uint32(0), 0}
 	} else {
 		s.res = h(s.args)
 	}
+	k.Spans.End(serve, k.M.Clock.Cycles())
 	if err := k.ProtCall(caller, false); err != nil {
 		// Caller vanished; drop the reply.
 		_ = err
 	}
+	s.os.Env.Trace = ktrace.SpanContext{} // idle between requests
 }
 
 // Client calls a Server over PCT.
@@ -224,6 +235,16 @@ func NewClient(os *LibOS, srv *Server, trusted bool) *Client {
 func (c *Client) Call(proc uint32, args [4]uint32) ([2]uint32, error) {
 	k := c.os.K
 	c.os.Enter() // the call is issued from the client's environment
+	// The call span brackets issue-to-reply. The reply PCT copies the
+	// server's context back into this environment (registers are the
+	// message, and so is the trace), so the pre-call context is saved
+	// and restored around the round trip.
+	saved := c.os.Env.Trace
+	var call ktrace.SpanRef
+	if saved.Valid() {
+		call = k.Spans.Begin(k.M.Clock.Cycles(), ktrace.SpanIPCCall, uint32(c.os.Env.ID), saved, uint64(proc))
+		c.os.Env.Trace = call.Ctx()
+	}
 	if !c.trusted {
 		// lrpc stub: save and later restore all callee-saved registers
 		// (the server is not trusted to).
@@ -234,9 +255,11 @@ func (c *Client) Call(proc uint32, args [4]uint32) ([2]uint32, error) {
 	c.srv.args = args
 	c.replied = false
 	if err := k.ProtCall(c.srv.os.Env.ID, false); err != nil {
+		c.os.Env.Trace = saved
 		return [2]uint32{}, err
 	}
 	if !c.replied {
+		c.os.Env.Trace = saved
 		return [2]uint32{}, fmt.Errorf("exos: rpc reply lost")
 	}
 	if !c.trusted {
@@ -244,5 +267,7 @@ func (c *Client) Call(proc uint32, args [4]uint32) ([2]uint32, error) {
 	} else {
 		k.M.Clock.Tick(2) // tlrpc: the server restored what it used
 	}
+	k.Spans.End(call, k.M.Clock.Cycles())
+	c.os.Env.Trace = saved
 	return c.srv.res, nil
 }

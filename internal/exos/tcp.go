@@ -6,6 +6,7 @@ import (
 	"exokernel/internal/aegis"
 	"exokernel/internal/dpf"
 	"exokernel/internal/hw"
+	"exokernel/internal/ktrace"
 	"exokernel/internal/pkt"
 )
 
@@ -57,6 +58,26 @@ type tcpSegment struct {
 	fin     bool
 	sentAt  uint64
 	retries int
+	// ctx is the request context captured when the application queued the
+	// data. It lives with the segment, not the connection, so every
+	// transmission attempt — including retransmits long after Env.Trace
+	// moved on — carries the same causal identity on the wire.
+	ctx ktrace.SpanContext
+}
+
+// tcpPending is queued application data awaiting window space (fin marks
+// the FIN pseudo-segment).
+type tcpPending struct {
+	data []byte
+	fin  bool
+	ctx  ktrace.SpanContext
+}
+
+// tcpRx is one raw frame delivered at interrupt time, with the delivery
+// span's context (zero when untraced).
+type tcpRx struct {
+	frame []byte
+	ctx   ktrace.SpanContext
 }
 
 // TCPConn is one end of a connection.
@@ -76,9 +97,9 @@ type TCPConn struct {
 	rcvNxt         uint32
 
 	inflight []tcpSegment
-	pending  [][]byte // queued beyond the window
-	rxFrames [][]byte // raw frames delivered at interrupt time
-	recvBuf  []byte   // in-order application data
+	pending  []tcpPending // queued beyond the window
+	rxFrames []tcpRx      // raw frames delivered at interrupt time
+	recvBuf  []byte       // in-order application data
 	finSeen  bool
 
 	// Stats.
@@ -143,10 +164,17 @@ func (c *TCPConn) Release() error {
 // deliver runs at interrupt level: copy and queue; protocol processing
 // happens when the application runs (Process).
 func (c *TCPConn) deliver(k *aegis.Kernel, frame []byte) {
+	start := k.M.Clock.Cycles()
 	buf := make([]byte, len(frame))
 	copy(buf, frame)
 	k.M.Clock.Tick(uint64((len(frame) + 3) / 4))
-	c.rxFrames = append(c.rxFrames, buf)
+	var ctx ktrace.SpanContext
+	if wc := wireParse(buf); wc.Valid() {
+		rx := k.Spans.Begin(start, ktrace.SpanRx, uint32(c.os.Env.ID), wc, uint64(len(frame)))
+		k.Spans.End(rx, k.M.Clock.Cycles())
+		ctx = rx.Ctx()
+	}
+	c.rxFrames = append(c.rxFrames, tcpRx{frame: buf, ctx: ctx})
 }
 
 // DialTCP starts an active open. The caller pumps both endpoints'
@@ -196,7 +224,7 @@ func (c *TCPConn) Send(data []byte) error {
 		}
 		seg := make([]byte, end-off)
 		copy(seg, data[off:end])
-		c.pending = append(c.pending, seg)
+		c.pending = append(c.pending, tcpPending{data: seg, ctx: c.os.Env.Trace})
 	}
 	c.os.K.M.Clock.Tick(uint64((len(data)+3)/4) + 10) // segmentation copy
 	c.fill()
@@ -221,21 +249,21 @@ func (c *TCPConn) Close() {
 		c.state = tcpClosedDone
 		return
 	}
-	c.pending = append(c.pending, nil) // nil marks the FIN
+	c.pending = append(c.pending, tcpPending{fin: true, ctx: c.os.Env.Trace})
 	c.fill()
 }
 
 // fill moves queued segments into the window.
 func (c *TCPConn) fill() {
 	for len(c.inflight) < tcpWindowSegs && len(c.pending) > 0 {
-		data := c.pending[0]
+		p := c.pending[0]
 		c.pending = c.pending[1:]
-		seg := tcpSegment{seq: c.sndNxt, data: data, fin: data == nil}
+		seg := tcpSegment{seq: c.sndNxt, data: p.data, fin: p.fin, ctx: p.ctx}
 		c.sendSeg(seg, c.segFlags(seg))
 		if seg.fin {
 			c.sndNxt++
 		} else {
-			c.sndNxt += uint32(len(data))
+			c.sndNxt += uint32(len(p.data))
 		}
 		seg.sentAt = c.os.K.M.Clock.Cycles()
 		c.inflight = append(c.inflight, seg)
@@ -259,8 +287,19 @@ func (c *TCPConn) sendSeg(seg tcpSegment, flags byte) {
 	frame := pkt.Build(c.remoteMAC, c.net.MAC, f, seg.data)
 	pkt.SetTCP(frame, seg.seq, c.rcvNxt, flags, tcpWindowSegs*tcpMSS)
 	pkt.SetTCPChecksum(frame)
-	// Header work plus one pass over the segment for the checksum.
+	// Each transmission attempt is its own span under the segment's
+	// request context (a retransmit shows up as a second tx span), and
+	// the wire carries the attempt's identity.
+	var tx ktrace.SpanRef
+	if seg.ctx.Valid() {
+		tx = c.os.K.Spans.Begin(c.os.K.M.Clock.Cycles(), ktrace.SpanTCPTx, uint32(c.os.Env.ID), seg.ctx, uint64(len(seg.data)))
+		wireStamp(frame, tx.Ctx())
+	}
+	// Header work plus one pass over the segment for the checksum. The
+	// span closes before the NIC hand-off: segment delivery is synchronous
+	// and remote processing time is wire time, not transmit work.
 	c.os.K.M.Clock.Tick(uint64(pkt.TCPLen/4) + 8 + uint64((len(frame)+3)/4))
+	c.os.K.Spans.End(tx, c.os.K.M.Clock.Cycles())
 	c.os.K.M.NIC.Send(hw.Packet{Data: frame})
 }
 
@@ -275,15 +314,15 @@ func (c *TCPConn) sendAck() {
 // involvement beyond the clock.
 func (c *TCPConn) Process() {
 	for len(c.rxFrames) > 0 {
-		frame := c.rxFrames[0]
+		fr := c.rxFrames[0]
 		c.rxFrames = c.rxFrames[1:]
-		c.handle(frame)
+		c.handle(fr.frame, fr.ctx)
 	}
 	c.retransmit()
 	c.fill()
 }
 
-func (c *TCPConn) handle(frame []byte) {
+func (c *TCPConn) handle(frame []byte, rxCtx ktrace.SpanContext) {
 	if !pkt.IsTCP(frame) {
 		return
 	}
@@ -342,9 +381,19 @@ func (c *TCPConn) handle(frame []byte) {
 	if len(payload) > 0 || hasFin {
 		if seq == c.rcvNxt {
 			if len(payload) > 0 {
+				var rv ktrace.SpanRef
+				if rxCtx.Valid() {
+					rv = c.os.K.Spans.Begin(c.os.K.M.Clock.Cycles(), ktrace.SpanRecv, uint32(c.os.Env.ID), rxCtx, uint64(len(payload)))
+				}
 				c.recvBuf = append(c.recvBuf, payload...)
 				c.os.K.M.Clock.Tick(uint64((len(payload) + 3) / 4))
 				c.rcvNxt = dataEnd
+				if rv.Ctx().Valid() {
+					c.os.K.Spans.End(rv, c.os.K.M.Clock.Cycles())
+					// In-order data continues the sender's request on this
+					// machine: adopt its context.
+					c.os.Env.Trace = rv.Ctx()
+				}
 			}
 			if hasFin {
 				c.rcvNxt++

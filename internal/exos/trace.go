@@ -1,0 +1,48 @@
+package exos
+
+import (
+	"exokernel/internal/ktrace"
+	"exokernel/internal/pkt"
+)
+
+// Causal tracing glue: ExOS owns the wire format, so it owns where trace
+// context lives in a frame (the pkt trace-context trailer) and tells the
+// protocol-agnostic kernel via SetTraceWire. The propagation rule
+// everywhere in the library is uniform: a span is recorded only when a
+// valid parent context exists (or a root is opened explicitly with
+// BeginRequest), the active context rides Env.Trace between hops, and
+// outgoing frames are stamped with the span that transmitted them. All
+// of it is observation: no clock ticks, and with no span recorder
+// attached every path below degrades to the zero context.
+
+// wireParse reads a frame's trace context (zero context if absent or
+// corrupted — the receiver simply starts fresh).
+func wireParse(frame []byte) ktrace.SpanContext {
+	tr, sp, ok := pkt.TraceOpt(frame)
+	if !ok {
+		return ktrace.SpanContext{}
+	}
+	return ktrace.SpanContext{Trace: ktrace.TraceID(tr), Span: ktrace.SpanID(sp)}
+}
+
+// wireStamp writes a span context into an outgoing frame's trailer.
+func wireStamp(frame []byte, ctx ktrace.SpanContext) {
+	pkt.StampTraceOpt(frame, uint64(ctx.Trace), uint64(ctx.Span))
+}
+
+// BeginRequest opens a root span for one logical request and makes it the
+// environment's active context: everything the application does until
+// EndRequest — IPC calls, packet sends, the work servers do on the far
+// end — becomes part of this trace. arg tags the request (an ID, a byte
+// count; the application's choice).
+func (os *LibOS) BeginRequest(arg uint64) ktrace.SpanRef {
+	ref := os.K.Spans.Begin(os.K.M.Clock.Cycles(), ktrace.SpanReq, uint32(os.Env.ID), ktrace.SpanContext{}, arg)
+	os.Env.Trace = ref.Ctx()
+	return ref
+}
+
+// EndRequest closes a request span and clears the active context.
+func (os *LibOS) EndRequest(ref ktrace.SpanRef) {
+	os.K.Spans.End(ref, os.K.M.Clock.Cycles())
+	os.Env.Trace = ktrace.SpanContext{}
+}

@@ -6,6 +6,7 @@ import (
 	"exokernel/internal/aegis"
 	"exokernel/internal/dpf"
 	"exokernel/internal/hw"
+	"exokernel/internal/ktrace"
 	"exokernel/internal/pkt"
 )
 
@@ -31,6 +32,9 @@ type Net struct {
 func NewNet(k *aegis.Kernel, mac pkt.Addr, ip uint32) *Net {
 	n := &Net{K: k, Engine: dpf.NewEngine(), MAC: mac, IP: ip, eps: make(map[dpf.FilterID]*aegis.Endpoint)}
 	k.SetDemux(n.demux)
+	// The library owns the frame format, so it teaches the kernel where
+	// trace context lives (for ASH dispatch, which runs in the kernel).
+	k.SetTraceWire(wireParse, wireStamp)
 	return n
 }
 
@@ -72,6 +76,10 @@ type UDPSocket struct {
 type rxFrame struct {
 	flow    pkt.Flow
 	payload []byte
+	// ctx is the delivery span's context (zero if the frame carried no
+	// valid trace context): the recv span parents under it when the
+	// application drains the frame.
+	ctx ktrace.SpanContext
 }
 
 // Bind creates a socket for a local UDP port: it downloads the filter and
@@ -108,11 +116,18 @@ func (s *UDPSocket) deliver(k *aegis.Kernel, frame []byte) {
 	if !ok {
 		return
 	}
+	start := k.M.Clock.Cycles()
 	payload := pkt.Payload(frame)
 	buf := make([]byte, len(payload))
 	copy(buf, payload)
 	k.M.Clock.Tick(uint64((len(frame) + 3) / 4))
-	s.rx = append(s.rx, rxFrame{flow: flow, payload: buf})
+	var ctx ktrace.SpanContext
+	if wc := wireParse(frame); wc.Valid() {
+		rx := k.Spans.Begin(start, ktrace.SpanRx, uint32(s.os.Env.ID), wc, uint64(len(payload)))
+		k.Spans.End(rx, k.M.Clock.Cycles())
+		ctx = rx.Ctx()
+	}
+	s.rx = append(s.rx, rxFrame{flow: flow, payload: buf, ctx: ctx})
 	s.Delivered++
 }
 
@@ -121,7 +136,16 @@ func (s *UDPSocket) deliver(k *aegis.Kernel, frame []byte) {
 func (s *UDPSocket) SendTo(dstMAC pkt.Addr, dstIP uint32, dstPort uint16, payload []byte) {
 	f := pkt.Flow{Proto: pkt.ProtoUDP, SrcIP: s.Net.IP, DstIP: dstIP, SrcPort: s.Port, DstPort: dstPort}
 	frame := pkt.Build(dstMAC, s.Net.MAC, f, payload)
+	var tx ktrace.SpanRef
+	if s.os.Env.Trace.Valid() {
+		tx = s.os.K.Spans.Begin(s.os.K.M.Clock.Cycles(), ktrace.SpanUDPTx, uint32(s.os.Env.ID), s.os.Env.Trace, uint64(len(payload)))
+		wireStamp(frame, tx.Ctx())
+	}
 	s.os.K.M.Clock.Tick(uint64(pkt.UDPPayload/4) + 4) // header composition + checksum arithmetic
+	// The span closes before the NIC hand-off: segment delivery is
+	// synchronous and can advance this clock through remote processing
+	// (an ASH reply), which is wire time, not transmit work.
+	s.os.K.Spans.End(tx, s.os.K.M.Clock.Cycles())
 	s.os.K.M.NIC.Send(hw.Packet{Data: frame})
 }
 
@@ -135,7 +159,17 @@ func (s *UDPSocket) TryRecv() ([]byte, pkt.Flow, bool) {
 	}
 	fr := s.rx[0]
 	s.rx = s.rx[1:]
+	var rv ktrace.SpanRef
+	if fr.ctx.Valid() {
+		rv = s.os.K.Spans.Begin(s.os.K.M.Clock.Cycles(), ktrace.SpanRecv, uint32(s.os.Env.ID), fr.ctx, uint64(len(fr.payload)))
+	}
 	s.os.K.M.Clock.Tick(uint64((len(fr.payload)+3)/4) + 10)
+	if rv.Ctx().Valid() {
+		s.os.K.Spans.End(rv, s.os.K.M.Clock.Cycles())
+		// The drained message's trace becomes the environment's active
+		// context: the application's response joins the request's tree.
+		s.os.Env.Trace = rv.Ctx()
+	}
 	return fr.payload, fr.flow, true
 }
 

@@ -41,6 +41,9 @@ type Member struct {
 	M    *hw.Machine
 	K    *aegis.Kernel
 	Rec  *ktrace.Recorder
+	// Spans is the member's causal span recorder (nil when request
+	// tracing is off); attach with Bus.AttachSpans.
+	Spans *ktrace.SpanRecorder
 }
 
 // probe is a named host-side histogram owned by the bus.
@@ -142,6 +145,11 @@ type MachineSnap struct {
 	TraceHeld    int
 	TraceDropped uint64
 
+	// Span-recorder census (zero when request tracing is off).
+	SpanTotal   uint64
+	SpanHeld    int
+	SpanDropped uint64
+
 	// Kernel-wide operation-latency summaries (simulated cycles).
 	Ops [aegis.NumOpClasses]metrics.Snapshot
 }
@@ -188,6 +196,9 @@ func (b *Bus) Snapshot() *Snapshot {
 			TraceTotal:   mb.Rec.Total(),
 			TraceHeld:    mb.Rec.Len(),
 			TraceDropped: mb.Rec.Dropped(),
+			SpanTotal:    mb.Spans.Total(),
+			SpanHeld:     mb.Spans.Len(),
+			SpanDropped:  mb.Spans.Dropped(),
 		}
 		for op := aegis.OpClass(0); op < aegis.NumOpClasses; op++ {
 			ms.Ops[op] = mb.K.Stats.OpSnapshot(op)

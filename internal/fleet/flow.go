@@ -1,0 +1,395 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"exokernel/internal/ktrace"
+)
+
+// Causal-flow analysis: turn the fleet's per-machine span streams into
+// per-request trees and answer "where did this request spend its
+// cycles". Same observation contract as the rest of the bus — merging,
+// assembly, and rendering never touch a simulated clock.
+//
+// Cross-machine latency arithmetic compares cycle stamps from different
+// machines' clocks directly. That is valid here for the same reason
+// WriteChrome shares one time base: the fleet runs homogeneous clock
+// configs. A mixed-rate fleet would need per-machine scaling first.
+
+// AttachSpans attaches a span recorder to the named member (nil detaches).
+// Returns false if no such member is registered.
+func (b *Bus) AttachSpans(name string, r *ktrace.SpanRecorder) bool {
+	for _, mb := range b.members {
+		if mb.Name == name {
+			mb.Spans = r
+			return true
+		}
+	}
+	return false
+}
+
+// WriteChromeSpans exports the merged span stream as a Chrome/Perfetto
+// timeline with flow arrows along every causal edge, sharing the pid
+// assignment of WriteChrome so the two timelines line up.
+func (b *Bus) WriteChromeSpans(w io.Writer) error {
+	mhz := float64(0)
+	if len(b.members) > 0 {
+		mhz = b.members[0].M.Config.MHz
+	}
+	return ktrace.WriteChromeSpans(w, b.MergedSpans(), b.MachineNames(), mhz)
+}
+
+// MergedSpans merges every member's held span window into one stream
+// ordered by start cycle, tagged with the member name. Ties break by
+// registration order, then emission order — deterministic, like
+// MergedEvents.
+func (b *Bus) MergedSpans() []ktrace.SourcedSpan {
+	type tagged struct {
+		sp  ktrace.SourcedSpan
+		mi  int
+		seq int
+	}
+	var all []tagged
+	for mi, mb := range b.members {
+		if mb.Spans == nil {
+			continue
+		}
+		for seq, s := range mb.Spans.Spans() {
+			all = append(all, tagged{
+				sp:  ktrace.SourcedSpan{Machine: mb.Name, Span: s},
+				mi:  mi,
+				seq: seq,
+			})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].sp.Start != all[j].sp.Start {
+			return all[i].sp.Start < all[j].sp.Start
+		}
+		if all[i].mi != all[j].mi {
+			return all[i].mi < all[j].mi
+		}
+		return all[i].seq < all[j].seq
+	})
+	out := make([]ktrace.SourcedSpan, len(all))
+	for i, t := range all {
+		out[i] = t.sp
+	}
+	return out
+}
+
+// SpanNode is one span in an assembled trace tree.
+type SpanNode struct {
+	ktrace.SourcedSpan
+	Children []*SpanNode
+}
+
+// Trace is one assembled request tree.
+type Trace struct {
+	ID    ktrace.TraceID
+	Roots []*SpanNode // spans with Parent == 0 (normally exactly one)
+	// Orphans are spans whose parent is not in the stream: evidence of a
+	// broken causal chain (a wrapped ring, a parent recorded on a machine
+	// whose recorder was not merged). The chaos gate asserts none.
+	Orphans []*SpanNode
+	Spans   int
+	Open    int // spans that never closed (End == 0)
+}
+
+// Duration is the trace's end-to-end extent in cycles: first root start
+// to the latest end anywhere in the tree.
+func (t *Trace) Duration() uint64 {
+	if len(t.Roots) == 0 {
+		return 0
+	}
+	var walk func(n *SpanNode) uint64
+	walk = func(n *SpanNode) uint64 {
+		latest := n.End
+		if latest == 0 {
+			latest = n.Start
+		}
+		for _, c := range n.Children {
+			if e := walk(c); e > latest {
+				latest = e
+			}
+		}
+		return latest
+	}
+	var latest uint64
+	for _, r := range t.Roots {
+		if e := walk(r); e > latest {
+			latest = e
+		}
+	}
+	return latest - t.Roots[0].Start
+}
+
+// AssembleTraces groups a merged span stream into per-request trees.
+// Deterministic: traces are ordered by first span start (then trace ID),
+// children by start cycle (then machine, then span ID).
+func AssembleTraces(spans []ktrace.SourcedSpan) []*Trace {
+	byID := make(map[ktrace.SpanID]*SpanNode, len(spans))
+	traces := map[ktrace.TraceID]*Trace{}
+	var order []*Trace
+	nodes := make([]*SpanNode, 0, len(spans))
+	for i := range spans {
+		n := &SpanNode{SourcedSpan: spans[i]}
+		nodes = append(nodes, n)
+		byID[n.Span.ID] = n
+		tr, ok := traces[n.Span.Trace]
+		if !ok {
+			tr = &Trace{ID: n.Span.Trace}
+			traces[n.Span.Trace] = tr
+			order = append(order, tr)
+		}
+		tr.Spans++
+		if n.End == 0 {
+			tr.Open++
+		}
+	}
+	for _, n := range nodes {
+		tr := traces[n.Span.Trace]
+		switch {
+		case n.Parent == 0:
+			tr.Roots = append(tr.Roots, n)
+		default:
+			p, ok := byID[n.Parent]
+			if !ok || p.Span.Trace != n.Span.Trace {
+				tr.Orphans = append(tr.Orphans, n)
+			} else {
+				p.Children = append(p.Children, n)
+			}
+		}
+	}
+	for _, n := range nodes {
+		sort.Slice(n.Children, func(i, j int) bool {
+			a, b := n.Children[i], n.Children[j]
+			if a.Start != b.Start {
+				return a.Start < b.Start
+			}
+			if a.Machine != b.Machine {
+				return a.Machine < b.Machine
+			}
+			return a.Span.ID < b.Span.ID
+		})
+	}
+	// The merged stream is start-ordered, so first-seen trace order is
+	// already "by first span start"; keep it.
+	return order
+}
+
+// Wait classification for a critical-path hop.
+const (
+	WaitNone  = ""           // the root: nothing precedes it
+	WaitIn    = "handler"    // span began inside its still-running parent
+	WaitQueue = "queue"      // same machine, parent finished before this began
+	WaitWire  = "wire+queue" // cross-machine gap: transmission plus queueing
+)
+
+// Hop is one step of the critical path.
+type Hop struct {
+	Node     *SpanNode
+	Wait     uint64 // cycles from the causal predecessor to this start
+	WaitKind string
+}
+
+// PathBreakdown decomposes a trace's end-to-end latency along the
+// critical path into where the cycles went.
+type PathBreakdown struct {
+	Total   uint64 // end-to-end, first root start to latest end
+	Handler uint64 // cycles spent executing spans (Total minus the waits)
+	Queue   uint64 // same-machine scheduling/queue gaps
+	Wire    uint64 // cross-machine gaps (transmission + remote queueing)
+}
+
+// CriticalPath walks a trace from its root to the latest-ending leaf,
+// the chain that bounds the request's completion time. Each hop reports
+// how long the request waited between the previous span and this one,
+// and what kind of wait it was.
+func CriticalPath(tr *Trace) ([]Hop, PathBreakdown) {
+	if len(tr.Roots) == 0 {
+		return nil, PathBreakdown{}
+	}
+	effEnd := func(n *SpanNode) uint64 {
+		latest := n.End
+		if latest < n.Start {
+			latest = n.Start
+		}
+		return latest
+	}
+	// latestLeafEnd memoizes nothing — trees are request-sized.
+	var deepEnd func(n *SpanNode) uint64
+	deepEnd = func(n *SpanNode) uint64 {
+		latest := effEnd(n)
+		for _, c := range n.Children {
+			if e := deepEnd(c); e > latest {
+				latest = e
+			}
+		}
+		return latest
+	}
+	path := []Hop{{Node: tr.Roots[0], WaitKind: WaitNone}}
+	cur := tr.Roots[0]
+	for len(cur.Children) > 0 {
+		// The child whose subtree ends last bounds completion; ties go to
+		// the later starter, then deterministic order.
+		best := cur.Children[0]
+		bestEnd := deepEnd(best)
+		for _, c := range cur.Children[1:] {
+			e := deepEnd(c)
+			if e > bestEnd || (e == bestEnd && c.Start > best.Start) {
+				best, bestEnd = c, e
+			}
+		}
+		hop := Hop{Node: best}
+		switch {
+		case best.Machine != cur.Machine:
+			hop.WaitKind = WaitWire
+			if cur.End != 0 && best.Start > cur.End {
+				hop.Wait = best.Start - cur.End
+			}
+		case cur.End != 0 && cur.End <= best.Start:
+			hop.WaitKind = WaitQueue
+			hop.Wait = best.Start - cur.End
+		default:
+			hop.WaitKind = WaitIn
+			if best.Start > cur.Start {
+				hop.Wait = best.Start - cur.Start
+			}
+		}
+		path = append(path, hop)
+		cur = best
+	}
+	bd := PathBreakdown{Total: tr.Duration()}
+	for _, h := range path {
+		switch h.WaitKind {
+		case WaitQueue:
+			bd.Queue += h.Wait
+		case WaitWire:
+			bd.Wire += h.Wait
+		}
+	}
+	if waits := bd.Queue + bd.Wire; bd.Total > waits {
+		bd.Handler = bd.Total - waits
+	}
+	return path, bd
+}
+
+// RenderTrace renders one assembled trace as a text tree plus its
+// critical path and latency breakdown. Deterministic: same spans, same
+// bytes.
+func RenderTrace(w io.Writer, tr *Trace) {
+	fmt.Fprintf(w, "trace %#x  spans=%d open=%d orphans=%d total=%d cycles\n",
+		uint64(tr.ID), tr.Spans, tr.Open, len(tr.Orphans), tr.Duration())
+	onPath := map[*SpanNode]bool{}
+	path, bd := CriticalPath(tr)
+	for _, h := range path {
+		onPath[h.Node] = true
+	}
+	var render func(n *SpanNode, depth int)
+	render = func(n *SpanNode, depth int) {
+		mark := " "
+		if onPath[n] {
+			mark = "*"
+		}
+		dur := "open"
+		if n.End != 0 {
+			dur = fmt.Sprintf("%d", n.End-n.Start)
+		}
+		fmt.Fprintf(w, "%s %s%s%v [%s env%d] start=%d dur=%s arg=%d\n",
+			mark, strings.Repeat("  ", depth), treeBranch(depth), n.Kind, n.Machine, n.Env, n.Start, dur, n.Arg)
+		for _, c := range n.Children {
+			render(c, depth+1)
+		}
+	}
+	for _, r := range tr.Roots {
+		render(r, 0)
+	}
+	for _, o := range tr.Orphans {
+		fmt.Fprintf(w, "! orphan %v [%s env%d] start=%d parent=%#x\n",
+			o.Kind, o.Machine, o.Env, o.Start, uint64(o.Parent))
+	}
+	fmt.Fprintf(w, "critical path (%d hops):\n", len(path))
+	for _, h := range path {
+		n := h.Node
+		wait := ""
+		if h.WaitKind != WaitNone && h.WaitKind != WaitIn {
+			wait = fmt.Sprintf("  +%d %s", h.Wait, h.WaitKind)
+		}
+		fmt.Fprintf(w, "  %v [%s env%d] start=%d%s\n", n.Kind, n.Machine, n.Env, n.Start, wait)
+	}
+	fmt.Fprintf(w, "breakdown: total=%d handler=%d queue=%d wire=%d cycles\n",
+		bd.Total, bd.Handler, bd.Queue, bd.Wire)
+}
+
+func treeBranch(depth int) string {
+	if depth == 0 {
+		return ""
+	}
+	return "└ "
+}
+
+// jsonSpan mirrors SpanNode for export.
+type jsonSpan struct {
+	Machine  string     `json:"machine"`
+	Env      uint32     `json:"env"`
+	Kind     string     `json:"kind"`
+	ID       uint64     `json:"id"`
+	Start    uint64     `json:"start"`
+	End      uint64     `json:"end,omitempty"`
+	Arg      uint64     `json:"arg,omitempty"`
+	Critical bool       `json:"critical,omitempty"`
+	Children []jsonSpan `json:"children,omitempty"`
+}
+
+type jsonTrace struct {
+	Trace     uint64     `json:"trace"`
+	Spans     int        `json:"spans"`
+	Open      int        `json:"open"`
+	Orphans   int        `json:"orphans"`
+	Total     uint64     `json:"total_cycles"`
+	Handler   uint64     `json:"handler_cycles"`
+	Queue     uint64     `json:"queue_cycles"`
+	Wire      uint64     `json:"wire_cycles"`
+	Roots     []jsonSpan `json:"tree"`
+	OrphanSet []jsonSpan `json:"orphan_spans,omitempty"`
+}
+
+// WriteTraceJSON exports one assembled trace (tree, critical-path marks,
+// breakdown) as a single JSON document.
+func WriteTraceJSON(w io.Writer, tr *Trace) error {
+	path, bd := CriticalPath(tr)
+	onPath := map[*SpanNode]bool{}
+	for _, h := range path {
+		onPath[h.Node] = true
+	}
+	var conv func(n *SpanNode) jsonSpan
+	conv = func(n *SpanNode) jsonSpan {
+		js := jsonSpan{
+			Machine: n.Machine, Env: n.Env, Kind: n.Kind.String(),
+			ID: uint64(n.Span.ID), Start: n.Start, End: n.End, Arg: n.Arg,
+			Critical: onPath[n],
+		}
+		for _, c := range n.Children {
+			js.Children = append(js.Children, conv(c))
+		}
+		return js
+	}
+	jt := jsonTrace{
+		Trace: uint64(tr.ID), Spans: tr.Spans, Open: tr.Open,
+		Orphans: len(tr.Orphans), Total: bd.Total,
+		Handler: bd.Handler, Queue: bd.Queue, Wire: bd.Wire,
+	}
+	for _, r := range tr.Roots {
+		jt.Roots = append(jt.Roots, conv(r))
+	}
+	for _, o := range tr.Orphans {
+		jt.OrphanSet = append(jt.OrphanSet, conv(o))
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(jt)
+}

@@ -1,0 +1,199 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"exokernel/internal/aegis"
+	"exokernel/internal/hw"
+	"exokernel/internal/ktrace"
+)
+
+// mkSpan builds one sourced span for assembly tests.
+func mkSpan(machine string, trace, id, parent uint64, kind ktrace.SpanKind, env uint32, start, end uint64) ktrace.SourcedSpan {
+	return ktrace.SourcedSpan{
+		Machine: machine,
+		Span: ktrace.Span{
+			Trace: ktrace.TraceID(trace), ID: ktrace.SpanID(id),
+			Parent: ktrace.SpanID(parent), Env: env, Kind: kind,
+			Start: start, End: end,
+		},
+	}
+}
+
+func TestAssembleTraces(t *testing.T) {
+	spans := []ktrace.SourcedSpan{
+		mkSpan("A", 1, 10, 0, ktrace.SpanReq, 1, 0, 500),
+		mkSpan("A", 1, 11, 10, ktrace.SpanUDPTx, 1, 100, 200),
+		mkSpan("B", 1, 12, 11, ktrace.SpanRx, 2, 350, 400),
+		mkSpan("B", 1, 13, 99, ktrace.SpanRecv, 2, 380, 0), // parent missing -> orphan, open
+		mkSpan("A", 2, 20, 0, ktrace.SpanReq, 1, 600, 700),
+	}
+	traces := AssembleTraces(spans)
+	if len(traces) != 2 {
+		t.Fatalf("traces = %d, want 2", len(traces))
+	}
+	tr := traces[0]
+	if tr.ID != 1 || tr.Spans != 4 || tr.Open != 1 || len(tr.Orphans) != 1 {
+		t.Fatalf("trace 1 shape: id=%d spans=%d open=%d orphans=%d", tr.ID, tr.Spans, tr.Open, len(tr.Orphans))
+	}
+	if len(tr.Roots) != 1 || tr.Roots[0].Span.ID != 10 {
+		t.Fatalf("trace 1 roots wrong: %+v", tr.Roots)
+	}
+	if got := tr.Duration(); got != 500 {
+		t.Fatalf("duration = %d, want 500", got)
+	}
+	if traces[1].ID != 2 {
+		t.Fatalf("trace order: second is %d, want 2", traces[1].ID)
+	}
+	// The rx span hangs off udp-tx, not the root.
+	tx := tr.Roots[0].Children[0]
+	if tx.Span.ID != 11 || len(tx.Children) != 1 || tx.Children[0].Span.ID != 12 {
+		t.Fatalf("tree shape wrong under root: %+v", tx)
+	}
+}
+
+func TestAssembleTracesCrossTraceParentIsOrphan(t *testing.T) {
+	spans := []ktrace.SourcedSpan{
+		mkSpan("A", 1, 10, 0, ktrace.SpanReq, 1, 0, 100),
+		// Parent span exists but belongs to a different trace: still an orphan.
+		mkSpan("A", 2, 11, 10, ktrace.SpanRx, 1, 50, 60),
+	}
+	traces := AssembleTraces(spans)
+	if len(traces) != 2 {
+		t.Fatalf("traces = %d, want 2", len(traces))
+	}
+	if len(traces[1].Orphans) != 1 {
+		t.Fatalf("cross-trace parent not flagged as orphan: %+v", traces[1])
+	}
+}
+
+func TestCriticalPathWireAndQueue(t *testing.T) {
+	spans := []ktrace.SourcedSpan{
+		mkSpan("A", 1, 10, 0, ktrace.SpanReq, 1, 0, 500),
+		mkSpan("A", 1, 11, 10, ktrace.SpanUDPTx, 1, 100, 200),
+		mkSpan("B", 1, 12, 11, ktrace.SpanRx, 2, 350, 400),   // wire gap 150
+		mkSpan("B", 1, 13, 12, ktrace.SpanRecv, 2, 420, 450), // queue gap 20
+	}
+	tr := AssembleTraces(spans)[0]
+	path, bd := CriticalPath(tr)
+	want := []struct {
+		id   uint64
+		kind string
+		wait uint64
+	}{
+		{10, WaitNone, 0},
+		{11, WaitIn, 100},
+		{12, WaitWire, 150},
+		{13, WaitQueue, 20},
+	}
+	if len(path) != len(want) {
+		t.Fatalf("path hops = %d, want %d", len(path), len(want))
+	}
+	for i, w := range want {
+		h := path[i]
+		if uint64(h.Node.Span.ID) != w.id || h.WaitKind != w.kind || h.Wait != w.wait {
+			t.Fatalf("hop %d = span %d kind %q wait %d, want span %d kind %q wait %d",
+				i, h.Node.Span.ID, h.WaitKind, h.Wait, w.id, w.kind, w.wait)
+		}
+	}
+	if bd.Total != 500 || bd.Wire != 150 || bd.Queue != 20 || bd.Handler != 330 {
+		t.Fatalf("breakdown = %+v", bd)
+	}
+}
+
+func TestCriticalPathPicksDeepestSubtree(t *testing.T) {
+	spans := []ktrace.SourcedSpan{
+		mkSpan("A", 1, 1, 0, ktrace.SpanReq, 1, 0, 100),
+		mkSpan("A", 1, 2, 1, ktrace.SpanIPCCall, 1, 10, 300), // ends later itself...
+		mkSpan("A", 1, 3, 1, ktrace.SpanIPCCall, 1, 20, 250),
+		mkSpan("A", 1, 4, 3, ktrace.SpanDisk, 1, 30, 600), // ...but this subtree ends last
+	}
+	tr := AssembleTraces(spans)[0]
+	path, bd := CriticalPath(tr)
+	var ids []uint64
+	for _, h := range path {
+		ids = append(ids, uint64(h.Node.Span.ID))
+	}
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 3 || ids[2] != 4 {
+		t.Fatalf("path ids = %v, want [1 3 4]", ids)
+	}
+	if bd.Total != 600 {
+		t.Fatalf("total = %d, want 600", bd.Total)
+	}
+}
+
+func TestRenderTraceDeterministic(t *testing.T) {
+	spans := []ktrace.SourcedSpan{
+		mkSpan("A", 7, 10, 0, ktrace.SpanReq, 1, 0, 500),
+		mkSpan("A", 7, 11, 10, ktrace.SpanUDPTx, 1, 100, 200),
+		mkSpan("B", 7, 12, 11, ktrace.SpanRx, 2, 350, 400),
+		mkSpan("B", 7, 13, 99, ktrace.SpanRecv, 2, 380, 0),
+	}
+	tr := AssembleTraces(spans)[0]
+	var a, b bytes.Buffer
+	RenderTrace(&a, tr)
+	RenderTrace(&b, tr)
+	if a.String() != b.String() {
+		t.Fatalf("render not deterministic")
+	}
+	out := a.String()
+	for _, want := range []string{
+		"trace 0x7", "orphans=1", "! orphan", "critical path (3 hops):",
+		"+150 wire+queue", "breakdown:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	var j bytes.Buffer
+	if err := WriteTraceJSON(&j, tr); err != nil {
+		t.Fatalf("WriteTraceJSON: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(j.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON invalid: %v", err)
+	}
+	if doc["orphans"].(float64) != 1 || doc["wire_cycles"].(float64) != 150 {
+		t.Fatalf("trace JSON fields wrong: %v", doc)
+	}
+}
+
+func TestMergedSpansAndAttach(t *testing.T) {
+	bus := NewBus()
+	ma := hw.NewMachine(hw.DEC5000)
+	mb := hw.NewMachine(hw.DEC5000)
+	bus.Register("A", ma, aegis.New(ma), ktrace.New(16))
+	bus.Register("B", mb, aegis.New(mb), ktrace.New(16))
+
+	if bus.AttachSpans("nope", ktrace.NewSpans(8, 1)) {
+		t.Fatalf("AttachSpans accepted unknown member")
+	}
+	ra := ktrace.NewSpans(8, 1)
+	rb := ktrace.NewSpans(8, 2)
+	if !bus.AttachSpans("A", ra) || !bus.AttachSpans("B", rb) {
+		t.Fatalf("AttachSpans rejected registered members")
+	}
+
+	r1 := ra.Begin(100, ktrace.SpanReq, 1, ktrace.SpanContext{}, 0)
+	r2 := rb.Begin(50, ktrace.SpanReq, 2, ktrace.SpanContext{}, 0)
+	ra.End(r1, 120)
+	rb.End(r2, 60)
+
+	merged := bus.MergedSpans()
+	if len(merged) != 2 {
+		t.Fatalf("merged = %d spans, want 2", len(merged))
+	}
+	if merged[0].Machine != "B" || merged[1].Machine != "A" {
+		t.Fatalf("merge order wrong: %s then %s", merged[0].Machine, merged[1].Machine)
+	}
+
+	// Snapshot surfaces the span census.
+	snap := bus.Snapshot()
+	if snap.Machines[0].SpanTotal != 1 || snap.Machines[0].SpanHeld != 1 {
+		t.Fatalf("span census missing from snapshot: %+v", snap.Machines[0])
+	}
+}

@@ -21,6 +21,7 @@ func RenderTop(cur, prev *Snapshot, maxEnvs int) string {
 	// Fleet summary.
 	var envs, live int
 	var traceTotal, traceDropped uint64
+	var spanTotal, spanDropped uint64
 	for _, m := range cur.Machines {
 		for _, e := range m.Envs {
 			envs++
@@ -30,9 +31,15 @@ func RenderTop(cur, prev *Snapshot, maxEnvs int) string {
 		}
 		traceTotal += m.TraceTotal
 		traceDropped += m.TraceDropped
+		spanTotal += m.SpanTotal
+		spanDropped += m.SpanDropped
 	}
-	fmt.Fprintf(&b, "fleet  machines=%d  envs=%d live / %d total  trace=%d events (%d overwritten)\n",
+	fmt.Fprintf(&b, "fleet  machines=%d  envs=%d live / %d total  trace=%d events (%d overwritten)",
 		len(cur.Machines), live, envs, traceTotal, traceDropped)
+	if spanTotal > 0 {
+		fmt.Fprintf(&b, "  spans=%d (%d dropped)", spanTotal, spanDropped)
+	}
+	b.WriteString("\n")
 
 	// Per-machine counters.
 	b.WriteString("\nmachine        cycles      sim_us  syscalls    exc  tlbmiss  stlb%  upcall   pkt_in  pkt_drop  rx_ovf  revoke  kills\n")

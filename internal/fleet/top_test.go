@@ -64,3 +64,59 @@ func TestRenderTopRates(t *testing.T) {
 		t.Error("RenderTop is not deterministic for fixed snapshots")
 	}
 }
+
+// TestRenderTopLiveFrames pins the live mode (the exotop redraw loop):
+// a sequence of frames, each rendered against the previous snapshot the
+// way runChaos does. The whole frame sequence must be deterministic —
+// rebuilding the world and replaying the same schedule renders
+// byte-identical frames — and every frame after the first must carry
+// rate rows, because the rates derive from simulated time only.
+func TestRenderTopLiveFrames(t *testing.T) {
+	const frames = 4
+	render := func() []string {
+		bus := twoMachines(t)
+		a := bus.Members()[0]
+		env, err := a.K.NewEnv(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		var prev *fleet.Snapshot
+		for f := 0; f < frames; f++ {
+			// Deterministic inter-frame activity: the scripted analogue of
+			// chaos schedule steps between redraws.
+			for i := 0; i < 10*(f+1); i++ {
+				if !a.K.Yield(env.ID) || !a.K.Yield(1) {
+					t.Fatal("yield failed")
+				}
+			}
+			cur := bus.Snapshot()
+			out = append(out, fleet.RenderTop(cur, prev, 8))
+			prev = cur
+		}
+		return out
+	}
+
+	first, second := render(), render()
+	for f := 0; f < frames; f++ {
+		if first[f] != second[f] {
+			t.Errorf("frame %d not reproducible across identical runs:\n--- run1 ---\n%s\n--- run2 ---\n%s",
+				f, first[f], second[f])
+		}
+		if f == 0 {
+			if strings.Contains(first[f], "/sim_ms") {
+				t.Error("frame 0 has rate rows without a previous snapshot")
+			}
+			continue
+		}
+		if !strings.Contains(first[f], "/sim_ms") {
+			t.Errorf("frame %d missing rate rows:\n%s", f, first[f])
+		}
+	}
+	// The frames advance: consecutive frames must differ (the world moved).
+	for f := 1; f < frames; f++ {
+		if first[f] == first[f-1] {
+			t.Errorf("frames %d and %d identical despite scheduled activity", f-1, f)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package flowdemo is the deterministic cross-machine request scenario
+// behind cmd/exoflow: two simulated machines on one Ethernet segment,
+// where every request starts in a client environment on machine A,
+// crosses the wire to a front-end environment on machine B, fans into a
+// protected-control-transfer RPC to a backend environment on B, and
+// returns over the wire to A. A final request hits an ASH echo endpoint
+// on B, so the kernel-resident fast path shows up in the same causal
+// tree as the scheduled paths.
+//
+// Everything is keyed by the seed (span-recorder salts, payload bytes);
+// the simulation is single-threaded and wall-clock free, so the same
+// seed always produces byte-identical span trees — and a run with span
+// collection disabled is cycle-identical to one with it enabled
+// (TestFlowSpanCollectionIsFree), the observation contract the rest of
+// the repo pins.
+package flowdemo
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"exokernel/internal/aegis"
+	"exokernel/internal/ether"
+	"exokernel/internal/exos"
+	"exokernel/internal/fleet"
+	"exokernel/internal/hw"
+	"exokernel/internal/ktrace"
+	"exokernel/internal/pkt"
+)
+
+// Config parameterizes one scenario run.
+type Config struct {
+	// Seed keys span-recorder salts and payload contents.
+	Seed uint64
+	// Requests is how many client→front→backend→client round trips to
+	// issue (default 3). One ASH echo request always follows them.
+	Requests int
+	// DisableSpans runs the identical schedule without span recorders —
+	// the "tracing is free" control arm.
+	DisableSpans bool
+	// SpanCap sizes each machine's span ring (default 1024).
+	SpanCap int
+}
+
+// Result is the finished world: the bus (machines registered as "A" and
+// "B", span recorders attached) plus the verdicts the tests pin.
+type Result struct {
+	Bus            *fleet.Bus
+	SpansA, SpansB *ktrace.SpanRecorder
+	CyclesA        uint64
+	CyclesB        uint64
+	Replies        int  // RPC replies that came back with the right sum
+	EchoOK         bool // the ASH echo round trip returned the payload
+}
+
+const (
+	portClient = 7000
+	portFront  = 80
+	portEcho   = 7
+	procSum    = 1
+	payloadLen = 64
+)
+
+// splitmix is the scenario's own deterministic stream (payload bytes).
+type splitmix struct{ s uint64 }
+
+func (r *splitmix) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+// Run executes the scenario and returns its result.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Requests == 0 {
+		cfg.Requests = 3
+	}
+	if cfg.SpanCap == 0 {
+		cfg.SpanCap = 1024
+	}
+
+	seg := ether.NewSegment()
+	ma := hw.NewMachine(hw.DEC5000)
+	mb := hw.NewMachine(hw.DEC5000)
+	ka := aegis.New(ma)
+	kb := aegis.New(mb)
+	seg.Attach(ma)
+	seg.Attach(mb)
+
+	res := &Result{Bus: fleet.NewBus()}
+	recA, recB := ktrace.New(256), ktrace.New(256)
+	ka.SetTracer(recA)
+	kb.SetTracer(recB)
+	res.Bus.Register("A", ma, ka, recA)
+	res.Bus.Register("B", mb, kb, recB)
+	if !cfg.DisableSpans {
+		res.SpansA = ktrace.NewSpans(cfg.SpanCap, cfg.Seed^0xA11CE)
+		res.SpansB = ktrace.NewSpans(cfg.SpanCap, cfg.Seed^0xB0B)
+		ka.SetSpans(res.SpansA)
+		kb.SetSpans(res.SpansB)
+		res.Bus.AttachSpans("A", res.SpansA)
+		res.Bus.AttachSpans("B", res.SpansB)
+	}
+
+	macA := pkt.Addr{0x02, 0, 0, 0, 0, 0xA}
+	macB := pkt.Addr{0x02, 0, 0, 0, 0, 0xB}
+	na := exos.NewNet(ka, macA, 0x0A000001)
+	nb := exos.NewNet(kb, macB, 0x0A000002)
+
+	osA, err := exos.Boot(ka)
+	if err != nil {
+		return nil, err
+	}
+	front, err := exos.Boot(kb)
+	if err != nil {
+		return nil, err
+	}
+	backend, err := exos.Boot(kb)
+	if err != nil {
+		return nil, err
+	}
+	echoOS, err := exos.Boot(kb)
+	if err != nil {
+		return nil, err
+	}
+
+	sockA, err := na.Bind(osA, portClient)
+	if err != nil {
+		return nil, err
+	}
+	sockB, err := nb.Bind(front, portFront)
+	if err != nil {
+		return nil, err
+	}
+	sockE, err := nb.Bind(echoOS, portEcho)
+	if err != nil {
+		return nil, err
+	}
+	if err := sockE.AttachEchoASH(); err != nil {
+		return nil, err
+	}
+
+	// Backend procedure: sum the four argument words after a fixed slab
+	// of simulated work, so the serve span has visible width.
+	srv := exos.NewServer(backend)
+	srv.Register(procSum, func(args [4]uint32) [2]uint32 {
+		kb.M.Clock.Tick(400)
+		return [2]uint32{args[0] + args[1] + args[2] + args[3], 0}
+	})
+	rpc := exos.NewClient(front, srv, false)
+
+	rng := splitmix{s: cfg.Seed ^ 0xF10D}
+	payload := make([]byte, payloadLen)
+
+	for i := 0; i < cfg.Requests; i++ {
+		for j := range payload {
+			payload[j] = byte(rng.next())
+		}
+		req := osA.BeginRequest(uint64(i + 1))
+		sockA.SendTo(macB, 0x0A000002, portFront, payload)
+
+		// Front end: drain the request (adopting its trace), consult the
+		// backend over PCT, and send the answer home.
+		data, flow, ok := sockB.TryRecv()
+		if !ok {
+			return res, fmt.Errorf("flowdemo: request %d never reached the front end", i)
+		}
+		var args [4]uint32
+		for w := 0; w < 4; w++ {
+			args[w] = binary.BigEndian.Uint32(data[4*w:])
+		}
+		out, err := rpc.Call(procSum, args)
+		if err != nil {
+			return res, fmt.Errorf("flowdemo: rpc: %w", err)
+		}
+		reply := make([]byte, 8)
+		binary.BigEndian.PutUint32(reply[0:], out[0])
+		binary.BigEndian.PutUint32(reply[4:], uint32(i+1))
+		sockB.SendTo(macA, 0x0A000001, flow.SrcPort, reply)
+		front.Env.Trace = ktrace.SpanContext{} // idle between requests
+
+		// Client: drain the reply and close the request.
+		got, _, ok := sockA.TryRecv()
+		if ok && len(got) == 8 &&
+			binary.BigEndian.Uint32(got) == args[0]+args[1]+args[2]+args[3] {
+			res.Replies++
+		}
+		osA.EndRequest(req)
+		ma.Clock.Tick(2_000)
+		mb.Clock.Tick(2_000)
+	}
+
+	// The ASH leg: the echo handler answers from the kernel's interrupt
+	// context on B, so the round trip is wire → ASH → wire with no
+	// scheduled environment in the middle. The payload stays inside the
+	// handler's unrolled 64-byte frame copy.
+	echo := make([]byte, 16)
+	for j := range echo {
+		echo[j] = byte(rng.next())
+	}
+	req := osA.BeginRequest(uint64(cfg.Requests + 1))
+	sockA.SendTo(macB, 0x0A000002, portEcho, echo)
+	if got, _, ok := sockA.TryRecv(); ok && len(got) == len(echo) {
+		res.EchoOK = true
+		for j := range got {
+			if got[j] != echo[j] {
+				res.EchoOK = false
+				break
+			}
+		}
+	}
+	osA.EndRequest(req)
+
+	res.CyclesA = ma.Clock.Cycles()
+	res.CyclesB = mb.Clock.Cycles()
+	return res, nil
+}

@@ -1,0 +1,128 @@
+package flowdemo
+
+import (
+	"bytes"
+	"testing"
+
+	"exokernel/internal/fleet"
+)
+
+func TestFlowDemoTraces(t *testing.T) {
+	res, err := Run(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replies != 3 {
+		t.Fatalf("replies = %d, want 3", res.Replies)
+	}
+	if !res.EchoOK {
+		t.Fatalf("ASH echo round trip failed")
+	}
+	traces := fleet.AssembleTraces(res.Bus.MergedSpans())
+	if len(traces) != 4 {
+		t.Fatalf("traces = %d, want 4 (3 rpc + 1 echo)", len(traces))
+	}
+	for i, tr := range traces[:3] {
+		if len(tr.Orphans) != 0 || tr.Open != 0 {
+			t.Fatalf("rpc trace %d broken: orphans=%d open=%d", i, len(tr.Orphans), tr.Open)
+		}
+		// req, udp-tx, rx, recv, ipc-call, pct, ipc-serve, pct, udp-tx, rx, recv.
+		if tr.Spans != 11 {
+			t.Fatalf("rpc trace %d has %d spans, want 11", i, tr.Spans)
+		}
+		// The request crosses machines: the critical path must charge wire
+		// time, and every trace has exactly one root.
+		if len(tr.Roots) != 1 {
+			t.Fatalf("rpc trace %d has %d roots", i, len(tr.Roots))
+		}
+		_, bd := fleet.CriticalPath(tr)
+		if bd.Wire == 0 || bd.Handler == 0 {
+			t.Fatalf("rpc trace %d breakdown has empty components: %+v", i, bd)
+		}
+		if bd.Total != bd.Handler+bd.Queue+bd.Wire {
+			t.Fatalf("rpc trace %d breakdown does not sum: %+v", i, bd)
+		}
+	}
+	// The echo trace runs through the ASH: req, udp-tx, ash, rx, recv.
+	echo := traces[3]
+	if echo.Spans != 5 || len(echo.Orphans) != 0 || echo.Open != 0 {
+		t.Fatalf("echo trace shape: spans=%d orphans=%d open=%d", echo.Spans, len(echo.Orphans), echo.Open)
+	}
+	found := false
+	var walk func(n *fleet.SpanNode)
+	walk = func(n *fleet.SpanNode) {
+		if n.Kind.String() == "ash" && n.Machine == "B" {
+			found = true
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range echo.Roots {
+		walk(r)
+	}
+	if !found {
+		t.Fatalf("echo trace has no ASH span on machine B")
+	}
+}
+
+// TestFlowSpanCollectionIsFree pins the observation contract end to end:
+// the same schedule with span recorders attached is cycle-identical to
+// one without them. Collection, stamping, and context propagation cost
+// zero simulated cycles.
+func TestFlowSpanCollectionIsFree(t *testing.T) {
+	on, err := Run(Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Run(Config{Seed: 7, DisableSpans: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.CyclesA != off.CyclesA || on.CyclesB != off.CyclesB {
+		t.Fatalf("span collection moved the clocks: on=(%d,%d) off=(%d,%d)",
+			on.CyclesA, on.CyclesB, off.CyclesA, off.CyclesB)
+	}
+	if on.Replies != off.Replies || on.EchoOK != off.EchoOK {
+		t.Fatalf("span collection changed the workload: on=(%d,%v) off=(%d,%v)",
+			on.Replies, on.EchoOK, off.Replies, off.EchoOK)
+	}
+	if off.SpansA != nil || off.SpansB != nil {
+		t.Fatalf("disabled run still has recorders")
+	}
+}
+
+// TestFlowSameSeedByteIdentical pins determinism: the same seed renders
+// the same bytes, span IDs included.
+func TestFlowSameSeedByteIdentical(t *testing.T) {
+	render := func() []byte {
+		res, err := Run(Config{Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, tr := range fleet.AssembleTraces(res.Bus.MergedSpans()) {
+			fleet.RenderTrace(&buf, tr)
+		}
+		if err := res.Bus.WriteChromeSpans(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed rendered different bytes")
+	}
+	// A different seed changes span identities but not the schedule.
+	res, err := Run(Config{Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, tr := range fleet.AssembleTraces(res.Bus.MergedSpans()) {
+		fleet.RenderTrace(&buf, tr)
+	}
+	if bytes.Equal(a, buf.Bytes()) {
+		t.Fatalf("different seeds rendered identical span identities")
+	}
+}

@@ -1,0 +1,249 @@
+package ktrace
+
+// Causal request spans. The flight recorder (ktrace.go) answers "what did
+// the kernel decide, in what order"; spans answer "where did *this*
+// request spend its cycles". A span is one named interval of work
+// attributed to an environment, linked to the span that caused it — across
+// IPC, protected control transfers, ASH runs, and the wire — so a request
+// that starts on one machine and is serviced on another assembles into a
+// single tree (internal/fleet does the assembly).
+//
+// The contract is ktrace's: collection is observation, never
+// participation. Begin/End write fixed-size records into a preallocated
+// ring and never tick a simulated clock, so a run with span collection
+// enabled is cycle-identical to one without (pinned by
+// chaos.TestSpanCollectionIsFree). Identifiers come from a deterministic
+// per-recorder stream — a splitmix64 walk seeded by the recorder's salt —
+// so same-seed runs produce byte-identical span trees; no wall clock or
+// host randomness is ever consulted.
+
+// TraceID names one request's whole causal tree, fleet-wide.
+type TraceID uint64
+
+// SpanID names one span within a trace.
+type SpanID uint64
+
+// SpanContext is the propagated half of a span: enough to make children
+// under it anywhere causality flows — through a register file across a
+// protected call, or through the trace-context option of a packet. The
+// zero SpanContext means "no active trace".
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether the context names a live trace.
+func (c SpanContext) Valid() bool { return c.Trace != 0 && c.Span != 0 }
+
+// SpanKind is the span type — the causal taxonomy, one kind per place a
+// request can spend time.
+type SpanKind uint8
+
+// Span kinds.
+const (
+	SpanNone     SpanKind = iota
+	SpanReq               // root: one logical request (library-defined)
+	SpanIPCCall           // IPC/RPC client side: call issued to reply seen
+	SpanIPCServe          // IPC/RPC server side: handler execution
+	SpanPCT               // protected control transfer, caller to callee entry
+	SpanUDPTx             // UDP send: header build + copy to the NIC
+	SpanTCPTx             // TCP segment transmission (one per attempt)
+	SpanRx                // interrupt-level delivery: classify + copy-in
+	SpanASH               // application-specific handler run in the kernel
+	SpanRecv              // application drain: socket buffer to the caller
+	SpanDisk              // disk I/O performed on behalf of the request
+
+	numSpanKinds
+)
+
+var spanKindNames = [numSpanKinds]string{
+	SpanNone:     "none",
+	SpanReq:      "req",
+	SpanIPCCall:  "ipc-call",
+	SpanIPCServe: "ipc-serve",
+	SpanPCT:      "pct",
+	SpanUDPTx:    "udp-tx",
+	SpanTCPTx:    "tcp-tx",
+	SpanRx:       "rx",
+	SpanASH:      "ash",
+	SpanRecv:     "recv",
+	SpanDisk:     "disk",
+}
+
+func (k SpanKind) String() string {
+	if k < numSpanKinds {
+		return spanKindNames[k]
+	}
+	return "span?"
+}
+
+// SpanKindByName resolves a span-kind name (the inverse of String).
+func SpanKindByName(name string) (SpanKind, bool) {
+	for k, n := range spanKindNames {
+		if n == name {
+			return SpanKind(k), true
+		}
+	}
+	return SpanNone, false
+}
+
+// Span is one recorded interval. Start and End are cycle stamps on the
+// recording machine's clock; End == 0 means the span is still open (or
+// the recorder wrapped before it closed). Parent == 0 marks a root.
+type Span struct {
+	Trace  TraceID
+	ID     SpanID
+	Parent SpanID
+	Env    uint32
+	Kind   SpanKind
+	Start  uint64
+	End    uint64
+	// Arg is kind-specific payload: bytes for tx/rx spans, the procedure
+	// identifier for IPC, the callee environment for PCT.
+	Arg uint64
+}
+
+// SourcedSpan is a Span tagged with the machine it was recorded on — the
+// unit of a merged fleet stream.
+type SourcedSpan struct {
+	Machine string
+	Span
+}
+
+// SpanRef is a handle onto an open span: the absolute emission index (for
+// the in-place End stamp) plus the propagated context. The zero SpanRef
+// is inert — End on it is a no-op and Ctx is the zero context — so
+// disabled recorders cost callers a single nil check.
+type SpanRef struct {
+	ctx SpanContext
+	idx uint64 // 1 + absolute index into the emission sequence
+}
+
+// Ctx returns the context to propagate to children of this span.
+func (r SpanRef) Ctx() SpanContext { return r.ctx }
+
+// SpanRecorder is the span ring buffer. A nil *SpanRecorder is a valid,
+// disabled recorder: Begin returns the zero SpanRef, so every propagation
+// site degrades to "no context" with no other branches.
+type SpanRecorder struct {
+	buf   []Span
+	total uint64
+	ids   uint64 // splitmix64 state: deterministic ID stream
+}
+
+// NewSpans makes a span recorder with the given ring capacity. The salt
+// separates ID streams of different machines: two recorders with
+// different salts never allocate colliding IDs in practice, and the same
+// salt and call sequence always reproduces the same IDs — determinism is
+// the point.
+func NewSpans(capacity int, salt uint64) *SpanRecorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SpanRecorder{buf: make([]Span, capacity), ids: salt ^ 0x9E3779B97F4A7C15}
+}
+
+// nextID draws the next identifier from the deterministic stream. IDs are
+// never zero (zero means "absent" everywhere).
+func (r *SpanRecorder) nextID() uint64 {
+	for {
+		r.ids += 0x9E3779B97F4A7C15
+		z := r.ids
+		z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+		z = (z ^ z>>27) * 0x94D049BB133111EB
+		z ^= z >> 31
+		if z != 0 {
+			return z
+		}
+	}
+}
+
+// Begin opens a span. A zero parent context starts a new trace (the span
+// becomes the root); otherwise the span joins the parent's trace as its
+// child. Zero allocations, no clock access — the caller passes the cycle
+// stamp it already has.
+func (r *SpanRecorder) Begin(cycle uint64, kind SpanKind, env uint32, parent SpanContext, arg uint64) SpanRef {
+	if r == nil {
+		return SpanRef{}
+	}
+	id := SpanID(r.nextID())
+	trace := parent.Trace
+	var par SpanID
+	if parent.Valid() {
+		par = parent.Span
+	} else {
+		trace = TraceID(r.nextID())
+	}
+	r.buf[r.total%uint64(len(r.buf))] = Span{
+		Trace: trace, ID: id, Parent: par,
+		Env: env, Kind: kind, Start: cycle, Arg: arg,
+	}
+	r.total++
+	return SpanRef{ctx: SpanContext{Trace: trace, Span: id}, idx: r.total}
+}
+
+// End stamps a span's closing cycle in place. If the ring has wrapped
+// past the span since Begin, the stamp is dropped (the span itself is
+// already gone).
+func (r *SpanRecorder) End(ref SpanRef, cycle uint64) {
+	if r == nil || ref.idx == 0 || ref.idx > r.total || r.total-ref.idx >= uint64(len(r.buf)) {
+		return
+	}
+	slot := &r.buf[(ref.idx-1)%uint64(len(r.buf))]
+	if slot.ID == ref.ctx.Span {
+		slot.End = cycle
+	}
+}
+
+// Total reports how many spans were ever begun.
+func (r *SpanRecorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total
+}
+
+// Len reports how many spans are currently held (≤ capacity).
+func (r *SpanRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	if r.total < uint64(len(r.buf)) {
+		return int(r.total)
+	}
+	return len(r.buf)
+}
+
+// Dropped reports how many spans were overwritten by wraparound.
+func (r *SpanRecorder) Dropped() uint64 {
+	if r == nil || r.total < uint64(len(r.buf)) {
+		return 0
+	}
+	return r.total - uint64(len(r.buf))
+}
+
+// Spans returns the held window, oldest first (a copy, like
+// Recorder.Events).
+func (r *SpanRecorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	n := uint64(len(r.buf))
+	if r.total <= n {
+		return append([]Span(nil), r.buf[:r.total]...)
+	}
+	start := r.total % n
+	out := make([]Span, 0, n)
+	out = append(out, r.buf[start:]...)
+	out = append(out, r.buf[:start]...)
+	return out
+}
+
+// Reset empties the recorder without resizing or reseeding: the ID stream
+// continues, so spans recorded after a Reset never collide with spans
+// exported before it.
+func (r *SpanRecorder) Reset() {
+	if r != nil {
+		r.total = 0
+	}
+}

@@ -1,0 +1,110 @@
+package ktrace
+
+import "testing"
+
+func TestSpanBeginEnd(t *testing.T) {
+	r := NewSpans(8, 1)
+	root := r.Begin(100, SpanReq, 3, SpanContext{}, 42)
+	if !root.Ctx().Valid() {
+		t.Fatal("root context invalid")
+	}
+	child := r.Begin(110, SpanIPCCall, 3, root.Ctx(), 0)
+	if child.Ctx().Trace != root.Ctx().Trace {
+		t.Error("child not in parent's trace")
+	}
+	r.End(child, 150)
+	r.End(root, 160)
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	if spans[0].Kind != SpanReq || spans[0].Parent != 0 || spans[0].End != 160 || spans[0].Arg != 42 {
+		t.Errorf("root span = %+v", spans[0])
+	}
+	if spans[1].Parent != spans[0].ID || spans[1].Start != 110 || spans[1].End != 150 {
+		t.Errorf("child span = %+v", spans[1])
+	}
+}
+
+func TestSpanNilRecorder(t *testing.T) {
+	var r *SpanRecorder
+	ref := r.Begin(1, SpanReq, 0, SpanContext{}, 0)
+	if ref.Ctx().Valid() {
+		t.Error("nil recorder issued a context")
+	}
+	r.End(ref, 2)
+	if r.Total() != 0 || r.Len() != 0 || r.Dropped() != 0 || r.Spans() != nil {
+		t.Error("nil recorder not inert")
+	}
+	r.Reset()
+}
+
+func TestSpanDeterministicIDs(t *testing.T) {
+	a, b := NewSpans(16, 7), NewSpans(16, 7)
+	for i := 0; i < 10; i++ {
+		ra := a.Begin(uint64(i), SpanRx, 1, SpanContext{}, 0)
+		rb := b.Begin(uint64(i), SpanRx, 1, SpanContext{}, 0)
+		if ra.Ctx() != rb.Ctx() {
+			t.Fatalf("same salt diverged at %d: %+v vs %+v", i, ra.Ctx(), rb.Ctx())
+		}
+	}
+	c := NewSpans(16, 8)
+	if c.Begin(0, SpanRx, 1, SpanContext{}, 0).Ctx() == a.Begin(0, SpanRx, 1, SpanContext{}, 0).Ctx() {
+		t.Error("different salts collided")
+	}
+}
+
+func TestSpanRingWrap(t *testing.T) {
+	r := NewSpans(4, 1)
+	var refs []SpanRef
+	for i := 0; i < 6; i++ {
+		refs = append(refs, r.Begin(uint64(i), SpanDisk, 0, SpanContext{}, 0))
+	}
+	if r.Total() != 6 || r.Len() != 4 || r.Dropped() != 2 {
+		t.Errorf("total=%d len=%d dropped=%d", r.Total(), r.Len(), r.Dropped())
+	}
+	// Ending a wrapped-away span must not stamp whatever replaced it.
+	r.End(refs[0], 99)
+	for _, s := range r.Spans() {
+		if s.End == 99 {
+			t.Error("wrapped End stamped a stranger")
+		}
+	}
+	// A live one still closes.
+	r.End(refs[5], 77)
+	spans := r.Spans()
+	if spans[len(spans)-1].End != 77 {
+		t.Error("live End lost")
+	}
+	if spans[0].Start != 2 {
+		t.Errorf("oldest-first violated: %+v", spans[0])
+	}
+}
+
+func TestSpanKindNames(t *testing.T) {
+	for k := SpanKind(0); k < numSpanKinds; k++ {
+		if k.String() == "" || k.String() == "span?" {
+			t.Errorf("kind %d unnamed", k)
+		}
+		got, ok := SpanKindByName(k.String())
+		if !ok || got != k {
+			t.Errorf("round-trip %v -> %v %v", k, got, ok)
+		}
+	}
+	if _, ok := SpanKindByName("bogus"); ok {
+		t.Error("bogus name resolved")
+	}
+}
+
+func TestSpanResetContinuesIDs(t *testing.T) {
+	r := NewSpans(8, 3)
+	before := r.Begin(1, SpanReq, 0, SpanContext{}, 0).Ctx()
+	r.Reset()
+	after := r.Begin(2, SpanReq, 0, SpanContext{}, 0).Ctx()
+	if before == after {
+		t.Error("IDs reused across Reset")
+	}
+	if r.Total() != 1 {
+		t.Errorf("total after reset = %d", r.Total())
+	}
+}

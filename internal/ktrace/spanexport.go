@@ -1,0 +1,124 @@
+package ktrace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Span export: the merged span stream as a Chrome/Perfetto timeline.
+// Each span is a complete ("X") slice on its machine's process track
+// (pid = 1 + machine index, tid = env, matching WriteChromeMerged), and
+// each parent→child edge is a flow-event pair ("s" at the parent, "f" at
+// the child) so the UI draws arrows along the causal chain — including
+// across machine tracks, which is the whole point: one request, one
+// visible path through the fleet.
+
+// chromeSpanEvent extends the trace_event shape with the flow-binding
+// fields (cat+name+id identify a flow; bp:"e" binds the finish to the
+// enclosing slice).
+type chromeSpanEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	ID    uint64         `json:"id,omitempty"`
+	BP    string         `json:"bp,omitempty"`
+	Ts    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	Pid   uint32         `json:"pid"`
+	Tid   uint32         `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeSpanTrace struct {
+	TraceEvents     []chromeSpanEvent `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+}
+
+// WriteChromeSpans exports a merged span stream in Chrome trace_event
+// format. machines fixes the pid assignment exactly as in
+// WriteChromeMerged, so a span timeline and an event timeline of the
+// same fleet line up track for track. Deterministic: the same stream
+// always serializes to the same bytes.
+func WriteChromeSpans(w io.Writer, spans []SourcedSpan, machines []string, mhz float64) error {
+	if mhz <= 0 {
+		mhz = 1
+	}
+	us := func(cycle uint64) float64 { return float64(cycle) / mhz }
+	pids := make(map[string]uint32, len(machines))
+	for i, name := range machines {
+		pids[name] = uint32(i + 1)
+	}
+
+	out := make([]chromeSpanEvent, 0, 3*len(spans)+len(machines))
+	for i, name := range machines {
+		out = append(out, chromeSpanEvent{
+			Name: "process_name", Ph: "M", Pid: uint32(i + 1),
+			Args: map[string]any{"name": "machine " + name},
+		})
+	}
+
+	// Slice per span; open spans (End == 0) degrade to instants.
+	byID := make(map[SpanID]SourcedSpan, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	for _, s := range spans {
+		pid, ok := pids[s.Machine]
+		if !ok {
+			continue
+		}
+		args := map[string]any{
+			"trace": uint64(s.Trace), "span": uint64(s.ID),
+			"parent": uint64(s.Parent), "arg": s.Arg,
+		}
+		if s.End != 0 {
+			dur := us(s.End) - us(s.Start)
+			out = append(out, chromeSpanEvent{
+				Name: s.Kind.String(), Cat: "span", Ph: "X",
+				Ts: us(s.Start), Dur: &dur, Pid: pid, Tid: s.Env, Args: args,
+			})
+		} else {
+			out = append(out, chromeSpanEvent{
+				Name: s.Kind.String(), Cat: "span", Ph: "i",
+				Ts: us(s.Start), Pid: pid, Tid: s.Env, Scope: "t", Args: args,
+			})
+		}
+	}
+	// Flow arrows along every parent→child edge present in the stream.
+	// The flow id is the child's span ID (one parent per child, so edges
+	// are unique), and the start rides the parent slice at the child's
+	// launch time.
+	for _, s := range spans {
+		if s.Parent == 0 {
+			continue
+		}
+		p, ok := byID[s.Parent]
+		if !ok {
+			continue
+		}
+		ppid, okP := pids[p.Machine]
+		cpid, okC := pids[s.Machine]
+		if !okP || !okC {
+			continue
+		}
+		startTs := s.Start
+		if p.End != 0 && p.End < startTs {
+			startTs = p.End
+		}
+		if startTs < p.Start {
+			startTs = p.Start
+		}
+		out = append(out, chromeSpanEvent{
+			Name: "causal", Cat: "span-flow", Ph: "s", ID: uint64(s.ID),
+			Ts: us(startTs), Pid: ppid, Tid: p.Env,
+		})
+		out = append(out, chromeSpanEvent{
+			Name: "causal", Cat: "span-flow", Ph: "f", BP: "e", ID: uint64(s.ID),
+			Ts: us(s.Start), Pid: cpid, Tid: s.Env,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeSpanTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
+}

@@ -37,13 +37,15 @@ type Flow struct {
 }
 
 // Build composes a frame for the flow carrying payload. dst/src are the
-// link-layer addresses.
+// link-layer addresses. Every frame ends with a zeroed trace-context
+// trailer (TraceOptLen bytes past the IP datagram; see traceopt.go) so
+// frame length never depends on whether a trace is active.
 func Build(dst, src Addr, f Flow, payload []byte) []byte {
 	hlen := EtherLen + IPLen + UDPLen
 	if f.Proto == ProtoTCP {
 		hlen = EtherLen + IPLen + TCPLen
 	}
-	b := make([]byte, hlen+len(payload))
+	b := make([]byte, hlen+len(payload)+TraceOptLen)
 	copy(b[0:6], dst[:])
 	copy(b[6:12], src[:])
 	binary.BigEndian.PutUint16(b[EtherType:], TypeIP)
@@ -70,7 +72,9 @@ func Build(dst, src Addr, f Flow, payload []byte) []byte {
 	return b
 }
 
-// Payload returns the transport payload of a frame built by Build.
+// Payload returns the transport payload of a frame built by Build. The
+// payload ends where the IP datagram does — the trace-context trailer
+// (and anything else past the datagram) is not payload.
 func Payload(frame []byte) []byte {
 	if len(frame) < EtherLen+IPLen {
 		return nil
@@ -79,10 +83,14 @@ func Payload(frame []byte) []byte {
 	if frame[IPProto] == ProtoTCP {
 		off = EtherLen + IPLen + TCPLen
 	}
-	if len(frame) < off {
+	end := EtherLen + int(binary.BigEndian.Uint16(frame[EtherLen+2:]))
+	if end > len(frame) {
+		end = len(frame)
+	}
+	if end < off {
 		return nil
 	}
-	return frame[off:]
+	return frame[off:end]
 }
 
 // ParseFlow extracts the flow identifiers of a frame (zero Flow if the

@@ -24,7 +24,7 @@ func TestBuildParseRoundTrip(t *testing.T) {
 	if !bytes.Equal(Payload(frame), payload) {
 		t.Errorf("payload = %q", Payload(frame))
 	}
-	if len(frame) != EtherLen+IPLen+UDPLen+len(payload) {
+	if len(frame) != EtherLen+IPLen+UDPLen+len(payload)+TraceOptLen {
 		t.Errorf("frame length = %d", len(frame))
 	}
 }
@@ -33,7 +33,7 @@ func TestBuildTCP(t *testing.T) {
 	f := sampleFlow()
 	f.Proto = ProtoTCP
 	frame := Build(Addr{1}, Addr{2}, f, []byte("x"))
-	if len(frame) != EtherLen+IPLen+TCPLen+1 {
+	if len(frame) != EtherLen+IPLen+TCPLen+1+TraceOptLen {
 		t.Errorf("tcp frame length = %d", len(frame))
 	}
 	got, ok := ParseFlow(frame)

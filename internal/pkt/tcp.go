@@ -55,13 +55,21 @@ func IsTCP(frame []byte) bool {
 // and this wire's fault injector flips exactly one byte, so the library
 // TCP wants a code with no blind spots for that error class. Both ends
 // are library code; the wire format is theirs to choose (§6.3).
+//
+// Coverage stops at the end of the IP datagram: the trace-context
+// trailer has its own check (traceopt.go), so a corrupted trace option
+// costs a span parent, never a data segment.
 func TCPChecksum(frame []byte) uint16 {
 	const (
 		offsetBasis = 2166136261
 		prime       = 16777619
 	)
+	end := EtherLen + int(binary.BigEndian.Uint16(frame[EtherLen+2:]))
+	if end > len(frame) {
+		end = len(frame)
+	}
 	h := uint32(offsetBasis)
-	for i := EtherLen + IPLen; i < len(frame); i++ {
+	for i := EtherLen + IPLen; i < end; i++ {
 		b := frame[i]
 		if i == tcpCkOff || i == tcpCkOff+1 {
 			b = 0

@@ -1,0 +1,106 @@
+package pkt
+
+import "encoding/binary"
+
+// Trace-context option: a fixed 24-byte trailer carried after the
+// transport payload of every frame Build composes. It carries the causal
+// identity of the request the packet belongs to (ktrace span context), so
+// a receiver can parent its delivery span under the sender's — the one
+// piece of metadata that turns two machines' traces into one tree.
+//
+// Two deliberate properties:
+//
+//   - The trailer is ALWAYS present, zeroed when no trace is active.
+//     Frame length — and therefore every per-word DMA/copy charge and
+//     every fault-injector corruption offset — never depends on whether
+//     span collection is enabled. That is what makes "tracing is free"
+//     a cycle-identity statement rather than an approximation.
+//
+//   - The trailer sits OUTSIDE the IP datagram (located at
+//     EtherLen + IP total length) and carries its own 16-bit check. The
+//     transport checksum does not cover it, so a fault that corrupts the
+//     trace context can never drop a data segment; the receiver just
+//     sees an invalid option and starts a fresh root span. Degraded
+//     observability, intact data.
+const (
+	// TraceOptLen is the trailer size in bytes:
+	// magic(2) "XT" | version(1) | reserved(1) | trace ID(8) | span ID(8)
+	// | check(2) | pad(2).
+	TraceOptLen = 24
+
+	traceOptMagic0 = 'X'
+	traceOptMagic1 = 'T'
+	traceOptVer    = 1
+)
+
+// traceOptOff locates the trailer: just past the IP datagram. Returns -1
+// if the frame is not IP-shaped or too short to hold one.
+func traceOptOff(frame []byte) int {
+	if len(frame) < EtherLen+IPLen || binary.BigEndian.Uint16(frame[EtherType:]) != TypeIP {
+		return -1
+	}
+	off := EtherLen + int(binary.BigEndian.Uint16(frame[EtherLen+2:]))
+	if off+TraceOptLen > len(frame) {
+		return -1
+	}
+	return off
+}
+
+// traceOptCheck folds FNV-1a over the identity bytes of a trailer.
+func traceOptCheck(opt []byte) uint16 {
+	const (
+		offsetBasis = 2166136261
+		prime       = 16777619
+	)
+	h := uint32(offsetBasis)
+	for i := 0; i < 20; i++ {
+		h = (h ^ uint32(opt[i])) * prime
+	}
+	return uint16(h>>16) ^ uint16(h)
+}
+
+// StampTraceOpt writes trace/span identifiers into a frame's trailer.
+// Zero identifiers clear the trailer back to "no trace". No-op on frames
+// without room for the option.
+func StampTraceOpt(frame []byte, trace, span uint64) {
+	off := traceOptOff(frame)
+	if off < 0 {
+		return
+	}
+	opt := frame[off : off+TraceOptLen]
+	if trace == 0 || span == 0 {
+		for i := range opt {
+			opt[i] = 0
+		}
+		return
+	}
+	opt[0], opt[1], opt[2], opt[3] = traceOptMagic0, traceOptMagic1, traceOptVer, 0
+	binary.BigEndian.PutUint64(opt[4:], trace)
+	binary.BigEndian.PutUint64(opt[12:], span)
+	binary.BigEndian.PutUint16(opt[20:], traceOptCheck(opt))
+	opt[22], opt[23] = 0, 0
+}
+
+// TraceOpt reads a frame's trace-context trailer. ok is false — and the
+// identifiers zero — when the trailer is absent, never stamped, or fails
+// its own check (e.g. the fault injector flipped a byte in it): the
+// receiver then treats the packet as the start of a new trace.
+func TraceOpt(frame []byte) (trace, span uint64, ok bool) {
+	off := traceOptOff(frame)
+	if off < 0 {
+		return 0, 0, false
+	}
+	opt := frame[off : off+TraceOptLen]
+	if opt[0] != traceOptMagic0 || opt[1] != traceOptMagic1 || opt[2] != traceOptVer {
+		return 0, 0, false
+	}
+	if binary.BigEndian.Uint16(opt[20:]) != traceOptCheck(opt) {
+		return 0, 0, false
+	}
+	trace = binary.BigEndian.Uint64(opt[4:])
+	span = binary.BigEndian.Uint64(opt[12:])
+	if trace == 0 || span == 0 {
+		return 0, 0, false
+	}
+	return trace, span, true
+}

@@ -54,6 +54,26 @@ echo "== soak smoke (10^4 events, fixed seeds, SOAK JSON round-trip)"
 go run ./cmd/soak -seed 1 -rounds 4 -events 2500 -q -o "$tmp/soak.json"
 grep -q '"schema": "aegis-soak"' "$tmp/soak.json"
 
+echo "== soakdiff gate (witnesses vs committed SOAK_baseline.json)"
+# The smoke soak above uses the baseline's exact configuration, so every
+# simulated-side determinism witness (seed, fault count, steps, sim
+# cycles, trace hash per window) must match the committed file bit for
+# bit — soakdiff gates witnesses at zero tolerance regardless of
+# -threshold. The huge trend threshold keeps host wall-clock noise on a
+# loaded CI box out of the gate; trend regressions are for
+# \`make soakdiff\` runs on a quiet machine.
+go run ./cmd/soakdiff -validate "$tmp/soak.json"
+go run ./cmd/soakdiff -threshold 0 "$tmp/soak.json" "$tmp/soak.json"
+go run ./cmd/soakdiff -threshold 1000 SOAK_baseline.json "$tmp/soak.json"
+
+echo "== exoflow smoke (causal span trees, byte-stable vs golden)"
+# The default scenario's text rendering is a function of simulated state
+# and seeded span identities only, so it must reproduce the committed
+# golden byte for byte (same file the cmd/exoflow golden test pins).
+go run ./cmd/exoflow > "$tmp/flow.txt"
+cmp "$tmp/flow.txt" cmd/exoflow/testdata/flow_seed1.golden
+grep -q 'orphans=0' "$tmp/flow.txt"
+
 echo "== exotop smoke (one-shot fleet snapshot over a scripted run)"
 go run ./cmd/exotop -once -seed 1 -target 200 > "$tmp/top.txt"
 grep -q 'fleet  machines=2' "$tmp/top.txt"
