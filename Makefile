@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench results baseline benchdiff invariance profile chaos soak soakbaseline soakdiff top flow
+.PHONY: all build test check fmt vet race bench results baseline benchdiff invariance profile prof profdiff chaos soak soakbaseline soakdiff top flow
 
 all: check
 
@@ -102,3 +102,17 @@ top:
 profile:
 	$(GO) run ./cmd/aegisbench -only table9 -cpuprofile cpu.pprof > /dev/null
 	@echo "wrote cpu.pprof; inspect with: go tool pprof cpu.pprof"
+
+# Regenerate the committed simulated-cycle profile baseline: exact
+# per-PC attribution of the matrix workload (Table 9) and the Appel-Li
+# protection-primitive suite (Table 10), kernel time split out by
+# operation class (cmd/exoprof; schema in internal/prof/json.go).
+prof:
+	$(GO) run ./cmd/exoprof -format json -o PROF_baseline.json table9,table10
+	@echo "wrote PROF_baseline.json"
+
+# Root-cause a bench regression: profile the same workloads now and
+# rank the largest per-site cycle deltas against the committed baseline.
+profdiff:
+	$(GO) run ./cmd/exoprof -format json -o /tmp/prof_new.json table9,table10
+	$(GO) run ./cmd/benchdiff -prof PROF_baseline.json /tmp/prof_new.json

@@ -38,10 +38,13 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"exokernel/internal/aegis"
 	"exokernel/internal/bench"
+	"exokernel/internal/cliutil"
 	"exokernel/internal/fleet"
 	"exokernel/internal/hw"
 	"exokernel/internal/ktrace"
+	"exokernel/internal/prof"
 )
 
 func main() {
@@ -53,11 +56,12 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace_event recording of the run to this file")
 	traceBuf := flag.Int("tracebuf", 1<<20, "flight-recorder capacity in events (oldest overwritten)")
 	cpuProfile := flag.String("cpuprofile", "", "write a host CPU profile of the run to this file")
+	profFile := flag.String("prof", "", "write a simulated-cycle PROF JSON profile of the run to this file (cmd/exoprof renders it)")
 	top := flag.Bool("top", false, "after the run, print an exotop-style fleet view of every booted kernel to stderr")
 	flag.Parse()
 
-	if *format != "text" && *format != "csv" && *format != "json" {
-		fmt.Fprintf(os.Stderr, "aegisbench: unknown -format %q (want text, csv, or json)\n", *format)
+	if err := cliutil.CheckFormat("aegisbench", *format, "text", "csv", "json"); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -75,6 +79,14 @@ func main() {
 	if *top {
 		bus = fleet.NewBus()
 		bench.Bus = bus
+	}
+	var profs []*prof.Profiler
+	if *profFile != "" {
+		bench.Prof = func(name string) *prof.Profiler {
+			p := prof.New(name, aegis.OpNames())
+			profs = append(profs, p)
+			return p
+		}
 	}
 
 	bench.Table9MatrixN = *matN
@@ -157,5 +169,31 @@ func main() {
 	}
 	if bus != nil {
 		fmt.Fprint(os.Stderr, fleet.RenderTop(bus.Snapshot(), nil, 12))
+	}
+	if *profFile != "" {
+		var machines []prof.Profile
+		for _, p := range profs {
+			machines = append(machines, p.Snapshot())
+		}
+		var ids []string
+		for _, e := range selected {
+			ids = append(ids, e.ID)
+		}
+		platform := fmt.Sprintf("%s (simulated, %g MHz)", hw.DEC5000.Name, hw.DEC5000.MHz)
+		pf := prof.Collect(platform, ids, machines, 50)
+		f, err := os.Create(*profFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aegisbench: %v\n", err)
+			os.Exit(1)
+		}
+		err = pf.Write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aegisbench: writing profile: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "aegisbench: wrote profile of %d machines to %s\n", len(machines), *profFile)
 	}
 }

@@ -12,6 +12,17 @@
 // min and p50 fields; quoted paper constants and ratio columns are never
 // gated. Exit status: 0 the gate passes, 1 a regression exceeded the
 // threshold, 2 usage error or a file that fails schema validation.
+//
+// With -prof the inputs are PROF JSON cycle profiles (written by
+// `aegisbench -prof` or `exoprof -format json`) and the output is the
+// regression root-causer: the top per-site cycle deltas, guest and
+// kernel-class attribution separated, deterministically ranked. The
+// profile diff is informational (exact profiles move on any intended
+// change), so it always exits 0 on valid inputs:
+//
+//	benchdiff -prof old.json new.json        # top cycle-delta sites
+//	benchdiff -prof -top 40 old.json new.json
+//	benchdiff -prof -validate file.json      # schema-check a profile
 package main
 
 import (
@@ -21,6 +32,7 @@ import (
 	"os"
 
 	"exokernel/internal/bench"
+	"exokernel/internal/prof"
 )
 
 func load(path string) (*bench.File, error) {
@@ -38,9 +50,24 @@ func load(path string) (*bench.File, error) {
 	return &f, nil
 }
 
+func loadProf(path string) (*prof.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	pf, err := prof.Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: invalid PROF JSON: %v", path, err)
+	}
+	return pf, nil
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 5, "regression threshold in percent, applied to min and p50")
 	validate := flag.Bool("validate", false, "validate a single file against the schema and exit")
+	profMode := flag.Bool("prof", false, "inputs are PROF JSON cycle profiles: print top cycle-delta sites (informational, always exits 0 on valid files)")
+	top := flag.Int("top", 20, "with -prof, how many delta sites to print")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -49,6 +76,40 @@ func main() {
 	}
 	if *threshold < 0 {
 		fail(fmt.Errorf("-threshold %g, want >= 0", *threshold))
+	}
+
+	if *profMode {
+		if *validate {
+			if flag.NArg() != 1 {
+				fail(fmt.Errorf("-prof -validate takes exactly one file, got %d", flag.NArg()))
+			}
+			pf, err := loadProf(flag.Arg(0))
+			if err != nil {
+				fail(err)
+			}
+			sites := 0
+			for _, m := range pf.Machines {
+				for _, e := range m.Envs {
+					sites += len(e.Sites)
+				}
+			}
+			fmt.Printf("benchdiff: %s: valid PROF (%d machines, %d sites, %d hot blocks)\n",
+				flag.Arg(0), len(pf.Machines), sites, len(pf.HotBlocks))
+			return
+		}
+		if flag.NArg() != 2 {
+			fail(fmt.Errorf("want: benchdiff -prof [-top n] old.json new.json"))
+		}
+		oldP, err := loadProf(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		newP, err := loadProf(flag.Arg(1))
+		if err != nil {
+			fail(err)
+		}
+		prof.RenderDiff(os.Stdout, oldP, newP, *top)
+		return
 	}
 
 	if *validate {

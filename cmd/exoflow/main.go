@@ -21,6 +21,7 @@ import (
 	"io"
 	"os"
 
+	"exokernel/internal/cliutil"
 	"exokernel/internal/fleet"
 	"exokernel/internal/flowdemo"
 )
@@ -32,8 +33,8 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
-	if *format != "text" && *format != "json" && *format != "perfetto" {
-		fmt.Fprintf(os.Stderr, "exoflow: unknown -format %q (want text, json, or perfetto)\n", *format)
+	if err := cliutil.CheckFormat("exoflow", *format, "text", "json", "perfetto"); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	w := io.Writer(os.Stdout)

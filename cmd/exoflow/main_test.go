@@ -42,8 +42,9 @@ func TestExoflowGolden(t *testing.T) {
 		t.Errorf("exoflow output drifted from golden %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
 	}
 	// The scenario's essentials are present: a cross-machine critical
-	// path with wire time, an ASH hop, and no broken trees.
-	for _, needle := range []string{"wire+queue", "ash [B", "orphans=0", "critical path ("} {
+	// path with wire time, an ASH hop, the DSM transfer, both swap pager
+	// spans, and no broken trees.
+	for _, needle := range []string{"wire+queue", "ash [B", "dsm-xfer", "swap-out", "swap-in", "orphans=0", "critical path ("} {
 		if !strings.Contains(got, needle) {
 			t.Errorf("output missing %q", needle)
 		}
@@ -92,7 +93,7 @@ func TestExoflowJSONParses(t *testing.T) {
 		}
 		docs++
 	}
-	if docs != 3 { // 2 rpc requests + 1 echo
-		t.Errorf("json documents = %d, want 3", docs)
+	if docs != 5 { // 2 rpc requests + echo + dsm + swap
+		t.Errorf("json documents = %d, want 5", docs)
 	}
 }

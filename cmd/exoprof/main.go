@@ -1,0 +1,138 @@
+// Command exoprof runs bench workloads under the deterministic
+// simulated-cycle profiler and renders where the cycles went: per guest
+// PC, per environment, per machine, with kernel service split out by
+// operation class and hot basic blocks ranked for JIT candidacy.
+//
+// Profiles are exact and deterministic — every simulated cycle is
+// attributed, none are sampled, and the same seed produces the same
+// bytes — so two profiles diff exactly (`benchdiff -prof`).
+//
+// Usage:
+//
+//	exoprof -list                         # list workloads
+//	exoprof table9                        # text profile (substring match)
+//	exoprof table9,table10 -top 30        # several workloads, one profile
+//	exoprof -format folded table9         # folded stacks (flamegraph.pl)
+//	exoprof -format chrome -o flame.json table9
+//	exoprof -format pprof -o p.pb.gz table9   # go tool pprof p.pb.gz
+//	exoprof -format json -o PROF.json table9  # versioned PROF JSON
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"exokernel/internal/aegis"
+	"exokernel/internal/bench"
+	"exokernel/internal/cliutil"
+	"exokernel/internal/hw"
+	"exokernel/internal/prof"
+)
+
+func main() {
+	format := flag.String("format", "text", "output format: text, folded, chrome, pprof, or json")
+	out := flag.String("o", "", "output file (default stdout)")
+	top := flag.Int("top", 20, "rows per section in text output")
+	matN := flag.Int("n", bench.Table9MatrixN, "matrix dimension for Table 9")
+	list := flag.Bool("list", false, "list workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if err := cliutil.CheckFormat("exoprof", *format, "text", "folded", "chrome", "pprof", "json"); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: exoprof [-format text|folded|chrome|pprof|json] [-o file] [-top n] <workload>[,<workload>...]")
+		fmt.Fprintln(os.Stderr, "       exoprof -list")
+		os.Exit(2)
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "exoprof: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := run(w, flag.Arg(0), *format, *top, *matN); err != nil {
+		fmt.Fprintf(os.Stderr, "exoprof: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run profiles the selected workloads and renders the result. The
+// workloads argument is a comma-separated list of substrings matched
+// against experiment IDs and titles (as in `aegisbench -only`); the
+// union runs in the experiments' canonical order.
+func run(w io.Writer, workloads, format string, top, matN int) error {
+	savedProf, savedN := bench.Prof, bench.Table9MatrixN
+	defer func() { bench.Prof, bench.Table9MatrixN = savedProf, savedN }()
+	bench.Table9MatrixN = matN
+	bench.ResetMachineSeq()
+
+	var needles []string
+	for _, n := range strings.Split(workloads, ",") {
+		n = strings.ToLower(strings.ReplaceAll(n, " ", ""))
+		if n != "" {
+			needles = append(needles, n)
+		}
+	}
+	var selected []bench.Experiment
+	for _, e := range bench.All() {
+		id := strings.ToLower(strings.ReplaceAll(e.ID, " ", ""))
+		title := strings.ToLower(e.Title)
+		for _, n := range needles {
+			if strings.Contains(id, n) || strings.Contains(title, n) {
+				selected = append(selected, e)
+				break
+			}
+		}
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("no workload matches %q", workloads)
+	}
+
+	var profs []*prof.Profiler
+	bench.Prof = func(name string) *prof.Profiler {
+		p := prof.New(name, aegis.OpNames())
+		profs = append(profs, p)
+		return p
+	}
+	var ids []string
+	for _, e := range selected {
+		e.Run() // tables are discarded: the profile is the output
+		ids = append(ids, e.ID)
+	}
+
+	var machines []prof.Profile
+	for _, p := range profs {
+		machines = append(machines, p.Snapshot())
+	}
+	platform := fmt.Sprintf("%s (simulated, %g MHz)", hw.DEC5000.Name, hw.DEC5000.MHz)
+	f := prof.Collect(platform, ids, machines, 50)
+
+	switch format {
+	case "folded":
+		return prof.WriteFolded(w, f)
+	case "chrome":
+		return prof.WriteChrome(w, f)
+	case "pprof":
+		return prof.WritePprof(w, f)
+	case "json":
+		return f.Write(w)
+	default:
+		return prof.WriteText(w, f, top)
+	}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"exokernel/internal/prof"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestExoprofGolden pins the text rendering byte for byte (the run is
+// deterministic, so the golden only moves when the profiler or the
+// workload changes — regenerate with `go test ./cmd/exoprof -update`).
+func TestExoprofGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "table2", "text", 10, 32); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prof_table2.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("output differs from %s (regenerate with -update):\n%s", golden, buf.String())
+	}
+	for _, needle := range []string{"aegis-prof v1", "hot blocks", "syscall", "machine m1"} {
+		if !strings.Contains(buf.String(), needle) {
+			t.Errorf("output missing %q", needle)
+		}
+	}
+}
+
+// TestExoprofByteIdentical: every format is a pure function of the
+// workload.
+func TestExoprofByteIdentical(t *testing.T) {
+	for _, format := range []string{"text", "folded", "chrome", "pprof", "json"} {
+		var a, b bytes.Buffer
+		if err := run(&a, "table2", format, 10, 32); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if err := run(&b, "table2", format, 10, 32); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("%s output not byte-identical across runs", format)
+		}
+	}
+}
+
+// TestExoprofJSONValidates: the json format emits a parseable,
+// schema-valid PROF file, and the comma-separated selection runs the
+// union.
+func TestExoprofJSONValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "table2,table4", "json", 10, 32); err != nil {
+		t.Fatal(err)
+	}
+	f, err := prof.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Workloads) != 2 {
+		t.Errorf("workloads = %v, want the two selected", f.Workloads)
+	}
+	if len(f.Machines) == 0 || len(f.HotBlocks) == 0 {
+		t.Errorf("profile empty: %d machines, %d hot blocks", len(f.Machines), len(f.HotBlocks))
+	}
+}
+
+// TestExoprofNoMatch: an unmatched selection is an error, not an empty
+// profile.
+func TestExoprofNoMatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "definitely-not-a-workload", "text", 10, 32); err == nil {
+		t.Fatal("want error for unmatched workload")
+	}
+}

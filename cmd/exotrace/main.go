@@ -29,6 +29,7 @@ import (
 
 	"exokernel/internal/aegis"
 	"exokernel/internal/bench"
+	"exokernel/internal/cliutil"
 	"exokernel/internal/exos"
 	"exokernel/internal/hw"
 	"exokernel/internal/ktrace"
@@ -56,8 +57,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "       exotrace -list")
 		os.Exit(2)
 	}
-	if *format != "chrome" && *format != "jsonl" && *format != "text" {
-		fmt.Fprintf(os.Stderr, "exotrace: unknown -format %q (want chrome, jsonl, or text)\n", *format)
+	if err := cliutil.CheckFormat("exotrace", *format, "chrome", "jsonl", "text"); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 

@@ -7,6 +7,7 @@ import (
 	"exokernel/internal/hw"
 	"exokernel/internal/isa"
 	"exokernel/internal/ktrace"
+	"exokernel/internal/prof"
 	"exokernel/internal/vm"
 )
 
@@ -70,6 +71,11 @@ type Kernel struct {
 	// may be nil.
 	TraceParse func(frame []byte) ktrace.SpanContext
 	TraceStamp func(frame []byte, ctx ktrace.SpanContext)
+	// Prof, when non-nil, is the attached cycle profiler (same contract
+	// again: observation only, never a Tick). Every recordOp site
+	// doubles as a profiler kernel window; attach with SetProf so the
+	// interpreter hooks are wired too.
+	Prof *prof.Profiler
 	// runStart is the cycle at which the current environment's
 	// attribution span began (see settleCycles).
 	runStart uint64
@@ -77,6 +83,14 @@ type Kernel struct {
 
 // SetSpans attaches (or detaches, nil) the span recorder.
 func (k *Kernel) SetSpans(r *ktrace.SpanRecorder) { k.Spans = r }
+
+// SetProf attaches (or detaches, nil) the cycle profiler to both the
+// kernel's operation windows and the interpreter's per-instruction
+// hooks.
+func (k *Kernel) SetProf(p *prof.Profiler) {
+	k.Prof = p
+	k.Interp.Prof = p
+}
 
 // SetTraceWire installs the wire-format trace hooks.
 func (k *Kernel) SetTraceWire(parse func([]byte) ktrace.SpanContext, stamp func([]byte, ktrace.SpanContext)) {

@@ -142,8 +142,13 @@ func (k *Kernel) opStart() uint64 { return k.M.Clock.Cycles() }
 
 // recordOp attributes the cycles elapsed since start to an operation
 // class, both kernel-wide and on the responsible environment's account.
-// Pure observation: no clock ticks, no allocation.
+// Pure observation: no clock ticks, no allocation. The profiler bridge
+// runs before the MetricsOn check — the two observers are independent,
+// and every recordOp site doubles as a profiler kernel window.
 func (k *Kernel) recordOp(op OpClass, env EnvID, start uint64) {
+	if k.Prof != nil {
+		k.Prof.KernelWindow(uint8(op), uint32(env), start, k.M.Clock.Cycles())
+	}
 	if !k.Stats.MetricsOn {
 		return
 	}
@@ -155,6 +160,9 @@ func (k *Kernel) recordOp(op OpClass, env EnvID, start uint64) {
 // recordSyscall is recordOp for the syscall class plus the per-number
 // breakdown.
 func (k *Kernel) recordSyscall(code uint32, env EnvID, start uint64) {
+	if k.Prof != nil {
+		k.Prof.KernelWindow(uint8(OpSyscall), uint32(env), start, k.M.Clock.Cycles())
+	}
 	if !k.Stats.MetricsOn {
 		return
 	}
@@ -165,4 +173,14 @@ func (k *Kernel) recordSyscall(code uint32, env EnvID, start uint64) {
 	}
 	k.Stats.SyscallOps[code].Record(d)
 	k.Stats.envOps(env)[OpSyscall].Record(d)
+}
+
+// OpNames returns the operation-class labels indexed by class value,
+// in the layout the profiler's kernel buckets use.
+func OpNames() []string {
+	names := make([]string, NumOpClasses)
+	for i := range names {
+		names[i] = opNames[i]
+	}
+	return names
 }

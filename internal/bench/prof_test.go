@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"exokernel/internal/aegis"
+	"exokernel/internal/ktrace"
+	"exokernel/internal/prof"
+)
+
+// profWorkloads is the selection TestProfilingIsFree runs: a
+// syscall-heavy table, the VM-fault-heavy Appel-Li sweep, and the
+// matmul loop (shrunk), together covering guest loops, kernel windows,
+// and multi-machine boots.
+func profWorkloads() []Experiment {
+	var sel []Experiment
+	for _, e := range All() {
+		switch e.ID {
+		case "Table 2", "Table 9", "Table 10":
+			sel = append(sel, e)
+		}
+	}
+	return sel
+}
+
+// profRun executes the selection once, returning the concatenated table
+// text (every measured number, so any clock perturbation shows) and the
+// rendered trace (every event's cycle stamp). withProf additionally
+// returns the collected PROF JSON bytes.
+func profRun(t *testing.T, withProf bool) (tables, trace, profile []byte) {
+	t.Helper()
+	savedTracer, savedProf, savedN := Tracer, Prof, Table9MatrixN
+	savedSeq := bootSeq
+	defer func() { Tracer, Prof, Table9MatrixN, bootSeq = savedTracer, savedProf, savedN, savedSeq }()
+	bootSeq = 0
+	Table9MatrixN = 32
+	rec := ktrace.New(1 << 16)
+	Tracer = rec
+	var profs []*prof.Profiler
+	Prof = nil
+	if withProf {
+		Prof = func(name string) *prof.Profiler {
+			p := prof.New(name, aegis.OpNames())
+			profs = append(profs, p)
+			return p
+		}
+	}
+
+	var tbuf bytes.Buffer
+	for _, e := range profWorkloads() {
+		tbuf.WriteString(e.Run().Format())
+	}
+	var trbuf bytes.Buffer
+	if err := ktrace.WriteText(&trbuf, rec.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if withProf {
+		var machines []prof.Profile
+		for _, p := range profs {
+			machines = append(machines, p.Snapshot())
+		}
+		var pbuf bytes.Buffer
+		if err := prof.Collect("test", nil, machines, 0).Write(&pbuf); err != nil {
+			t.Fatal(err)
+		}
+		profile = pbuf.Bytes()
+	}
+	return tbuf.Bytes(), trbuf.Bytes(), profile
+}
+
+// TestProfilingIsFree pins the profiler's observation contract:
+// attaching it changes nothing observable (every measured table number
+// and every trace event stamp is byte-identical with profiling on or
+// off), the profile itself is deterministic across runs, and the fast
+// and reference engines produce exactly the same profile.
+func TestProfilingIsFree(t *testing.T) {
+	baseTables, baseTrace, _ := profRun(t, false)
+	profTables, profTrace, profile := profRun(t, true)
+
+	if !bytes.Equal(baseTables, profTables) {
+		t.Errorf("table output differs with profiling attached:\n--- off ---\n%s\n--- on ---\n%s", baseTables, profTables)
+	}
+	if !bytes.Equal(baseTrace, profTrace) {
+		t.Errorf("trace differs with profiling attached (%d vs %d bytes)", len(baseTrace), len(profTrace))
+	}
+	if len(profile) == 0 {
+		t.Fatal("no profile collected")
+	}
+
+	_, _, again := profRun(t, true)
+	if !bytes.Equal(profile, again) {
+		t.Errorf("same-seed profile not deterministic (%d vs %d bytes)", len(profile), len(again))
+	}
+
+	// Engine equivalence at workload scale: the reference engine must
+	// produce the identical profile (the quickcheck in internal/vm does
+	// the same for random programs).
+	t.Setenv("EXO_SLOWPATH", "1")
+	refTables, refTrace, refProfile := profRun(t, true)
+	if !bytes.Equal(baseTables, refTables) {
+		t.Errorf("reference-engine table output differs")
+	}
+	if !bytes.Equal(baseTrace, refTrace) {
+		t.Errorf("reference-engine trace differs")
+	}
+	if !bytes.Equal(profile, refProfile) {
+		t.Errorf("fast and reference engines produced different profiles (%d vs %d bytes)", len(profile), len(refProfile))
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"exokernel/internal/hw"
 	"exokernel/internal/ktrace"
 	"exokernel/internal/pkt"
+	"exokernel/internal/prof"
 	"exokernel/internal/ultrix"
 	"exokernel/internal/vm"
 )
@@ -38,17 +39,42 @@ var MetricsOff bool
 // it cannot change a measured number.
 var Bus *fleet.Bus
 
-// busSeq numbers the members registered on Bus within one process.
-var busSeq int
+// Prof, when non-nil, is called with each freshly booted machine's name
+// ("m1", "m2", ...) and may return a cycle profiler to attach to it
+// (aegisbench -prof, cmd/exoprof). Profiling is free on the simulated
+// clock — TestProfilingIsFree pins byte-identical output either way.
+var Prof func(name string) *prof.Profiler
 
-// registerFleet adds a freshly booted kernel to the fleet bus (no-op
-// when no bus is attached).
+// bootSeq numbers the Aegis machines booted within one process; it is
+// the shared naming sequence for the fleet bus and the profiler hook.
+var bootSeq int
+
+// ResetMachineSeq restarts machine naming at m1. Harnesses that run the
+// same selection repeatedly (tests, cmd/exoprof) call it so each run
+// boots identically-named machines — the condition for byte-identical
+// repeated output.
+func ResetMachineSeq() { bootSeq = 0 }
+
+// registerFleet wires the requested observers onto a freshly booted
+// kernel: fleet-bus membership and/or a per-machine profiler (no-op
+// when neither global is set).
 func registerFleet(m *hw.Machine, k *aegis.Kernel) {
-	if Bus == nil {
+	if Bus == nil && Prof == nil {
 		return
 	}
-	busSeq++
-	Bus.Register(fmt.Sprintf("m%d", busSeq), m, k, Tracer)
+	bootSeq++
+	name := fmt.Sprintf("m%d", bootSeq)
+	if Bus != nil {
+		Bus.Register(name, m, k, Tracer)
+	}
+	if Prof != nil {
+		if p := Prof(name); p != nil {
+			k.SetProf(p)
+			if Bus != nil {
+				Bus.AttachProf(name, p)
+			}
+		}
+	}
 }
 
 // newAegis boots Aegis on a fresh primary-platform machine.

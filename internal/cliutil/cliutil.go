@@ -1,0 +1,33 @@
+// Package cliutil holds the tiny flag-handling helpers the cmd/ tools
+// share, so each binary doesn't re-implement (and slowly diverge on)
+// the same validation.
+package cliutil
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CheckFormat validates a -format flag value against the formats a tool
+// accepts, producing the tools' common error shape:
+//
+//	exotrace: unknown -format "xml" (want chrome, jsonl, or text)
+func CheckFormat(tool, got string, want ...string) error {
+	for _, w := range want {
+		if got == w {
+			return nil
+		}
+	}
+	var list string
+	switch len(want) {
+	case 0:
+		list = "nothing"
+	case 1:
+		list = want[0]
+	case 2:
+		list = want[0] + " or " + want[1]
+	default:
+		list = strings.Join(want[:len(want)-1], ", ") + ", or " + want[len(want)-1]
+	}
+	return fmt.Errorf("%s: unknown -format %q (want %s)", tool, got, list)
+}

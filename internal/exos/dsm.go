@@ -7,6 +7,7 @@ import (
 	"exokernel/internal/aegis"
 	"exokernel/internal/cap"
 	"exokernel/internal/hw"
+	"exokernel/internal/ktrace"
 	"exokernel/internal/pkt"
 )
 
@@ -117,8 +118,14 @@ func (d *DSMNode) AddPage(va uint32, initial bool) error {
 }
 
 // Service answers protocol requests that arrived on this node's socket.
-// Call it from the node's scheduling slice (or a pump loop).
+// Call it from the node's scheduling slice (or a pump loop). The
+// environment's active trace context is saved around the loop: TryRecv
+// adopts each incoming request's context (so the reply send parents
+// under the requester's span), and none of it may leak into whatever
+// this env does next.
 func (d *DSMNode) Service() {
+	saved := d.os.Env.Trace
+	defer func() { d.os.Env.Trace = saved }()
 	for {
 		data, _, ok := d.sock.TryRecv()
 		if !ok {
@@ -177,13 +184,29 @@ func (d *DSMNode) handle(msg []byte) {
 	}
 }
 
-// fault is the coherence protocol's fault side.
+// fault is the coherence protocol's fault side. When the faulting env
+// has an active trace context, the whole transfer — request, the wait
+// for the peer, and the remap — is recorded as one dsm-xfer span, with
+// the protocol's UDP sends parented under it so the cross-machine wire
+// crossings appear on the critical path.
 func (d *DSMNode) fault(va uint32, write bool) bool {
 	va &^= hw.PageSize - 1
 	e := d.pages[va]
 	if e == nil {
 		return false
 	}
+	saved := d.os.Env.Trace
+	var span ktrace.SpanRef
+	if saved.Valid() {
+		span = d.os.K.Spans.Begin(d.os.K.M.Clock.Cycles(), ktrace.SpanDSM, uint32(d.os.Env.ID), saved, uint64(va))
+		d.os.Env.Trace = span.Ctx()
+	}
+	defer func() {
+		// Restore unconditionally: the request loop's TryRecv adopts
+		// drained-frame contexts into Env.Trace.
+		d.os.Env.Trace = saved
+		d.os.K.Spans.End(span, d.os.K.M.Clock.Cycles())
+	}()
 	if write {
 		d.WriteFaults++
 		reply := d.request(dsmWriteReq, va)

@@ -5,6 +5,7 @@ import (
 
 	"exokernel/internal/aegis"
 	"exokernel/internal/hw"
+	"exokernel/internal/ktrace"
 )
 
 // An application-level pager. When the kernel revokes physical pages
@@ -100,9 +101,16 @@ func (sw *Swapper) revoke(k *aegis.Kernel, frame uint32) bool {
 	return false
 }
 
-// pageOut writes va's page to swap and releases its frame.
+// pageOut writes va's page to swap and releases its frame. When the env
+// has an active trace context the whole eviction — the DMA to the swap
+// extent plus the unmap — is one swap-out span, so revocation-driven
+// disk waits show on a request's critical path.
 func (sw *Swapper) pageOut(va uint32) error {
 	va &^= hw.PageSize - 1
+	if ctx := sw.os.Env.Trace; ctx.Valid() {
+		span := sw.os.K.Spans.Begin(sw.os.K.M.Clock.Cycles(), ktrace.SpanSwapOut, uint32(sw.os.Env.ID), ctx, uint64(va))
+		defer func() { sw.os.K.Spans.End(span, sw.os.K.M.Clock.Cycles()) }()
+	}
 	pte := sw.os.PT.Lookup(va)
 	if pte == nil {
 		return fmt.Errorf("exos: page-out of unmapped va %#x", va)
@@ -127,12 +135,18 @@ func (sw *Swapper) pageOut(va uint32) error {
 	return nil
 }
 
-// pageIn restores a paged-out page on fault.
+// pageIn restores a paged-out page on fault, recording the refault —
+// frame allocation plus the DMA back — as a swap-in span when the env
+// has an active trace context.
 func (sw *Swapper) pageIn(va uint32) bool {
 	va &^= hw.PageSize - 1
 	slot, ok := sw.out[va]
 	if !ok {
 		return false
+	}
+	if ctx := sw.os.Env.Trace; ctx.Valid() {
+		span := sw.os.K.Spans.Begin(sw.os.K.M.Clock.Cycles(), ktrace.SpanSwapIn, uint32(sw.os.Env.ID), ctx, uint64(va))
+		defer func() { sw.os.K.Spans.End(span, sw.os.K.M.Clock.Cycles()) }()
 	}
 	frame, guard, err := sw.os.K.AllocPage(sw.os.Env, aegis.AnyFrame)
 	if err != nil {

@@ -31,6 +31,7 @@ import (
 	"exokernel/internal/hw"
 	"exokernel/internal/ktrace"
 	"exokernel/internal/metrics"
+	"exokernel/internal/prof"
 )
 
 // Member is one registered machine: the hardware (for its clock and
@@ -44,6 +45,9 @@ type Member struct {
 	// Spans is the member's causal span recorder (nil when request
 	// tracing is off); attach with Bus.AttachSpans.
 	Spans *ktrace.SpanRecorder
+	// Prof is the member's cycle profiler (nil when profiling is off);
+	// attach with Bus.AttachProf.
+	Prof *prof.Profiler
 }
 
 // probe is a named host-side histogram owned by the bus.

@@ -1,0 +1,39 @@
+package fleet
+
+import "exokernel/internal/prof"
+
+// Profile aggregation: the bus's machine dimension applied to cycle
+// profiles. Each member may carry a profiler; MergedProfiles snapshots
+// them all under the member names so one PROF file describes the fleet.
+
+// AttachProf attaches a cycle profiler to the named member (nil
+// detaches), wiring the kernel and interpreter hooks. Returns false if
+// no such member is registered.
+func (b *Bus) AttachProf(name string, p *prof.Profiler) bool {
+	for _, mb := range b.members {
+		if mb.Name == name {
+			mb.Prof = p
+			if mb.K != nil {
+				mb.K.SetProf(p)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// MergedProfiles snapshots every profiled member in registration order,
+// overriding each profile's machine dimension with the member name (the
+// bus's naming is authoritative, exactly as in MergedEvents).
+func (b *Bus) MergedProfiles() []prof.Profile {
+	var out []prof.Profile
+	for _, mb := range b.members {
+		if mb.Prof == nil {
+			continue
+		}
+		p := mb.Prof.Snapshot()
+		p.Machine = mb.Name
+		out = append(out, p)
+	}
+	return out
+}

@@ -3,9 +3,11 @@
 // where every request starts in a client environment on machine A,
 // crosses the wire to a front-end environment on machine B, fans into a
 // protected-control-transfer RPC to a backend environment on B, and
-// returns over the wire to A. A final request hits an ASH echo endpoint
-// on B, so the kernel-resident fast path shows up in the same causal
-// tree as the scheduled paths.
+// returns over the wire to A. A final trio of requests covers the other
+// substrate paths: an ASH echo (kernel-resident fast path), a DSM write
+// fault whose page transfer crosses the wire, and a swap eviction plus
+// refault through the application-level pager — so every kind of wait
+// the simulator models shows up in one causal forest.
 //
 // Everything is keyed by the seed (span-recorder salts, payload bytes);
 // the simulation is single-threaded and wall-clock free, so the same
@@ -26,6 +28,7 @@ import (
 	"exokernel/internal/hw"
 	"exokernel/internal/ktrace"
 	"exokernel/internal/pkt"
+	"exokernel/internal/prof"
 )
 
 // Config parameterizes one scenario run.
@@ -33,13 +36,18 @@ type Config struct {
 	// Seed keys span-recorder salts and payload contents.
 	Seed uint64
 	// Requests is how many client→front→backend→client round trips to
-	// issue (default 3). One ASH echo request always follows them.
+	// issue (default 3). Three substrate requests — ASH echo, DSM page
+	// transfer, swap eviction + refault — always follow them.
 	Requests int
 	// DisableSpans runs the identical schedule without span recorders —
 	// the "tracing is free" control arm.
 	DisableSpans bool
 	// SpanCap sizes each machine's span ring (default 1024).
 	SpanCap int
+	// Prof, when non-nil, is called with each machine's name ("A", "B")
+	// and may return a cycle profiler to attach — the profiling-is-free
+	// control arm at scenario scale.
+	Prof func(name string) *prof.Profiler
 }
 
 // Result is the finished world: the bus (machines registered as "A" and
@@ -51,14 +59,19 @@ type Result struct {
 	CyclesB        uint64
 	Replies        int  // RPC replies that came back with the right sum
 	EchoOK         bool // the ASH echo round trip returned the payload
+	DSMOK          bool // the DSM write fault pulled ownership across the wire
+	SwapOK         bool // the pager evicted and refaulted the tracked page
 }
 
 const (
 	portClient = 7000
 	portFront  = 80
 	portEcho   = 7
+	portDSM    = 3111
 	procSum    = 1
 	payloadLen = 64
+	dsmVA      = 0x3000_0000
+	swapVA     = 0x2000_0000
 )
 
 // splitmix is the scenario's own deterministic stream (payload bytes).
@@ -102,6 +115,14 @@ func Run(cfg Config) (*Result, error) {
 		kb.SetSpans(res.SpansB)
 		res.Bus.AttachSpans("A", res.SpansA)
 		res.Bus.AttachSpans("B", res.SpansB)
+	}
+	if cfg.Prof != nil {
+		if p := cfg.Prof("A"); p != nil {
+			res.Bus.AttachProf("A", p)
+		}
+		if p := cfg.Prof("B"); p != nil {
+			res.Bus.AttachProf("B", p)
+		}
 	}
 
 	macA := pkt.Addr{0x02, 0, 0, 0, 0, 0xA}
@@ -209,6 +230,59 @@ func Run(cfg Config) (*Result, error) {
 				res.EchoOK = false
 				break
 			}
+		}
+	}
+	osA.EndRequest(req)
+
+	// The DSM leg: an environment on B owns a shared page; the client's
+	// write fault pulls ownership across the wire. The whole transfer —
+	// fault, request, the owner's invalidate + reply, remap — is one
+	// dsm-xfer span with the protocol's wire crossings parented under it.
+	dsmOS, err := exos.Boot(kb)
+	if err != nil {
+		return nil, err
+	}
+	nodeB, err := exos.NewDSMNode(nb, dsmOS, portDSM, macA, 0x0A000001)
+	if err != nil {
+		return nil, err
+	}
+	nodeA, err := exos.NewDSMNode(na, osA, portDSM, macB, 0x0A000002)
+	if err != nil {
+		return nil, err
+	}
+	if err := nodeB.AddPage(dsmVA, true); err != nil {
+		return nil, err
+	}
+	if err := nodeA.AddPage(dsmVA, false); err != nil {
+		return nil, err
+	}
+	nodeA.Pump = func() { nodeB.Service(); ma.Clock.Tick(500); seg.Sync() }
+	req = osA.BeginRequest(uint64(cfg.Requests + 2))
+	if err := osA.TouchWrite(dsmVA); err == nil && nodeA.State(dsmVA) == "writable" {
+		res.DSMOK = true
+	}
+	osA.EndRequest(req)
+
+	// The swap leg: the kernel revokes the frame under a tracked page
+	// (visible revocation, §3.3), the application-level pager evicts it
+	// to its swap extent, and the next touch faults it back in — a
+	// swap-out and a swap-in span on the same request's critical path.
+	sw, err := exos.NewSwapper(osA, 8)
+	if err != nil {
+		return nil, err
+	}
+	frame, err := osA.AllocAndMap(swapVA)
+	if err != nil {
+		return nil, err
+	}
+	sw.Track(swapVA)
+	if err := osA.TouchWrite(swapVA); err != nil { // dirty it before any eviction
+		return nil, err
+	}
+	req = osA.BeginRequest(uint64(cfg.Requests + 3))
+	if _, err := ka.RevokePage(frame); err == nil && !sw.Resident(swapVA) {
+		if err := osA.TouchWrite(swapVA); err == nil && sw.Resident(swapVA) {
+			res.SwapOK = true
 		}
 	}
 	osA.EndRequest(req)

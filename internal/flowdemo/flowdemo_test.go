@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"testing"
 
+	"exokernel/internal/aegis"
 	"exokernel/internal/fleet"
+	"exokernel/internal/prof"
 )
 
 func TestFlowDemoTraces(t *testing.T) {
@@ -18,9 +20,15 @@ func TestFlowDemoTraces(t *testing.T) {
 	if !res.EchoOK {
 		t.Fatalf("ASH echo round trip failed")
 	}
+	if !res.DSMOK {
+		t.Fatalf("DSM write fault did not take ownership")
+	}
+	if !res.SwapOK {
+		t.Fatalf("swap eviction + refault did not round trip")
+	}
 	traces := fleet.AssembleTraces(res.Bus.MergedSpans())
-	if len(traces) != 4 {
-		t.Fatalf("traces = %d, want 4 (3 rpc + 1 echo)", len(traces))
+	if len(traces) != 6 {
+		t.Fatalf("traces = %d, want 6 (3 rpc + echo + dsm + swap)", len(traces))
 	}
 	for i, tr := range traces[:3] {
 		if len(tr.Orphans) != 0 || tr.Open != 0 {
@@ -64,6 +72,40 @@ func TestFlowDemoTraces(t *testing.T) {
 	if !found {
 		t.Fatalf("echo trace has no ASH span on machine B")
 	}
+
+	// The DSM and swap traces put the substrate waits on the request tree:
+	// the page transfer span with its wire crossings underneath, and the
+	// pager's eviction + refault pair.
+	kinds := func(tr *fleet.Trace) map[string]int {
+		m := map[string]int{}
+		var walk func(n *fleet.SpanNode)
+		walk = func(n *fleet.SpanNode) {
+			m[n.Kind.String()]++
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+		for _, r := range tr.Roots {
+			walk(r)
+		}
+		return m
+	}
+	dsm := traces[4]
+	if len(dsm.Orphans) != 0 || dsm.Open != 0 {
+		t.Fatalf("dsm trace broken: orphans=%d open=%d", len(dsm.Orphans), dsm.Open)
+	}
+	dk := kinds(dsm)
+	if dk["dsm-xfer"] != 1 || dk["udp-tx"] < 2 {
+		t.Fatalf("dsm trace kinds = %v, want one dsm-xfer over both wire crossings", dk)
+	}
+	swap := traces[5]
+	if len(swap.Orphans) != 0 || swap.Open != 0 {
+		t.Fatalf("swap trace broken: orphans=%d open=%d", len(swap.Orphans), swap.Open)
+	}
+	sk := kinds(swap)
+	if sk["swap-out"] != 1 || sk["swap-in"] != 1 {
+		t.Fatalf("swap trace kinds = %v, want one swap-out and one swap-in", sk)
+	}
 }
 
 // TestFlowSpanCollectionIsFree pins the observation contract end to end:
@@ -89,6 +131,56 @@ func TestFlowSpanCollectionIsFree(t *testing.T) {
 	}
 	if off.SpansA != nil || off.SpansB != nil {
 		t.Fatalf("disabled run still has recorders")
+	}
+}
+
+// TestFlowProfilingIsFree extends the observation contract to the cycle
+// profiler: attaching profilers to both machines changes no clock, no
+// verdict, and no span tree — and the profile itself is deterministic.
+func TestFlowProfilingIsFree(t *testing.T) {
+	render := func(res *Result) []byte {
+		var buf bytes.Buffer
+		for _, tr := range fleet.AssembleTraces(res.Bus.MergedSpans()) {
+			fleet.RenderTrace(&buf, tr)
+		}
+		return buf.Bytes()
+	}
+	profiled := func() (*Result, []byte) {
+		res, err := Run(Config{Seed: 7, Prof: func(name string) *prof.Profiler {
+			return prof.New(name, aegis.OpNames())
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		f := prof.Collect("flowdemo", nil, res.Bus.MergedProfiles(), 10)
+		if err := f.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.Bytes()
+	}
+	on, profA := profiled()
+	off, err := Run(Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.CyclesA != off.CyclesA || on.CyclesB != off.CyclesB {
+		t.Fatalf("profiling moved the clocks: on=(%d,%d) off=(%d,%d)",
+			on.CyclesA, on.CyclesB, off.CyclesA, off.CyclesB)
+	}
+	if on.Replies != off.Replies || on.EchoOK != off.EchoOK ||
+		on.DSMOK != off.DSMOK || on.SwapOK != off.SwapOK {
+		t.Fatalf("profiling changed the workload")
+	}
+	if !bytes.Equal(render(on), render(off)) {
+		t.Fatalf("profiling changed the span trees")
+	}
+	_, profB := profiled()
+	if !bytes.Equal(profA, profB) {
+		t.Fatalf("same seed produced different profiles")
+	}
+	if len(profA) == 0 || !bytes.Contains(profA, []byte(`"machine": "A"`)) {
+		t.Fatalf("profile missing machine A: %s", profA)
 	}
 }
 

@@ -52,6 +52,9 @@ const (
 	SpanASH               // application-specific handler run in the kernel
 	SpanRecv              // application drain: socket buffer to the caller
 	SpanDisk              // disk I/O performed on behalf of the request
+	SpanDSM               // DSM page transfer: fault to remote page installed
+	SpanSwapOut           // swap pager eviction: page table to disk
+	SpanSwapIn            // swap pager refault: disk back to a mapped frame
 
 	numSpanKinds
 )
@@ -68,6 +71,9 @@ var spanKindNames = [numSpanKinds]string{
 	SpanASH:      "ash",
 	SpanRecv:     "recv",
 	SpanDisk:     "disk",
+	SpanDSM:      "dsm-xfer",
+	SpanSwapOut:  "swap-out",
+	SpanSwapIn:   "swap-in",
 }
 
 func (k SpanKind) String() string {

@@ -1,0 +1,114 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Profile diffing: flatten two PROF files onto a common key space and
+// rank cycle deltas. This is the regression root-causer — benchdiff
+// says a table slowed down, the profile diff says which PCs and which
+// kernel paths paid for it.
+
+// DeltaSite is one attribution key's change between two profiles.
+type DeltaSite struct {
+	Key   string // "machine env frame", frame = pc | pc/class | native/class
+	Old   uint64
+	New   uint64
+	Delta int64 // new - old, in cycles
+}
+
+// flatten maps every attribution site in a file to its cycle total.
+// Guest time and kernel class time are separate keys so a diff can
+// distinguish "the loop got longer" from "the loop now traps".
+func flatten(f *File) map[string]uint64 {
+	out := map[string]uint64{}
+	for _, m := range f.Machines {
+		for _, e := range m.Envs {
+			for _, s := range e.Sites {
+				base := fmt.Sprintf("%s env%d 0x%04x", m.Machine, e.Env, s.PC)
+				if g := s.Guest(); g > 0 {
+					out[base] += g
+				}
+				for _, k := range s.Kernel {
+					out[base+"/"+k.Class] += k.Cycles
+				}
+			}
+			for _, k := range e.Native {
+				out[fmt.Sprintf("%s env%d native/%s", m.Machine, e.Env, k.Class)] += k.Cycles
+			}
+		}
+	}
+	return out
+}
+
+// Diff returns every key whose cycle total changed, ranked by absolute
+// delta descending with key-ascending tie-break — deterministic for
+// identical inputs.
+func Diff(old, new *File) []DeltaSite {
+	a, b := flatten(old), flatten(new)
+	keys := map[string]bool{}
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	var out []DeltaSite
+	for k := range keys {
+		o, n := a[k], b[k]
+		if o == n {
+			continue
+		}
+		out = append(out, DeltaSite{Key: k, Old: o, New: n, Delta: int64(n) - int64(o)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := out[i].Delta, out[j].Delta
+		if di < 0 {
+			di = -di
+		}
+		if dj < 0 {
+			dj = -dj
+		}
+		if di != dj {
+			return di > dj
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// totalCycles sums all machine totals in a file.
+func totalCycles(f *File) uint64 {
+	var t uint64
+	for _, m := range f.Machines {
+		t += m.Cycles
+	}
+	return t
+}
+
+// RenderDiff prints the top cycle-delta sites between two profiles.
+// Informational, never a gate: profiles are exact, so any intentional
+// change moves them, and the reader decides what matters.
+func RenderDiff(w io.Writer, old, new *File, top int) {
+	if top <= 0 {
+		top = 20
+	}
+	deltas := Diff(old, new)
+	oldTotal, newTotal := totalCycles(old), totalCycles(new)
+	fmt.Fprintf(w, "profile diff: total cycles %d -> %d (%+d)\n", oldTotal, newTotal, int64(newTotal)-int64(oldTotal))
+	if len(deltas) == 0 {
+		fmt.Fprintln(w, "no per-site cycle deltas")
+		return
+	}
+	n := len(deltas)
+	if n > top {
+		n = top
+	}
+	fmt.Fprintf(w, "top %d cycle-delta sites (of %d changed):\n", n, len(deltas))
+	for i := 0; i < n; i++ {
+		d := deltas[i]
+		fmt.Fprintf(w, "  %+12d  %12d -> %-12d %s\n", d.Delta, d.Old, d.New, d.Key)
+	}
+}

@@ -1,0 +1,170 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Exporters. All output is deterministic: iteration follows the sorted
+// order Snapshot already guarantees, and any re-ranking breaks ties on
+// stable keys.
+
+// textSite is one row of the WriteText top-sites table.
+type textSite struct {
+	machine string
+	env     uint32
+	site    Site
+}
+
+// WriteText renders the human-readable profile view: per-machine
+// summary, the top sites by inclusive cycles, the hot-block ranking,
+// and fleet-wide kernel class totals.
+func WriteText(w io.Writer, f *File, top int) error {
+	if top <= 0 {
+		top = 20
+	}
+	fmt.Fprintf(w, "%s v%d  platform=%q", f.Schema, f.SchemaVersion, f.Platform)
+	if len(f.Workloads) > 0 {
+		fmt.Fprintf(w, "  workloads=%s", strings.Join(f.Workloads, ","))
+	}
+	fmt.Fprintln(w)
+	var sites []textSite
+	classTotals := map[string]uint64{}
+	var classOrder []string
+	addClass := func(name string, cycles uint64) {
+		if _, ok := classTotals[name]; !ok {
+			classOrder = append(classOrder, name)
+		}
+		classTotals[name] += cycles
+	}
+	for _, m := range f.Machines {
+		fmt.Fprintf(w, "machine %-8s envs=%d instructions=%d cycles=%d\n", m.Machine, len(m.Envs), m.Instructions, m.Cycles)
+		for _, e := range m.Envs {
+			for _, s := range e.Sites {
+				sites = append(sites, textSite{m.Machine, e.Env, s})
+				for _, k := range s.Kernel {
+					addClass(k.Class, k.Cycles)
+				}
+			}
+			for _, k := range e.Native {
+				addClass(k.Class, k.Cycles)
+			}
+		}
+	}
+	sort.SliceStable(sites, func(i, j int) bool {
+		a, b := sites[i], sites[j]
+		if a.site.Cycles != b.site.Cycles {
+			return a.site.Cycles > b.site.Cycles
+		}
+		if a.machine != b.machine {
+			return a.machine < b.machine
+		}
+		if a.env != b.env {
+			return a.env < b.env
+		}
+		return a.site.PC < b.site.PC
+	})
+	n := len(sites)
+	if n > top {
+		n = top
+	}
+	fmt.Fprintf(w, "top %d sites (of %d, by inclusive cycles):\n", n, len(sites))
+	fmt.Fprintf(w, "  %-8s %-4s %-8s %10s %12s %12s  %s\n", "machine", "env", "pc", "count", "cycles", "guest", "kernel")
+	for i := 0; i < n; i++ {
+		s := sites[i]
+		var kparts []string
+		for _, k := range s.site.Kernel {
+			kparts = append(kparts, fmt.Sprintf("%s=%d", k.Class, k.Cycles))
+		}
+		kstr := "-"
+		if len(kparts) > 0 {
+			kstr = strings.Join(kparts, " ")
+		}
+		fmt.Fprintf(w, "  %-8s %-4d 0x%04x   %10d %12d %12d  %s\n",
+			s.machine, s.env, s.site.PC, s.site.Count, s.site.Cycles, s.site.Guest(), kstr)
+	}
+	nb := len(f.HotBlocks)
+	if nb > top {
+		nb = top
+	}
+	fmt.Fprintf(w, "hot blocks (top %d of %d, score = count x cycles):\n", nb, len(f.HotBlocks))
+	for i := 0; i < nb; i++ {
+		b := f.HotBlocks[i]
+		fmt.Fprintf(w, "  %-8s env%-3d 0x%04x-0x%04x count=%d cycles=%d score=%d\n",
+			b.Machine, b.Env, b.Start, b.End, b.Count, b.Cycles, b.Score)
+	}
+	if len(classOrder) > 0 {
+		sort.Strings(classOrder)
+		fmt.Fprintln(w, "kernel class totals:")
+		for _, name := range classOrder {
+			fmt.Fprintf(w, "  %-12s %12d\n", name, classTotals[name])
+		}
+	}
+	return nil
+}
+
+// WriteFolded emits the folded-stack flame format (one
+// "frame;frame;frame value" line per stack) consumed by flamegraph.pl
+// and speedscope. Guest time folds under machine;envN;pc, nested
+// kernel service one frame deeper under its class, and native kernel
+// work under a synthetic "native" frame.
+func WriteFolded(w io.Writer, f *File) error {
+	for _, m := range f.Machines {
+		for _, e := range m.Envs {
+			for _, s := range e.Sites {
+				if g := s.Guest(); g > 0 {
+					fmt.Fprintf(w, "%s;env%d;0x%04x %d\n", m.Machine, e.Env, s.PC, g)
+				}
+				for _, k := range s.Kernel {
+					fmt.Fprintf(w, "%s;env%d;0x%04x;%s %d\n", m.Machine, e.Env, s.PC, k.Class, k.Cycles)
+				}
+			}
+			for _, k := range e.Native {
+				fmt.Fprintf(w, "%s;env%d;native;%s %d\n", m.Machine, e.Env, k.Class, k.Cycles)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteChrome emits a synthetic flame strip as Chrome trace_event JSON
+// (load in Perfetto/chrome://tracing): one process per machine, one
+// thread per env, sites laid out back-to-back in PC order with their
+// kernel service stacked beneath. Timestamps are cumulative cycles —
+// a spatial profile view, not a timeline.
+func WriteChrome(w io.Writer, f *File) error {
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(name string, pid int, tid uint32, ts, dur uint64) {
+		if !first {
+			io.WriteString(w, ",\n")
+		}
+		first = false
+		fmt.Fprintf(w, `  {"name":%q,"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d}`, name, pid, tid, ts, dur)
+	}
+	for pid, m := range f.Machines {
+		emit("machine "+m.Machine, pid, 0, 0, 0)
+		for _, e := range m.Envs {
+			var pos uint64
+			for _, s := range e.Sites {
+				emit(fmt.Sprintf("0x%04x", s.PC), pid, e.Env, pos, s.Cycles)
+				kpos := pos + s.Guest()
+				for _, k := range s.Kernel {
+					emit(k.Class, pid, e.Env, kpos, k.Cycles)
+					kpos += k.Cycles
+				}
+				pos += s.Cycles
+			}
+			for _, k := range e.Native {
+				emit("native:"+k.Class, pid, e.Env, pos, k.Cycles)
+				pos += k.Cycles
+			}
+		}
+	}
+	_, err := io.WriteString(w, "\n]\n")
+	return err
+}

@@ -1,0 +1,178 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// PROF JSON: the versioned on-disk profile format, mirroring the BENCH
+// and SOAK schemas. A file carries one or more machine profiles (the
+// fleet dimension) plus the deterministic hot-block ranking so a
+// committed baseline doubles as the trace-JIT candidate list.
+
+// SchemaName is the discriminator for PROF JSON files.
+const SchemaName = "aegis-prof"
+
+// SchemaVersion is bumped on incompatible changes to File.
+const SchemaVersion = 1
+
+// HotBlock is a maximal straight-line run of guest PCs that executed
+// the same number of times — the profiler's basic-block approximation,
+// exact for code without internal branch targets. Score ranks JIT
+// candidacy: blocks both hot (count) and heavy (cycles) float to the
+// top.
+type HotBlock struct {
+	Machine string `json:"machine"`
+	Env     uint32 `json:"env"`
+	Start   uint32 `json:"start"`
+	End     uint32 `json:"end"` // inclusive
+	Count   uint64 `json:"count"`
+	Cycles  uint64 `json:"cycles"`
+	Score   uint64 `json:"score"` // count * cycles
+}
+
+// File is a complete PROF JSON document.
+type File struct {
+	Schema        string     `json:"schema"`
+	SchemaVersion int        `json:"schema_version"`
+	Platform      string     `json:"platform"`
+	Workloads     []string   `json:"workloads,omitempty"`
+	Machines      []Profile  `json:"machines"`
+	HotBlocks     []HotBlock `json:"hot_blocks,omitempty"`
+}
+
+// Collect assembles a File from machine snapshots: hot blocks are
+// extracted and ranked across the whole fleet, keeping the top
+// maxBlocks (0 = keep all).
+func Collect(platform string, workloads []string, machines []Profile, maxBlocks int) *File {
+	f := &File{
+		Schema:        SchemaName,
+		SchemaVersion: SchemaVersion,
+		Platform:      platform,
+		Workloads:     workloads,
+		Machines:      machines,
+	}
+	f.HotBlocks = ExtractHotBlocks(machines, maxBlocks)
+	return f
+}
+
+// ExtractHotBlocks finds every maximal run of consecutive PCs with
+// identical nonzero execution counts within each env, ranks by score
+// descending (ties: cycles descending, then machine/env/start
+// ascending — fully deterministic), and returns the top max (0 = all).
+func ExtractHotBlocks(machines []Profile, max int) []HotBlock {
+	var blocks []HotBlock
+	for _, m := range machines {
+		for _, e := range m.Envs {
+			var cur *HotBlock
+			for _, s := range e.Sites {
+				if cur != nil && s.PC == cur.End+1 && s.Count == cur.Count {
+					cur.End = s.PC
+					cur.Cycles += s.Cycles
+					continue
+				}
+				if cur != nil {
+					cur.Score = cur.Count * cur.Cycles
+					blocks = append(blocks, *cur)
+				}
+				cur = &HotBlock{Machine: m.Machine, Env: e.Env, Start: s.PC, End: s.PC, Count: s.Count, Cycles: s.Cycles}
+			}
+			if cur != nil {
+				cur.Score = cur.Count * cur.Cycles
+				blocks = append(blocks, *cur)
+			}
+		}
+	}
+	sort.Slice(blocks, func(i, j int) bool {
+		a, b := blocks[i], blocks[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.Cycles != b.Cycles {
+			return a.Cycles > b.Cycles
+		}
+		if a.Machine != b.Machine {
+			return a.Machine < b.Machine
+		}
+		if a.Env != b.Env {
+			return a.Env < b.Env
+		}
+		return a.Start < b.Start
+	})
+	if max > 0 && len(blocks) > max {
+		blocks = blocks[:max]
+	}
+	return blocks
+}
+
+// Write emits the file as indented JSON with a trailing newline.
+func (f *File) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Parse reads and validates a PROF JSON document.
+func Parse(r io.Reader) (*File, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("prof: parse: %w", err)
+	}
+	if err := Validate(&f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// Validate checks a File for structural coherence: right schema and
+// version, sites sorted and unique per env, hot-block ranges sane, and
+// machine totals matching their sites.
+func Validate(f *File) error {
+	if f.Schema != SchemaName {
+		return fmt.Errorf("prof: schema %q, want %q", f.Schema, SchemaName)
+	}
+	if f.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("prof: schema version %d, want %d", f.SchemaVersion, SchemaVersion)
+	}
+	for mi := range f.Machines {
+		m := &f.Machines[mi]
+		if m.Machine == "" {
+			return fmt.Errorf("prof: machine %d: empty name", mi)
+		}
+		var instr, cycles uint64
+		for ei := range m.Envs {
+			e := &m.Envs[ei]
+			lastPC := int64(-1)
+			for _, s := range e.Sites {
+				if int64(s.PC) <= lastPC {
+					return fmt.Errorf("prof: machine %q env %d: sites not strictly ascending at pc %#x", m.Machine, e.Env, s.PC)
+				}
+				lastPC = int64(s.PC)
+				if s.Count == 0 && s.Cycles == 0 {
+					return fmt.Errorf("prof: machine %q env %d: zero site at pc %#x", m.Machine, e.Env, s.PC)
+				}
+				instr += s.Count
+				cycles += s.Cycles
+			}
+			for _, k := range e.Native {
+				cycles += k.Cycles
+			}
+		}
+		if instr != m.Instructions || cycles != m.Cycles {
+			return fmt.Errorf("prof: machine %q: totals instructions=%d cycles=%d disagree with sites (%d, %d)",
+				m.Machine, m.Instructions, m.Cycles, instr, cycles)
+		}
+	}
+	for _, b := range f.HotBlocks {
+		if b.End < b.Start {
+			return fmt.Errorf("prof: hot block %q env %d: end %#x < start %#x", b.Machine, b.Env, b.End, b.Start)
+		}
+		if b.Score != b.Count*b.Cycles {
+			return fmt.Errorf("prof: hot block %q env %d pc %#x: score %d != count*cycles", b.Machine, b.Env, b.Start, b.Score)
+		}
+	}
+	return nil
+}

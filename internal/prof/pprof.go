@@ -1,0 +1,184 @@
+package prof
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// pprof protobuf export, hand-encoded against the stable profile.proto
+// wire format (the module takes no dependencies). Two sample types —
+// executions/count and cycles/cycles — with leaf-first stacks:
+//
+//	pc            -> env@machine            guest execution
+//	aegis:class -> pc -> env@machine        kernel service under an instruction
+//	aegis:class -> native -> env@machine    interrupt/library-OS kernel work
+//
+// time_nanos is deliberately left unset and gzip carries a zero mtime,
+// so the bytes are a pure function of the profile: same seed, same
+// file.
+
+// pbuf is a minimal protobuf writer.
+type pbuf struct{ b []byte }
+
+func (p *pbuf) uvarint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+// varint emits field as wire-type 0; zero values are omitted per proto3.
+func (p *pbuf) varint(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.uvarint(uint64(field)<<3 | 0)
+	p.uvarint(v)
+}
+
+// bytes emits field as a length-delimited record.
+func (p *pbuf) bytes(field int, data []byte) {
+	p.uvarint(uint64(field)<<3 | 2)
+	p.uvarint(uint64(len(data)))
+	p.b = append(p.b, data...)
+}
+
+// packed emits a repeated varint field in packed encoding.
+func (p *pbuf) packed(field int, vals []uint64) {
+	if len(vals) == 0 {
+		return
+	}
+	var inner pbuf
+	for _, v := range vals {
+		inner.uvarint(v)
+	}
+	p.bytes(field, inner.b)
+}
+
+// pprofBuilder interns strings/functions/locations and accumulates
+// samples.
+type pprofBuilder struct {
+	strings  []string
+	stridx   map[string]uint64
+	funcs    pbuf // encoded Function messages (field 5)
+	locs     pbuf // encoded Location messages (field 4)
+	locIdx   map[string]uint64
+	nextID   uint64
+	samples  pbuf // encoded Sample messages (field 2)
+	fileName map[string]string
+}
+
+func newPprofBuilder() *pprofBuilder {
+	b := &pprofBuilder{stridx: map[string]uint64{}, locIdx: map[string]uint64{}}
+	b.str("") // index 0 must be the empty string
+	return b
+}
+
+func (b *pprofBuilder) str(s string) uint64 {
+	if i, ok := b.stridx[s]; ok {
+		return i
+	}
+	i := uint64(len(b.strings))
+	b.strings = append(b.strings, s)
+	b.stridx[s] = i
+	return i
+}
+
+// loc interns a frame by display name, creating its Function and
+// Location records on first use. line carries the guest PC for code
+// frames so pprof's source view shows the address.
+func (b *pprofBuilder) loc(name, filename string, line uint64) uint64 {
+	if id, ok := b.locIdx[name]; ok {
+		return id
+	}
+	b.nextID++
+	id := b.nextID
+	b.locIdx[name] = id
+
+	var fn pbuf
+	fn.varint(1, id) // function id (shared id space is fine: referenced per-table)
+	fn.varint(2, b.str(name))
+	fn.varint(3, b.str(name))
+	if filename != "" {
+		fn.varint(4, b.str(filename))
+	}
+	b.funcs.bytes(5, fn.b)
+
+	var line1 pbuf
+	line1.varint(1, id)
+	line1.varint(2, line)
+	var loc pbuf
+	loc.varint(1, id)
+	loc.bytes(4, line1.b)
+	b.locs.bytes(4, loc.b)
+	return id
+}
+
+// sample appends one leaf-first stack with its [executions, cycles]
+// values.
+func (b *pprofBuilder) sample(stack []uint64, count, cycles uint64) {
+	if count == 0 && cycles == 0 {
+		return
+	}
+	var s pbuf
+	s.packed(1, stack)
+	s.packed(2, []uint64{count, cycles})
+	b.samples.bytes(2, s.b)
+}
+
+// WritePprof encodes the file as a gzipped pprof protobuf loadable by
+// `go tool pprof`.
+func WritePprof(w io.Writer, f *File) error {
+	b := newPprofBuilder()
+	for _, m := range f.Machines {
+		for _, e := range m.Envs {
+			envFrame := b.loc(fmt.Sprintf("env%d@%s", e.Env, m.Machine), m.Machine, 0)
+			for _, s := range e.Sites {
+				pcFrame := b.loc(fmt.Sprintf("%s/env%d/0x%04x", m.Machine, e.Env, s.PC), m.Machine, uint64(s.PC))
+				b.sample([]uint64{pcFrame, envFrame}, s.Count, s.Guest())
+				for _, k := range s.Kernel {
+					kFrame := b.loc("aegis:"+k.Class, "", 0)
+					b.sample([]uint64{kFrame, pcFrame, envFrame}, 0, k.Cycles)
+				}
+			}
+			if len(e.Native) > 0 {
+				natFrame := b.loc(fmt.Sprintf("%s/env%d/native", m.Machine, e.Env), m.Machine, 0)
+				for _, k := range e.Native {
+					kFrame := b.loc("aegis:"+k.Class, "", 0)
+					b.sample([]uint64{kFrame, natFrame, envFrame}, 0, k.Cycles)
+				}
+			}
+		}
+	}
+
+	var p pbuf
+	// sample_type: executions/count, cycles/cycles.
+	var st1, st2 pbuf
+	st1.varint(1, b.str("executions"))
+	st1.varint(2, b.str("count"))
+	st2.varint(1, b.str("cycles"))
+	st2.varint(2, b.str("cycles"))
+	p.bytes(1, st1.b)
+	p.bytes(1, st2.b)
+	p.b = append(p.b, b.samples.b...)
+	p.b = append(p.b, b.locs.b...)
+	p.b = append(p.b, b.funcs.b...)
+	for _, s := range b.strings {
+		p.bytes(6, []byte(s))
+	}
+	// period: one cycle per cycle; default sample type: cycles.
+	var pt pbuf
+	pt.varint(1, b.stridx["cycles"])
+	pt.varint(2, b.stridx["cycles"])
+	p.bytes(11, pt.b)
+	p.varint(12, 1)
+	p.varint(14, b.stridx["cycles"])
+
+	gz := gzip.NewWriter(w) // zero ModTime => deterministic bytes
+	if _, err := gz.Write(p.b); err != nil {
+		return err
+	}
+	return gz.Close()
+}

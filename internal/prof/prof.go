@@ -1,0 +1,261 @@
+// Package prof is the deterministic simulated-cycle profiler: exact
+// per-PC attribution of where a run's simulated cycles went, split into
+// guest execution and the kernel operation classes serviced underneath
+// each instruction. It is the measurement half of the trace-JIT plan
+// (hot basic blocks must be found before they can be compiled) and the
+// root-causing tool behind the bench regression gate: benchdiff can say
+// a table got 5% slower, a profile diff says which PCs and which kernel
+// paths paid for it.
+//
+// The contract is ktrace's: observation, never participation. The hooks
+// never tick a simulated clock, so a run with profiling attached is
+// cycle-identical to one without (pinned by TestProfilingIsFree), and
+// both execution engines drive the same hooks at the same cycle stamps,
+// so fast- and reference-engine profiles are byte-identical (pinned by
+// the engine-equivalence quickcheck). Everything is counted in exact
+// simulated cycles — no sampling, no host clocks — so the same seed
+// always produces the same profile, and two profiles diff exactly.
+package prof
+
+// MaxClasses bounds the kernel operation-class dimension. aegis defines
+// 8 classes today; fixed-size buckets keep the hot-path records
+// allocation-free and leave room to grow without a schema change.
+const MaxClasses = 16
+
+// PCStat is the attribution record for one guest program counter.
+type PCStat struct {
+	// Count is how many times execution was attempted at this PC. A
+	// faulting instruction that restarts counts each attempt — exactly
+	// the executions the simulated machine performed.
+	Count uint64
+	// Cycles is inclusive: every cycle the clock advanced while this PC
+	// was the current instruction, including kernel service (traps,
+	// syscalls) nested underneath it. Guest-only time is Cycles minus
+	// the Kernel buckets.
+	Cycles uint64
+	// Kernel buckets the nested kernel service by operation class.
+	Kernel [MaxClasses]uint64
+}
+
+// envStat is one environment's attribution table.
+type envStat struct {
+	// pcs is indexed directly by PC — code segments are small and dense,
+	// so a slice beats a map and keeps export order deterministic.
+	pcs []PCStat
+	// native buckets kernel work recorded while no guest instruction was
+	// in flight: interrupt-time demux and ASH runs, and kernel services
+	// invoked natively by library-OS Go code.
+	native [MaxClasses]uint64
+}
+
+// Profiler collects one machine's profile. Attach with aegis.SetProf
+// (which also wires the vm engines); a nil *Profiler everywhere means
+// profiling off and costs the hot loop a single pointer test.
+type Profiler struct {
+	machine    string
+	classNames []string
+
+	envs []envStat // index = environment ID (== ASID by construction)
+
+	// In-flight instruction state.
+	inInstr bool
+	curEnv  uint32
+	curPC   uint32
+	start   uint64
+
+	// watermark is the highest cycle any kernel window has claimed.
+	// Kernel paths nest (a yield syscall contains a context switch) and
+	// each reports its full [start, end) on exit; clipping every window
+	// to [max(start, watermark), end) makes the innermost class win its
+	// own cycles, gives the outer class only its post-inner remainder,
+	// and guarantees no cycle is attributed to two classes.
+	watermark uint64
+}
+
+// New creates a profiler for one machine. classNames label the kernel
+// operation classes by index (aegis.OpNames()); indexes past the slice
+// render as "class<N>".
+func New(machine string, classNames []string) *Profiler {
+	return &Profiler{machine: machine, classNames: classNames}
+}
+
+// Machine returns the name the profiler was created with.
+func (p *Profiler) Machine() string { return p.machine }
+
+// env returns the mutable table for an environment, growing on demand.
+func (p *Profiler) env(id uint32) *envStat {
+	for int(id) >= len(p.envs) {
+		p.envs = append(p.envs, envStat{})
+	}
+	return &p.envs[id]
+}
+
+// BeginInstr marks the start of one instruction execution attempt: the
+// engines call it with the current PC, the running environment's address
+// space ID, and the clock before any cost is charged. Never ticks the
+// clock.
+func (p *Profiler) BeginInstr(pc uint32, env uint8, cycle uint64) {
+	p.inInstr = true
+	p.curEnv = uint32(env)
+	p.curPC = pc
+	p.start = cycle
+}
+
+// EndInstr closes the attempt opened by BeginInstr, attributing every
+// cycle the clock advanced in between — guest work plus any kernel
+// service the instruction trapped into — to the instruction's PC.
+func (p *Profiler) EndInstr(cycle uint64) {
+	if !p.inInstr {
+		return
+	}
+	p.inInstr = false
+	e := p.env(p.curEnv)
+	for int(p.curPC) >= len(e.pcs) {
+		e.pcs = append(e.pcs, make([]PCStat, int(p.curPC)+1-len(e.pcs))...)
+	}
+	s := &e.pcs[p.curPC]
+	s.Count++
+	s.Cycles += cycle - p.start
+}
+
+// KernelWindow attributes one kernel operation's [start, end) cycle
+// window to its class: under the in-flight instruction's PC when one is
+// executing (a trap taken mid-instruction), otherwise to the
+// environment's native bucket (interrupt-level work, library-OS calls).
+// Nested windows are de-overlapped by the watermark — see the field
+// comment. Never ticks the clock.
+func (p *Profiler) KernelWindow(class uint8, env uint32, start, end uint64) {
+	if end <= p.watermark {
+		return // fully inside an inner window already claimed
+	}
+	if start < p.watermark {
+		start = p.watermark
+	}
+	p.watermark = end
+	d := end - start
+	if class >= MaxClasses {
+		class = MaxClasses - 1
+	}
+	if p.inInstr {
+		e := p.env(p.curEnv)
+		for int(p.curPC) >= len(e.pcs) {
+			e.pcs = append(e.pcs, make([]PCStat, int(p.curPC)+1-len(e.pcs))...)
+		}
+		e.pcs[p.curPC].Kernel[class] += d
+		return
+	}
+	p.env(env).native[class] += d
+}
+
+// KernelCycles is one kernel class's share of a site or bucket.
+type KernelCycles struct {
+	Class  string `json:"class"`
+	Cycles uint64 `json:"cycles"`
+}
+
+// Site is one PC's attribution in a snapshot: only PCs that executed at
+// least once appear, in ascending PC order.
+type Site struct {
+	PC     uint32         `json:"pc"`
+	Count  uint64         `json:"count"`
+	Cycles uint64         `json:"cycles"` // inclusive (guest + nested kernel)
+	Kernel []KernelCycles `json:"kernel,omitempty"`
+}
+
+// Guest is the site's guest-only time: inclusive cycles minus nested
+// kernel service.
+func (s *Site) Guest() uint64 {
+	g := s.Cycles
+	for _, k := range s.Kernel {
+		if k.Cycles >= g {
+			return 0
+		}
+		g -= k.Cycles
+	}
+	return g
+}
+
+// EnvProfile is one environment's share of a machine profile.
+type EnvProfile struct {
+	Env    uint32         `json:"env"`
+	Sites  []Site         `json:"sites"`
+	Native []KernelCycles `json:"native,omitempty"`
+}
+
+// Profile is one machine's complete snapshot.
+type Profile struct {
+	Machine      string       `json:"machine"`
+	Classes      []string     `json:"classes"`
+	Instructions uint64       `json:"instructions"`
+	Cycles       uint64       `json:"cycles"` // total attributed (inclusive + native)
+	Envs         []EnvProfile `json:"envs"`
+}
+
+// className labels a class index.
+func (p *Profiler) className(i int) string {
+	if i < len(p.classNames) && p.classNames[i] != "" {
+		return p.classNames[i]
+	}
+	return "class" + itoa(i)
+}
+
+// Snapshot renders the collected data as an export-ready Profile.
+// Deterministic: environments ascend, sites ascend by PC, kernel
+// buckets ascend by class index. Pure observation — snapshotting does
+// not disturb collection.
+func (p *Profiler) Snapshot() Profile {
+	out := Profile{Machine: p.machine}
+	classes := len(p.classNames)
+	if classes == 0 {
+		classes = MaxClasses
+	}
+	for i := 0; i < classes; i++ {
+		out.Classes = append(out.Classes, p.className(i))
+	}
+	for id := range p.envs {
+		e := &p.envs[id]
+		ep := EnvProfile{Env: uint32(id)}
+		for pc := range e.pcs {
+			s := &e.pcs[pc]
+			if s.Count == 0 && s.Cycles == 0 {
+				continue
+			}
+			site := Site{PC: uint32(pc), Count: s.Count, Cycles: s.Cycles}
+			for c := 0; c < MaxClasses; c++ {
+				if s.Kernel[c] != 0 {
+					site.Kernel = append(site.Kernel, KernelCycles{Class: p.className(c), Cycles: s.Kernel[c]})
+				}
+			}
+			ep.Sites = append(ep.Sites, site)
+			out.Instructions += s.Count
+			out.Cycles += s.Cycles
+		}
+		for c := 0; c < MaxClasses; c++ {
+			if e.native[c] != 0 {
+				ep.Native = append(ep.Native, KernelCycles{Class: p.className(c), Cycles: e.native[c]})
+				out.Cycles += e.native[c]
+			}
+		}
+		if len(ep.Sites) == 0 && len(ep.Native) == 0 {
+			continue
+		}
+		out.Envs = append(out.Envs, ep)
+	}
+	return out
+}
+
+// itoa avoids strconv in the one cold path that needs it (keeps the
+// package import-free beyond encoding and io for the exporters).
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

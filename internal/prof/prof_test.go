@@ -1,0 +1,312 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestInstrAttribution: each Begin/End pair lands count and inclusive
+// cycles on its PC, per env.
+func TestInstrAttribution(t *testing.T) {
+	p := New("m", []string{"syscall"})
+	p.BeginInstr(3, 1, 100)
+	p.EndInstr(104)
+	p.BeginInstr(3, 1, 104)
+	p.EndInstr(110)
+	p.BeginInstr(7, 2, 110)
+	p.EndInstr(111)
+	s := p.Snapshot()
+	if s.Instructions != 3 || s.Cycles != 11 {
+		t.Fatalf("totals = %d instr %d cycles, want 3, 11", s.Instructions, s.Cycles)
+	}
+	if len(s.Envs) != 2 || s.Envs[0].Env != 1 || s.Envs[1].Env != 2 {
+		t.Fatalf("envs = %+v", s.Envs)
+	}
+	site := s.Envs[0].Sites[0]
+	if site.PC != 3 || site.Count != 2 || site.Cycles != 10 {
+		t.Fatalf("site = %+v, want pc 3 count 2 cycles 10", site)
+	}
+}
+
+// TestKernelWindowUnderInstr: a window reported while an instruction is
+// in flight buckets under that instruction's PC, and the site's guest
+// time excludes it.
+func TestKernelWindowUnderInstr(t *testing.T) {
+	p := New("m", []string{"syscall", "exception"})
+	p.BeginInstr(5, 1, 0)
+	p.KernelWindow(0, 9, 2, 30) // env arg ignored while in-instr
+	p.EndInstr(32)
+	s := p.Snapshot()
+	site := s.Envs[0].Sites[0]
+	if site.Cycles != 32 {
+		t.Fatalf("inclusive cycles = %d, want 32", site.Cycles)
+	}
+	if len(site.Kernel) != 1 || site.Kernel[0].Class != "syscall" || site.Kernel[0].Cycles != 28 {
+		t.Fatalf("kernel = %+v, want syscall=28", site.Kernel)
+	}
+	if g := site.Guest(); g != 4 {
+		t.Fatalf("guest = %d, want 4", g)
+	}
+}
+
+// TestWatermarkDeoverlap: nested kernel windows must not double-count.
+// The inner class keeps its own cycles; the outer gets only its
+// remainder after the inner's end.
+func TestWatermarkDeoverlap(t *testing.T) {
+	p := New("m", []string{"syscall", "ctx-switch"})
+	p.BeginInstr(0, 1, 0)
+	// Inner ctx-switch [10, 40) reports first (it returns first), outer
+	// syscall [5, 50) reports second.
+	p.KernelWindow(1, 1, 10, 40)
+	p.KernelWindow(0, 1, 5, 50)
+	p.EndInstr(60)
+	site := p.Snapshot().Envs[0].Sites[0]
+	var got [2]uint64
+	for _, k := range site.Kernel {
+		switch k.Class {
+		case "syscall":
+			got[0] = k.Cycles
+		case "ctx-switch":
+			got[1] = k.Cycles
+		}
+	}
+	if got[1] != 30 {
+		t.Fatalf("ctx-switch = %d, want 30 (its own window)", got[1])
+	}
+	if got[0] != 10 {
+		t.Fatalf("syscall = %d, want 10 (the post-inner remainder of [40,50))", got[0])
+	}
+	// A window wholly inside already-claimed time contributes nothing.
+	p2 := New("m", nil)
+	p2.KernelWindow(0, 1, 0, 100)
+	p2.KernelWindow(1, 1, 20, 80)
+	s := p2.Snapshot()
+	if s.Cycles != 100 {
+		t.Fatalf("total = %d, want 100 (inner window fully absorbed)", s.Cycles)
+	}
+}
+
+// TestNativeAttribution: windows outside any instruction land on the
+// responsible env's native bucket.
+func TestNativeAttribution(t *testing.T) {
+	p := New("m", []string{"syscall", "exception", "stlb", "prot", "pkt-demux"})
+	p.KernelWindow(4, 3, 100, 150)
+	s := p.Snapshot()
+	if len(s.Envs) != 1 || s.Envs[0].Env != 3 {
+		t.Fatalf("envs = %+v", s.Envs)
+	}
+	n := s.Envs[0].Native
+	if len(n) != 1 || n[0].Class != "pkt-demux" || n[0].Cycles != 50 {
+		t.Fatalf("native = %+v, want pkt-demux=50", n)
+	}
+	if s.Cycles != 50 {
+		t.Fatalf("total cycles = %d, want 50", s.Cycles)
+	}
+}
+
+// TestHotBlocks: consecutive PCs with equal counts coalesce; ranking is
+// score-descending with deterministic tie-breaks.
+func TestHotBlocks(t *testing.T) {
+	m := Profile{Machine: "m", Envs: []EnvProfile{{
+		Env: 1,
+		Sites: []Site{
+			{PC: 2, Count: 10, Cycles: 10},
+			{PC: 3, Count: 10, Cycles: 20},
+			{PC: 4, Count: 10, Cycles: 10},
+			{PC: 5, Count: 1, Cycles: 5}, // count changes: new block
+			{PC: 9, Count: 7, Cycles: 7}, // gap: new block
+		},
+	}}}
+	blocks := ExtractHotBlocks([]Profile{m}, 0)
+	if len(blocks) != 3 {
+		t.Fatalf("blocks = %+v, want 3", blocks)
+	}
+	b := blocks[0]
+	if b.Start != 2 || b.End != 4 || b.Count != 10 || b.Cycles != 40 || b.Score != 400 {
+		t.Fatalf("top block = %+v", b)
+	}
+	if blocks[1].Start != 9 || blocks[2].Start != 5 {
+		t.Fatalf("ranking = %+v", blocks)
+	}
+}
+
+// TestJSONRoundTrip: Write then Parse reproduces the file, and Validate
+// rejects incoherent totals.
+func TestJSONRoundTrip(t *testing.T) {
+	p := New("m1", []string{"syscall"})
+	p.BeginInstr(1, 1, 0)
+	p.KernelWindow(0, 1, 2, 8)
+	p.EndInstr(10)
+	f := Collect("test", []string{"w"}, []Profile{p.Snapshot()}, 10)
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := got.Write(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("round trip not byte-identical:\n%s\nvs\n%s", buf.Bytes(), buf2.Bytes())
+	}
+
+	bad := *f
+	bad.Machines = append([]Profile(nil), f.Machines...)
+	bad.Machines[0].Cycles++
+	if err := Validate(&bad); err == nil {
+		t.Fatal("Validate accepted incoherent machine totals")
+	}
+	bad2 := *f
+	bad2.Schema = "nope"
+	if err := Validate(&bad2); err == nil {
+		t.Fatal("Validate accepted wrong schema")
+	}
+}
+
+// TestPprofEncodes: the protobuf is valid gzip, structurally decodable
+// protobuf, and deterministic.
+func TestPprofEncodes(t *testing.T) {
+	p := New("m1", []string{"syscall"})
+	p.BeginInstr(1, 1, 0)
+	p.KernelWindow(0, 1, 2, 8)
+	p.EndInstr(10)
+	p.KernelWindow(0, 2, 20, 25)
+	f := Collect("test", nil, []Profile{p.Snapshot()}, 10)
+
+	render := func() []byte {
+		var buf bytes.Buffer
+		if err := WritePprof(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatal("pprof output not deterministic")
+	}
+
+	gz, err := gzip.NewReader(bytes.NewReader(a))
+	if err != nil {
+		t.Fatalf("not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatalf("gunzip: %v", err)
+	}
+	// Structural scan: every top-level field must parse as valid
+	// tag+payload, and the fields used must be ones profile.proto
+	// defines.
+	fields := map[uint64]int{}
+	for i := 0; i < len(raw); {
+		tag, n := uvarint(raw[i:])
+		if n <= 0 {
+			t.Fatalf("bad tag at %d", i)
+		}
+		i += n
+		field, wire := tag>>3, tag&7
+		fields[field]++
+		switch wire {
+		case 0:
+			_, n := uvarint(raw[i:])
+			if n <= 0 {
+				t.Fatalf("bad varint at %d", i)
+			}
+			i += n
+		case 2:
+			l, n := uvarint(raw[i:])
+			if n <= 0 || i+n+int(l) > len(raw) {
+				t.Fatalf("bad length at %d", i)
+			}
+			i += n + int(l)
+		default:
+			t.Fatalf("unexpected wire type %d for field %d", wire, field)
+		}
+	}
+	for _, want := range []uint64{1, 2, 4, 5, 6, 11, 12} {
+		if fields[want] == 0 {
+			t.Fatalf("missing profile.proto field %d (have %v)", want, fields)
+		}
+	}
+	if fields[6] < 3 {
+		t.Fatalf("string table suspiciously small: %d entries", fields[6])
+	}
+}
+
+// uvarint is a test-local decoder (the encoder lives in pprof.go).
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			return v, i + 1
+		}
+	}
+	return 0, -1
+}
+
+// TestDiff: deltas are exact, ranked by |delta| with stable tie-break,
+// and distinguish guest from kernel-class changes at the same PC.
+func TestDiff(t *testing.T) {
+	mk := func(guest, kernel uint64) *File {
+		p := New("m", []string{"syscall"})
+		p.BeginInstr(4, 1, 0)
+		p.KernelWindow(0, 1, guest, guest+kernel)
+		p.EndInstr(guest + kernel)
+		return Collect("t", nil, []Profile{p.Snapshot()}, 0)
+	}
+	old, new_ := mk(10, 5), mk(10, 50)
+	deltas := Diff(old, new_)
+	if len(deltas) != 1 {
+		t.Fatalf("deltas = %+v, want 1 (guest unchanged)", deltas)
+	}
+	if !strings.Contains(deltas[0].Key, "0x0004/syscall") || deltas[0].Delta != 45 {
+		t.Fatalf("delta = %+v", deltas[0])
+	}
+	if got := Diff(old, old); len(got) != 0 {
+		t.Fatalf("self-diff = %+v, want empty", got)
+	}
+	var buf bytes.Buffer
+	RenderDiff(&buf, old, new_, 10)
+	for _, needle := range []string{"profile diff: total cycles 15 -> 60 (+45)", "0x0004/syscall"} {
+		if !strings.Contains(buf.String(), needle) {
+			t.Fatalf("render missing %q:\n%s", needle, buf.String())
+		}
+	}
+}
+
+// TestFoldedAndChrome: exporters are deterministic and carry the guest/
+// kernel split.
+func TestFoldedAndChrome(t *testing.T) {
+	p := New("A", []string{"syscall"})
+	p.BeginInstr(2, 1, 0)
+	p.KernelWindow(0, 1, 3, 9)
+	p.EndInstr(10)
+	p.KernelWindow(0, 1, 20, 24)
+	f := Collect("t", nil, []Profile{p.Snapshot()}, 0)
+
+	var folded bytes.Buffer
+	if err := WriteFolded(&folded, f); err != nil {
+		t.Fatal(err)
+	}
+	want := "A;env1;0x0002 4\nA;env1;0x0002;syscall 6\nA;env1;native;syscall 4\n"
+	if folded.String() != want {
+		t.Fatalf("folded:\n%q\nwant\n%q", folded.String(), want)
+	}
+
+	var chrome bytes.Buffer
+	if err := WriteChrome(&chrome, f); err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{`"name":"0x0002"`, `"name":"syscall"`, `"name":"native:syscall"`, `"ph":"X"`} {
+		if !strings.Contains(chrome.String(), needle) {
+			t.Fatalf("chrome missing %q:\n%s", needle, chrome.String())
+		}
+	}
+}

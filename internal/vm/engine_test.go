@@ -1,12 +1,14 @@
 package vm
 
 import (
+	"bytes"
 	"testing"
 	"testing/quick"
 
 	"exokernel/internal/asm"
 	"exokernel/internal/hw"
 	"exokernel/internal/isa"
+	"exokernel/internal/prof"
 )
 
 // Tests for the two-engine contract: runFast and runRef must be
@@ -110,6 +112,9 @@ type engineResult struct {
 	causes []hw.Exc
 	badvas []uint32
 	fired  uint64
+	// profile is the attached profiler's snapshot rendered as PROF JSON:
+	// both engines must drive the hooks identically, byte for byte.
+	profile []byte
 }
 
 func engineRun(seed uint64, slowPath bool) engineResult {
@@ -138,8 +143,15 @@ func engineRun(seed uint64, slowPath bool) engineResult {
 	m.CPU.SetReg(hw.RegT2, uint32(seed>>32))
 	m.Timer.Arm(97) // prime-ish period: interrupts land on varied PCs
 	in := New(m, FixedCode(genProgram(seed)))
+	in.Prof = prof.New("quick", nil)
 
 	res := engineResult{stop: in.Run(2000)}
+	var pbuf bytes.Buffer
+	snap := in.Prof.Snapshot()
+	if err := prof.Collect("quick", nil, []prof.Profile{snap}, 0).Write(&pbuf); err != nil {
+		panic(err)
+	}
+	res.profile = pbuf.Bytes()
 	res.steps = in.Steps
 	res.cycles = m.Clock.Cycles()
 	res.regs = m.CPU.Regs
@@ -187,6 +199,10 @@ func TestQuickEngineEquivalence(t *testing.T) {
 					return false
 				}
 			}
+		}
+		if !bytes.Equal(fast.profile, slow.profile) {
+			t.Logf("seed %d: profiles diverged:\nfast:\n%s\nslow:\n%s", seed, fast.profile, slow.profile)
+			return false
 		}
 		return true
 	}

@@ -8,6 +8,7 @@ package vm
 import (
 	"exokernel/internal/hw"
 	"exokernel/internal/isa"
+	"exokernel/internal/prof"
 )
 
 // CodeSource supplies instructions for the current program counter. The
@@ -81,6 +82,13 @@ type Interp struct {
 	// Steps counts instructions executed over the Interp's lifetime.
 	Steps uint64
 
+	// Prof, when non-nil, receives a BeginInstr/EndInstr pair around
+	// every instruction execution attempt (including attempts that fault
+	// at fetch). Off by default; the hot loop pays one nil test. The
+	// hooks never tick the clock, so attaching a profiler cannot change
+	// simulated behaviour.
+	Prof *prof.Profiler
+
 	// Direct-fetch fast path: when a code segment is published via
 	// SetCode, the run loop indexes it straight off, skipping the
 	// interface call through Src. The kernel republishes at every
@@ -135,6 +143,7 @@ func (in *Interp) Run(maxSteps uint64) StopReason {
 // unconditionally, fetch through the CodeSource interface.
 func (in *Interp) runRef(maxSteps uint64) StopReason {
 	cpu := &in.M.CPU
+	p := in.Prof
 	for n := uint64(0); maxSteps == 0 || n < maxSteps; n++ {
 		in.M.Timer.Check()
 		in.M.PollInterrupts()
@@ -147,12 +156,28 @@ func (in *Interp) runRef(maxSteps uint64) StopReason {
 		}
 		inst, exc := in.Src.Fetch(cpu.PC)
 		if exc != hw.ExcNone {
+			// A fetch fault is an execution attempt at this PC: the
+			// profiler window covers the exception-entry cost and the
+			// kernel's service, attributed to the faulting address.
+			if p != nil {
+				p.BeginInstr(cpu.PC, cpu.ASID, in.M.Clock.Cycles())
+			}
 			in.M.RaiseException(exc, cpu.PC, cpu.PC)
+			if p != nil {
+				p.EndInstr(in.M.Clock.Cycles())
+			}
 			continue
+		}
+		if p != nil {
+			p.BeginInstr(cpu.PC, cpu.ASID, in.M.Clock.Cycles())
 		}
 		in.M.Clock.Tick(hw.CostInstr)
 		in.Steps++
-		if in.Step(inst) {
+		halted := in.Step(inst)
+		if p != nil {
+			p.EndInstr(in.M.Clock.Cycles())
+		}
+		if halted {
 			return StopHalt
 		}
 	}
@@ -170,6 +195,7 @@ func (in *Interp) runRef(maxSteps uint64) StopReason {
 func (in *Interp) runFast(maxSteps uint64) StopReason {
 	m := in.M
 	cpu := &m.CPU
+	p := in.Prof
 	for n := uint64(0); maxSteps == 0 || n < maxSteps; n++ {
 		if m.TimerDue() {
 			m.Timer.Check()
@@ -185,7 +211,13 @@ func (in *Interp) runFast(maxSteps uint64) StopReason {
 		var inst isa.Inst
 		if in.direct {
 			if int(pc) >= len(in.code) {
+				if p != nil {
+					p.BeginInstr(pc, cpu.ASID, m.Clock.Cycles())
+				}
 				m.RaiseException(hw.ExcAddrErrL, pc, pc)
+				if p != nil {
+					p.EndInstr(m.Clock.Cycles())
+				}
 				continue
 			}
 			inst = in.code[pc]
@@ -193,13 +225,26 @@ func (in *Interp) runFast(maxSteps uint64) StopReason {
 			var exc hw.Exc
 			inst, exc = in.Src.Fetch(pc)
 			if exc != hw.ExcNone {
+				if p != nil {
+					p.BeginInstr(pc, cpu.ASID, m.Clock.Cycles())
+				}
 				m.RaiseException(exc, pc, pc)
+				if p != nil {
+					p.EndInstr(m.Clock.Cycles())
+				}
 				continue
 			}
 		}
+		if p != nil {
+			p.BeginInstr(pc, cpu.ASID, m.Clock.Cycles())
+		}
 		m.Clock.Tick(hw.CostInstr)
 		in.Steps++
-		if in.Step(inst) {
+		halted := in.Step(inst)
+		if p != nil {
+			p.EndInstr(m.Clock.Cycles())
+		}
+		if halted {
 			return StopHalt
 		}
 	}

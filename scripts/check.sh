@@ -78,4 +78,17 @@ echo "== exotop smoke (one-shot fleet snapshot over a scripted run)"
 go run ./cmd/exotop -once -seed 1 -target 200 > "$tmp/top.txt"
 grep -q 'fleet  machines=2' "$tmp/top.txt"
 
+echo "== exoprof smoke (PROF JSON + pprof export + profile self-diff)"
+# Cycle profiles are exact and deterministic: the PROF JSON must
+# validate, the pprof protobuf must load in \`go tool pprof\`, and a
+# profile diffed against itself must show zero per-site deltas. The
+# committed PROF_baseline.json (make prof) must stay valid too; it is
+# not cycle-gated here because table9/table10 are too slow for a smoke.
+go run ./cmd/exoprof -format json -o "$tmp/prof.json" table2
+go run ./cmd/benchdiff -prof -validate "$tmp/prof.json"
+go run ./cmd/benchdiff -prof "$tmp/prof.json" "$tmp/prof.json" | grep -q 'no per-site cycle deltas'
+go run ./cmd/exoprof -format pprof -o "$tmp/prof.pb.gz" table2
+go tool pprof -top "$tmp/prof.pb.gz" | grep -q 'Type: cycles'
+go run ./cmd/benchdiff -prof -validate PROF_baseline.json
+
 echo "check: OK"
