@@ -43,11 +43,14 @@ benchdiff:
 	$(GO) run ./cmd/benchdiff BENCH_aegisbench.json /tmp/bench_new.json
 
 # Full engine-invariance gate: every simulated number must be identical
-# under the fast engine and the reference engine (EXO_SLOWPATH=1) —
+# across all three engine tiers — fast+JIT (default), the fast
+# interpreter (EXO_NOJIT=1), and the reference engine (EXO_SLOWPATH=1) —
 # byte-identical text tables, zero-threshold JSON diff. Host wall-clock
 # metrics are informational and never gated.
 invariance:
 	$(GO) run ./cmd/aegisbench > /tmp/bench_fast.txt
+	EXO_NOJIT=1 $(GO) run ./cmd/aegisbench > /tmp/bench_nojit.txt
+	cmp /tmp/bench_fast.txt /tmp/bench_nojit.txt
 	EXO_SLOWPATH=1 $(GO) run ./cmd/aegisbench > /tmp/bench_slow.txt
 	cmp /tmp/bench_fast.txt /tmp/bench_slow.txt
 	$(GO) run ./cmd/aegisbench -format json -trials 1 > /tmp/bench_fast.json

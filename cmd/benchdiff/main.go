@@ -6,12 +6,16 @@
 //
 //	benchdiff old.json new.json      # gate new against old (default 5%)
 //	benchdiff -threshold 10 a.json b.json
+//	benchdiff -format json a.json b.json   # machine-readable report
 //	benchdiff -validate file.json    # schema-check one file, no diff
 //
 // Only metrics with source "measured" and unit "us" are gated, on their
 // min and p50 fields; quoted paper constants and ratio columns are never
-// gated. Exit status: 0 the gate passes, 1 a regression exceeded the
-// threshold, 2 usage error or a file that fails schema validation.
+// gated. Host wall-clock metrics (host/wall_ns) are reported on their
+// best-of-trials field but never gate — they track the engines' host
+// speed (e.g. the trace-JIT tier) across baseline regenerations. Exit
+// status: 0 the gate passes, 1 a regression exceeded the threshold, 2
+// usage error or a file that fails schema validation.
 //
 // With -prof the inputs are PROF JSON cycle profiles (written by
 // `aegisbench -prof` or `exoprof -format json`) and the output is the
@@ -32,6 +36,7 @@ import (
 	"os"
 
 	"exokernel/internal/bench"
+	"exokernel/internal/cliutil"
 	"exokernel/internal/prof"
 )
 
@@ -68,10 +73,15 @@ func main() {
 	validate := flag.Bool("validate", false, "validate a single file against the schema and exit")
 	profMode := flag.Bool("prof", false, "inputs are PROF JSON cycle profiles: print top cycle-delta sites (informational, always exits 0 on valid files)")
 	top := flag.Int("top", 20, "with -prof, how many delta sites to print")
+	format := flag.String("format", "text", "gate-report output format: text or json")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if err := cliutil.CheckFormat("benchdiff", *format, "text", "json"); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	if *threshold < 0 {
@@ -141,7 +151,15 @@ func main() {
 		fail(err)
 	}
 	r := bench.Diff(oldF, newF, *threshold/100)
-	fmt.Print(r.Render())
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fail(err)
+		}
+	} else {
+		fmt.Print(r.Render())
+	}
 	if !r.OK() {
 		os.Exit(1)
 	}

@@ -38,6 +38,10 @@ func main() {
 	top := flag.Int("top", 20, "rows per section in text output")
 	matN := flag.Int("n", bench.Table9MatrixN, "matrix dimension for Table 9")
 	list := flag.Bool("list", false, "list workloads and exit")
+	candidates := flag.Bool("candidates", false, "print the superblocks the trace-JIT would select")
+	blocks := flag.Bool("blocks", false, "alias for -candidates")
+	threshold := flag.Uint64("threshold", 0, "JIT entry threshold for -candidates (0 = the tier's default)")
+	in := flag.String("in", "", "read a committed PROF JSON file instead of running workloads")
 	flag.Parse()
 
 	if *list {
@@ -50,8 +54,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if flag.NArg() != 1 {
+	*candidates = *candidates || *blocks
+	if wantArgs := 1; (*in != "") == (flag.NArg() == wantArgs) {
 		fmt.Fprintln(os.Stderr, "usage: exoprof [-format text|folded|chrome|pprof|json] [-o file] [-top n] <workload>[,<workload>...]")
+		fmt.Fprintln(os.Stderr, "       exoprof -candidates [-threshold n] (<workload>... | -in PROF.json)")
 		fmt.Fprintln(os.Stderr, "       exoprof -list")
 		os.Exit(2)
 	}
@@ -66,17 +72,86 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := run(w, flag.Arg(0), *format, *top, *matN); err != nil {
+	var err error
+	switch {
+	case *in != "":
+		err = runFile(w, *in, *candidates, *format, *top, *threshold)
+	case *candidates:
+		err = runCandidates(w, flag.Arg(0), *top, *matN, *threshold)
+	default:
+		err = run(w, flag.Arg(0), *format, *top, *matN)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "exoprof: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-// run profiles the selected workloads and renders the result. The
+// runFile renders a committed PROF JSON file — the candidate view, or
+// any of the standard formats — without re-running workloads.
+func runFile(w io.Writer, path string, candidates bool, format string, top int, threshold uint64) error {
+	fh, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	f, err := prof.Parse(fh)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if candidates {
+		return prof.WriteCandidates(w, f, threshold, top)
+	}
+	switch format {
+	case "folded":
+		return prof.WriteFolded(w, f)
+	case "chrome":
+		return prof.WriteChrome(w, f)
+	case "pprof":
+		return prof.WritePprof(w, f)
+	case "json":
+		return f.Write(w)
+	default:
+		return prof.WriteText(w, f, top)
+	}
+}
+
+// runCandidates profiles the selected workloads and prints the JIT
+// candidate view instead of the full profile.
+func runCandidates(w io.Writer, workloads string, top, matN int, threshold uint64) error {
+	f, err := collect(workloads, matN)
+	if err != nil {
+		return err
+	}
+	return prof.WriteCandidates(w, f, threshold, top)
+}
+
+// run profiles the selected workloads and renders the result in the
+// requested format.
+func run(w io.Writer, workloads, format string, top, matN int) error {
+	f, err := collect(workloads, matN)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "folded":
+		return prof.WriteFolded(w, f)
+	case "chrome":
+		return prof.WriteChrome(w, f)
+	case "pprof":
+		return prof.WritePprof(w, f)
+	case "json":
+		return f.Write(w)
+	default:
+		return prof.WriteText(w, f, top)
+	}
+}
+
+// collect profiles the selected workloads into a PROF document. The
 // workloads argument is a comma-separated list of substrings matched
 // against experiment IDs and titles (as in `aegisbench -only`); the
 // union runs in the experiments' canonical order.
-func run(w io.Writer, workloads, format string, top, matN int) error {
+func collect(workloads string, matN int) (*prof.File, error) {
 	savedProf, savedN := bench.Prof, bench.Table9MatrixN
 	defer func() { bench.Prof, bench.Table9MatrixN = savedProf, savedN }()
 	bench.Table9MatrixN = matN
@@ -101,7 +176,7 @@ func run(w io.Writer, workloads, format string, top, matN int) error {
 		}
 	}
 	if len(selected) == 0 {
-		return fmt.Errorf("no workload matches %q", workloads)
+		return nil, fmt.Errorf("no workload matches %q", workloads)
 	}
 
 	var profs []*prof.Profiler
@@ -121,18 +196,5 @@ func run(w io.Writer, workloads, format string, top, matN int) error {
 		machines = append(machines, p.Snapshot())
 	}
 	platform := fmt.Sprintf("%s (simulated, %g MHz)", hw.DEC5000.Name, hw.DEC5000.MHz)
-	f := prof.Collect(platform, ids, machines, 50)
-
-	switch format {
-	case "folded":
-		return prof.WriteFolded(w, f)
-	case "chrome":
-		return prof.WriteChrome(w, f)
-	case "pprof":
-		return prof.WritePprof(w, f)
-	case "json":
-		return f.Write(w)
-	default:
-		return prof.WriteText(w, f, top)
-	}
+	return prof.Collect(platform, ids, machines, 50), nil
 }

@@ -86,3 +86,32 @@ func TestExoprofNoMatch(t *testing.T) {
 		t.Fatal("want error for unmatched workload")
 	}
 }
+
+// TestExoprofCandidates: the -candidates view is deterministic, marks
+// the workload's dominant blocks as selectable, and reads back from a
+// committed PROF JSON identically.
+func TestExoprofCandidates(t *testing.T) {
+	var live bytes.Buffer
+	if err := runCandidates(&live, "table2", 0, 32, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(live.String(), "jit candidates:") || !strings.Contains(live.String(), "jit  ") {
+		t.Errorf("candidate view selected nothing:\n%s", live.String())
+	}
+
+	var js bytes.Buffer
+	if err := run(&js, "table2", "json", 10, 32); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "PROF.json")
+	if err := os.WriteFile(path, js.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var fromFile bytes.Buffer
+	if err := runFile(&fromFile, path, true, "text", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(live.Bytes(), fromFile.Bytes()) {
+		t.Errorf("-in candidate view differs from live run:\nlive:\n%s\nfile:\n%s", live.String(), fromFile.String())
+	}
+}

@@ -8,6 +8,7 @@
 //
 //	soakdiff old.json new.json        # gate new against old (default 30%)
 //	soakdiff -threshold 50 a.json b.json
+//	soakdiff -format json a.json b.json   # machine-readable report
 //	soakdiff -validate file.json      # schema-check one file, no diff
 //
 // Trend metrics (ev/sec, wall_ns/100k, invariant-latency percentiles)
@@ -17,11 +18,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"exokernel/internal/chaos"
+	"exokernel/internal/cliutil"
 )
 
 func load(path string) (*chaos.SoakReport, error) {
@@ -40,10 +43,15 @@ func load(path string) (*chaos.SoakReport, error) {
 func main() {
 	threshold := flag.Float64("threshold", 30, "trend-regression threshold in percent")
 	validate := flag.Bool("validate", false, "validate a single file against the schema and exit")
+	format := flag.String("format", "text", "diff-report output format: text or json")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "soakdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if err := cliutil.CheckFormat("soakdiff", *format, "text", "json"); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	if *threshold < 0 {
@@ -75,7 +83,15 @@ func main() {
 		fail(err)
 	}
 	r := chaos.DiffSoak(oldR, newR, *threshold/100)
-	fmt.Print(r.Render())
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fail(err)
+		}
+	} else {
+		fmt.Print(r.Render())
+	}
 	if !r.OK() {
 		os.Exit(1)
 	}

@@ -89,6 +89,12 @@ type DiffReport struct {
 	Improvements []DiffEntry
 	MissingInNew []string // metrics the old file has and the new lacks
 	AddedInNew   []string // metrics only the new file has
+	// HostDeltas tracks host wall-clock movement (source "host", unit
+	// "ns") on the best-of-trials field. Informational only — host times
+	// vary with the machine and its load — so these never gate, but the
+	// committed baseline keeps a host-perf trajectory (e.g. the JIT
+	// tier's 3x+ claim) reviewable in diffs.
+	HostDeltas []DiffEntry
 }
 
 // OK reports whether the gate passes (no regression beyond threshold).
@@ -110,6 +116,9 @@ func (r *DiffReport) Render() string {
 	for _, name := range r.AddedInNew {
 		fmt.Fprintf(&b, "  new metric: %s\n", name)
 	}
+	for _, d := range r.HostDeltas {
+		fmt.Fprintf(&b, "  host (not gated) %s\n", d)
+	}
 	if r.OK() {
 		b.WriteString("  gate: PASS\n")
 	} else {
@@ -126,6 +135,13 @@ func (r *DiffReport) Render() string {
 // "host", unit "ns") are informational only: they vary with the host.
 func gated(m MetricJSON) bool {
 	return m.Source == SourceMeasured && m.Unit == "us"
+}
+
+// hostMetric reports whether a metric is an informational host
+// wall-clock measurement: reported in diffs (best-of-trials), never
+// gated.
+func hostMetric(m MetricJSON) bool {
+	return m.Source == SourceHost && m.Unit == "ns"
 }
 
 // Diff compares two BENCH files metric by metric. For every gated metric
@@ -152,6 +168,13 @@ func Diff(oldF, newF *File, threshold float64) *DiffReport {
 				if gated(m) {
 					r.AddedInNew = append(r.AddedInNew, e.ID+" "+m.Name)
 				}
+				continue
+			}
+			if hostMetric(m) && hostMetric(om) {
+				r.HostDeltas = append(r.HostDeltas, DiffEntry{
+					Experiment: e.ID, Metric: m.Name, Field: "min",
+					Old: om.Min, New: m.Min, Delta: relDelta(om.Min, m.Min),
+				})
 				continue
 			}
 			if !gated(m) || !gated(om) {

@@ -314,3 +314,37 @@ func TestBenchOutputIdenticalWithMetricsOff(t *testing.T) {
 		t.Fatalf("Table 2 output differs with metrics off:\n--- metrics on ---\n%s\n--- metrics off ---\n%s", on, off)
 	}
 }
+
+// TestDiffHostDeltas: host wall-clock metrics are reported (best-of-
+// trials) but never gate, no matter how large the movement — host time
+// varies with the machine; only simulated time wears the threshold.
+func TestDiffHostDeltas(t *testing.T) {
+	old := CollectJSON([]Experiment{fakeExp(1)}, 2, "x")
+	slower := CollectJSON([]Experiment{fakeExp(1)}, 2, "x")
+	for ei := range slower.Experiments {
+		for mi, m := range slower.Experiments[ei].Metrics {
+			if m.Name == HostMetricName {
+				m.Min *= 100
+				m.Mean *= 100
+				m.P50 *= 100
+				m.P99 *= 100
+				m.Max *= 100
+				slower.Experiments[ei].Metrics[mi] = m
+			}
+		}
+	}
+	r := Diff(old, slower, 0)
+	if !r.OK() {
+		t.Fatalf("host wall-clock movement tripped the gate:\n%s", r.Render())
+	}
+	if len(r.HostDeltas) != 1 {
+		t.Fatalf("host deltas = %d, want 1:\n%s", len(r.HostDeltas), r.Render())
+	}
+	d := r.HostDeltas[0]
+	if d.Metric != HostMetricName || d.Field != "min" || d.Delta <= 0 {
+		t.Errorf("host delta = %+v", d)
+	}
+	if !strings.Contains(r.Render(), "host (not gated)") {
+		t.Errorf("Render lacks the host section:\n%s", r.Render())
+	}
+}

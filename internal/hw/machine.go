@@ -79,6 +79,7 @@ type Machine struct {
 	mcLoad  microTLB
 	mcStore microTLB
 	slow    bool
+	nojit   bool
 }
 
 // NewMachine builds a machine from a configuration.
@@ -97,6 +98,7 @@ func NewMachine(cfg Config) *Machine {
 	m.CPU.Mode = ModeKernel
 	m.CPU.IntrOn = true
 	m.SetSlowPath(os.Getenv("EXO_SLOWPATH") == "1")
+	m.SetNoJIT(os.Getenv("EXO_NOJIT") == "1")
 	return m
 }
 
@@ -118,6 +120,17 @@ func (m *Machine) SetSlowPath(on bool) {
 	m.mcLoad = microTLB{}
 	m.mcStore = microTLB{}
 }
+
+// NoJIT reports whether the trace-JIT execution tier is disabled on this
+// machine (EXO_NOJIT=1, or SetNoJIT). The slow path disables it too —
+// runRef never compiles — so EXO_SLOWPATH=1 subsumes EXO_NOJIT=1.
+func (m *Machine) NoJIT() bool { return m.nojit }
+
+// SetNoJIT forces (on=true) or re-enables (on=false) the interpreter-only
+// fast engine: vm.Interp consults the flag at every Run entry, so a change
+// takes effect at the next quantum. Like EXO_SLOWPATH, the setting is
+// invisible in simulated time by contract; the invariance tests prove it.
+func (m *Machine) SetNoJIT(on bool) { m.nojit = on }
 
 // Micros converts cycles elapsed on this machine's clock to microseconds.
 func (m *Machine) Micros(cycles uint64) float64 { return m.Config.Micros(cycles) }
@@ -182,6 +195,17 @@ func (m *Machine) Translate(va uint32, write bool) (uint32, Exc) {
 			mc.fill(vpn, m.CPU.ASID, m.TLB.epoch, e)
 		}
 	}
+	return m.EntryTranslate(e, va, write)
+}
+
+// EntryTranslate applies the per-reference MMU checks to a memoized TLB
+// entry and composes the physical address: the tail of Translate, split
+// out for callers that cache TLB.Lookup results themselves under the TLB
+// epoch (the vm trace-JIT tier keeps one such cache per compiled memory
+// site). Permission checks run on every reference — never memoize them —
+// so a cached entry behaves identically to a fresh lookup under any CPU
+// mode and access kind.
+func (m *Machine) EntryTranslate(e TLBEntry, va uint32, write bool) (uint32, Exc) {
 	if e.Perms&PermKernel != 0 && m.CPU.Mode != ModeKernel {
 		return 0, missExc(write)
 	}

@@ -310,3 +310,45 @@ func TestFoldedAndChrome(t *testing.T) {
 		}
 	}
 }
+
+// TestCandidates: the JIT candidate view applies the tier's selection
+// rule — entry count at threshold, minimum run length — and preserves
+// the hot-block ranking.
+func TestCandidates(t *testing.T) {
+	f := &File{
+		Schema:        SchemaName,
+		SchemaVersion: SchemaVersion,
+		HotBlocks: []HotBlock{
+			{Machine: "m", Env: 1, Start: 2, End: 5, Count: 100, Cycles: 400, Score: 40000},
+			{Machine: "m", Env: 1, Start: 9, End: 9, Count: 500, Cycles: 500, Score: 250000}, // too short
+			{Machine: "m", Env: 1, Start: 20, End: 23, Count: 3, Cycles: 12, Score: 36},      // too cold
+		},
+	}
+	cands := SelectCandidates(f, 16)
+	if len(cands) != 3 {
+		t.Fatalf("candidates = %+v, want 3", cands)
+	}
+	if !cands[0].Hot || cands[0].Len != 4 {
+		t.Errorf("block 0 = %+v, want hot len 4", cands[0])
+	}
+	if cands[1].Hot {
+		t.Errorf("single-instruction block selected: %+v", cands[1])
+	}
+	if cands[2].Hot {
+		t.Errorf("cold block selected at threshold 16: %+v", cands[2])
+	}
+	// threshold 0 = the tier's default; 3 < 16 stays cold.
+	if c := SelectCandidates(f, 0); c[2].Hot {
+		t.Errorf("cold block selected at default threshold: %+v", c[2])
+	}
+	var buf bytes.Buffer
+	if err := WriteCandidates(&buf, f, 16, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, needle := range []string{"1 of 3 blocks clear threshold 16", "jit  m/1", "0x2..0x5"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("candidate view missing %q:\n%s", needle, out)
+		}
+	}
+}

@@ -117,9 +117,38 @@ type engineResult struct {
 	profile []byte
 }
 
-func engineRun(seed uint64, slowPath bool) engineResult {
+// engineCfg selects an engine variant for engineRun. The zero value is
+// the default fast engine with the JIT tier at its normal threshold.
+type engineCfg struct {
+	name    string
+	slow    bool   // EXO_SLOWPATH: reference engine
+	nojit   bool   // EXO_NOJIT: fast interpreter only
+	hotAt   uint32 // JITThreshold override (1 compiles on first entry)
+	quantum uint64 // run in micro-quanta of this many steps (0 = one call)
+	noProf  bool   // run without a profiler (exercises the deferred JIT runner)
+}
+
+// engineVariants is every engine configuration the equivalence property
+// quantifies over. All architectural observables must match across the
+// whole set; profiles must match across the profiled subset. The hostile
+// variants force deopt at each guard class: quantum=7 trips the step-
+// budget guard at nearly every block dispatch, hotAt=1 compiles every
+// block so even cold paths run jitted, and the generated programs
+// (TLBWR, SYSCALL, BREAK, faults, a short timer) cover the epoch, trap,
+// and event-horizon guards.
+var engineVariants = []engineCfg{
+	{name: "ref", slow: true},
+	{name: "fast-nojit", nojit: true},
+	{name: "jit-prof", hotAt: 1},
+	{name: "jit", hotAt: 1, noProf: true},
+	{name: "jit-microbudget", hotAt: 1, quantum: 7, noProf: true},
+	{name: "jit-default-threshold", noProf: true},
+}
+
+func engineRun(seed uint64, cfg engineCfg) engineResult {
 	m := hw.NewMachine(hw.DEC5000)
-	m.SetSlowPath(slowPath)
+	m.SetSlowPath(cfg.slow)
+	m.SetNoJIT(cfg.nojit)
 	h := &trapLog{}
 	h.fix = func(m *hw.Machine) {
 		if m.CPU.Cause == hw.ExcInterrupt {
@@ -143,15 +172,41 @@ func engineRun(seed uint64, slowPath bool) engineResult {
 	m.CPU.SetReg(hw.RegT2, uint32(seed>>32))
 	m.Timer.Arm(97) // prime-ish period: interrupts land on varied PCs
 	in := New(m, FixedCode(genProgram(seed)))
-	in.Prof = prof.New("quick", nil)
-
-	res := engineResult{stop: in.Run(2000)}
-	var pbuf bytes.Buffer
-	snap := in.Prof.Snapshot()
-	if err := prof.Collect("quick", nil, []prof.Profile{snap}, 0).Write(&pbuf); err != nil {
-		panic(err)
+	in.JITThreshold = cfg.hotAt
+	if !cfg.noProf {
+		in.Prof = prof.New("quick", nil)
 	}
-	res.profile = pbuf.Bytes()
+
+	// Splitting the step budget into micro-quanta is behaviour-identical
+	// on every engine — each Run entry re-derives exactly the per-
+	// iteration checks — but forces the JIT's budget guard to deopt at
+	// nearly every dispatch.
+	const budget = 2000
+	var res engineResult
+	if cfg.quantum == 0 {
+		res.stop = in.Run(budget)
+	} else {
+		for left := uint64(budget); ; {
+			q := cfg.quantum
+			if q > left {
+				q = left
+			}
+			before := in.Steps
+			res.stop = in.Run(q)
+			left -= in.Steps - before
+			if res.stop != StopSteps || left == 0 {
+				break
+			}
+		}
+	}
+	if in.Prof != nil {
+		var pbuf bytes.Buffer
+		snap := in.Prof.Snapshot()
+		if err := prof.Collect("quick", nil, []prof.Profile{snap}, 0).Write(&pbuf); err != nil {
+			panic(err)
+		}
+		res.profile = pbuf.Bytes()
+	}
 	res.steps = in.Steps
 	res.cycles = m.Clock.Cycles()
 	res.regs = m.CPU.Regs
@@ -165,49 +220,76 @@ func engineRun(seed uint64, slowPath bool) engineResult {
 	return res
 }
 
-// TestQuickEngineEquivalence is the property-test half of the invariance
-// contract: for random programs, the fast engine and the reference engine
-// finish with identical registers, memory image, simulated clock, and
-// trap log.
-func TestQuickEngineEquivalence(t *testing.T) {
-	f := func(seed uint64) bool {
-		fast := engineRun(seed, false)
-		slow := engineRun(seed, true)
-		if fast.stop != slow.stop || fast.steps != slow.steps ||
-			fast.cycles != slow.cycles || fast.pc != slow.pc ||
-			fast.regs != slow.regs || fast.fired != slow.fired {
-			t.Logf("seed %d: fast {stop %v steps %d cycles %d pc %d} slow {stop %v steps %d cycles %d pc %d}",
-				seed, fast.stop, fast.steps, fast.cycles, fast.pc,
-				slow.stop, slow.steps, slow.cycles, slow.pc)
-			return false
+// checkEquivalence runs one seed under every engine variant and reports
+// the first divergence from the reference run. Architectural observables
+// must match everywhere; PROF bytes must match across the profiled
+// variants.
+func checkEquivalence(t *testing.T, seed uint64) bool {
+	t.Helper()
+	ref := engineRun(seed, engineVariants[0])
+	ok := true
+	for _, cfg := range engineVariants[1:] {
+		got := engineRun(seed, cfg)
+		if got.stop != ref.stop || got.steps != ref.steps ||
+			got.cycles != ref.cycles || got.pc != ref.pc ||
+			got.regs != ref.regs || got.fired != ref.fired {
+			t.Logf("seed %d: %s {stop %v steps %d cycles %d pc %d} ref {stop %v steps %d cycles %d pc %d}",
+				seed, cfg.name, got.stop, got.steps, got.cycles, got.pc,
+				ref.stop, ref.steps, ref.cycles, ref.pc)
+			ok = false
+			continue
 		}
-		if len(fast.causes) != len(slow.causes) {
-			t.Logf("seed %d: trap counts %d fast, %d slow", seed, len(fast.causes), len(slow.causes))
-			return false
+		if len(got.causes) != len(ref.causes) {
+			t.Logf("seed %d: %s: trap counts %d, ref %d", seed, cfg.name, len(got.causes), len(ref.causes))
+			ok = false
+			continue
 		}
-		for i := range fast.causes {
-			if fast.causes[i] != slow.causes[i] || fast.badvas[i] != slow.badvas[i] {
-				t.Logf("seed %d: trap %d: %v@%#x fast, %v@%#x slow", seed, i,
-					fast.causes[i], fast.badvas[i], slow.causes[i], slow.badvas[i])
-				return false
+		for i := range got.causes {
+			if got.causes[i] != ref.causes[i] || got.badvas[i] != ref.badvas[i] {
+				t.Logf("seed %d: %s: trap %d: %v@%#x, ref %v@%#x", seed, cfg.name, i,
+					got.causes[i], got.badvas[i], ref.causes[i], ref.badvas[i])
+				ok = false
 			}
 		}
-		for p := range fast.pages {
-			for i := range fast.pages[p] {
-				if fast.pages[p][i] != slow.pages[p][i] {
-					t.Logf("seed %d: memory diverged on page %d byte %d", seed, p, i)
-					return false
-				}
+		for p := range got.pages {
+			if !bytes.Equal(got.pages[p], ref.pages[p]) {
+				t.Logf("seed %d: %s: memory diverged on page %d", seed, cfg.name, p)
+				ok = false
 			}
 		}
-		if !bytes.Equal(fast.profile, slow.profile) {
-			t.Logf("seed %d: profiles diverged:\nfast:\n%s\nslow:\n%s", seed, fast.profile, slow.profile)
-			return false
+		if got.profile != nil && !bytes.Equal(got.profile, ref.profile) {
+			t.Logf("seed %d: %s: profiles diverged:\n%s:\n%s\nref:\n%s",
+				seed, cfg.name, cfg.name, got.profile, ref.profile)
+			ok = false
 		}
-		return true
 	}
+	return ok
+}
+
+// TestQuickEngineEquivalence is the property-test half of the invariance
+// contract: for random programs, every engine variant — reference, fast
+// interpreter, and the JIT tier under each forced-deopt regime — finishes
+// with identical registers, memory image, simulated clock, trap log, and
+// (where profiled) PROF bytes.
+func TestQuickEngineEquivalence(t *testing.T) {
+	f := func(seed uint64) bool { return checkEquivalence(t, seed) }
 	cfg := &quick.Config{MaxCount: 200}
 	if err := quick.Check(f, cfg); err != nil {
 		t.Error(err)
 	}
+}
+
+// FuzzEngineEquivalence is the same property under the coverage-guided
+// fuzzer: `go test -fuzz FuzzEngineEquivalence ./internal/vm` explores
+// program seeds the LCG sweep above never reaches. The seed corpus pins a
+// few regimes permanently (dense loops, trap storms, the zero seed).
+func FuzzEngineEquivalence(f *testing.F) {
+	for _, seed := range []uint64{0, 1, 2, 42, 97, 1 << 33, ^uint64(0)} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		if !checkEquivalence(t, seed) {
+			t.Errorf("seed %d: engines diverged", seed)
+		}
+	})
 }

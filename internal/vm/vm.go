@@ -96,6 +96,17 @@ type Interp struct {
 	// return.
 	code   isa.Code
 	direct bool
+
+	// JITThreshold overrides the hot-entry count at which the fast
+	// engine compiles a superblock (see jit.go); 0 selects the default.
+	// Tests and tools lower it to force compilation early.
+	JITThreshold uint32
+
+	// Trace-JIT tier state (jit.go): the current segment's counters and
+	// compiled blocks, plus the cache keyed on segment identity so
+	// compiled state survives context switches.
+	jitSeg   *segJIT
+	jitCache map[*isa.Inst]*segJIT
 }
 
 // New creates an interpreter for machine m reading code from src. A
@@ -117,6 +128,7 @@ func New(m *hw.Machine, src CodeSource) *Interp {
 func (in *Interp) SetCode(code isa.Code) {
 	in.code = code
 	in.direct = true
+	in.jitSetSeg(code)
 }
 
 // RequestStop makes Run return StopRequested after the current instruction.
@@ -192,10 +204,19 @@ func (in *Interp) runRef(maxSteps uint64) StopReason {
 // clock or re-arm the timer. Fetch indexes the published code slice
 // directly when one is installed; the slice is re-read each iteration
 // since a trap handler may have switched segments.
+//
+// On top of the interpreter sits the trace-JIT tier (jit.go): block
+// entries — PCs reached by a non-sequential transfer — are counted, hot
+// ones are compiled to superblocks, and the dispatcher runs a compiled
+// block when its entry guard admits at least one pass. A dispatch that
+// commits nothing (guard failure) falls through to interpret the entry
+// instruction, so the engine always makes progress.
 func (in *Interp) runFast(maxSteps uint64) StopReason {
 	m := in.M
 	cpu := &m.CPU
 	p := in.Prof
+	useJIT := in.ASH == nil && !m.NoJIT()
+	lastPC := cpu.PC // any value ≠ pc−1: the first PC counts as an entry
 	for n := uint64(0); maxSteps == 0 || n < maxSteps; n++ {
 		if m.TimerDue() {
 			m.Timer.Check()
@@ -208,6 +229,29 @@ func (in *Interp) runFast(maxSteps uint64) StopReason {
 			return StopRequested
 		}
 		pc := cpu.PC
+		if useJIT {
+			if s := in.jitSeg; s != nil && int(pc) < len(s.blocks) {
+				if b := s.blocks[pc]; b != nil {
+					if b.n > 0 {
+						remaining := ^uint64(0)
+						if maxSteps != 0 {
+							remaining = maxSteps - n
+						}
+						if k := in.jitRunBlock(b, remaining); k > 0 {
+							lastPC = pc
+							n += k - 1 // the loop increment counts the last one
+							continue
+						}
+					}
+				} else if pc != lastPC+1 {
+					s.counts[pc]++
+					if s.counts[pc] >= in.jitHotAt() {
+						s.blocks[pc] = in.jitCompile(s.code, pc)
+					}
+				}
+			}
+			lastPC = pc
+		}
 		var inst isa.Inst
 		if in.direct {
 			if int(pc) >= len(in.code) {

@@ -40,6 +40,16 @@ cmp "$tmp/fast.txt" "$tmp/slow.txt"
 EXO_SLOWPATH=1 go run ./cmd/aegisbench -only table2 -format json > "$tmp/bench_slow.json"
 go run ./cmd/benchdiff -threshold 0 "$tmp/bench_slow.json" "$tmp/bench.json"
 
+echo "== jit smoke (Table 9 under EXO_NOJIT=1 vs default)"
+# The trace-JIT tier must be invisible in simulated time: Table 9 — the
+# matmul workload whose inner loops the JIT compiles — renders byte-
+# identical simulated output with the tier on (default) and off
+# (EXO_NOJIT=1). Small matrix keeps the smoke fast; the full sweep is
+# covered by make invariance and the vm engine-equivalence quickcheck.
+go run ./cmd/aegisbench -only table9 -n 32 > "$tmp/jit.txt"
+EXO_NOJIT=1 go run ./cmd/aegisbench -only table9 -n 32 > "$tmp/nojit.txt"
+cmp "$tmp/jit.txt" "$tmp/nojit.txt"
+
 echo "== chaos smoke (fixed-seed fault schedule + invariant gate + replay)"
 # Smaller than \`make chaos\` (300 events vs 1000) but the same gate:
 # seeded faults on every device, invariants after every step, and a
