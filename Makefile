@@ -59,11 +59,13 @@ invariance:
 	@echo "invariance: OK"
 
 # Chaos gate: fixed-seed randomized fault schedule (1000+ injected
-# faults across wire/disk/NIC plus forced revocations and env kills),
-# kernel invariants checked after every step, and the whole run replayed
-# to prove the seed reproduces it bit-identically (see cmd/chaos).
+# faults across wire/disk/NIC plus forced revocations and env kills,
+# and at least 100 power-fail kill-and-reboot rounds on the
+# journaled-FS machine), kernel invariants checked after every step,
+# and the whole run replayed to prove the seed reproduces it
+# bit-identically — crash census included (see cmd/chaos).
 chaos:
-	$(GO) run ./cmd/chaos -seed 1 -target 1000 -verify
+	$(GO) run ./cmd/chaos -seed 1 -target 1000 -reboots 100 -verify
 
 # Continuous soak gate: a 10⁶-event long-horizon chaos run (100 rounds
 # of 10⁴ fault events under rotating seeds, invariants checked after
@@ -82,13 +84,16 @@ soakbaseline:
 	@echo "wrote SOAK_baseline.json"
 
 # Gate a fresh soak run against the committed SOAK baseline: simulated
-# determinism witnesses (seeds, fault counts, steps, sim cycles, trace
-# hashes) at zero tolerance, host-side trend metrics (ev/sec,
-# wall_ns/100k, invariant-latency percentiles) at the default 30%
-# (see cmd/soakdiff).
+# determinism witnesses (seeds, fault counts, steps, reboots, sim
+# cycles, trace hashes) at zero tolerance, host-side trend metrics
+# (ev/sec, wall_ns/100k, invariant-latency percentiles) at
+# SOAKDIFF_THRESHOLD (default 30%; CI uses a huge value to keep
+# shared-runner wall-clock noise out of the gate — witnesses are
+# never relaxed). See cmd/soakdiff.
+SOAKDIFF_THRESHOLD ?= 0.3
 soakdiff:
 	$(GO) run ./cmd/soak -seed 1 -rounds 4 -events 2500 -q -o /tmp/soak_new.json
-	$(GO) run ./cmd/soakdiff SOAK_baseline.json /tmp/soak_new.json
+	$(GO) run ./cmd/soakdiff -threshold $(SOAKDIFF_THRESHOLD) SOAK_baseline.json /tmp/soak_new.json
 
 # Causal trace of the built-in cross-machine request scenario: span
 # trees, critical paths, and queue/handler/wire breakdowns

@@ -1,13 +1,15 @@
 // Command chaos runs the randomized fault schedule with the kernel
-// invariant gate (internal/chaos): two machines, live TCP and disk
-// workloads, a seeded injector abusing the hardware, and forced
-// revocations and environment kills abusing the kernel API — with every
-// bookkeeping invariant checked after every step.
+// invariant gate (internal/chaos): three machines — live TCP and disk
+// workloads on two, a journaled file system under power-fail crash and
+// reboot rounds on the third — a seeded injector abusing the hardware,
+// and forced revocations and environment kills abusing the kernel API,
+// with every bookkeeping invariant checked after every step.
 //
 // Usage:
 //
 //	chaos                       # one run, default seed and fault target
 //	chaos -seed 7 -target 5000  # bigger run, chosen seed
+//	chaos -reboots 100          # require ≥100 kill-and-reboot rounds
 //	chaos -verify               # run the seed twice, require identical
 //	                            # fault logs, traces, and clocks
 //	chaos -seeds 20             # sweep seeds 1..20 (a soak)
@@ -30,6 +32,7 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 1, "schedule + injector seed")
 	target := flag.Uint64("target", 1000, "fault events to inject before quiescing")
+	reboots := flag.Int("reboots", 0, "minimum kill-and-reboot rounds on the journaled-FS machine")
 	steps := flag.Int("steps", 0, "max schedule steps (0 = default)")
 	verify := flag.Bool("verify", false, "run twice; require bit-identical fault log and traces")
 	seeds := flag.Int("seeds", 0, "sweep this many consecutive seeds starting at -seed")
@@ -43,7 +46,7 @@ func main() {
 	failed := false
 	for i := 0; i < n; i++ {
 		s := *seed + uint64(i)
-		cfg := chaos.Config{Seed: s, TargetFaults: *target, MaxSteps: *steps}
+		cfg := chaos.Config{Seed: s, TargetFaults: *target, MaxSteps: *steps, MinReboots: *reboots}
 		rep, err := chaos.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "FAIL seed %#x: %v\n", s, err)
@@ -88,8 +91,21 @@ func diverged(a, b *chaos.Report) string {
 	if a.SpanHash != b.SpanHash {
 		return fmt.Sprintf("span hash %#x vs %#x", a.SpanHash, b.SpanHash)
 	}
-	if a.CyclesA != b.CyclesA || a.CyclesB != b.CyclesB {
-		return fmt.Sprintf("clocks %d/%d vs %d/%d", a.CyclesA, a.CyclesB, b.CyclesA, b.CyclesB)
+	if a.CyclesA != b.CyclesA || a.CyclesB != b.CyclesB || a.CyclesC != b.CyclesC {
+		return fmt.Sprintf("clocks %d/%d/%d vs %d/%d/%d",
+			a.CyclesA, a.CyclesB, a.CyclesC, b.CyclesA, b.CyclesB, b.CyclesC)
+	}
+	if len(a.EventsC) != len(b.EventsC) {
+		return fmt.Sprintf("machine C fault log length %d vs %d", len(a.EventsC), len(b.EventsC))
+	}
+	for i := range a.EventsC {
+		if a.EventsC[i] != b.EventsC[i] {
+			return fmt.Sprintf("machine C fault log event %d: %v vs %v", i, a.EventsC[i], b.EventsC[i])
+		}
+	}
+	if a.Reboots != b.Reboots || a.CrashKept != b.CrashKept || a.CrashLost != b.CrashLost {
+		return fmt.Sprintf("crash census %d/%d/%d vs %d/%d/%d",
+			a.Reboots, a.CrashKept, a.CrashLost, b.Reboots, b.CrashKept, b.CrashLost)
 	}
 	return ""
 }
@@ -113,6 +129,10 @@ func print(r *chaos.Report, verified bool) {
 		r.EnvsCreated, r.EnvsKilled, r.Revocations, r.Complied, r.Aborted)
 	fmt.Printf("  tcp: %d bytes intact=%v; disk: %d writes, %d reads, %d recovered errors\n",
 		r.TCPBytesSent, r.TCPIntact, r.DiskWrites, r.DiskReads, r.DiskErrs)
+	fmt.Printf("  reboots: %d (%d scheduled, %d mid-io, %d during recovery); cached writes kept/lost %d/%d\n",
+		r.Reboots, r.ScheduledCrashes, r.MidIOCrashes, r.RecoveryCrashes, r.CrashKept, r.CrashLost)
+	fmt.Printf("  fs: %d ops, %d syncs; recovery mounts: %d replayed, %d rolled back, %d clean; %d audit violations\n",
+		r.FSOps, r.FSSyncs, r.MountsReplayed, r.MountsRolledBack, r.MountsClean, r.AuditViolations)
 	fmt.Printf("  nic overflow drops: %d/%d\n", r.RxOverflowA, r.RxOverflowB)
 	fmt.Printf("  spans: %d/%d recorded, %d traces, %d orphans, %d open, hash %#x\n",
 		r.SpanTotalA, r.SpanTotalB, r.SpanTraces, r.SpanOrphans, r.SpanOpen, r.SpanHash)

@@ -139,5 +139,27 @@ func (k *Kernel) DiskWrite(start, nblocks, off uint32, extCap cap.Capability, fr
 	return err
 }
 
+// DiskFlush issues the disk's write barrier on behalf of an extent
+// holder: every cached write on the device is made stable before the
+// call returns. Write access to the extent is required (a flush is a
+// mutation of durability state), but the barrier itself is device-wide —
+// the disk has one write cache, and the kernel does not track which
+// cached blocks belong to whom; the capability check only proves the
+// caller is a legitimate writer. File systems decide *when* to flush
+// (commit points, swap-frame reuse); the kernel only checks and issues.
+func (k *Kernel) DiskFlush(start, nblocks uint32, extCap cap.Capability) error {
+	c0 := k.opStart()
+	if err := k.checkExtentAccess(start, nblocks, 0, extCap, cap.Write); err != nil {
+		return err
+	}
+	before := k.M.Disk.FlushedBlocks
+	err := k.M.Disk.Flush()
+	if err == nil {
+		k.trace(ktrace.KindDiskFlush, k.cur, uint64(start), k.M.Disk.FlushedBlocks-before, 0)
+		k.recordOp(OpDiskIO, k.cur, c0)
+	}
+	return err
+}
+
 // hw import check (Disk block size must match the page size for 1:1 DMA).
 var _ = [1]struct{}{}[hw.PageSize-hw.DiskBlockSize]

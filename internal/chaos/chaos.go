@@ -63,6 +63,11 @@ type Config struct {
 	// DisableSpans runs without causal span recorders — the control arm of
 	// the "tracing is free" invariant (the run must be cycle-identical).
 	DisableSpans bool
+
+	// MinReboots keeps the schedule running (past TargetFaults if needed)
+	// until machine C has been power-cycled and recovered at least this
+	// many times, and fails the run if the floor is not met.
+	MinReboots int
 }
 
 // DefaultFaultConfig returns the rates a chaos run uses when none are
@@ -106,11 +111,31 @@ type Report struct {
 	DiskWrites, DiskReads     int
 	DiskErrs, DiskBadReads    int
 
+	// Crash/reboot census (machine C, the journaled-FS machine; see
+	// reboot.go). Reboots counts every power cycle, including crashes that
+	// interrupted recovery itself; the mount counters classify what each
+	// recovery pass found.
+	Reboots          int
+	ScheduledCrashes int
+	MidIOCrashes     int
+	RecoveryCrashes  int
+	CrashKept        uint64
+	CrashLost        uint64
+	FSOps, FSSyncs   uint64
+	MountsReplayed   uint64
+	MountsRolledBack uint64
+	MountsClean      uint64
+	AuditViolations  int
+	// FaultEventsC/EventsC are machine C's own fail-stop injector log —
+	// part of the replay witness, separate from the A/B injector's.
+	FaultEventsC uint64
+	EventsC      []fault.Event
+
 	// Determinism witness.
-	CyclesA, CyclesB         uint64
-	TraceTotalA, TraceTotalB uint64
-	TraceHash                uint64
-	RxOverflowA, RxOverflowB uint64
+	CyclesA, CyclesB, CyclesC             uint64
+	TraceTotalA, TraceTotalB, TraceTotalC uint64
+	TraceHash                             uint64
+	RxOverflowA, RxOverflowB              uint64
 
 	// Causal-tracing census and completeness verdict: every TCP chunk the
 	// client submits opens a request span, and the gate demands that the
@@ -194,6 +219,17 @@ type world struct {
 	recA, recB     *ktrace.Recorder
 	spansA, spansB *ktrace.SpanRecorder
 
+	// Machine C: the crash-and-reboot arm (reboot.go). kc/osC/fsC are the
+	// *current incarnation* — replaced wholesale on every reboot.
+	mc            *hw.Machine
+	kc            *aegis.Kernel
+	recC          *ktrace.Recorder
+	spansC        *ktrace.SpanRecorder
+	injC          *fault.Injector
+	osC           *exos.LibOS
+	fsC           *exos.FS
+	ackedC, workC map[string][]byte
+
 	// TCP service (never killed): client on A, server on B.
 	cli, srv  *exos.TCPConn
 	osA, osB  *exos.LibOS
@@ -233,10 +269,15 @@ func Run(cfg Config) (*Report, error) {
 	}
 	rep := w.rep
 
-	for step := 0; step < cfg.MaxSteps && w.inj.Total() < cfg.TargetFaults; step++ {
+	for step := 0; step < cfg.MaxSteps &&
+		(w.inj.Total() < cfg.TargetFaults || rep.Reboots < cfg.MinReboots); step++ {
 		rep.Steps = step + 1
 		w.stepTraffic()
 		w.stepDisk()
+		if err := w.stepFS(); err != nil {
+			w.finish()
+			return rep, err
+		}
 		w.stepEnvs()
 		if err := w.checkBoth(step); err != nil {
 			w.finish()
@@ -261,6 +302,10 @@ func Run(cfg Config) (*Report, error) {
 	if rep.FaultEvents < cfg.TargetFaults {
 		return rep, fmt.Errorf("chaos: schedule exhausted at %d/%d fault events (seed %#x)",
 			rep.FaultEvents, cfg.TargetFaults, cfg.Seed)
+	}
+	if rep.Reboots < cfg.MinReboots {
+		return rep, fmt.Errorf("chaos: only %d/%d kill-and-reboot rounds completed (seed %#x)",
+			rep.Reboots, cfg.MinReboots, cfg.Seed)
 	}
 	if !rep.TCPIntact {
 		return rep, fmt.Errorf("chaos: TCP stream not intact: got %d of %d bytes (seed %#x)",
@@ -323,6 +368,12 @@ func setup(cfg Config) (*world, error) {
 	w.ma.NIC.Fault = w.inj
 	w.mb.NIC.Fault = w.inj
 
+	// Machine C: the crash-and-reboot arm, with its own fail-stop
+	// injector (reboot.go).
+	if err := w.setupC(); err != nil {
+		return nil, err
+	}
+
 	// Fleet bus: both machines, the run's live gauges, and the
 	// invariant-check latency probe. The per-step counters used to exist
 	// only in the final report; through the bus they are observable while
@@ -333,9 +384,11 @@ func setup(cfg Config) (*world, error) {
 	}
 	w.bus.Register("A", w.ma, w.ka, w.recA)
 	w.bus.Register("B", w.mb, w.kb, w.recB)
+	w.bus.Register("C", w.mc, w.kc, w.recC)
 	if w.spansA != nil {
 		w.bus.AttachSpans("A", w.spansA)
 		w.bus.AttachSpans("B", w.spansB)
+		w.bus.AttachSpans("C", w.spansC)
 	}
 	w.invHist = w.bus.Probe(InvariantProbe)
 	w.bus.AddGauge("steps", func() uint64 { return uint64(w.rep.Steps) })
@@ -352,6 +405,8 @@ func setup(cfg Config) (*world, error) {
 	w.bus.AddGauge("disk_writes", func() uint64 { return uint64(w.rep.DiskWrites) })
 	w.bus.AddGauge("disk_reads", func() uint64 { return uint64(w.rep.DiskReads) })
 	w.bus.AddGauge("disk_errs", func() uint64 { return uint64(w.rep.DiskErrs) })
+	w.bus.AddGauge("reboots", func() uint64 { return uint64(w.rep.Reboots) })
+	w.bus.AddGauge("fs_syncs", func() uint64 { return w.rep.FSSyncs })
 
 	// TCP service pair.
 	macA := pkt.Addr{0x02, 0, 0, 0, 0, 0xA}
@@ -604,12 +659,16 @@ func (w *world) checkBoth(step int) error {
 	start := time.Now()
 	errA := w.ka.CheckInvariants()
 	errB := w.kb.CheckInvariants()
+	errC := w.kc.CheckInvariants()
 	w.invHist.Record(uint64(time.Since(start)))
 	if errA != nil {
 		return fmt.Errorf("chaos: machine A, step %d, seed %#x: %w", step, w.cfg.Seed, errA)
 	}
 	if errB != nil {
 		return fmt.Errorf("chaos: machine B, step %d, seed %#x: %w", step, w.cfg.Seed, errB)
+	}
+	if errC != nil {
+		return fmt.Errorf("chaos: machine C, step %d, seed %#x: %w", step, w.cfg.Seed, errC)
 	}
 	return nil
 }
@@ -638,8 +697,12 @@ func (w *world) finish() {
 	r.TCPBytesSent, r.TCPBytesGot = len(w.sent), len(w.got)
 	r.TCPIntact = bytes.Equal(w.sent, w.got)
 	r.CyclesA, r.CyclesB = w.ma.Clock.Cycles(), w.mb.Clock.Cycles()
+	r.CyclesC = w.mc.Clock.Cycles()
 	r.TraceTotalA, r.TraceTotalB = w.recA.Total(), w.recB.Total()
-	r.TraceHash = traceHash(w.recA, w.recB)
+	r.TraceTotalC = w.recC.Total()
+	r.TraceHash = traceHash(w.recA, w.recB, w.recC)
+	r.FaultEventsC = w.injC.Total()
+	r.EventsC = append([]fault.Event(nil), w.injC.Log...)
 	r.RxOverflowA = w.ka.GlobalStats().RxOverflow
 	r.RxOverflowB = w.kb.GlobalStats().RxOverflow
 	r.InvariantNS = w.invHist.Snapshot()

@@ -1,0 +1,342 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"exokernel/internal/aegis"
+	"exokernel/internal/exos"
+	"exokernel/internal/fault"
+	"exokernel/internal/hw"
+	"exokernel/internal/ktrace"
+)
+
+// Machine C: the crash-and-reboot arm of the schedule. A third machine —
+// off the ether segment, so its death never perturbs the TCP peers beyond
+// what their own retransmission already absorbs — runs a journaled file
+// system workload while its injector pulls the power at disk-I/O
+// boundaries and the schedule pulls it between operations. Every crash is
+// a whole-machine stop: the disk's un-flushed write cache is resolved by
+// a seeded coin per block, the machine reboots with memory and kernel
+// gone, a *fresh* kernel boots, remounts (running journal recovery), and
+// must then pass the structural audit, the two-candidate content model
+// (recovered state ≡ last acknowledged Sync, or the interrupted one —
+// nothing else), and the kernel invariant sweep, before the workload
+// resumes on the survivor.
+//
+// The fault model for this machine is fail-stop: power failure and latency
+// only, no silent media corruption — a journal without redundancy cannot
+// recover a platter that lies, and mixing byzantine faults in would turn
+// every audit failure into noise. Byzantine disk faults stay on machine
+// A's mill, where ReliableDev's checksums are the defense under test.
+
+const (
+	cFSBlocks  = 128
+	cFSJournal = 34 // 32 slots ≥ the 31-frame cache capacity below
+	cFSInodes  = 16
+	cFSFrames  = 32 // holds the whole working set: commits happen only in Sync
+)
+
+// cNames is the fixed file-name pool of the machine-C workload.
+var cNames = [...]string{"f0", "f1", "f2", "f3", "f4", "f5", "f6", "f7"}
+
+// cFaultConfig is machine C's injector: fail-stop only.
+func cFaultConfig(seed uint64) fault.Config {
+	return fault.Config{
+		Seed:           seed ^ 0xC12A5,
+		PowerFailPPM:   1_500,
+		DiskSlowPPM:    30_000,
+		DiskSlowCycles: 5_000,
+	}
+}
+
+// setupC builds machine C: hardware, injector, and the first formatted
+// mount. Injection starts only after the format is stable — mkfs is not
+// part of the crash model.
+func (w *world) setupC() error {
+	w.mc = hw.NewMachine(hw.DEC5000)
+	w.recC = ktrace.New(4096)
+	if !w.cfg.DisableSpans {
+		w.spansC = ktrace.NewSpans(1<<17, w.cfg.Seed^0x51C)
+	}
+	w.injC = fault.New(cFaultConfig(w.cfg.Seed))
+	w.injC.SetEnabled(false)
+	w.mc.Disk.Fault = w.injC
+	w.mc.Disk.Power = w.injC
+	w.injC.Observe = func(e fault.Event) {
+		w.recC.Emit(w.mc.Clock.Cycles(), ktrace.KindFaultInject, 0, uint64(e.Kind), e.Arg, 0)
+	}
+
+	w.kc = aegis.New(w.mc)
+	w.kc.SetTracer(w.recC)
+	if w.spansC != nil {
+		w.kc.SetSpans(w.spansC)
+	}
+	os, err := exos.Boot(w.kc)
+	if err != nil {
+		return err
+	}
+	dev, err := exos.NewAegisDev(os, cFSBlocks)
+	if err != nil {
+		return err
+	}
+	cache, err := exos.NewFSCache(os, dev, cFSFrames, exos.NewLRU())
+	if err != nil {
+		return err
+	}
+	fs, err := exos.FormatJournaled(dev, cache, cFSInodes, cFSJournal)
+	if err != nil {
+		return err
+	}
+	w.osC, w.fsC = os, fs
+	w.ackedC = map[string][]byte{}
+	w.workC = map[string][]byte{}
+	w.injC.SetEnabled(true)
+	return nil
+}
+
+// stepFS advances the machine-C workload one round: maybe a scheduled
+// power cut, maybe one file operation followed by a Sync — either of
+// which the injector may turn into a mid-I/O crash.
+func (w *world) stepFS() error {
+	// Scheduled whole-machine power cut, untied to any I/O boundary.
+	if w.rng.chance(12) {
+		w.rep.ScheduledCrashes++
+		w.injC.Note(fault.PowerFail, uint64(w.rep.Reboots))
+		w.mc.Disk.PowerOff()
+		return w.crashRebootC()
+	}
+	if !w.rng.chance(2) {
+		return nil
+	}
+	if err := w.fsOp(); err != nil {
+		if errors.Is(err, hw.ErrPowerFail) {
+			w.rep.MidIOCrashes++
+			return w.crashRebootC()
+		}
+		return fmt.Errorf("chaos: machine C fs op: %w", err)
+	}
+	w.rep.FSOps++
+	if err := w.fsC.Sync(); err != nil {
+		if errors.Is(err, hw.ErrPowerFail) {
+			w.rep.MidIOCrashes++
+			return w.crashRebootC()
+		}
+		return fmt.Errorf("chaos: machine C sync: %w", err)
+	}
+	w.rep.FSSyncs++
+	w.ackedC = cloneState(w.workC)
+	return nil
+}
+
+// fsOp performs one random create/overwrite/rename/unlink against the
+// journaled FS and mirrors it into the pending model. The model is only
+// updated once the whole operation succeeded; a power failure partway
+// leaves nothing on disk (operations never write — only Sync does), so
+// the recovered state must equal the acknowledged model exactly.
+func (w *world) fsOp() error {
+	name := cNames[w.rng.intn(len(cNames))]
+	_, lookErr := w.fsC.Lookup(name)
+	switch {
+	case lookErr != nil: // absent: create and fill
+		i, err := w.fsC.Create(name)
+		if err != nil {
+			return err
+		}
+		data := w.randFileData()
+		if err := w.fsC.WriteAt(i, 0, data); err != nil {
+			return err
+		}
+		w.workC[name] = data
+	case w.rng.chance(4): // unlink
+		if err := w.fsC.Unlink(name); err != nil {
+			return err
+		}
+		delete(w.workC, name)
+	case w.rng.chance(3): // rename, possibly replacing the target
+		to := cNames[w.rng.intn(len(cNames))]
+		if err := w.fsC.Rename(name, to); err != nil {
+			return err
+		}
+		if to != name {
+			w.workC[to] = w.workC[name]
+			delete(w.workC, name)
+		}
+	default: // overwrite from offset 0; a longer old tail survives
+		i, err := w.fsC.Lookup(name)
+		if err != nil {
+			return err
+		}
+		data := w.randFileData()
+		if err := w.fsC.WriteAt(i, 0, data); err != nil {
+			return err
+		}
+		if old := w.workC[name]; len(old) > len(data) {
+			data = append(data, old[len(data):]...)
+		}
+		w.workC[name] = data
+	}
+	return nil
+}
+
+// randFileData draws 1..2 blocks of schedule-seeded bytes.
+func (w *world) randFileData() []byte {
+	n := 1 + w.rng.intn(2*hw.PageSize)
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(w.rng.next())
+	}
+	return data
+}
+
+// crashRebootC is the kill-and-reboot round: resolve the write cache's
+// fate, reboot the hardware, boot a fresh kernel, remount (recovery may
+// itself crash — that is just another reboot), then gate on the audit,
+// the content model, and the invariant sweep before resuming.
+func (w *world) crashRebootC() error {
+	w.crashC()
+	for attempt := 0; ; attempt++ {
+		err := w.bootMountC()
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, hw.ErrPowerFail) {
+			return fmt.Errorf("chaos: machine C remount after reboot %d (seed %#x): %w",
+				w.rep.Reboots, w.cfg.Seed, err)
+		}
+		if attempt >= 16 {
+			return fmt.Errorf("chaos: machine C: %d consecutive crashes during recovery (seed %#x)",
+				attempt+1, w.cfg.Seed)
+		}
+		w.rep.RecoveryCrashes++
+		w.crashC()
+	}
+
+	// Verification reads must not themselves lose power: pause injection
+	// (the generator stops, so the seeded sequence resumes unshifted).
+	w.injC.SetEnabled(false)
+	bad, err := w.fsC.Audit()
+	if err != nil {
+		return fmt.Errorf("chaos: machine C audit after reboot %d: %w", w.rep.Reboots, err)
+	}
+	if len(bad) > 0 {
+		w.rep.AuditViolations += len(bad)
+		return fmt.Errorf("chaos: machine C audit after reboot %d (seed %#x): %d violations, first: %s",
+			w.rep.Reboots, w.cfg.Seed, len(bad), bad[0])
+	}
+	got, err := w.snapshotC()
+	if err != nil {
+		return fmt.Errorf("chaos: machine C snapshot after reboot %d: %w", w.rep.Reboots, err)
+	}
+	if !stateEq(got, w.ackedC) && !stateEq(got, w.workC) {
+		return fmt.Errorf("chaos: machine C reboot %d (seed %#x): recovered state matches neither the acknowledged nor the interrupted Sync",
+			w.rep.Reboots, w.cfg.Seed)
+	}
+	if err := w.kc.CheckInvariants(); err != nil {
+		return fmt.Errorf("chaos: machine C after reboot %d: %w", w.rep.Reboots, err)
+	}
+	w.injC.SetEnabled(true)
+
+	// The recovered state is the new baseline.
+	w.ackedC = got
+	w.workC = cloneState(got)
+	return nil
+}
+
+// crashC power-fails the machine: seeded per-block fate for the cached
+// writes, then a whole-machine reboot (memory, TLB, kernel all gone; the
+// clock and the stable platter survive).
+func (w *world) crashC() {
+	w.rep.Reboots++
+	kept, lost := w.mc.Disk.Crash(w.rng.next())
+	w.rep.CrashKept += uint64(kept)
+	w.rep.CrashLost += uint64(lost)
+	w.recC.Emit(w.mc.Clock.Cycles(), ktrace.KindPowerFail, 0, uint64(kept), uint64(lost), 0)
+	w.mc.Reboot()
+	w.recC.Emit(w.mc.Clock.Cycles(), ktrace.KindReboot, 0, uint64(w.rep.Reboots), 0, 0)
+}
+
+// bootMountC boots a fresh kernel on the rebooted hardware and remounts
+// the file system — the journal recovery pass runs inside Mount. The new
+// kernel re-registers on the fleet bus under the same name, so exotop
+// keeps one "C" row across incarnations.
+func (w *world) bootMountC() error {
+	w.kc = aegis.New(w.mc)
+	w.kc.SetTracer(w.recC)
+	if w.spansC != nil {
+		w.kc.SetSpans(w.spansC)
+	}
+	if w.bus != nil {
+		w.bus.Register("C", w.mc, w.kc, w.recC)
+		if w.spansC != nil {
+			w.bus.AttachSpans("C", w.spansC)
+		}
+	}
+	os, err := exos.Boot(w.kc)
+	if err != nil {
+		return err
+	}
+	dev, err := exos.NewAegisDev(os, cFSBlocks) // first-fit: same extent every boot
+	if err != nil {
+		return err
+	}
+	cache, err := exos.NewFSCache(os, dev, cFSFrames, exos.NewLRU())
+	if err != nil {
+		return err
+	}
+	fs, err := exos.Mount(dev, cache)
+	if err != nil {
+		return err
+	}
+	w.osC, w.fsC = os, fs
+	if jn := fs.Journal(); jn != nil {
+		switch {
+		case jn.Replayed > 0:
+			w.rep.MountsReplayed++
+		case jn.RolledBack > 0:
+			w.rep.MountsRolledBack++
+		default:
+			w.rep.MountsClean++
+		}
+		w.recC.Emit(w.mc.Clock.Cycles(), ktrace.KindFSRecovery, 0, jn.Replayed, jn.RolledBack, 0)
+	}
+	return nil
+}
+
+// snapshotC reads the whole recovered tree back for the model check.
+func (w *world) snapshotC() (map[string][]byte, error) {
+	ents, err := w.fsC.List()
+	if err != nil {
+		return nil, err
+	}
+	st := make(map[string][]byte, len(ents))
+	for _, e := range ents {
+		buf := make([]byte, e.Size)
+		if n, err := w.fsC.ReadAt(e.Inum, 0, buf); err != nil || uint32(n) != e.Size {
+			return nil, fmt.Errorf("read %q: %d bytes, %v", e.Name, n, err)
+		}
+		st[e.Name] = buf
+	}
+	return st, nil
+}
+
+func cloneState(s map[string][]byte) map[string][]byte {
+	c := make(map[string][]byte, len(s))
+	for k, v := range s {
+		c[k] = v // contents are replaced wholesale, never edited in place
+	}
+	return c
+}
+
+func stateEq(a, b map[string][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if !bytes.Equal(v, b[k]) {
+			return false
+		}
+	}
+	return true
+}

@@ -57,7 +57,8 @@ type SoakWindow struct {
 	Seed        uint64 `json:"seed"`
 	FaultEvents uint64 `json:"fault_events"`
 	Steps       int    `json:"steps"`
-	SimCycles   uint64 `json:"sim_cycles"` // both machines' clocks, summed
+	Reboots     int    `json:"reboots"`    // machine C kill-and-reboot rounds
+	SimCycles   uint64 `json:"sim_cycles"` // all machines' clocks, summed
 	TraceEvents uint64 `json:"trace_events"`
 	TraceHash   string `json:"trace_hash"` // replay witness, hex
 
@@ -128,8 +129,9 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 			Seed:        seed,
 			FaultEvents: run.FaultEvents,
 			Steps:       run.Steps,
-			SimCycles:   run.CyclesA + run.CyclesB,
-			TraceEvents: run.TraceTotalA + run.TraceTotalB,
+			Reboots:     run.Reboots,
+			SimCycles:   run.CyclesA + run.CyclesB + run.CyclesC,
+			TraceEvents: run.TraceTotalA + run.TraceTotalB + run.TraceTotalC,
 			TraceHash:   fmt.Sprintf("%016x", run.TraceHash),
 			WallNS:      wall.Nanoseconds(),
 			InvariantNS: run.InvariantNS,
@@ -188,10 +190,10 @@ func (r *SoakReport) TrendTable() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "soak: %d rounds x %d events, seeds %d..%d\n",
 		r.Rounds, r.EventsPerRound, r.SeedStart, r.SeedStart+uint64(r.Rounds)-1)
-	b.WriteString("round  seed       events   steps   ev/sec   wall_ms/100k   inv_p50_ns  inv_p99_ns\n")
+	b.WriteString("round  seed       events   steps  reboots   ev/sec   wall_ms/100k   inv_p50_ns  inv_p99_ns\n")
 	for _, w := range r.Windows {
-		fmt.Fprintf(&b, "%5d  %-9d %7d  %6d  %7.0f  %13.1f  %11d  %10d\n",
-			w.Round, w.Seed, w.FaultEvents, w.Steps, w.EventsPerSec,
+		fmt.Fprintf(&b, "%5d  %-9d %7d  %6d  %7d  %7.0f  %13.1f  %11d  %10d\n",
+			w.Round, w.Seed, w.FaultEvents, w.Steps, w.Reboots, w.EventsPerSec,
 			w.WallNSPer100K/1e6, w.InvariantNS.P50, w.InvariantNS.P99)
 	}
 	fmt.Fprintf(&b, "total  %d events, %d steps, %.0f ev/sec, %.1f wall_ms/100k, invariant p50=%dns p99=%dns max=%dns\n",

@@ -103,6 +103,7 @@ func DiffSoak(oldR, newR *SoakReport, threshold float64) *SoakDiffReport {
 				{"seed", fmt.Sprint(ow.Seed), fmt.Sprint(nw.Seed)},
 				{"fault_events", fmt.Sprint(ow.FaultEvents), fmt.Sprint(nw.FaultEvents)},
 				{"steps", fmt.Sprint(ow.Steps), fmt.Sprint(nw.Steps)},
+				{"reboots", fmt.Sprint(ow.Reboots), fmt.Sprint(nw.Reboots)},
 				{"sim_cycles", fmt.Sprint(ow.SimCycles), fmt.Sprint(nw.SimCycles)},
 				{"trace_hash", ow.TraceHash, nw.TraceHash},
 			} {

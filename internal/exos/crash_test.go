@@ -1,0 +1,702 @@
+package exos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"exokernel/internal/fault"
+	"exokernel/internal/hw"
+)
+
+// rawDev drives the machine's disk directly — no kernel, no capabilities —
+// so crash tests can place a file system on a bare machine and power-cycle
+// it without rebuilding a LibOS around every reboot.
+type rawDev struct {
+	m *hw.Machine
+	n uint32
+}
+
+func (d rawDev) ReadBlock(b uint32, frame uint32) error {
+	return d.m.Disk.ReadBlock(b, d.m.Phys, frame)
+}
+
+func (d rawDev) WriteBlock(b uint32, frame uint32) error {
+	return d.m.Disk.WriteBlock(b, d.m.Phys, frame)
+}
+
+func (d rawDev) Flush() error      { return d.m.Disk.Flush() }
+func (d rawDev) NumBlocks() uint32 { return d.n }
+
+const (
+	crashFSBlocks  = 64
+	crashFSJournal = 18 // 16 slots ≥ the 15-frame cache capacity below
+	crashFSInodes  = 16
+	crashFSFrames  = 16
+)
+
+func crashCache(t *testing.T, m *hw.Machine, dev BlockDev, nframes int) *BufCache {
+	t.Helper()
+	frames := make([]uint32, 0, nframes)
+	for i := 0; i < nframes; i++ {
+		f, ok := m.Phys.AllocFrame()
+		if !ok {
+			t.Fatal("out of physical frames")
+		}
+		frames = append(frames, f)
+	}
+	return NewBufCache(m.Phys, m.Clock, dev, frames, NewLRU())
+}
+
+func fillBytes(tag byte, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = tag ^ byte(i*13)
+	}
+	return b
+}
+
+// fsState is the harness's model of directory contents: name → file bytes.
+type fsState map[string][]byte
+
+func (s fsState) clone() fsState {
+	c := make(fsState, len(s))
+	for k, v := range s {
+		c[k] = v // values are never mutated in place, only replaced
+	}
+	return c
+}
+
+func stateEqual(a, b fsState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if !bytes.Equal(v, b[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// fsSnapshot reads the whole tree back through the (possibly freshly
+// recovered) file system.
+func fsSnapshot(fs *FS) (fsState, error) {
+	ents, err := fs.List()
+	if err != nil {
+		return nil, err
+	}
+	st := make(fsState)
+	for _, e := range ents {
+		buf := make([]byte, e.Size)
+		if n, err := fs.ReadAt(e.Inum, 0, buf); err != nil || uint32(n) != e.Size {
+			return nil, fmt.Errorf("read %q: %d bytes, %v", e.Name, n, err)
+		}
+		st[e.Name] = buf
+	}
+	return st, nil
+}
+
+// crashStep mutates the file system and the model identically. Steps never
+// write to the device themselves (the cache below is sized to hold the whole
+// working set), so every disk-write boundary in the workload falls inside a
+// Sync — which is what makes the two-candidate recovery check (acked vs
+// pending) exact.
+type crashStep struct {
+	name  string
+	apply func(fs *FS, st fsState) error
+}
+
+var crashWorkload = []crashStep{
+	{"create-f0", func(fs *FS, st fsState) error {
+		i, err := fs.Create("f0")
+		if err != nil {
+			return err
+		}
+		data := fillBytes(0xA0, 900)
+		if err := fs.WriteAt(i, 0, data); err != nil {
+			return err
+		}
+		st["f0"] = data
+		return nil
+	}},
+	{"create-f1", func(fs *FS, st fsState) error {
+		i, err := fs.Create("f1")
+		if err != nil {
+			return err
+		}
+		data := fillBytes(0xB1, 6000)
+		if err := fs.WriteAt(i, 0, data); err != nil {
+			return err
+		}
+		st["f1"] = data
+		return nil
+	}},
+	{"grow-f0", func(fs *FS, st fsState) error {
+		i, err := fs.Lookup("f0")
+		if err != nil {
+			return err
+		}
+		data := fillBytes(0xC2, 5000) // fully covers the old 900 bytes
+		if err := fs.WriteAt(i, 0, data); err != nil {
+			return err
+		}
+		st["f0"] = data
+		return nil
+	}},
+	{"rename-f0-g0", func(fs *FS, st fsState) error {
+		if err := fs.Rename("f0", "g0"); err != nil {
+			return err
+		}
+		st["g0"] = st["f0"]
+		delete(st, "f0")
+		return nil
+	}},
+	{"replace-f1", func(fs *FS, st fsState) error {
+		i, err := fs.Create("f2")
+		if err != nil {
+			return err
+		}
+		data := fillBytes(0xD3, 1800)
+		if err := fs.WriteAt(i, 0, data); err != nil {
+			return err
+		}
+		if err := fs.Rename("f2", "f1"); err != nil {
+			return err
+		}
+		st["f1"] = data
+		return nil
+	}},
+	{"unlink-g0", func(fs *FS, st fsState) error {
+		if err := fs.Unlink("g0"); err != nil {
+			return err
+		}
+		delete(st, "g0")
+		return nil
+	}},
+	{"create-f3", func(fs *FS, st fsState) error {
+		i, err := fs.Create("f3")
+		if err != nil {
+			return err
+		}
+		data := fillBytes(0xE4, 2*hw.PageSize)
+		if err := fs.WriteAt(i, 0, data); err != nil {
+			return err
+		}
+		st["f3"] = data
+		return nil
+	}},
+}
+
+func newCrashFS(t *testing.T) (*hw.Machine, rawDev, *FS) {
+	t.Helper()
+	m := hw.NewMachine(hw.DEC5000)
+	dev := rawDev{m: m, n: crashFSBlocks}
+	cache := crashCache(t, m, dev, crashFSFrames)
+	fs, err := FormatJournaled(dev, cache, crashFSInodes, crashFSJournal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, dev, fs
+}
+
+// crashWorkloadWrites runs the workload fault-free and counts its
+// disk-write boundaries — the size of the crash-point space.
+func crashWorkloadWrites(t *testing.T) uint64 {
+	t.Helper()
+	m, _, fs := newCrashFS(t)
+	start := m.Disk.Writes
+	st := fsState{}
+	for _, s := range crashWorkload {
+		if err := s.apply(fs, st); err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		if err := fs.Sync(); err != nil {
+			t.Fatalf("%s: sync: %v", s.name, err)
+		}
+	}
+	return m.Disk.Writes - start
+}
+
+// runToCrash arms a power failure at the nth write boundary and drives the
+// workload into it. Returns the last acknowledged state (after the most
+// recent successful Sync) and the pending state (what the interrupted Sync
+// would have produced).
+func runToCrash(t *testing.T, fs *FS, m *hw.Machine, n uint64) (acked, pending fsState) {
+	t.Helper()
+	m.Disk.Power = fault.New(fault.Config{PowerFailAfterWrites: n})
+	acked = fsState{}
+	work := fsState{}
+	for _, s := range crashWorkload {
+		if err := s.apply(fs, work); err != nil {
+			// Steps never write to the device, so a power failure can only
+			// surface from Sync; anything else breaks the two-candidate model.
+			t.Fatalf("crash point %d: power failed inside step %s: %v", n, s.name, err)
+		}
+		if err := fs.Sync(); err != nil {
+			if !errors.Is(err, hw.ErrPowerFail) {
+				t.Fatalf("crash point %d: %s sync: %v", n, s.name, err)
+			}
+			return acked, work.clone()
+		}
+		acked = work.clone()
+	}
+	t.Fatalf("crash point %d never fired (workload has too few writes)", n)
+	return nil, nil
+}
+
+// remount power-cycles the machine's disk resolving cached-write fates with
+// crashSeed, then mounts (running recovery) on a fresh cache.
+func remount(t *testing.T, m *hw.Machine, dev rawDev, crashSeed uint64) *FS {
+	t.Helper()
+	m.Disk.Crash(crashSeed)
+	m.Disk.Power = nil
+	m.Disk.PowerOn()
+	fs, err := Mount(dev, crashCache(t, m, dev, crashFSFrames))
+	if err != nil {
+		t.Fatalf("remount after crash (seed %d): %v", crashSeed, err)
+	}
+	return fs
+}
+
+func verifyRecovered(t *testing.T, fs *FS, acked, pending fsState, label string) {
+	t.Helper()
+	bad, err := fs.Audit()
+	if err != nil {
+		t.Fatalf("%s: audit: %v", label, err)
+	}
+	if len(bad) > 0 {
+		t.Fatalf("%s: audit found %d violations: %v", label, len(bad), bad)
+	}
+	got, err := fsSnapshot(fs)
+	if err != nil {
+		t.Fatalf("%s: snapshot: %v", label, err)
+	}
+	if !stateEqual(got, acked) && !stateEqual(got, pending) {
+		t.Fatalf("%s: recovered state matches neither the acknowledged nor the "+
+			"pending model\n got: %v\nacked: %v\npending: %v",
+			label, names(got), names(acked), names(pending))
+	}
+}
+
+func names(st fsState) []string {
+	var out []string
+	for k, v := range st {
+		out = append(out, fmt.Sprintf("%s(%d)", k, len(v)))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestCrashPointExploration is the acceptance-criterion sweep: power-fail
+// at EVERY disk-write boundary of a create/write/rename/unlink workload,
+// under two different cached-write fate seeds, and prove recovery at each —
+// successful remount, clean structural audit, and a recovered state equal
+// to either the last acknowledged Sync or the interrupted one (atomicity:
+// nothing in between, nothing acknowledged lost).
+func TestCrashPointExploration(t *testing.T) {
+	w := crashWorkloadWrites(t)
+	if w < 30 {
+		t.Fatalf("workload has only %d write boundaries — sweep too thin", w)
+	}
+	var replays, rollbacks, cleans uint64
+	for n := uint64(1); n <= w; n++ {
+		for _, crashSeed := range []uint64{101, 202} {
+			m, dev, fs := newCrashFS(t)
+			acked, pending := runToCrash(t, fs, m, n)
+			fs2 := remount(t, m, dev, crashSeed)
+			label := fmt.Sprintf("crash point %d/%d seed %d", n, w, crashSeed)
+			verifyRecovered(t, fs2, acked, pending, label)
+			jn := fs2.Journal()
+			replays += jn.Replayed
+			rollbacks += jn.RolledBack
+			if jn.LastMountClean {
+				cleans++
+			}
+		}
+	}
+	// The sweep must exercise both recovery paths: crashes after the commit
+	// barrier replay, crashes before it roll back.
+	if replays == 0 || rollbacks == 0 {
+		t.Fatalf("sweep census: %d replays, %d rollbacks — both paths must occur", replays, rollbacks)
+	}
+	t.Logf("swept %d crash points × 2 fate seeds: %d replays, %d rollbacks, %d clean mounts",
+		w, replays, rollbacks, cleans)
+}
+
+// TestCrashDuringRecoveryIsIdempotent crashes the machine a second time in
+// the middle of mount-time recovery itself: the journal's replay/rollback
+// must be repeatable, so the third mount succeeds and lands in the same
+// two-candidate envelope.
+func TestCrashDuringRecoveryIsIdempotent(t *testing.T) {
+	w := crashWorkloadWrites(t)
+	for n := uint64(2); n <= w; n += 2 {
+		m, dev, fs := newCrashFS(t)
+		acked, pending := runToCrash(t, fs, m, n)
+
+		// First crash, then arm a second power failure at the very first
+		// write recovery performs (replay, or a rollback's done marker).
+		m.Disk.Crash(101)
+		m.Disk.PowerOn()
+		m.Disk.Power = fault.New(fault.Config{PowerFailAfterWrites: 1})
+		fs2, err := Mount(dev, crashCache(t, m, dev, crashFSFrames))
+		if err != nil {
+			if !errors.Is(err, hw.ErrPowerFail) {
+				t.Fatalf("crash point %d: second mount: %v", n, err)
+			}
+			// Recovery was interrupted mid-write; crash again and remount
+			// clean — recovery of a recovery must also converge.
+			fs2 = remount(t, m, dev, 202)
+		} else {
+			// Recovery finished without a device write (clean journal) —
+			// the armed failure never fired, which is itself fine.
+			m.Disk.Power = nil
+		}
+		verifyRecovered(t, fs2, acked, pending, fmt.Sprintf("recovery-crash at point %d", n))
+	}
+}
+
+// TestJournalCorruptionRollsBack is the bit-rot satellite: a committed but
+// corrupted journal — descriptor, copy block, or commit record damaged on
+// the platter — must be detected by checksum at recovery time and rolled
+// back, never replayed. The FS is stacked on ReliableDev to mirror the
+// production composition: ReliableDev's retry checksums are volatile and
+// die with the machine, so the journal's own checksums are the only line
+// of defense at mount time.
+func TestJournalCorruptionRollsBack(t *testing.T) {
+	// Journal block geometry for the 64-block image (journal at the tail).
+	const (
+		descBlk   = crashFSBlocks - crashFSJournal // 46
+		copy0Blk  = descBlk + 1
+		commitBlk = crashFSBlocks - 1
+	)
+	// setup drives the FS to the exact "crashed right after the commit
+	// barrier" platter: two acknowledged Syncs, then a third transaction
+	// whose descriptor+copies+commit record are all stable but whose home
+	// locations were never written.
+	setup := func(t *testing.T) (*hw.Machine, *ReliableDev, fsState, fsState) {
+		m := hw.NewMachine(hw.DEC5000)
+		rdev := NewReliableDev(rawDev{m: m, n: crashFSBlocks}, m.Phys, m.Clock)
+		cache := crashCache(t, m, rdev, crashFSFrames)
+		fs, err := FormatJournaled(rdev, cache, crashFSInodes, crashFSJournal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acked := fsState{}
+		for _, s := range crashWorkload[:2] {
+			if err := s.apply(fs, acked); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pending := acked.clone()
+		if err := crashWorkload[2].apply(fs, pending); err != nil {
+			t.Fatal(err)
+		}
+		// The commit writes desc (1), D copies (2..D+1), then — after the
+		// intent barrier — the commit record at boundary D+2.
+		d := uint64(len(fs.cache.dirtyBlocks()))
+		m.Disk.Power = fault.New(fault.Config{PowerFailAfterWrites: d + 2})
+		if err := fs.Sync(); !errors.Is(err, hw.ErrPowerFail) {
+			t.Fatalf("sync: %v, want power failure at the commit record", err)
+		}
+		if dirty := m.Disk.CacheDirty(); dirty != 1 {
+			t.Fatalf("disk cache holds %d blocks, want exactly the commit record", dirty)
+		}
+		// Power back on with the write cache intact and flush: the platter
+		// now holds a fully committed, un-checkpointed transaction.
+		m.Disk.Power = nil
+		m.Disk.PowerOn()
+		if err := m.Disk.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return m, rdev, acked, pending
+	}
+	mount := func(t *testing.T, m *hw.Machine, rdev *ReliableDev) *FS {
+		t.Helper()
+		// A reboot: fresh ReliableDev (its checksum map is volatile) and a
+		// fresh cache.
+		fresh := NewReliableDev(rdev.Dev, m.Phys, m.Clock)
+		fs, err := Mount(fresh, crashCache(t, m, fresh, crashFSFrames))
+		if err != nil {
+			t.Fatalf("mount: %v", err)
+		}
+		return fs
+	}
+
+	t.Run("intact-journal-replays", func(t *testing.T) {
+		m, rdev, _, pending := setup(t)
+		fs := mount(t, m, rdev)
+		jn := fs.Journal()
+		if jn.Replayed != 1 || jn.RolledBack != 0 {
+			t.Fatalf("replayed=%d rolledback=%d, want the committed txn replayed",
+				jn.Replayed, jn.RolledBack)
+		}
+		verifyRecovered(t, fs, pending, pending, "intact journal")
+	})
+
+	corruptions := []struct {
+		name  string
+		block uint32
+		off   int
+	}{
+		{"descriptor-entry", descBlk, 17},
+		{"copy-block-payload", copy0Blk, 100},
+		{"commit-record-checksum", commitBlk, 20},
+	}
+	for _, c := range corruptions {
+		t.Run(c.name, func(t *testing.T) {
+			m, rdev, acked, _ := setup(t)
+			m.Disk.Peek(c.block)[c.off] ^= 0x40 // one flipped bit on the platter
+			fs := mount(t, m, rdev)
+			jn := fs.Journal()
+			if jn.Replayed != 0 {
+				t.Fatalf("corrupt %s was replayed", c.name)
+			}
+			if jn.RolledBack != 1 {
+				t.Fatalf("corrupt %s: rolledback=%d, want 1", c.name, jn.RolledBack)
+			}
+			// Rollback means the acknowledged state, exactly.
+			verifyRecovered(t, fs, acked, acked, c.name)
+		})
+	}
+
+	t.Run("descriptor-magic-wiped", func(t *testing.T) {
+		// A destroyed descriptor looks like a fresh journal: nothing to
+		// judge, nothing replayed, acknowledged state intact.
+		m, rdev, acked, _ := setup(t)
+		m.Disk.Peek(descBlk)[0] ^= 0xFF
+		fs := mount(t, m, rdev)
+		jn := fs.Journal()
+		if jn.Replayed != 0 || !jn.LastMountClean {
+			t.Fatalf("replayed=%d clean=%v after magic wipe", jn.Replayed, jn.LastMountClean)
+		}
+		verifyRecovered(t, fs, acked, acked, "magic wipe")
+	})
+}
+
+// TestJournalEvictionCommit squeezes the working set through a cache
+// smaller than one step's dirty footprint: the eviction hook must commit
+// mid-operation rather than let an uncommitted dirty block reach its home
+// location, and the result must still mount and audit clean.
+func TestJournalEvictionCommit(t *testing.T) {
+	m := hw.NewMachine(hw.DEC5000)
+	dev := rawDev{m: m, n: crashFSBlocks}
+	cache := crashCache(t, m, dev, 6) // capacity 5 after the journal's scratch frame
+	fs, err := FormatJournaled(dev, cache, crashFSInodes, crashFSJournal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, err := fs.Create("wide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := fillBytes(0x5A, 3*hw.PageSize) // bitmap+inode+dir+3 data > 5 frames
+	if err := fs.WriteAt(i, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if c := fs.Journal().Commits; c < 2 {
+		t.Fatalf("commits = %d, want an eviction-forced commit before the Sync", c)
+	}
+	fs2, err := Mount(dev, crashCache(t, m, dev, crashFSFrames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fsState{"wide": data}
+	verifyRecovered(t, fs2, want, want, "eviction commit")
+}
+
+// orderDev records the block order of writes passing through.
+type orderDev struct {
+	BlockDev
+	order *[]uint32
+}
+
+func (d orderDev) WriteBlock(b uint32, frame uint32) error {
+	*d.order = append(*d.order, b)
+	return d.BlockDev.WriteBlock(b, frame)
+}
+
+// TestSyncWritesAscendingBlockOrder pins the deterministic write-back
+// order (sorted by block number) on a plain non-journaled mount — the
+// property that makes the set of crash states a function of the dirty
+// set, not of map iteration order.
+func TestSyncWritesAscendingBlockOrder(t *testing.T) {
+	m := hw.NewMachine(hw.DEC5000)
+	var order []uint32
+	dev := orderDev{BlockDev: rawDev{m: m, n: crashFSBlocks}, order: &order}
+	cache := crashCache(t, m, dev, crashFSFrames)
+	fs, err := Format(dev, cache, crashFSInodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fname, tag := range map[string]byte{"a": 1, "b": 2, "c": 3} {
+		i, err := fs.Create(fname)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.WriteAt(i, 0, fillBytes(tag, 2000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	order = order[:0]
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) < 4 {
+		t.Fatalf("sync wrote only %d blocks", len(order))
+	}
+	if !sort.SliceIsSorted(order, func(i, j int) bool { return order[i] < order[j] }) {
+		t.Fatalf("sync write order not ascending: %v", order)
+	}
+}
+
+func TestRename(t *testing.T) {
+	_, _, fs := newCrashFS(t)
+	i, err := fs.Create("old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := fillBytes(0x11, 500)
+	if err := fs.WriteAt(i, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("old", "new"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Lookup("old"); err == nil {
+		t.Fatal("old name still resolves")
+	}
+	got, err := fs.Lookup("new")
+	if err != nil || got != i {
+		t.Fatalf("new name → %d, %v", got, err)
+	}
+	buf := make([]byte, len(data))
+	if _, err := fs.ReadAt(got, 0, buf); err != nil || !bytes.Equal(buf, data) {
+		t.Fatal("rename lost file contents")
+	}
+	// Self-rename is a no-op.
+	if err := fs.Rename("new", "new"); err != nil {
+		t.Fatal(err)
+	}
+	// Missing source and bad destination both error.
+	if err := fs.Rename("ghost", "x"); err == nil {
+		t.Fatal("renaming a missing file succeeded")
+	}
+	if err := fs.Rename("new", ""); err == nil {
+		t.Fatal("renaming to an empty name succeeded")
+	}
+}
+
+func TestRenameReplacesExisting(t *testing.T) {
+	_, _, fs := newCrashFS(t)
+	src, err := fs.Create("src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcData := fillBytes(0x22, 700)
+	if err := fs.WriteAt(src, 0, srcData); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := fs.Create("dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteAt(dst, 0, fillBytes(0x33, 6000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("src", "dst"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Lookup("dst")
+	if err != nil || got != src {
+		t.Fatalf("dst → %d, %v; want the renamed inode %d", got, err, src)
+	}
+	ents, err := fs.List()
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("directory has %d entries, %v", len(ents), err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// The replaced file's inode and blocks must actually be freed — the
+	// audit's leak and orphan passes prove it.
+	if bad, err := fs.Audit(); err != nil || len(bad) > 0 {
+		t.Fatalf("audit after replace: %v, %v", bad, err)
+	}
+}
+
+// TestAuditDetectsDamage breaks invariants on purpose and checks the audit
+// names each one — a checker that can't fail is not a gate.
+func TestAuditDetectsDamage(t *testing.T) {
+	t.Run("orphan-inode", func(t *testing.T) {
+		_, _, fs := newCrashFS(t)
+		if err := fs.writeInode(5, inode{used: 1}); err != nil {
+			t.Fatal(err)
+		}
+		bad, err := fs.Audit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bad) != 1 || !bytes.Contains([]byte(bad[0]), []byte("orphan")) {
+			t.Fatalf("audit = %v, want one orphan violation", bad)
+		}
+	})
+	t.Run("bitmap-leak", func(t *testing.T) {
+		_, _, fs := newCrashFS(t)
+		frame, err := fs.cache.get(fs.sb.bitmapBlk, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := fs.sb.dataBlk + 4
+		fs.mem.Page(frame)[b/8] |= 1 << (b % 8)
+		fs.cache.markDirty(fs.sb.bitmapBlk)
+		bad, err := fs.Audit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bad) != 1 || !bytes.Contains([]byte(bad[0]), []byte("leak")) {
+			t.Fatalf("audit = %v, want one leak violation", bad)
+		}
+	})
+	t.Run("dangling-entry", func(t *testing.T) {
+		_, _, fs := newCrashFS(t)
+		i, err := fs.Create("doomed")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.writeInode(i, inode{}); err != nil { // free it behind the directory's back
+			t.Fatal(err)
+		}
+		bad, err := fs.Audit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bad) != 1 || !bytes.Contains([]byte(bad[0]), []byte("dangling")) {
+			t.Fatalf("audit = %v, want one dangling-entry violation", bad)
+		}
+	})
+	t.Run("clean-tree-is-clean", func(t *testing.T) {
+		_, _, fs := newCrashFS(t)
+		st := fsState{}
+		for _, s := range crashWorkload {
+			if err := s.apply(fs, st); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := fs.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		bad, err := fs.Audit()
+		if err != nil || len(bad) > 0 {
+			t.Fatalf("audit of a healthy tree: %v, %v", bad, err)
+		}
+	})
+}

@@ -3,6 +3,7 @@ package exos
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"exokernel/internal/aegis"
 	"exokernel/internal/cap"
@@ -34,6 +35,10 @@ import (
 type BlockDev interface {
 	ReadBlock(b uint32, frame uint32) error
 	WriteBlock(b uint32, frame uint32) error
+	// Flush is the durability barrier: every write accepted before the
+	// call is stable when it returns (the disk's volatile write cache is
+	// drained). Crash consistency is built on its ordering guarantee.
+	Flush() error
 	NumBlocks() uint32
 }
 
@@ -72,6 +77,11 @@ func (d *AegisDev) WriteBlock(b uint32, frame uint32) error {
 	return d.K.DiskWrite(d.Start, d.NBlocks, b, d.Guard, frame, d.frameCaps[frame])
 }
 
+// Flush implements BlockDev over the kernel's checked barrier call.
+func (d *AegisDev) Flush() error {
+	return d.K.DiskFlush(d.Start, d.NBlocks, d.Guard)
+}
+
 // NumBlocks implements BlockDev.
 func (d *AegisDev) NumBlocks() uint32 { return d.NBlocks }
 
@@ -101,6 +111,12 @@ type BufCache struct {
 	policy CachePolicy
 	lines  map[uint32]*cacheLine
 	free   []uint32 // unused cache frames
+	// onEvictDirty, when set, runs before a dirty victim would be written
+	// back in place — the journal installs its commit here so an eviction
+	// can never put an uncommitted metadata block on disk out of order.
+	// The hook must leave the victim clean (a commit writes back every
+	// dirty line).
+	onEvictDirty func() error
 	// Stats.
 	Hits, Misses, Writebacks uint64
 }
@@ -159,6 +175,11 @@ func (c *BufCache) frameFor() (uint32, error) {
 		return 0, fmt.Errorf("exos: buffer cache empty but no free frame")
 	}
 	ln := c.lines[victim]
+	if ln.dirty && c.onEvictDirty != nil {
+		if err := c.onEvictDirty(); err != nil {
+			return 0, err
+		}
+	}
 	if ln.dirty {
 		c.Writebacks++
 		if err := c.dev.WriteBlock(victim, ln.frame); err != nil {
@@ -177,18 +198,45 @@ func (c *BufCache) markDirty(b uint32) {
 	}
 }
 
-// Sync writes back every dirty block.
-func (c *BufCache) Sync() error {
+// dirtyBlocks returns the dirty resident blocks in ascending block
+// order. Sorted so the on-disk write order — and therefore the set of
+// crash states a power failure can expose — is a deterministic function
+// of the dirty set, never of map iteration order; the crash-point
+// exploration test depends on this.
+func (c *BufCache) dirtyBlocks() []uint32 {
+	var bs []uint32
 	for b, ln := range c.lines {
 		if ln.dirty {
-			c.Writebacks++
-			if err := c.dev.WriteBlock(b, ln.frame); err != nil {
-				return err
-			}
-			ln.dirty = false
+			bs = append(bs, b)
 		}
 	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	return bs
+}
+
+// Sync writes back every dirty block, in ascending block order.
+func (c *BufCache) Sync() error {
+	for _, b := range c.dirtyBlocks() {
+		ln := c.lines[b]
+		c.Writebacks++
+		if err := c.dev.WriteBlock(b, ln.frame); err != nil {
+			return err
+		}
+		ln.dirty = false
+	}
 	return nil
+}
+
+// TakeFrame permanently removes one frame from the cache's free pool
+// for the caller's private use (the journal takes its scratch frame
+// this way at mount time, before the cache has warmed up).
+func (c *BufCache) TakeFrame() (uint32, error) {
+	if len(c.free) == 0 {
+		return 0, fmt.Errorf("exos: no free cache frame to take")
+	}
+	f := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	return f, nil
 }
 
 // --- Policies -------------------------------------------------------------
@@ -320,6 +368,11 @@ type superblock struct {
 	bitmapBlk uint32
 	inodeBlk  uint32
 	dataBlk   uint32
+	// Journal region, at the tail of the extent. journalBlks == 0 means
+	// a legacy non-journaled image (Format leaves the fields zero, so
+	// old images mount unchanged with no recovery pass).
+	journalBlk  uint32
+	journalBlks uint32
 }
 
 // FS is the library file system instance.
@@ -329,6 +382,10 @@ type FS struct {
 	mem   *hw.PhysMem
 	clock *hw.Clock
 	sb    superblock
+	// jn is the write-ahead journal; nil for non-journaled images. When
+	// set, Sync commits through the journal instead of writing metadata
+	// in place (see journal.go).
+	jn *Journal
 	// sequential advice state (per-FS for simplicity; per-file in a
 	// larger implementation).
 	advSequential bool
@@ -340,8 +397,17 @@ const (
 	AdviceSequential
 )
 
-// Format writes a fresh file system and returns it mounted.
+// Format writes a fresh file system and returns it mounted. The image
+// is not journaled: metadata writes go to their home locations in
+// place, and a power failure mid-Sync can tear them. FormatJournaled
+// (journal.go) is the crash-consistent variant.
 func Format(dev BlockDev, cache *BufCache, ninodes uint32) (*FS, error) {
+	return format(dev, cache, ninodes, 0)
+}
+
+// format writes the common initial image; journalBlks > 0 reserves a
+// journal region at the extent tail (FormatJournaled finishes the job).
+func format(dev BlockDev, cache *BufCache, ninodes, journalBlks uint32) (*FS, error) {
 	fs := &FS{dev: dev, cache: cache, mem: cache.mem, clock: cache.clock}
 	ib := (ninodes + inodesPerBlk - 1) / inodesPerBlk
 	fs.sb = superblock{
@@ -351,7 +417,14 @@ func Format(dev BlockDev, cache *BufCache, ninodes uint32) (*FS, error) {
 		inodeBlk:  2,
 		dataBlk:   2 + ib,
 	}
-	if fs.sb.dataBlk >= fs.sb.nblocks {
+	if journalBlks > 0 {
+		if journalBlks >= fs.sb.nblocks {
+			return nil, fmt.Errorf("exos: journal of %d blocks exceeds extent", journalBlks)
+		}
+		fs.sb.journalBlk = fs.sb.nblocks - journalBlks
+		fs.sb.journalBlks = journalBlks
+	}
+	if fs.sb.dataBlk >= fs.dataEnd() {
 		return nil, fmt.Errorf("exos: extent too small for %d inodes", ninodes)
 	}
 	// Superblock.
@@ -367,6 +440,8 @@ func Format(dev BlockDev, cache *BufCache, ninodes uint32) (*FS, error) {
 	binary.LittleEndian.PutUint32(page[12:], fs.sb.bitmapBlk)
 	binary.LittleEndian.PutUint32(page[16:], fs.sb.inodeBlk)
 	binary.LittleEndian.PutUint32(page[20:], fs.sb.dataBlk)
+	binary.LittleEndian.PutUint32(page[24:], fs.sb.journalBlk)
+	binary.LittleEndian.PutUint32(page[28:], fs.sb.journalBlks)
 	fs.clock.Tick(6)
 	cache.markDirty(0)
 	// Zero bitmap and inode blocks.
@@ -398,15 +473,37 @@ func Mount(dev BlockDev, cache *BufCache) (*FS, error) {
 		return nil, fmt.Errorf("exos: bad file system magic")
 	}
 	fs.sb = superblock{
-		nblocks:   binary.LittleEndian.Uint32(page[4:]),
-		ninodes:   binary.LittleEndian.Uint32(page[8:]),
-		bitmapBlk: binary.LittleEndian.Uint32(page[12:]),
-		inodeBlk:  binary.LittleEndian.Uint32(page[16:]),
-		dataBlk:   binary.LittleEndian.Uint32(page[20:]),
+		nblocks:     binary.LittleEndian.Uint32(page[4:]),
+		ninodes:     binary.LittleEndian.Uint32(page[8:]),
+		bitmapBlk:   binary.LittleEndian.Uint32(page[12:]),
+		inodeBlk:    binary.LittleEndian.Uint32(page[16:]),
+		dataBlk:     binary.LittleEndian.Uint32(page[20:]),
+		journalBlk:  binary.LittleEndian.Uint32(page[24:]),
+		journalBlks: binary.LittleEndian.Uint32(page[28:]),
 	}
 	fs.clock.Tick(6)
+	if fs.sb.journalBlks > 0 {
+		if err := fs.enableJournal(); err != nil {
+			return nil, err
+		}
+		if err := fs.jn.recover(); err != nil {
+			return nil, err
+		}
+	}
 	return fs, nil
 }
+
+// dataEnd is one past the last allocatable data block: the journal
+// region at the extent tail is never handed out by allocBlock.
+func (fs *FS) dataEnd() uint32 {
+	if fs.sb.journalBlks > 0 {
+		return fs.sb.journalBlk
+	}
+	return fs.sb.nblocks
+}
+
+// Journal exposes the write-ahead journal (stats; nil if non-journaled).
+func (fs *FS) Journal() *Journal { return fs.jn }
 
 // Advise sets the access-pattern hint subsequent reads carry into the
 // cache policy (the application-to-policy channel of [10]).
@@ -480,7 +577,7 @@ func (fs *FS) allocBlock() (uint32, error) {
 		return 0, err
 	}
 	page := fs.mem.Page(frame)
-	for b := fs.sb.dataBlk; b < fs.sb.nblocks; b++ {
+	for b := fs.sb.dataBlk; b < fs.dataEnd(); b++ {
 		byteIdx, bit := b/8, byte(1)<<(b%8)
 		fs.clock.Tick(1)
 		if page[byteIdx]&bit == 0 {
@@ -833,8 +930,58 @@ func (fs *FS) List() ([]DirEntry, error) {
 	return out, nil
 }
 
-// Sync flushes the cache.
-func (fs *FS) Sync() error { return fs.cache.Sync() }
+// Rename atomically gives file old the name new, replacing (and
+// freeing) any existing file of that name. Under a journaled mount the
+// whole operation — tombstone, replacement free, entry rewrite — lands
+// in one commit, so a crash exposes either both names' old binding or
+// the new one, never an intermediate.
+func (fs *FS) Rename(old, new string) error {
+	if len(new) == 0 || len(new) > dirNameLen {
+		return fmt.Errorf("exos: bad file name %q", new)
+	}
+	if old == new {
+		return nil
+	}
+	inum, err := fs.Lookup(old)
+	if err != nil {
+		return err
+	}
+	if _, err := fs.Lookup(new); err == nil {
+		if err := fs.Unlink(new); err != nil {
+			return err
+		}
+	}
+	root, err := fs.readInode(rootInum)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, dirEntSize)
+	for off := uint32(0); off < root.size; off += dirEntSize {
+		if _, err := fs.readAt(rootInum, root, off, buf); err != nil {
+			return err
+		}
+		if entName(buf) != old || Inum(binary.LittleEndian.Uint32(buf[dirNameLen:])) != inum {
+			continue
+		}
+		clear(buf)
+		copy(buf[:dirNameLen], new)
+		binary.LittleEndian.PutUint32(buf[dirNameLen:], uint32(inum))
+		return fs.WriteAt(rootInum, off, buf)
+	}
+	return fmt.Errorf("exos: %q not found", old)
+}
+
+// Sync makes every completed operation durable: through the journal
+// commit on a journaled mount (atomic — a crash yields either the
+// previous Sync's state or this one), or a plain ordered write-back on
+// a legacy mount (not crash-consistent; that is what the journal is
+// for).
+func (fs *FS) Sync() error {
+	if fs.jn != nil {
+		return fs.jn.commit()
+	}
+	return fs.cache.Sync()
+}
 
 // NewFSCache is the convenience constructor ExOS applications use: it
 // allocates cacheFrames physical pages (registering their capabilities

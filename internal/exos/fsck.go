@@ -1,0 +1,177 @@
+package exos
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"exokernel/internal/hw"
+)
+
+// Mount-time structural audit: the fsck-style cross-check that the
+// journal's block-level atomicity actually composed into a consistent
+// file system. Replay/rollback (journal.go) guarantees each Sync is
+// all-or-nothing; Audit proves the invariants that atomicity is
+// supposed to preserve — no block owned twice, no bitmap leaks, no
+// directory entry naming a dead inode, no allocated inode without a
+// name. The chaos harness runs it after every reboot; a single
+// violation fails the run.
+
+// Audit walks the whole file system through the buffer cache and
+// returns one human-readable line per structural violation (empty means
+// clean). I/O errors abort the walk; a truncated audit proves nothing.
+func (fs *FS) Audit() ([]string, error) {
+	var bad []string
+	sb := fs.sb
+
+	// Superblock geometry.
+	if sb.bitmapBlk != 1 || sb.inodeBlk != 2 || sb.dataBlk < sb.inodeBlk {
+		bad = append(bad, fmt.Sprintf("superblock layout invalid: bitmap=%d inodes=%d data=%d",
+			sb.bitmapBlk, sb.inodeBlk, sb.dataBlk))
+	}
+	if sb.dataBlk >= fs.dataEnd() || sb.nblocks > fs.dev.NumBlocks() {
+		bad = append(bad, fmt.Sprintf("superblock ranges invalid: data=[%d,%d) nblocks=%d",
+			sb.dataBlk, fs.dataEnd(), sb.nblocks))
+		return bad, nil // further walking would index garbage
+	}
+
+	// Pass 1: every block pointer of every used inode — in range, and
+	// owned exactly once.
+	owner := make(map[uint32]Inum)
+	named := make(map[Inum]int)
+	claim := func(i Inum, b uint32, what string) {
+		fs.clock.Tick(2)
+		if b < sb.dataBlk || b >= fs.dataEnd() {
+			bad = append(bad, fmt.Sprintf("inode %d: %s block %d outside data range [%d,%d)",
+				i, what, b, sb.dataBlk, fs.dataEnd()))
+			return
+		}
+		if prev, dup := owner[b]; dup {
+			bad = append(bad, fmt.Sprintf("block %d referenced twice: inode %d and inode %d",
+				b, prev, i))
+			return
+		}
+		owner[b] = i
+	}
+	for i := Inum(0); uint32(i) < sb.ninodes; i++ {
+		in, err := fs.readInode(i)
+		if err != nil {
+			return bad, err
+		}
+		if in.used == 0 {
+			continue
+		}
+		if in.size > MaxFileSize {
+			bad = append(bad, fmt.Sprintf("inode %d: size %d exceeds maximum", i, in.size))
+		}
+		for d := 0; d < nDirect; d++ {
+			if in.direct[d] != 0 {
+				claim(i, in.direct[d], "direct")
+			}
+		}
+		if in.indirect != 0 {
+			claim(i, in.indirect, "indirect")
+			frame, err := fs.cache.get(in.indirect, false)
+			if err != nil {
+				return bad, err
+			}
+			page := fs.mem.Page(frame)
+			for e := uint32(0); e < indirectEntries; e++ {
+				if b := binary.LittleEndian.Uint32(page[e*hw.WordSize:]); b != 0 {
+					claim(i, b, "indirect-entry")
+				}
+			}
+			fs.clock.Tick(indirectEntries / 8)
+		}
+	}
+
+	// Pass 2: the allocation bitmap must equal the reference map — a set
+	// bit nobody references is a leak, a referenced block with a clear
+	// bit is a use-after-free waiting to happen. Bits outside the data
+	// range must never be set (metadata and journal blocks are not
+	// bitmap-managed).
+	frame, err := fs.cache.get(sb.bitmapBlk, false)
+	if err != nil {
+		return bad, err
+	}
+	bitmap := fs.mem.Page(frame)
+	for b := uint32(0); b < sb.nblocks; b++ {
+		set := bitmap[b/8]&(byte(1)<<(b%8)) != 0
+		fs.clock.Tick(1)
+		if b < sb.dataBlk || b >= fs.dataEnd() {
+			if set {
+				bad = append(bad, fmt.Sprintf("bitmap bit set for non-data block %d", b))
+			}
+			continue
+		}
+		_, referenced := owner[b]
+		if set && !referenced {
+			bad = append(bad, fmt.Sprintf("block %d allocated but unreferenced (leak)", b))
+		}
+		if !set && referenced {
+			bad = append(bad, fmt.Sprintf("block %d referenced by inode %d but free in bitmap",
+				b, owner[b]))
+		}
+	}
+
+	// Pass 3: the root directory — well-formed entries, live targets, no
+	// duplicate names, each file named exactly once.
+	root, err := fs.readInode(rootInum)
+	if err != nil {
+		return bad, err
+	}
+	if root.used == 0 {
+		bad = append(bad, "root inode not in use")
+		return bad, nil
+	}
+	if root.size%dirEntSize != 0 {
+		bad = append(bad, fmt.Sprintf("root directory size %d not a multiple of %d",
+			root.size, dirEntSize))
+	}
+	names := make(map[string]uint32)
+	buf := make([]byte, dirEntSize)
+	for off := uint32(0); off+dirEntSize <= root.size; off += dirEntSize {
+		if _, err := fs.readAt(rootInum, root, off, buf); err != nil {
+			return bad, err
+		}
+		if buf[0] == 0 { // tombstone
+			continue
+		}
+		name := entName(buf)
+		inum := Inum(binary.LittleEndian.Uint32(buf[dirNameLen:]))
+		if prev, dup := names[name]; dup {
+			bad = append(bad, fmt.Sprintf("duplicate directory entry %q (offsets %d and %d)",
+				name, prev, off))
+		}
+		names[name] = off
+		if uint32(inum) >= sb.ninodes {
+			bad = append(bad, fmt.Sprintf("entry %q names out-of-range inode %d", name, inum))
+			continue
+		}
+		in, err := fs.readInode(inum)
+		if err != nil {
+			return bad, err
+		}
+		if in.used == 0 {
+			bad = append(bad, fmt.Sprintf("entry %q names free inode %d (dangling)", name, inum))
+		}
+		named[inum]++
+	}
+	for i := Inum(1); uint32(i) < sb.ninodes; i++ {
+		in, err := fs.readInode(i)
+		if err != nil {
+			return bad, err
+		}
+		if in.used == 0 {
+			continue
+		}
+		switch named[i] {
+		case 0:
+			bad = append(bad, fmt.Sprintf("inode %d in use but has no directory entry (orphan)", i))
+		case 1:
+		default:
+			bad = append(bad, fmt.Sprintf("inode %d has %d directory entries (links unsupported)",
+				i, named[i]))
+		}
+	}
+	return bad, nil
+}

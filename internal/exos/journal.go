@@ -1,0 +1,345 @@
+package exos
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"exokernel/internal/hw"
+)
+
+// Write-ahead intent journal: the library-level crash-consistency layer
+// over the raw disk's volatile write cache (hw.Disk). The kernel's part
+// of the story is unchanged — capability-checked block DMA plus one new
+// primitive, the Flush barrier (aegis.DiskFlush); *when* to journal,
+// what to checksum, and how to recover are application decisions, which
+// is exactly the paper's division of labor for stable storage.
+//
+// The journal is physical redo logging of whole blocks (full-data
+// journaling: every dirty cache block travels through the journal, so a
+// torn in-place overwrite is impossible — the home location is only
+// written after the commit record is stable). One Sync = one
+// transaction:
+//
+//	1. descriptor + copy blocks -> journal region     (Flush: intent)
+//	2. checksummed commit record -> journal region    (Flush: commit)
+//	3. home-location writes, ascending block order    (Flush: checkpoint)
+//	4. done marker (unflushed; loss only re-runs an idempotent replay)
+//
+// A crash before barrier 2 leaves the commit record invalid — recovery
+// rolls the transaction back by ignoring it (the home locations were
+// never touched). A crash after barrier 2 finds a valid commit record —
+// recovery verifies every copy block against its descriptor checksum
+// and replays them to their home locations (idempotent, so a crash
+// during recovery is just another recovery). Any checksum mismatch —
+// a torn journal write, a bit rotted on the platter — demotes the
+// transaction to a rollback: a corrupt journal is never replayed.
+//
+// Layout, at the tail of the extent ([journalBlk, journalBlk+journalBlks)):
+//
+//	journalBlk             descriptor: magic, count, txn, count×{home, sum}
+//	journalBlk+1 .. +slots copy blocks (slots = journalBlks-2)
+//	journalBlk+blks-1      commit record: magic, state, txn, count, checksum
+//
+// The commit checksum covers the descriptor's (count, txn, entries)
+// bytes, binding record to descriptor; each entry's sum is FNV-1a over
+// the copy block's contents. The cache is sized at mount to fit one
+// transaction (capacity ≤ slots), so a Sync is always a single atomic
+// transaction — there is no multi-chunk case to tear.
+
+const (
+	jMagic         = 0x4558_4A4C // "EXJL"
+	jStateCommit   = 1
+	jStateDone     = 2
+	jDescHdrSize   = 16 // magic, count, txn
+	jEntSize       = 8  // home, sum
+	jMinJournalLen = 3  // descriptor + 1 slot + commit record
+)
+
+// Journal is the write-ahead journal of one mounted FS. Exported fields
+// are the crash/recovery census the chaos harness and tests read.
+type Journal struct {
+	fs      *FS
+	scratch uint32 // private frame for descriptor/commit/copy staging
+	seq     uint64 // last durable transaction id
+
+	// Commit-side stats.
+	Commits, CommittedBlocks uint64
+	// Recovery-side stats: transactions replayed at mount, transactions
+	// rolled back (invalid or corrupt journal — never replayed), blocks
+	// rewritten by replay, and whether the last mount needed no action.
+	Replayed, RolledBack, ReplayedBlocks uint64
+	LastMountClean                       bool
+}
+
+// enableJournal validates the superblock's journal region, takes the
+// staging frame, sizes the cache against the journal, and installs the
+// eviction hook so no uncommitted dirty block can reach its home
+// location out of order.
+func (fs *FS) enableJournal() error {
+	sb := &fs.sb
+	if sb.journalBlks < jMinJournalLen {
+		return fmt.Errorf("exos: journal of %d blocks is too small", sb.journalBlks)
+	}
+	if sb.journalBlk < sb.dataBlk || sb.journalBlk+sb.journalBlks != sb.nblocks {
+		return fmt.Errorf("exos: journal region [%d,+%d) outside extent of %d",
+			sb.journalBlk, sb.journalBlks, sb.nblocks)
+	}
+	scratch, err := fs.cache.TakeFrame()
+	if err != nil {
+		return err
+	}
+	slots := sb.journalBlks - 2
+	capacity := uint32(len(fs.cache.free) + len(fs.cache.lines))
+	if capacity > slots {
+		return fmt.Errorf("exos: cache of %d frames cannot commit through %d journal slots",
+			capacity, slots)
+	}
+	fs.jn = &Journal{fs: fs, scratch: scratch}
+	fs.cache.onEvictDirty = fs.jn.commit
+	return nil
+}
+
+func (j *Journal) descBlk() uint32         { return j.fs.sb.journalBlk }
+func (j *Journal) copyBlk(i uint32) uint32 { return j.fs.sb.journalBlk + 1 + i }
+func (j *Journal) commitBlk() uint32 {
+	return j.fs.sb.journalBlk + j.fs.sb.journalBlks - 1
+}
+
+// sumRange is FNV-1a over a byte range, charged at one pass over the
+// data — checksumming is real library work, same rate as ReliableDev.
+func (j *Journal) sumRange(p []byte) uint32 {
+	j.fs.clock.Tick(uint64(len(p) / 4))
+	h := uint32(2166136261)
+	for _, b := range p {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return h
+}
+
+// commit makes the cache's dirty set durable as one atomic transaction.
+// It is FS.Sync on a journaled mount, and the cache's eviction hook.
+func (j *Journal) commit() error {
+	c := j.fs.cache
+	dirty := c.dirtyBlocks()
+	if len(dirty) == 0 {
+		return nil
+	}
+	if uint32(len(dirty)) > j.fs.sb.journalBlks-2 {
+		return fmt.Errorf("exos: %d dirty blocks exceed journal capacity", len(dirty))
+	}
+	txn := j.seq + 1
+
+	// Descriptor: staged in the scratch frame, then journaled.
+	page := j.fs.mem.Page(j.scratch)
+	clear(page)
+	binary.LittleEndian.PutUint32(page[0:], jMagic)
+	binary.LittleEndian.PutUint32(page[4:], uint32(len(dirty)))
+	binary.LittleEndian.PutUint64(page[8:], txn)
+	for i, b := range dirty {
+		sum := j.sumRange(j.fs.mem.Page(c.lines[b].frame))
+		binary.LittleEndian.PutUint32(page[jDescHdrSize+jEntSize*i:], b)
+		binary.LittleEndian.PutUint32(page[jDescHdrSize+jEntSize*i+4:], sum)
+	}
+	j.fs.clock.Tick(uint64(16 + 2*len(dirty)))
+	descSum := j.sumRange(page[4 : jDescHdrSize+jEntSize*len(dirty)])
+	if err := c.dev.WriteBlock(j.descBlk(), j.scratch); err != nil {
+		return err
+	}
+	// Copy blocks, straight from the cache lines (ascending home order).
+	for i, b := range dirty {
+		if err := c.dev.WriteBlock(j.copyBlk(uint32(i)), c.lines[b].frame); err != nil {
+			return err
+		}
+	}
+	if err := c.dev.Flush(); err != nil { // barrier 1: intent durable
+		return err
+	}
+
+	// Commit record.
+	clear(page[:32])
+	binary.LittleEndian.PutUint32(page[0:], jMagic)
+	binary.LittleEndian.PutUint32(page[4:], jStateCommit)
+	binary.LittleEndian.PutUint64(page[8:], txn)
+	binary.LittleEndian.PutUint32(page[16:], uint32(len(dirty)))
+	binary.LittleEndian.PutUint32(page[20:], descSum)
+	j.fs.clock.Tick(8)
+	if err := c.dev.WriteBlock(j.commitBlk(), j.scratch); err != nil {
+		return err
+	}
+	if err := c.dev.Flush(); err != nil { // barrier 2: committed
+		return err
+	}
+
+	// Home-location writes. From here the transaction is guaranteed:
+	// any crash below is repaired by replay from the journal.
+	for _, b := range dirty {
+		ln := c.lines[b]
+		c.Writebacks++
+		if err := c.dev.WriteBlock(b, ln.frame); err != nil {
+			return err
+		}
+		ln.dirty = false
+	}
+	if err := c.dev.Flush(); err != nil { // barrier 3: checkpoint
+		return err
+	}
+
+	// Done marker: tells the next mount no replay is needed. Deliberately
+	// left in the disk's write cache — losing it costs one idempotent
+	// replay, never correctness.
+	binary.LittleEndian.PutUint32(page[4:], jStateDone)
+	j.fs.clock.Tick(2)
+	if err := c.dev.WriteBlock(j.commitBlk(), j.scratch); err != nil {
+		return err
+	}
+	j.seq = txn
+	j.Commits++
+	j.CommittedBlocks += uint64(len(dirty))
+	return nil
+}
+
+// recover is the mount-time pass: decide replay vs rollback from the
+// journal alone, touching home locations only for a proven-intact
+// committed transaction. Idempotent — a crash during recovery leaves a
+// state recover handles identically next mount.
+func (j *Journal) recover() error {
+	c := j.fs.cache
+	mem := j.fs.mem
+
+	if err := c.dev.ReadBlock(j.descBlk(), j.scratch); err != nil {
+		return err
+	}
+	page := mem.Page(j.scratch)
+	if binary.LittleEndian.Uint32(page[0:]) != jMagic {
+		// Freshly formatted journal: nothing was ever committed.
+		j.LastMountClean = true
+		return nil
+	}
+	count := binary.LittleEndian.Uint32(page[4:])
+	txn := binary.LittleEndian.Uint64(page[8:])
+	if txn > j.seq {
+		j.seq = txn // never mint a transaction id the journal has seen
+	}
+	if count == 0 || count > j.fs.sb.journalBlks-2 {
+		return j.rollback(txn)
+	}
+	descSum := j.sumRange(page[4 : jDescHdrSize+jEntSize*count])
+	type ent struct{ home, sum uint32 }
+	entries := make([]ent, count)
+	for i := range entries {
+		entries[i].home = binary.LittleEndian.Uint32(page[jDescHdrSize+jEntSize*i:])
+		entries[i].sum = binary.LittleEndian.Uint32(page[jDescHdrSize+jEntSize*i+4:])
+	}
+	j.fs.clock.Tick(uint64(2 * count))
+
+	if err := c.dev.ReadBlock(j.commitBlk(), j.scratch); err != nil {
+		return err
+	}
+	cMagic := binary.LittleEndian.Uint32(page[0:])
+	cState := binary.LittleEndian.Uint32(page[4:])
+	cTxn := binary.LittleEndian.Uint64(page[8:])
+	cCount := binary.LittleEndian.Uint32(page[16:])
+	cSum := binary.LittleEndian.Uint32(page[20:])
+	j.fs.clock.Tick(8)
+	if cMagic == jMagic && cTxn > j.seq {
+		j.seq = cTxn
+	}
+	if cMagic == jMagic && cState == jStateDone && cTxn == txn {
+		// The transaction was fully checkpointed before the crash (or
+		// this is a clean remount).
+		j.LastMountClean = true
+		return nil
+	}
+	if cMagic != jMagic || cState != jStateCommit || cTxn != txn ||
+		cCount != count || cSum != descSum {
+		// No valid commit record for this descriptor: the crash hit
+		// before the commit barrier, or the record is corrupt. Either
+		// way the home locations were never touched — roll back.
+		return j.rollback(txn)
+	}
+
+	// Valid commit record: verify every copy block before touching any
+	// home location. One corrupt copy poisons the whole transaction —
+	// partial replay would be worse than none.
+	for i, e := range entries {
+		if e.home >= j.fs.sb.journalBlk {
+			// A committed descriptor never targets the journal region;
+			// treat the claim as corruption, not instruction.
+			return j.rollback(txn)
+		}
+		if err := c.dev.ReadBlock(j.copyBlk(uint32(i)), j.scratch); err != nil {
+			return err
+		}
+		if j.sumRange(page) != e.sum {
+			return j.rollback(txn)
+		}
+	}
+	// Replay (redo): rewrite every home location from its journal copy.
+	for i, e := range entries {
+		if err := c.dev.ReadBlock(j.copyBlk(uint32(i)), j.scratch); err != nil {
+			return err
+		}
+		if err := c.dev.WriteBlock(e.home, j.scratch); err != nil {
+			return err
+		}
+	}
+	if err := c.dev.Flush(); err != nil {
+		return err
+	}
+	j.Replayed++
+	j.ReplayedBlocks += uint64(count)
+	return j.writeMarker(txn, jStateDone, true)
+}
+
+// rollback discards a transaction that must not be replayed (no valid
+// commit record, or a corrupt journal) by writing a durable done marker
+// for it, so later mounts see a clean journal instead of re-judging the
+// same wreckage.
+func (j *Journal) rollback(txn uint64) error {
+	j.RolledBack++
+	return j.writeMarker(txn, jStateDone, true)
+}
+
+// writeMarker stamps the commit record with a state for txn.
+func (j *Journal) writeMarker(txn uint64, state uint32, flush bool) error {
+	page := j.fs.mem.Page(j.scratch)
+	clear(page[:32])
+	binary.LittleEndian.PutUint32(page[0:], jMagic)
+	binary.LittleEndian.PutUint32(page[4:], state)
+	binary.LittleEndian.PutUint64(page[8:], txn)
+	j.fs.clock.Tick(8)
+	if err := j.fs.cache.dev.WriteBlock(j.commitBlk(), j.scratch); err != nil {
+		return err
+	}
+	if flush {
+		return j.fs.cache.dev.Flush()
+	}
+	return nil
+}
+
+// FormatJournaled writes a fresh crash-consistent file system: the
+// Format image plus a zeroed journal region of journalBlks blocks at
+// the extent tail, everything flushed stable before return (mkfs must
+// not itself be a crash hazard for the mounted lifetime that follows).
+func FormatJournaled(dev BlockDev, cache *BufCache, ninodes, journalBlks uint32) (*FS, error) {
+	fs, err := format(dev, cache, ninodes, journalBlks)
+	if err != nil {
+		return nil, err
+	}
+	if err := fs.enableJournal(); err != nil {
+		return nil, err
+	}
+	// Zero the journal region so recovery finds no transaction.
+	page := fs.mem.Page(fs.jn.scratch)
+	clear(page)
+	fs.clock.Tick(hw.PageSize / hw.WordSize / 8)
+	for b := fs.sb.journalBlk; b < fs.sb.journalBlk+fs.sb.journalBlks; b++ {
+		if err := dev.WriteBlock(b, fs.jn.scratch); err != nil {
+			return nil, err
+		}
+	}
+	if err := dev.Flush(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}

@@ -164,6 +164,15 @@ func formatStat(k *aegis.Kernel) string {
 	kv("aborts", s.Aborts)
 	kv("killed_envs", s.KilledEnvs)
 	kv("nic_rx_overflow", s.RxOverflow)
+	d := k.M.Disk
+	kv("disk_reads", d.Reads)
+	kv("disk_writes", d.Writes)
+	kv("disk_flushes", d.Flushes)
+	kv("disk_flushed_blocks", d.FlushedBlocks)
+	kv("disk_cache_dirty", uint64(d.CacheDirty()))
+	kv("disk_power_fails", d.PowerFails)
+	kv("disk_crash_kept", d.CrashKept)
+	kv("disk_crash_lost", d.CrashLost)
 	b.WriteString(histHeader)
 	for op := aegis.OpClass(0); op < aegis.NumOpClasses; op++ {
 		histLine(&b, op.String(), k.Stats.OpSnapshot(op))

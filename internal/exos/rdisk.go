@@ -1,6 +1,7 @@
 package exos
 
 import (
+	"errors"
 	"fmt"
 
 	"exokernel/internal/hw"
@@ -83,6 +84,12 @@ func (r *ReliableDev) ReadBlock(b uint32, frame uint32) error {
 			r.Retries++
 		}
 		if err := r.Dev.ReadBlock(b, frame); err != nil {
+			if errors.Is(err, hw.ErrPowerFail) {
+				// Not transient: the machine is dead. Retrying
+				// would only burn the backoff budget.
+				r.Failures++
+				return err
+			}
 			lastErr = err
 			continue
 		}
@@ -109,6 +116,10 @@ func (r *ReliableDev) WriteBlock(b uint32, frame uint32) error {
 			r.Retries++
 		}
 		if err := r.Dev.WriteBlock(b, frame); err != nil {
+			if errors.Is(err, hw.ErrPowerFail) {
+				r.Failures++
+				return err
+			}
 			lastErr = err
 			continue
 		}
@@ -119,6 +130,10 @@ func (r *ReliableDev) WriteBlock(b uint32, frame uint32) error {
 	return fmt.Errorf("exos: write of block %d failed after %d retries: %w",
 		b, r.budget(), lastErr)
 }
+
+// Flush implements BlockDev: the barrier passes straight through (there
+// is nothing to retry — a failed barrier means the machine is dead).
+func (r *ReliableDev) Flush() error { return r.Dev.Flush() }
 
 // NumBlocks implements BlockDev.
 func (r *ReliableDev) NumBlocks() uint32 { return r.Dev.NumBlocks() }

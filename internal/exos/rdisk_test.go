@@ -41,6 +41,8 @@ func (d *flakyDev) WriteBlock(b uint32, frame uint32) error {
 	return nil
 }
 
+func (d *flakyDev) Flush() error { return nil }
+
 func (d *flakyDev) NumBlocks() uint32 { return 64 }
 
 func reliableWorld() (*ReliableDev, *flakyDev, *hw.Machine, uint32) {

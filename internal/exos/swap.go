@@ -126,6 +126,14 @@ func (sw *Swapper) pageOut(va uint32) error {
 		sw.used[slot] = false
 		return err
 	}
+	// Barrier before the frame is unmapped and recycled: the swap copy
+	// is the page's only copy from here on, so it must be stable — a
+	// power failure between frame reuse and an implicit later flush
+	// would otherwise lose memory the application was promised.
+	if err := sw.dev.Flush(); err != nil {
+		sw.used[slot] = false
+		return err
+	}
 	sw.os.Unmap(va)
 	if err := sw.os.K.DeallocPage(saved.Frame, saved.Guard); err != nil {
 		return err

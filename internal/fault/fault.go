@@ -43,6 +43,7 @@ const (
 	DiskCorrupt
 	NICPressure
 	EnvKill
+	PowerFail
 	numKinds
 )
 
@@ -57,6 +58,7 @@ var kindNames = [numKinds]string{
 	DiskCorrupt:  "disk-corrupt",
 	NICPressure:  "nic-pressure",
 	EnvKill:      "env-kill",
+	PowerFail:    "power-fail",
 }
 
 func (k Kind) String() string {
@@ -100,6 +102,17 @@ type Config struct {
 	// RxPressureDepth slots of the receive ring.
 	RxPressurePPM   uint32
 	RxPressureDepth int
+
+	// Power failure (per completed disk transfer — a disk-I/O boundary).
+	// PowerFailPPM is the random rate; PowerFailAfterWrites, when
+	// non-zero, fires deterministically at the completion of the Nth
+	// write boundary (1-based, counted from injector creation or the last
+	// ArmPowerFail) — the knob the crash-point exploration test sweeps;
+	// PowerFailAtCycle, when non-zero, fires at the first boundary at or
+	// after that simulated cycle. Each deterministic trigger fires once.
+	PowerFailPPM         uint32
+	PowerFailAfterWrites uint64
+	PowerFailAtCycle     uint64
 }
 
 // Injector makes fault decisions. Methods are safe on a nil receiver
@@ -118,6 +131,12 @@ type Injector struct {
 	// harness wires it to the kernel flight recorder so fault events
 	// interleave with the kernel's own trace.
 	Observe func(Event)
+
+	// Power-fail trigger state: completed write boundaries seen, and
+	// whether each one-shot deterministic trigger has fired.
+	writeBoundaries uint64
+	afterFired      bool
+	cycleFired      bool
 }
 
 // New creates an enabled injector for a config.
@@ -298,6 +317,48 @@ func (in *Injector) cfgOrZero() Config {
 		return Config{}
 	}
 	return in.cfg
+}
+
+// --- Power failure (implements hw.DiskPower) -------------------------------
+
+// ArmPowerFail re-arms the deterministic write-boundary trigger: the
+// power will fail at the completion of the Nth write from now (1-based).
+// The crash-point exploration test sweeps this knob across every write
+// boundary of a workload. n = 0 disarms.
+func (in *Injector) ArmPowerFail(n uint64) {
+	in.cfg.PowerFailAfterWrites = n
+	in.writeBoundaries = 0
+	in.afterFired = n == 0
+}
+
+// PowerFail decides, at the completion of one disk transfer, whether
+// the machine loses power at exactly that I/O boundary. Deterministic
+// triggers (write-boundary count, simulated cycle) are checked before
+// the random rate and never consume RNG draws, so arming them does not
+// shift any other decision stream.
+func (in *Injector) PowerFail(write bool, b uint32, cycle uint64) bool {
+	if in == nil || !in.enabled {
+		return false
+	}
+	if write {
+		in.writeBoundaries++
+		if !in.afterFired && in.cfg.PowerFailAfterWrites > 0 &&
+			in.writeBoundaries >= in.cfg.PowerFailAfterWrites {
+			in.afterFired = true
+			in.record(PowerFail, uint64(b))
+			return true
+		}
+	}
+	if !in.cycleFired && in.cfg.PowerFailAtCycle > 0 && cycle >= in.cfg.PowerFailAtCycle {
+		in.cycleFired = true
+		in.record(PowerFail, uint64(b))
+		return true
+	}
+	if in.chance(in.cfg.PowerFailPPM) {
+		in.record(PowerFail, uint64(b))
+		return true
+	}
+	return false
 }
 
 // --- NIC faults (implements hw.NICFault) -----------------------------------

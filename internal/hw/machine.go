@@ -102,6 +102,29 @@ func NewMachine(cfg Config) *Machine {
 	return m
 }
 
+// Reboot models a whole-machine power cycle after a crash. Two things
+// survive: the clock (simulated time does not rewind because a machine
+// died) and the disk's stable image (power is restored via
+// Disk.PowerOn; the volatile write cache was already resolved by
+// Disk.Crash). Everything else returns to its power-on state — physical
+// memory zeroed in place, fresh TLB/timer/NIC/frame buffer, CPU in
+// kernel mode with interrupts on, no trap handler. A fresh kernel must
+// install itself exactly as at first boot, and any external NIC wiring
+// (ether segment attachment) must be re-established by the harness.
+func (m *Machine) Reboot() {
+	m.Phys.Reset()
+	m.TLB = NewTLB(m.Clock, m.Config.TLBSize)
+	m.TLB.slow = m.slow
+	m.Timer = NewTimer(m)
+	m.NIC = NewNIC(m)
+	m.FB = NewFrameBuffer(64)
+	m.Disk.PowerOn()
+	m.CPU = CPU{Mode: ModeKernel, IntrOn: true}
+	m.handler = nil
+	m.mcLoad = microTLB{}
+	m.mcStore = microTLB{}
+}
+
 // SetTrapHandler installs the kernel.
 func (m *Machine) SetTrapHandler(h TrapHandler) { m.handler = h }
 

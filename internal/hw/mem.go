@@ -34,6 +34,19 @@ func NewPhysMem(clock *Clock, npages, missRate int) *PhysMem {
 	return m
 }
 
+// Reset returns physical memory to its power-on state in place: every
+// frame zeroed and free, the miss-model PRNG reseeded. In place so that
+// a reboot-heavy soak run does not churn the host allocator with whole
+// machine images (32 MB per DEC5000).
+func (m *PhysMem) Reset() {
+	clear(m.data)
+	m.free = m.free[:0]
+	for i := m.npages - 1; i >= 0; i-- {
+		m.free = append(m.free, uint32(i))
+	}
+	m.lcg = 0x2545F491
+}
+
 // NumPages reports the number of physical frames.
 func (m *PhysMem) NumPages() int { return m.npages }
 

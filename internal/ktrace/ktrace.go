@@ -60,9 +60,18 @@ const (
 	KindDiskRead  // Env = requester, Arg0 = block, Arg1 = frame
 	KindDiskWrite // Env = requester, Arg0 = block, Arg1 = frame
 
+	// Stable storage, continued.
+	KindDiskFlush // Env = requester, Arg0 = first block, Arg1 = blocks made stable
+
 	// Faults.
 	KindNICOverflow // a frame died at the receive ring (Arg0 = drops so far)
 	KindFaultInject // Arg0 = fault.Kind, Arg1 = victim (block/frame bytes/env)
+
+	// Crash-stop and recovery (whole-machine power events; emitted by the
+	// harness around reboots, and by Mount recovery).
+	KindPowerFail  // Arg0 = cached writes kept, Arg1 = cached writes lost
+	KindReboot     // Arg0 = reboot ordinal
+	KindFSRecovery // Arg0 = txns replayed, Arg1 = txns rolled back
 
 	numKinds
 )
@@ -97,8 +106,12 @@ var kindNames = [numKinds]string{
 	KindRevokeAbort:    "revoke-abort",
 	KindDiskRead:       "disk-read",
 	KindDiskWrite:      "disk-write",
+	KindDiskFlush:      "disk-flush",
 	KindNICOverflow:    "nic-overflow",
 	KindFaultInject:    "fault-inject",
+	KindPowerFail:      "power-fail",
+	KindReboot:         "reboot",
+	KindFSRecovery:     "fs-recovery",
 }
 
 func (k Kind) String() string {

@@ -34,6 +34,10 @@ func (d kernelDev) WriteBlock(b uint32, frame uint32) error {
 	return d.m.Disk.WriteBlock(d.base+b, d.m.Phys, frame)
 }
 
+func (d kernelDev) Flush() error {
+	return d.m.Disk.Flush()
+}
+
 func (d kernelDev) NumBlocks() uint32 { return d.n }
 
 // KernelFS is the in-kernel file system.

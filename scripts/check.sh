@@ -51,10 +51,12 @@ EXO_NOJIT=1 go run ./cmd/aegisbench -only table9 -n 32 > "$tmp/nojit.txt"
 cmp "$tmp/jit.txt" "$tmp/nojit.txt"
 
 echo "== chaos smoke (fixed-seed fault schedule + invariant gate + replay)"
-# Smaller than \`make chaos\` (300 events vs 1000) but the same gate:
-# seeded faults on every device, invariants after every step, and a
-# replay that must reproduce the identical fault log and traces.
-go run ./cmd/chaos -seed 1 -target 300 -verify -q
+# Smaller than \`make chaos\` (300 events / 25 reboots vs 1000 / 100)
+# but the same gate: seeded faults on every device, power-fail
+# kill-and-reboot rounds on the journaled-FS machine, invariants after
+# every step, and a replay that must reproduce the identical fault
+# logs, traces, clocks, and crash census.
+go run ./cmd/chaos -seed 1 -target 300 -reboots 25 -verify -q
 
 echo "== soak smoke (10^4 events, fixed seeds, SOAK JSON round-trip)"
 # Smaller than \`make soak\` (4 rounds x 2500 events vs 100 x 10000) but
@@ -86,7 +88,7 @@ grep -q 'orphans=0' "$tmp/flow.txt"
 
 echo "== exotop smoke (one-shot fleet snapshot over a scripted run)"
 go run ./cmd/exotop -once -seed 1 -target 200 > "$tmp/top.txt"
-grep -q 'fleet  machines=2' "$tmp/top.txt"
+grep -q 'fleet  machines=3' "$tmp/top.txt"
 
 echo "== exoprof smoke (PROF JSON + pprof export + profile self-diff)"
 # Cycle profiles are exact and deterministic: the PROF JSON must
